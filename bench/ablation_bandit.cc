@@ -1,0 +1,117 @@
+// Ablation: curve-based convex optimization (Moderate) versus a
+// rotting-bandit-style epsilon-greedy acquirer (Section 7's alternative
+// framing) versus Uniform, at equal budget. The bandit learns rewards only
+// from observed loss changes, so it needs one model training per pull; the
+// expected shape is that Moderate matches or beats it on loss/unfairness
+// while training far fewer models.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/math_util.h"
+#include "common/table_printer.h"
+#include "core/bandit.h"
+#include "core/metrics.h"
+#include "core/slice_tuner.h"
+
+namespace slicetuner {
+namespace {
+
+struct Summary {
+  double loss = 0.0;
+  double eer = 0.0;
+  double trainings = 0.0;
+};
+
+}  // namespace
+}  // namespace slicetuner
+
+int main() {
+  using namespace slicetuner;
+  std::printf("=== Ablation: convex optimizer vs acquisition bandit ===\n\n");
+
+  const DatasetPreset preset = MakeCensusLike();
+  const double kBudget = 600.0;
+  const int kTrials = 3;
+
+  CsvWriter csv;
+  ST_CHECK_OK(csv.Open(bench::ResultsDir() + "/ablation_bandit.csv"));
+  ST_CHECK_OK(csv.WriteRow({"method", "loss", "avg_eer", "model_trainings"}));
+
+  TablePrinter table(
+      {"Method", "Loss", "Avg. EER", "Model trainings / trial"});
+  const char* kMethods[] = {"Uniform", "Bandit (eps-greedy)",
+                            "Moderate (Slice Tuner)"};
+  for (int m = 0; m < 3; ++m) {
+    std::vector<double> losses, eers;
+    double trainings = 0.0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      Rng rng(1000 + 97 * static_cast<uint64_t>(trial));
+      Dataset train =
+          preset.generator.GenerateDataset(EqualSizes(4, 100), &rng);
+      const Dataset validation =
+          preset.generator.GenerateDataset(EqualSizes(4, 200), &rng);
+      SyntheticPool source(&preset.generator,
+                           std::make_unique<TableCost>(preset.costs),
+                           rng());
+
+      SliceTunerOptions options;
+      options.model_spec = preset.model_spec;
+      options.trainer = preset.trainer;
+      options.curve_options = bench::BenchCurveOptions(rng());
+      options.lambda = 1.0;
+      auto tuner = SliceTuner::Create(train, validation, 4, options);
+      ST_CHECK_OK(tuner.status());
+
+      if (m == 0) {
+        const auto run = tuner->AcquireBaseline(&source, kBudget,
+                                                BaselineKind::kUniform);
+        ST_CHECK_OK(run.status());
+        trainings += 0.0;
+      } else if (m == 1) {
+        // The bandit operates directly on the dataset; rebuild a tuner
+        // around the grown data for evaluation parity.
+        Dataset bandit_train = tuner->train();
+        BanditOptions bandit;
+        bandit.batch_size = 50;
+        bandit.seed = rng();
+        const auto run = RunBanditAcquisition(
+            &bandit_train, validation, 4, preset.model_spec, preset.trainer,
+            &source, kBudget, bandit);
+        ST_CHECK_OK(run.status());
+        trainings += run->model_trainings;
+        auto regrown = SliceTuner::Create(bandit_train, validation, 4,
+                                          options);
+        ST_CHECK_OK(regrown.status());
+        tuner = std::move(regrown);
+      } else {
+        IterativeOptions it;
+        const auto run = tuner->Acquire(&source, kBudget, it);
+        ST_CHECK_OK(run.status());
+        trainings += run->model_trainings;
+      }
+      const auto metrics = tuner->Evaluate(rng());
+      ST_CHECK_OK(metrics.status());
+      losses.push_back(metrics->overall_loss);
+      eers.push_back(metrics->avg_eer);
+    }
+    const Summary summary{Mean(losses), Mean(eers),
+                          trainings / kTrials};
+    table.AddRow({kMethods[m], FormatDouble(summary.loss, 3),
+                  FormatDouble(summary.eer, 3),
+                  FormatDouble(summary.trainings, 1)});
+    ST_CHECK_OK(csv.WriteRow({kMethods[m], FormatDouble(summary.loss, 4),
+                              FormatDouble(summary.eer, 4),
+                              FormatDouble(summary.trainings, 1)}));
+  }
+  std::printf("Census-like, init 100/slice, B = %.0f, %d trials\n\n", kBudget,
+              kTrials);
+  table.Print(std::cout);
+  std::printf("\nThe bandit retrains after every 50-example pull; Slice "
+              "Tuner amortizes\nK trainings per iteration over all slices "
+              "and plans with fitted curves.\n");
+  ST_CHECK_OK(csv.Close());
+  std::printf("Series written to results/ablation_bandit.csv\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Shared helpers for the benchmark harnesses that regenerate the paper's
+// tables and figures. Each bench prints a human-readable table mirroring the
+// paper and writes a CSV next to it under results/.
+
+#ifndef SLICETUNER_BENCH_BENCH_UTIL_H_
+#define SLICETUNER_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <sys/stat.h>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+#include "core/experiment.h"
+
+namespace slicetuner {
+namespace bench {
+
+/// Output directory for CSV series (created on demand).
+inline std::string ResultsDir() {
+  const std::string dir = "results";
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+/// "0.302" / "0.134 / 0.319" cells used across the method tables.
+inline std::string LossCell(const MethodOutcome& o) {
+  return FormatDouble(o.loss_mean, 3);
+}
+
+inline std::string LossCellWithSe(const MethodOutcome& o) {
+  return FormatDouble(o.loss_mean, 3) + " +- " + FormatDouble(o.loss_se, 3);
+}
+
+inline std::string EerCell(const MethodOutcome& o) {
+  return FormatDouble(o.avg_eer_mean, 3) + " / " +
+         FormatDouble(o.max_eer_mean, 3);
+}
+
+inline std::string AvgEerCellWithSe(const MethodOutcome& o) {
+  return FormatDouble(o.avg_eer_mean, 3) + " +- " +
+         FormatDouble(o.avg_eer_se, 3);
+}
+
+/// Shared learning-curve estimation settings for the benches: K = 8 subset
+/// points, 3 averaged draws (the paper uses K = 10 and 5 draws; we scale
+/// down proportionally with our smaller data sizes).
+inline LearningCurveOptions BenchCurveOptions(uint64_t seed) {
+  LearningCurveOptions o;
+  o.num_points = 8;
+  o.num_curve_draws = 3;
+  o.seed = seed;
+  return o;
+}
+
+/// The methods of Tables 2/10 in paper order.
+inline std::vector<Method> SliceTunerMethods() {
+  return {Method::kOriginal, Method::kOneShot, Method::kAggressive,
+          Method::kModerate, Method::kConservative};
+}
+
+}  // namespace bench
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,120 @@
+// Figure 5: the three regions of a learning curve (small-data, power-law,
+// diminishing returns). We sweep the training size of one slice from 2 to
+// 4096 examples, measure validation loss, fit both y = b x^-a and
+// y = b x^-a + c, and report where each region begins. Also serves as the
+// curve-model ablation (power law vs power law + floor vs exponential).
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "curvefit/curve_models.h"
+#include "curvefit/fitter.h"
+#include "curvefit/levenberg_marquardt.h"
+#include "nn/trainer.h"
+
+int main() {
+  using namespace slicetuner;
+  std::printf("=== Figure 5: learning-curve regions ===\n\n");
+
+  // One binary-classification "slice" with 5% label noise: the noise sets
+  // the minimum loss (diminishing-returns floor).
+  const double kLabelNoise = 0.05;
+  Rng rng(501);
+  auto make_data = [&](size_t n, Dataset* out) {
+    *out = Dataset(8);
+    for (size_t i = 0; i < n; ++i) {
+      Example e;
+      e.label = static_cast<int>(i % 2);
+      if (rng.Bernoulli(kLabelNoise)) e.label = 1 - e.label;
+      e.features.resize(8);
+      const double c = (i % 2) == 0 ? -1.0 : 1.0;
+      for (auto& f : e.features) f = rng.Normal(c, 1.3);
+      (void)out->Append(e);
+    }
+  };
+  Dataset validation;
+  make_data(2000, &validation);
+
+  CsvWriter csv;
+  ST_CHECK_OK(csv.Open(bench::ResultsDir() + "/fig5_regions.csv"));
+  ST_CHECK_OK(csv.WriteRow({"train_size", "val_loss"}));
+
+  std::vector<CurvePoint> points;
+  TablePrinter sweep({"Train size", "Val loss", "Region (post-hoc)"});
+  for (size_t n = 2; n <= 16384; n *= 2) {
+    // Average more seeds at tiny sizes, where variance dominates.
+    const uint64_t seeds = n <= 64 ? 7 : 3;
+    double loss = 0.0;
+    for (uint64_t seed = 0; seed < seeds; ++seed) {
+      Dataset train;
+      make_data(n, &train);
+      Rng model_rng(900 + seed);
+      Model model = BuildModel(ModelSpec{8, 2, {16}, 0, 32}, &model_rng);
+      TrainerOptions trainer;
+      trainer.epochs = 25;
+      trainer.seed = model_rng();
+      ST_CHECK_OK(
+          Train(&model, train.FeatureMatrix(), train.Labels(), trainer)
+              .status());
+      loss += EvaluateLogLoss(&model, validation.FeatureMatrix(),
+                              validation.Labels());
+    }
+    loss /= static_cast<double>(seeds);
+    points.push_back(CurvePoint{static_cast<double>(n), loss});
+    ST_CHECK_OK(csv.WriteNumericRow({static_cast<double>(n), loss}, 5));
+  }
+
+  // Fit the three candidate models on the sweep.
+  std::vector<double> xs, ys;
+  for (const auto& p : points) {
+    xs.push_back(p.size);
+    ys.push_back(p.loss);
+  }
+  PowerLawFloorModel floor_model;
+  const auto floor_fit = LevenbergMarquardt(
+      floor_model, xs, ys, {}, floor_model.InitialGuess(xs, ys));
+  const auto plain_fit = FitPowerLaw(points);
+  ExponentialDecayModel exp_model;
+  const auto exp_fit = LevenbergMarquardt(exp_model, xs, ys, {},
+                                          exp_model.InitialGuess(xs, ys));
+  ST_CHECK_OK(floor_fit.status());
+  ST_CHECK_OK(plain_fit.status());
+
+  const double floor_c = floor_fit->params[2];
+  const double best_guess = std::log(2.0);  // random binary predictions
+  const double final_loss = points.back().loss;
+  for (size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    const char* region = "power-law";
+    if (p.loss > 0.8 * best_guess) {
+      region = "small-data (best guess)";
+    } else if (p.loss < 1.12 * final_loss) {
+      region = "diminishing returns";
+    }
+    sweep.AddRow({StrFormat("%.0f", p.size), FormatDouble(p.loss, 4),
+                  region});
+  }
+  sweep.Print(std::cout);
+
+  std::printf("\nModel fits over the sweep:\n");
+  std::printf("  power law            : y = %.3f x^-%.3f (SSE on log pts)\n",
+              plain_fit->b, plain_fit->a);
+  std::printf("  power law + floor    : y = %.3f x^-%.3f + %.3f  (SSE %.5f)\n",
+              floor_fit->params[0], floor_fit->params[1],
+              floor_fit->params[2], floor_fit->sse);
+  if (exp_fit.ok()) {
+    std::printf("  exponential decay    : y = %.3f exp(-%.4f x) + %.3f "
+                "(SSE %.5f)\n",
+                exp_fit->params[0], exp_fit->params[1], exp_fit->params[2],
+                exp_fit->sse);
+  }
+  std::printf("  best-guess loss      : ln 2 = %.4f\n", best_guess);
+  std::printf("  fitted minimum loss c: %.4f (label noise %.0f%%)\n",
+              floor_c, kLabelNoise * 100.0);
+  ST_CHECK_OK(csv.Close());
+  std::printf("\nSeries written to results/fig5_regions.csv\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Microbenchmarks for the curve-fitting substrate: Levenberg-Marquardt on
+// the power-law families, the size-weighted fitter, and bootstrap averaging.
+// The runtime here justifies the paper's claim that curve fitting is cheap
+// relative to model training.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "curvefit/curve_models.h"
+#include "curvefit/fitter.h"
+#include "curvefit/levenberg_marquardt.h"
+
+namespace slicetuner {
+namespace {
+
+std::vector<CurvePoint> MakePoints(size_t n, double noise, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<CurvePoint> points;
+  double x = 20.0;
+  for (size_t i = 0; i < n; ++i) {
+    points.push_back(CurvePoint{
+        x, 2.5 * std::pow(x, -0.3) * (1.0 + rng.Normal(0.0, noise))});
+    x *= 1.4;
+  }
+  return points;
+}
+
+void BM_FitPowerLaw(benchmark::State& state) {
+  const auto points =
+      MakePoints(static_cast<size_t>(state.range(0)), 0.05, 1);
+  for (auto _ : state) {
+    auto fit = FitPowerLaw(points);
+    benchmark::DoNotOptimize(fit);
+  }
+}
+BENCHMARK(BM_FitPowerLaw)->Arg(8)->Arg(16)->Arg(64);
+
+void BM_FitPowerLawAveraged(benchmark::State& state) {
+  const auto points = MakePoints(10, 0.05, 2);
+  FitOptions options;
+  options.num_draws = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto fit = FitPowerLawAveraged(points, options);
+    benchmark::DoNotOptimize(fit);
+  }
+}
+BENCHMARK(BM_FitPowerLawAveraged)->Arg(1)->Arg(5)->Arg(10);
+
+void BM_LmPowerLawFloor(benchmark::State& state) {
+  const auto points = MakePoints(16, 0.02, 3);
+  std::vector<double> xs, ys;
+  for (const auto& p : points) {
+    xs.push_back(p.size);
+    ys.push_back(p.loss + 0.2);
+  }
+  PowerLawFloorModel model;
+  const auto init = model.InitialGuess(xs, ys);
+  for (auto _ : state) {
+    auto fit = LevenbergMarquardt(model, xs, ys, {}, init);
+    benchmark::DoNotOptimize(fit);
+  }
+}
+BENCHMARK(BM_LmPowerLawFloor);
+
+}  // namespace
+}  // namespace slicetuner
+
+BENCHMARK_MAIN();

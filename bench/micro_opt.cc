@@ -1,0 +1,80 @@
+// Microbenchmarks + ablation for the allocation solver: PGD (handles any
+// lambda) versus the closed-form KKT solver (lambda = 0 only), and the
+// budget-simplex projection. Supports the DESIGN.md claim that the
+// optimization step is negligible next to data acquisition and model
+// training.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "opt/allocation.h"
+#include "opt/projection.h"
+#include "opt/water_filling.h"
+
+namespace slicetuner {
+namespace {
+
+AllocationProblem MakeProblem(int n, double lambda, uint64_t seed) {
+  Rng rng(seed);
+  AllocationProblem p;
+  for (int i = 0; i < n; ++i) {
+    p.curves.push_back(
+        PowerLawCurve{rng.Uniform(0.5, 5.0), rng.Uniform(0.05, 0.8)});
+    p.sizes.push_back(rng.Uniform(50.0, 500.0));
+    p.costs.push_back(rng.Uniform(0.5, 2.0));
+  }
+  p.budget = 2000.0;
+  p.lambda = lambda;
+  return p;
+}
+
+void BM_SolveAllocationPgd(benchmark::State& state) {
+  const AllocationProblem p =
+      MakeProblem(static_cast<int>(state.range(0)), 1.0, 7);
+  for (auto _ : state) {
+    auto r = SolveAllocation(p);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SolveAllocationPgd)->Arg(4)->Arg(10)->Arg(20)->Arg(100);
+
+void BM_SolveAllocationKkt(benchmark::State& state) {
+  const AllocationProblem p =
+      MakeProblem(static_cast<int>(state.range(0)), 0.0, 7);
+  for (auto _ : state) {
+    auto r = SolveAllocationKkt(p);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SolveAllocationKkt)->Arg(4)->Arg(10)->Arg(20)->Arg(100);
+
+void BM_Projection(benchmark::State& state) {
+  Rng rng(9);
+  const int n = static_cast<int>(state.range(0));
+  std::vector<double> v(static_cast<size_t>(n)),
+      costs(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    v[static_cast<size_t>(i)] = rng.Uniform(-10.0, 100.0);
+    costs[static_cast<size_t>(i)] = rng.Uniform(0.5, 2.0);
+  }
+  for (auto _ : state) {
+    auto d = ProjectOntoBudgetSimplex(v, costs, 500.0);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_Projection)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_RoundAllocation(benchmark::State& state) {
+  const AllocationProblem p = MakeProblem(20, 1.0, 11);
+  const auto r = SolveAllocation(p);
+  for (auto _ : state) {
+    auto rounded = RoundAllocation(p, r.value().examples);
+    benchmark::DoNotOptimize(rounded);
+  }
+}
+BENCHMARK(BM_RoundAllocation);
+
+}  // namespace
+}  // namespace slicetuner
+
+BENCHMARK_MAIN();

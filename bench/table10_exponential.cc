@@ -1,0 +1,109 @@
+// Tables 10 and 11 (Appendix C): the Slice Tuner methods when the initial
+// slice sizes follow an exponential distribution instead of being equal.
+// Expected shape: same trends as Table 2 — iterative beats One-shot, and
+// Conservative is slightly better at the price of more iterations.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+
+namespace slicetuner {
+namespace {
+
+ExperimentConfig MakeConfig(DatasetPreset preset, std::vector<size_t> sizes,
+                            double budget) {
+  ExperimentConfig config;
+  config.preset = std::move(preset);
+  config.initial_sizes = std::move(sizes);
+  config.budget = budget;
+  config.val_per_slice = 200;
+  config.lambda = 1.0;
+  config.trials = 3;
+  config.seed = 41;
+  config.curve_options = bench::BenchCurveOptions(23);
+  // L = the smallest initial size, as in Table 11's Original rows.
+  size_t min_size = config.initial_sizes[0];
+  for (size_t s : config.initial_sizes) min_size = std::min(min_size, s);
+  config.min_slice_size = static_cast<long long>(min_size);
+  return config;
+}
+
+}  // namespace
+}  // namespace slicetuner
+
+int main() {
+  using namespace slicetuner;
+  std::printf(
+      "=== Tables 10/11: exponential initial slice sizes (Appendix C) ===\n");
+
+  std::vector<ExperimentConfig> configs;
+  // Paper's Table 11 initial sizes decay roughly by 0.85-0.9 per slice.
+  configs.push_back(
+      MakeConfig(MakeFashionLike(), ExponentialSizes(10, 400, 0.88, 100),
+                 6000.0));
+  configs.push_back(
+      MakeConfig(MakeMixedLike(), ExponentialSizes(20, 600, 0.85, 100),
+                 6000.0));
+  configs.push_back(
+      MakeConfig(MakeFaceLike(), ExponentialSizes(8, 400, 0.85, 100),
+                 1500.0));
+  configs.push_back(
+      MakeConfig(MakeCensusLike(), ExponentialSizes(4, 150, 0.7, 50),
+                 800.0));
+
+  CsvWriter csv;
+  ST_CHECK_OK(csv.Open(bench::ResultsDir() + "/table10_exponential.csv"));
+  ST_CHECK_OK(csv.WriteRow({"dataset", "method", "loss", "avg_eer",
+                            "max_eer", "iterations"}));
+
+  TablePrinter table10({"Dataset", "Method", "Loss", "Avg./Max. EER"});
+  for (const ExperimentConfig& config : configs) {
+    std::vector<std::string> header = {"Method"};
+    for (int s = 0; s < config.preset.num_slices() && s < 10; ++s) {
+      header.push_back(StrFormat("%d", s));
+    }
+    header.push_back("# iters");
+    TablePrinter table11(header);
+    {
+      std::vector<std::string> orig = {"Original"};
+      for (int s = 0; s < config.preset.num_slices() && s < 10; ++s) {
+        orig.push_back(
+            StrFormat("%zu", config.initial_sizes[static_cast<size_t>(s)]));
+      }
+      orig.push_back("n/a");
+      table11.AddRow(orig);
+    }
+    for (Method method : bench::SliceTunerMethods()) {
+      const auto outcome = RunMethod(config, method);
+      ST_CHECK_OK(outcome.status());
+      table10.AddRow({config.preset.name, MethodName(method),
+                      bench::LossCell(*outcome), bench::EerCell(*outcome)});
+      ST_CHECK_OK(csv.WriteRow({config.preset.name, MethodName(method),
+                                FormatDouble(outcome->loss_mean, 4),
+                                FormatDouble(outcome->avg_eer_mean, 4),
+                                FormatDouble(outcome->max_eer_mean, 4),
+                                FormatDouble(outcome->iterations_mean, 1)}));
+      if (method != Method::kOriginal) {
+        std::vector<std::string> row = {MethodName(method)};
+        for (int s = 0; s < config.preset.num_slices() && s < 10; ++s) {
+          row.push_back(StrFormat(
+              "%.0f", outcome->acquired_mean[static_cast<size_t>(s)]));
+        }
+        row.push_back(FormatDouble(outcome->iterations_mean, 1));
+        table11.AddRow(row);
+      }
+    }
+    table10.AddSeparator();
+    std::printf("\nTable 11 allocations - %s (first 10 slices; Original row "
+                "= initial sizes)\n",
+                config.preset.name.c_str());
+    table11.Print(std::cout);
+  }
+  std::printf("\nTable 10 summary\n");
+  table10.Print(std::cout);
+  ST_CHECK_OK(csv.Close());
+  std::printf("Series written to results/table10_exponential.csv\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Table 6: detailed comparison of Moderate against Uniform and Water
+// filling under three settings per dataset:
+//   (1) Basic            — equal initial slice sizes;
+//   (2) Bad for Uniform  — most slices already large (low loss), so equal
+//                          acquisition wastes budget on saturated slices;
+//   (3) Bad for Water filling — a hard slice is large and an easy slice is
+//                          small, so size-equalizing pours budget into the
+//                          slice that needs it least.
+// Expected shape: Moderate wins everywhere; Uniform is worst in (2),
+// Water filling worst in (3).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+
+namespace slicetuner {
+namespace {
+
+struct Setting {
+  std::string name;
+  std::vector<size_t> sizes;
+};
+
+// Per-dataset hard/easy slice indices (by construction of the presets:
+// largest/smallest sigma and label noise).
+struct DatasetPlan {
+  DatasetPreset preset;
+  double budget;
+  int hard_slice;
+  int easy_slice;
+};
+
+std::vector<Setting> MakeSettings(const DatasetPlan& plan) {
+  const int n = plan.preset.num_slices();
+  std::vector<Setting> settings;
+  settings.push_back({"Basic", EqualSizes(n, 300)});
+  // Bad for Uniform: 80% of slices already have 3x the data.
+  std::vector<size_t> bad_uniform(static_cast<size_t>(n), 600);
+  for (int s = 0; s < std::max(1, n / 5); ++s) {
+    bad_uniform[static_cast<size_t>((plan.hard_slice + s) % n)] = 120;
+  }
+  settings.push_back({"Bad for Uniform", bad_uniform});
+  // Bad for Water filling: hard slice large, easy slice small.
+  std::vector<size_t> bad_wf(static_cast<size_t>(n), 300);
+  bad_wf[static_cast<size_t>(plan.hard_slice)] = 600;
+  bad_wf[static_cast<size_t>(plan.easy_slice)] = 120;
+  settings.push_back({"Bad for Water filling", bad_wf});
+  return settings;
+}
+
+}  // namespace
+}  // namespace slicetuner
+
+int main() {
+  using namespace slicetuner;
+  std::printf(
+      "=== Table 6: Moderate vs Uniform vs Water filling, 3 settings ===\n");
+
+  std::vector<DatasetPlan> plans;
+  plans.push_back({MakeFashionLike(), 3000.0, 6, 9});
+  plans.push_back({MakeMixedLike(), 3000.0, 3, 11});
+  plans.push_back({MakeFaceLike(), 1500.0, 7, 0});
+  plans.push_back({MakeCensusLike(), 300.0, 3, 0});
+
+  CsvWriter csv;
+  ST_CHECK_OK(csv.Open(bench::ResultsDir() + "/table6_baselines.csv"));
+  ST_CHECK_OK(csv.WriteRow({"dataset", "setting", "method", "loss",
+                            "loss_se", "avg_eer", "avg_eer_se",
+                            "iterations"}));
+
+  const Method kMethods[] = {Method::kUniform, Method::kWaterFilling,
+                             Method::kModerate};
+
+  for (const DatasetPlan& plan : plans) {
+    TablePrinter table({"Setting", "Method", "Loss", "Avg. EER", "# iters"});
+    for (const Setting& setting : MakeSettings(plan)) {
+      ExperimentConfig config;
+      config.preset = plan.preset;
+      config.initial_sizes = setting.sizes;
+      config.budget = plan.budget;
+      config.val_per_slice = 200;
+      config.lambda = 0.1;  // Table 6 uses lambda = 0.1
+      config.trials = 5;
+      config.seed = 99;
+      config.curve_options = bench::BenchCurveOptions(3);
+      config.curve_options.num_points = 10;
+      config.curve_options.num_curve_draws = 5;
+      for (Method method : kMethods) {
+        const auto outcome = RunMethod(config, method);
+        ST_CHECK_OK(outcome.status());
+        table.AddRow({setting.name, MethodName(method),
+                      bench::LossCellWithSe(*outcome),
+                      bench::AvgEerCellWithSe(*outcome),
+                      method == Method::kModerate
+                          ? FormatDouble(outcome->iterations_mean, 1)
+                          : "1"});
+        ST_CHECK_OK(csv.WriteRow(
+            {plan.preset.name, setting.name, MethodName(method),
+             FormatDouble(outcome->loss_mean, 4),
+             FormatDouble(outcome->loss_se, 4),
+             FormatDouble(outcome->avg_eer_mean, 4),
+             FormatDouble(outcome->avg_eer_se, 4),
+             FormatDouble(outcome->iterations_mean, 1)}));
+      }
+      table.AddSeparator();
+    }
+    std::printf("\n%s (B = %.0f, lambda = 0.1)\n", plan.preset.name.c_str(),
+                plan.budget);
+    table.Print(std::cout);
+  }
+  ST_CHECK_OK(csv.Close());
+  std::printf("Series written to results/table6_baselines.csv\n");
+  return 0;
+}

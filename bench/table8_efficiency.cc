@@ -1,0 +1,92 @@
+// Table 8: efficient (amortized, Section 4.2) vs exhaustive learning-curve
+// generation under the Moderate method on Fashion-like data. Expected shape:
+// the efficient method is roughly |S|x faster (10 slices; the paper reports
+// 11-12x because each amortized training also runs on smaller data) with
+// comparable or better loss/unfairness.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+
+namespace slicetuner {
+namespace {
+
+struct Variant {
+  const char* name;
+  bool exhaustive;
+};
+
+}  // namespace
+}  // namespace slicetuner
+
+int main() {
+  using namespace slicetuner;
+  std::printf(
+      "=== Table 8: exhaustive vs efficient curve generation ===\n");
+
+  struct Row {
+    size_t init;
+    double budget;
+  };
+  const Row rows[] = {{200, 2000.0}, {300, 3000.0}};
+  const Variant variants[] = {{"Exhaustive", true},
+                              {"Slice Tuner (efficient)", false}};
+
+  CsvWriter csv;
+  ST_CHECK_OK(csv.Open(bench::ResultsDir() + "/table8_efficiency.csv"));
+  ST_CHECK_OK(csv.WriteRow({"init_size", "budget", "variant", "loss",
+                            "avg_eer", "max_eer", "runtime_s",
+                            "model_trainings"}));
+
+  TablePrinter table({"Setting", "Method", "Loss", "Avg. / Max. EER",
+                      "Runtime (s)", "Trainings"});
+  for (const Row& row : rows) {
+    double efficient_time = 0.0, exhaustive_time = 0.0;
+    for (const Variant& variant : variants) {
+      ExperimentConfig config;
+      config.preset = MakeFashionLike();
+      config.initial_sizes = EqualSizes(10, row.init);
+      config.budget = row.budget;
+      config.val_per_slice = 200;
+      config.lambda = 1.0;
+      config.trials = 2;
+      config.seed = 71;
+      config.curve_options = bench::BenchCurveOptions(4);
+      config.curve_options.exhaustive = variant.exhaustive;
+      config.min_slice_size = static_cast<long long>(row.init);
+
+      Stopwatch timer;
+      const auto outcome = RunMethod(config, Method::kModerate);
+      ST_CHECK_OK(outcome.status());
+      const double elapsed = timer.ElapsedSeconds();
+      if (variant.exhaustive) {
+        exhaustive_time = elapsed;
+      } else {
+        efficient_time = elapsed;
+      }
+      table.AddRow({StrFormat("init %zu, B = %.0f", row.init, row.budget),
+                    variant.name, bench::LossCell(*outcome),
+                    bench::EerCell(*outcome), FormatDouble(elapsed, 1),
+                    StrFormat("%d", outcome->model_trainings)});
+      ST_CHECK_OK(csv.WriteRow(
+          {StrFormat("%zu", row.init), FormatDouble(row.budget, 0),
+           variant.name, FormatDouble(outcome->loss_mean, 4),
+           FormatDouble(outcome->avg_eer_mean, 4),
+           FormatDouble(outcome->max_eer_mean, 4),
+           FormatDouble(elapsed, 2),
+           StrFormat("%d", outcome->model_trainings)}));
+    }
+    table.AddRow({"", "speedup", "", "",
+                  StrFormat("%.1fx", exhaustive_time /
+                                         std::max(efficient_time, 1e-9)),
+                  ""});
+    table.AddSeparator();
+  }
+  table.Print(std::cout);
+  ST_CHECK_OK(csv.Close());
+  std::printf("Series written to results/table8_efficiency.csv\n");
+  return 0;
+}

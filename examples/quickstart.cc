@@ -1,0 +1,89 @@
+// Quickstart: the minimal Slice Tuner workflow.
+//
+//   1. Bring sliced training data and a per-slice validation set.
+//   2. Create a SliceTuner with your model family and hyperparameters.
+//   3. Ask it how much data to acquire per slice for a budget (Suggest), or
+//      let it drive acquisition against a DataSource (Acquire).
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/slice_tuner.h"
+#include "data/synthetic.h"
+
+int main() {
+  using namespace slicetuner;
+
+  // A demographic tabular dataset with four slices (AdultCensus-style).
+  // In a real application you would load your own data; here we draw it
+  // from the bundled synthetic generator.
+  const DatasetPreset preset = MakeCensusLike();
+  Rng rng(42);
+  const Dataset train = preset.generator.GenerateDataset(
+      /*counts=*/{100, 100, 100, 100}, &rng);
+  const Dataset validation = preset.generator.GenerateDataset(
+      /*counts=*/{250, 250, 250, 250}, &rng);
+
+  // Configure the tuner: model family, frozen hyperparameters, how learning
+  // curves are estimated, and the loss/fairness balance lambda.
+  SliceTunerOptions options;
+  options.model_spec = preset.model_spec;  // logistic regression
+  options.trainer = preset.trainer;
+  options.curve_options.num_points = 8;   // K subset sizes per curve
+  options.curve_options.num_curve_draws = 3;
+  options.lambda = 1.0;
+
+  auto tuner = SliceTuner::Create(train, validation, /*num_slices=*/4,
+                                  options);
+  ST_CHECK_OK(tuner.status());
+
+  // Where do we stand before acquiring anything? (Average a few training
+  // seeds so the comparison is not dominated by one lucky/unlucky run.)
+  auto evaluate = [&](const SliceTuner& t) {
+    SliceMetrics mean;
+    mean.overall_loss = mean.avg_eer = mean.max_eer = 0.0;
+    for (uint64_t seed = 1; seed <= 3; ++seed) {
+      const auto m = t.Evaluate(seed);
+      ST_CHECK_OK(m.status());
+      mean.overall_loss += m->overall_loss / 3.0;
+      mean.avg_eer += m->avg_eer / 3.0;
+      mean.max_eer += m->max_eer / 3.0;
+    }
+    return mean;
+  };
+  const SliceMetrics before = evaluate(*tuner);
+  std::printf("Before acquisition: loss %.3f, avg EER %.3f, max EER %.3f\n",
+              before.overall_loss, before.avg_eer, before.max_eer);
+
+  // Ask for a one-shot acquisition plan for a budget of 800 examples.
+  UniformCost cost(1.0);
+  const auto plan = tuner->Suggest(cost, /*budget=*/800.0);
+  ST_CHECK_OK(plan.status());
+  std::printf("\nSuggested acquisition for B = 800:\n");
+  for (int s = 0; s < 4; ++s) {
+    std::printf("  %-13s: %4lld examples   (estimated curve %s)\n",
+                preset.slice_names[static_cast<size_t>(s)].c_str(),
+                plan->examples[static_cast<size_t>(s)],
+                plan->curves[static_cast<size_t>(s)].curve.ToString().c_str());
+  }
+
+  // Actually acquire with the iterative algorithm against a data source.
+  SyntheticPool source(&preset.generator, std::make_unique<UniformCost>(),
+                       /*seed=*/7);
+  IterativeOptions iterative;  // Moderate strategy by default
+  const auto run = tuner->Acquire(&source, /*budget=*/800.0, iterative);
+  ST_CHECK_OK(run.status());
+  std::printf("\nIterative acquisition finished in %d iteration(s), "
+              "spending %.0f of the budget.\n",
+              run->iterations, run->budget_spent);
+
+  const SliceMetrics after = evaluate(*tuner);
+  std::printf("After acquisition:  loss %.3f, avg EER %.3f, max EER %.3f\n",
+              after.overall_loss, after.avg_eer, after.max_eer);
+  std::printf("\nWith lambda = 1 the budget favors the high-loss slices, so "
+              "unfairness\n(EER) drops sharply while the average loss stays "
+              "about flat — the\naccuracy/fairness balance of Section 6.3.2 "
+              "(lower lambda optimizes loss).\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+#include "common/csv.h"
+
+#include "common/string_util.h"
+
+namespace slicetuner {
+
+Status CsvWriter::Open(const std::string& path) {
+  if (out_.is_open()) {
+    return Status::FailedPrecondition("CsvWriter already open");
+  }
+  out_.open(path, std::ios::out | std::ios::trunc);
+  if (!out_) {
+    return Status::NotFound("cannot open CSV file for writing: " + path);
+  }
+  return Status::OK();
+}
+
+std::string CsvWriter::EscapeField(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+Status CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  if (!out_.is_open()) {
+    return Status::FailedPrecondition("CsvWriter not open");
+  }
+  std::vector<std::string> escaped;
+  escaped.reserve(fields.size());
+  for (const auto& f : fields) escaped.push_back(EscapeField(f));
+  out_ << Join(escaped, ",") << "\n";
+  if (!out_) return Status::Internal("CSV write failed");
+  return Status::OK();
+}
+
+Status CsvWriter::WriteNumericRow(const std::vector<double>& values,
+                                  int precision) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (double v : values) fields.push_back(FormatDouble(v, precision));
+  return WriteRow(fields);
+}
+
+Status CsvWriter::Close() {
+  if (out_.is_open()) out_.close();
+  return Status::OK();
+}
+
+}  // namespace slicetuner

@@ -1,0 +1,45 @@
+// CSV writer used by benches to emit machine-readable series next to the
+// human-readable tables (paper figures are regenerated from these files).
+
+#ifndef SLICETUNER_COMMON_CSV_H_
+#define SLICETUNER_COMMON_CSV_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace slicetuner {
+
+/// Streams rows to a CSV file. Fields containing commas/quotes/newlines are
+/// quoted per RFC 4180.
+class CsvWriter {
+ public:
+  CsvWriter() = default;
+
+  /// Opens `path` for writing (truncates). Must be called before WriteRow.
+  Status Open(const std::string& path);
+
+  /// Writes one row of string fields.
+  Status WriteRow(const std::vector<std::string>& fields);
+
+  /// Convenience: writes a row of doubles with the given precision.
+  Status WriteNumericRow(const std::vector<double>& values,
+                         int precision = 6);
+
+  /// Flushes and closes the stream.
+  Status Close();
+
+  bool is_open() const { return out_.is_open(); }
+
+  /// Escapes a single CSV field (exposed for testing).
+  static std::string EscapeField(const std::string& field);
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_COMMON_CSV_H_

@@ -1,0 +1,55 @@
+// Minimal leveled logging to stderr. Controlled by a process-wide level so
+// benches can silence progress chatter.
+
+#ifndef SLICETUNER_COMMON_LOGGING_H_
+#define SLICETUNER_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace slicetuner {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kNone = 4,
+};
+
+/// Sets the minimum level that is emitted (default: kWarning).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink; writes one line to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+#define ST_LOG(level)                                                   \
+  ::slicetuner::internal_logging::LogMessage(                           \
+      ::slicetuner::LogLevel::k##level, __FILE__, __LINE__)
+
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_COMMON_LOGGING_H_

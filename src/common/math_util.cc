@@ -1,0 +1,101 @@
+#include "common/math_util.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace slicetuner {
+
+double Clamp(double v, double lo, double hi) {
+  return std::max(lo, std::min(hi, v));
+}
+
+double SafeLog(double p) { return std::log(std::max(p, 1e-12)); }
+
+double LogSumExp(const std::vector<double>& xs) {
+  if (xs.empty()) return -HUGE_VAL;
+  const double m = *std::max_element(xs.begin(), xs.end());
+  if (!std::isfinite(m)) return m;
+  double sum = 0.0;
+  for (double x : xs) sum += std::exp(x - m);
+  return m + std::log(sum);
+}
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double Variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double mu = Mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - mu) * (x - mu);
+  return acc / static_cast<double>(xs.size());
+}
+
+double SampleStdDev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double mu = Mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - mu) * (x - mu);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double StandardError(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  return SampleStdDev(xs) / std::sqrt(static_cast<double>(xs.size()));
+}
+
+double Max(const std::vector<double>& xs) {
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double Min(const std::vector<double>& xs) {
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double Sum(const std::vector<double>& xs) {
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum;
+}
+
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) return 0.0;
+  const double mx = Mean(xs);
+  const double my = Mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double RSquared(const std::vector<double>& observed,
+                const std::vector<double>& predicted) {
+  if (observed.size() != predicted.size() || observed.empty()) return 0.0;
+  const double mu = Mean(observed);
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (size_t i = 0; i < observed.size(); ++i) {
+    ss_res += (observed[i] - predicted[i]) * (observed[i] - predicted[i]);
+    ss_tot += (observed[i] - mu) * (observed[i] - mu);
+  }
+  if (ss_tot <= 0.0) return ss_res <= 1e-12 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+bool AlmostEqual(double a, double b, double tol) {
+  const double diff = std::fabs(a - b);
+  if (diff <= tol) return true;
+  return diff <= tol * std::max(std::fabs(a), std::fabs(b));
+}
+
+}  // namespace slicetuner

@@ -1,0 +1,53 @@
+// Scalar math helpers: clamping, stable log/exp utilities, summary stats.
+
+#ifndef SLICETUNER_COMMON_MATH_UTIL_H_
+#define SLICETUNER_COMMON_MATH_UTIL_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace slicetuner {
+
+/// Clamps v into [lo, hi].
+double Clamp(double v, double lo, double hi);
+
+/// log(p) with p clamped away from 0 for numerical stability (epsilon 1e-12).
+double SafeLog(double p);
+
+/// Numerically-stable log(sum(exp(x_i))).
+double LogSumExp(const std::vector<double>& xs);
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& xs);
+
+/// Population variance; 0 for inputs with fewer than 2 elements.
+double Variance(const std::vector<double>& xs);
+
+/// Sample standard deviation (n-1 denominator); 0 if n < 2.
+double SampleStdDev(const std::vector<double>& xs);
+
+/// Standard error of the mean; 0 if n < 2.
+double StandardError(const std::vector<double>& xs);
+
+/// Maximum / minimum; caller must pass a non-empty vector.
+double Max(const std::vector<double>& xs);
+double Min(const std::vector<double>& xs);
+
+/// Sum of elements.
+double Sum(const std::vector<double>& xs);
+
+/// Pearson correlation of two equal-length vectors; 0 if degenerate.
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+/// Coefficient of determination of predictions vs observations; can be
+/// negative when predictions are worse than the mean.
+double RSquared(const std::vector<double>& observed,
+                const std::vector<double>& predicted);
+
+/// True if |a - b| <= tol (absolute) or |a-b| <= tol*max(|a|,|b|) (relative).
+bool AlmostEqual(double a, double b, double tol = 1e-9);
+
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_COMMON_MATH_UTIL_H_

@@ -1,0 +1,92 @@
+// Result<T>: value-or-Status, analogous to arrow::Result. Avoids exceptions
+// while letting factory functions return rich errors.
+
+#ifndef SLICETUNER_COMMON_RESULT_H_
+#define SLICETUNER_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace slicetuner {
+
+/// Holds either a T or a non-OK Status. Accessing the value of an errored
+/// Result is a programming error and aborts.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return value;` in functions returning
+  /// Result<T>.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from error Status: allows `return Status::...;`.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : value_(std::move(status)) {
+    if (std::get<Status>(value_).ok()) {
+      internal_status::DieOnError(
+          Status::Internal("Result constructed from OK status"), __FILE__,
+          __LINE__);
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(value_);
+  }
+
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(value_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::move(std::get<T>(value_));
+  }
+
+  /// Returns the value or `fallback` when errored.
+  T value_or(T fallback) const {
+    if (ok()) return std::get<T>(value_);
+    return fallback;
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      internal_status::DieOnError(std::get<Status>(value_), __FILE__,
+                                  __LINE__);
+    }
+  }
+
+  std::variant<T, Status> value_;
+};
+
+/// Propagates the error of a Result-returning expression, otherwise assigns
+/// the unwrapped value to `lhs`.
+#define ST_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                             \
+  if (!tmp.ok()) return tmp.status();            \
+  lhs = std::move(tmp).value();
+
+#define ST_ASSIGN_OR_RETURN_CONCAT_INNER(a, b) a##b
+#define ST_ASSIGN_OR_RETURN_CONCAT(a, b) \
+  ST_ASSIGN_OR_RETURN_CONCAT_INNER(a, b)
+
+#define ST_ASSIGN_OR_RETURN(lhs, expr)                                       \
+  ST_ASSIGN_OR_RETURN_IMPL(                                                  \
+      ST_ASSIGN_OR_RETURN_CONCAT(_result_tmp_, __LINE__), lhs, expr)
+
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_COMMON_RESULT_H_

@@ -1,0 +1,55 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace slicetuner {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kNotImplemented:
+      return "NotImplemented";
+    case StatusCode::kNumericalError:
+      return "NumericalError";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+namespace internal_status {
+
+void DieOnError(const Status& status, const char* file, int line) {
+  std::fprintf(stderr, "FATAL %s:%d status not OK: %s\n", file, line,
+               status.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace internal_status
+}  // namespace slicetuner

@@ -1,0 +1,113 @@
+// Status: lightweight error propagation without exceptions, in the spirit of
+// arrow::Status / rocksdb::Status. Library code returns Status (or Result<T>)
+// instead of throwing.
+
+#ifndef SLICETUNER_COMMON_STATUS_H_
+#define SLICETUNER_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace slicetuner {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kFailedPrecondition = 3,
+  kNotFound = 4,
+  kAlreadyExists = 5,
+  kResourceExhausted = 6,
+  kInternal = 7,
+  kNotImplemented = 8,
+  kNumericalError = 9,
+};
+
+/// Returns a human-readable name for a status code ("OK", "InvalidArgument"...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error value. Cheap to copy in the OK case (no allocation).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status NumericalError(std::string msg) {
+    return Status(StatusCode::kNumericalError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Evaluates an expression returning Status; propagates errors to the caller.
+#define ST_RETURN_NOT_OK(expr)                 \
+  do {                                         \
+    ::slicetuner::Status _st = (expr);         \
+    if (!_st.ok()) return _st;                 \
+  } while (false)
+
+/// Aborts the process if `expr` is not OK. For use in examples/benches/tests.
+#define ST_CHECK_OK(expr)                                      \
+  do {                                                         \
+    ::slicetuner::Status _st = (expr);                         \
+    if (!_st.ok()) {                                           \
+      ::slicetuner::internal_status::DieOnError(_st, __FILE__, \
+                                                __LINE__);     \
+    }                                                          \
+  } while (false)
+
+namespace internal_status {
+[[noreturn]] void DieOnError(const Status& status, const char* file, int line);
+}  // namespace internal_status
+
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_COMMON_STATUS_H_

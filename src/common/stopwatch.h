@@ -1,0 +1,31 @@
+// Wall-clock stopwatch for runtime tables (e.g., Table 8 exhaustive vs
+// efficient curve generation).
+
+#ifndef SLICETUNER_COMMON_STOPWATCH_H_
+#define SLICETUNER_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace slicetuner {
+
+/// Measures elapsed wall time since construction or the last Restart().
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_COMMON_STOPWATCH_H_

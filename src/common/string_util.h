@@ -1,0 +1,33 @@
+// Small string helpers shared by CSV/table output and dataset naming.
+
+#ifndef SLICETUNER_COMMON_STRING_UTIL_H_
+#define SLICETUNER_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace slicetuner {
+
+/// Joins `parts` with `sep` ("a", "b" -> "a,b").
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `text` on `delim`; keeps empty fields.
+std::vector<std::string> Split(std::string_view text, char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string Strip(std::string_view text);
+
+/// Formats a double with `precision` digits after the decimal point.
+std::string FormatDouble(double value, int precision = 3);
+
+/// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_COMMON_STRING_UTIL_H_

@@ -1,0 +1,59 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace slicetuner {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::AddSeparator() { rows_.emplace_back(); }
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_sep = [&] {
+    os << "+";
+    for (size_t w : widths) os << std::string(w + 2, '-') << "+";
+    os << "\n";
+  };
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << " " << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    os << "\n";
+  };
+  print_sep();
+  print_row(header_);
+  print_sep();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      print_sep();
+    } else {
+      print_row(row);
+    }
+  }
+  print_sep();
+}
+
+std::string TablePrinter::ToString() const {
+  std::ostringstream oss;
+  Print(oss);
+  return oss.str();
+}
+
+}  // namespace slicetuner

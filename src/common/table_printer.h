@@ -1,0 +1,40 @@
+// Aligned ASCII table output: benches print rows matching the paper tables.
+
+#ifndef SLICETUNER_COMMON_TABLE_PRINTER_H_
+#define SLICETUNER_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace slicetuner {
+
+/// Collects rows of string cells and renders them column-aligned.
+/// Typical use:
+///   TablePrinter t({"Dataset", "Method", "Loss", "Avg/Max EER"});
+///   t.AddRow({"Fashion", "Moderate", "0.302", "0.134 / 0.319"});
+///   t.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Inserts a horizontal separator after the most recent row.
+  void AddSeparator();
+
+  /// Renders the table (header, separator, rows) to `os`.
+  void Print(std::ostream& os) const;
+
+  /// Renders to a string (used in tests).
+  std::string ToString() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,59 @@
+// Fixed-size thread pool used to parallelize independent model trainings
+// during learning-curve estimation (Section 4.2 of the paper notes curves can
+// be generated in parallel).
+
+#ifndef SLICETUNER_COMMON_THREAD_POOL_H_
+#define SLICETUNER_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace slicetuner {
+
+/// A minimal work-stealing-free thread pool. Submit() enqueues a task;
+/// WaitIdle() blocks until all submitted tasks have completed. The pool is
+/// neither copyable nor movable.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (0 means hardware_concurrency, min 1).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is running.
+  void WaitIdle();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  /// fn must be safe to invoke concurrently for distinct i.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable idle_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Process-wide default pool (lazily created, never destroyed before exit).
+ThreadPool& DefaultThreadPool();
+
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_COMMON_THREAD_POOL_H_

@@ -1,0 +1,131 @@
+#include "core/bandit.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/metrics.h"
+
+namespace slicetuner {
+
+namespace {
+
+// Trains a fresh model on `train` and returns per-slice validation losses
+// averaged over `eval_seeds` seeds.
+Result<std::vector<double>> MeasureLosses(const Dataset& train,
+                                          const Dataset& validation,
+                                          int num_slices,
+                                          const ModelSpec& model_spec,
+                                          const TrainerOptions& trainer,
+                                          int eval_seeds, Rng* rng,
+                                          int* trainings) {
+  std::vector<double> losses(static_cast<size_t>(num_slices), 0.0);
+  for (int e = 0; e < eval_seeds; ++e) {
+    Rng model_rng((*rng)());
+    Model model = BuildModel(model_spec, &model_rng);
+    TrainerOptions opts = trainer;
+    opts.seed = model_rng();
+    ST_RETURN_NOT_OK(
+        Train(&model, train.FeatureMatrix(), train.Labels(), opts).status());
+    ++*trainings;
+    ST_ASSIGN_OR_RETURN(SliceMetrics metrics,
+                        EvaluatePerSlice(&model, validation, num_slices));
+    for (int s = 0; s < num_slices; ++s) {
+      losses[static_cast<size_t>(s)] +=
+          metrics.slice_losses[static_cast<size_t>(s)] /
+          static_cast<double>(eval_seeds);
+    }
+  }
+  return losses;
+}
+
+}  // namespace
+
+Result<BanditResult> RunBanditAcquisition(
+    Dataset* train, const Dataset& validation, int num_slices,
+    const ModelSpec& model_spec, const TrainerOptions& trainer,
+    DataSource* source, double budget, const BanditOptions& options) {
+  if (train == nullptr || source == nullptr) {
+    return Status::InvalidArgument("bandit: null train/source");
+  }
+  if (num_slices <= 0) {
+    return Status::InvalidArgument("bandit: num_slices must be positive");
+  }
+  if (options.batch_size == 0) {
+    return Status::InvalidArgument("bandit: batch_size must be positive");
+  }
+  const size_t n = static_cast<size_t>(num_slices);
+  const std::vector<double> costs = CostVector(source->cost(), num_slices);
+
+  Rng rng(options.seed);
+  BanditResult result;
+  result.acquired.assign(n, 0);
+
+  ST_ASSIGN_OR_RETURN(
+      std::vector<double> losses,
+      MeasureLosses(*train, validation, num_slices, model_spec, trainer,
+                    options.eval_seeds, &rng, &result.model_trainings));
+
+  // Optimistic initialization: every arm starts with the reward it would
+  // earn by eliminating its entire current loss.
+  std::vector<double> reward(n);
+  for (size_t s = 0; s < n; ++s) {
+    reward[s] = losses[s] / costs[s];
+  }
+
+  double remaining = budget;
+  while (result.pulls < options.max_pulls) {
+    // Find an affordable arm.
+    int arm = -1;
+    if (rng.Bernoulli(options.epsilon)) {
+      // Explore: uniform among affordable arms.
+      std::vector<int> affordable;
+      for (size_t s = 0; s < n; ++s) {
+        if (costs[s] * static_cast<double>(options.batch_size) <=
+            remaining) {
+          affordable.push_back(static_cast<int>(s));
+        }
+      }
+      if (affordable.empty()) break;
+      arm = affordable[rng.UniformInt(affordable.size())];
+    } else {
+      double best = -HUGE_VAL;
+      for (size_t s = 0; s < n; ++s) {
+        if (costs[s] * static_cast<double>(options.batch_size) > remaining) {
+          continue;
+        }
+        if (reward[s] > best) {
+          best = reward[s];
+          arm = static_cast<int>(s);
+        }
+      }
+      if (arm < 0) break;
+    }
+
+    const size_t arm_idx = static_cast<size_t>(arm);
+    const Dataset batch = source->Acquire(arm, options.batch_size);
+    ST_RETURN_NOT_OK(train->Merge(batch));
+    const double spent =
+        costs[arm_idx] * static_cast<double>(options.batch_size);
+    remaining -= spent;
+    result.budget_spent += spent;
+    result.acquired[arm_idx] +=
+        static_cast<long long>(options.batch_size);
+    ++result.pulls;
+
+    ST_ASSIGN_OR_RETURN(
+        std::vector<double> new_losses,
+        MeasureLosses(*train, validation, num_slices, model_spec, trainer,
+                      options.eval_seeds, &rng, &result.model_trainings));
+    // Observed reward: the arm's loss reduction per unit cost (clamped at 0
+    // so noise cannot make an arm look infinitely good via sign flips).
+    const double observed =
+        std::max(0.0, (losses[arm_idx] - new_losses[arm_idx]) / spent) *
+        static_cast<double>(options.batch_size);
+    reward[arm_idx] = options.reward_smoothing * observed +
+                      (1.0 - options.reward_smoothing) * reward[arm_idx];
+    losses = std::move(new_losses);
+  }
+  return result;
+}
+
+}  // namespace slicetuner

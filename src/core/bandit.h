@@ -1,0 +1,56 @@
+// A multi-armed-bandit comparator for selective data acquisition. Section 7
+// of the paper relates Slice Tuner to rotting bandits: each slice is an arm
+// whose reward (loss reduction per unit cost) decays as the arm is pulled.
+// This module implements that alternative directly — an epsilon-greedy
+// bandit that acquires data batch by batch, using observed loss changes
+// instead of fitted learning curves — as an ablation for how much the
+// curve-based convex optimization actually buys.
+
+#ifndef SLICETUNER_CORE_BANDIT_H_
+#define SLICETUNER_CORE_BANDIT_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "data/acquisition.h"
+#include "data/dataset.h"
+#include "nn/model.h"
+#include "nn/trainer.h"
+
+namespace slicetuner {
+
+struct BanditOptions {
+  /// Examples acquired per pull (one batch to one slice).
+  size_t batch_size = 50;
+  /// Probability of exploring a uniformly random arm instead of the
+  /// greedy-best arm.
+  double epsilon = 0.2;
+  /// Exponential smoothing of per-arm reward estimates.
+  double reward_smoothing = 0.5;
+  /// Model re-evaluations use this many training seeds averaged.
+  int eval_seeds = 1;
+  uint64_t seed = 7;
+  /// Safety bound on pulls.
+  int max_pulls = 200;
+};
+
+struct BanditResult {
+  std::vector<long long> acquired;  // per slice
+  int pulls = 0;
+  int model_trainings = 0;
+  double budget_spent = 0.0;
+};
+
+/// Runs the epsilon-greedy acquisition bandit: repeatedly picks a slice,
+/// acquires a batch for it, retrains, and credits the arm with the observed
+/// decrease of that slice's validation loss per unit cost. Stops when the
+/// budget cannot afford another batch.
+Result<BanditResult> RunBanditAcquisition(
+    Dataset* train, const Dataset& validation, int num_slices,
+    const ModelSpec& model_spec, const TrainerOptions& trainer,
+    DataSource* source, double budget, const BanditOptions& options);
+
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_CORE_BANDIT_H_

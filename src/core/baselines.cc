@@ -1,0 +1,164 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace slicetuner {
+
+namespace {
+
+Status Validate(const std::vector<size_t>& sizes,
+                const std::vector<double>& costs, double budget) {
+  if (sizes.empty()) return Status::InvalidArgument("baseline: no slices");
+  if (sizes.size() != costs.size()) {
+    return Status::InvalidArgument("baseline: sizes/costs arity mismatch");
+  }
+  if (budget < 0.0) {
+    return Status::InvalidArgument("baseline: negative budget");
+  }
+  for (double c : costs) {
+    if (c <= 0.0) {
+      return Status::InvalidArgument("baseline: non-positive cost");
+    }
+  }
+  return Status::OK();
+}
+
+double SpendOf(const std::vector<long long>& d,
+               const std::vector<double>& costs) {
+  double total = 0.0;
+  for (size_t i = 0; i < d.size(); ++i) {
+    total += static_cast<double>(d[i]) * costs[i];
+  }
+  return total;
+}
+
+// Greedily adds one example at a time (cheapest slice first) while budget
+// remains; used to spend integer-rounding leftovers.
+void SpendLeftover(const std::vector<double>& costs, double budget,
+                   std::vector<long long>* d) {
+  double spent = SpendOf(*d, costs);
+  // Order slices by cost so leftover goes to the cheapest first.
+  std::vector<size_t> order(costs.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return costs[a] < costs[b]; });
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (size_t i : order) {
+      if (spent + costs[i] <= budget + 1e-9) {
+        (*d)[i] += 1;
+        spent += costs[i];
+        progress = true;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const char* BaselineName(BaselineKind kind) {
+  switch (kind) {
+    case BaselineKind::kUniform:
+      return "Uniform";
+    case BaselineKind::kWaterFilling:
+      return "Water filling";
+    case BaselineKind::kProportional:
+      return "Proportional";
+  }
+  return "?";
+}
+
+Result<std::vector<long long>> BaselineAllocation(
+    BaselineKind kind, const std::vector<size_t>& sizes,
+    const std::vector<double>& costs, double budget) {
+  switch (kind) {
+    case BaselineKind::kUniform:
+      return UniformAllocation(sizes, costs, budget);
+    case BaselineKind::kWaterFilling:
+      return WaterFillingAllocation(sizes, costs, budget);
+    case BaselineKind::kProportional:
+      return ProportionalAllocation(sizes, costs, budget);
+  }
+  return Status::InvalidArgument("unknown baseline kind");
+}
+
+Result<std::vector<long long>> UniformAllocation(
+    const std::vector<size_t>& sizes, const std::vector<double>& costs,
+    double budget) {
+  ST_RETURN_NOT_OK(Validate(sizes, costs, budget));
+  double cost_sum = 0.0;
+  for (double c : costs) cost_sum += c;
+  const long long per_slice =
+      static_cast<long long>(std::floor(budget / cost_sum));
+  std::vector<long long> d(sizes.size(), per_slice);
+  SpendLeftover(costs, budget, &d);
+  return d;
+}
+
+Result<std::vector<long long>> WaterFillingAllocation(
+    const std::vector<size_t>& sizes, const std::vector<double>& costs,
+    double budget) {
+  ST_RETURN_NOT_OK(Validate(sizes, costs, budget));
+  const size_t n = sizes.size();
+  auto spend_at = [&](double level) {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      total += costs[i] *
+               std::max(0.0, level - static_cast<double>(sizes[i]));
+    }
+    return total;
+  };
+  double lo = static_cast<double>(
+      *std::min_element(sizes.begin(), sizes.end()));
+  double hi = static_cast<double>(
+                  *std::max_element(sizes.begin(), sizes.end())) +
+              budget;  // level can never exceed max size + budget/min cost
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (spend_at(mid) <= budget) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  std::vector<long long> d(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    d[i] = static_cast<long long>(
+        std::floor(std::max(0.0, lo - static_cast<double>(sizes[i]))));
+  }
+  // Clamp any overshoot from rounding, then spend the remainder.
+  while (SpendOf(d, costs) > budget + 1e-9) {
+    size_t biggest = 0;
+    for (size_t i = 1; i < n; ++i) {
+      if (d[i] > d[biggest]) biggest = i;
+    }
+    if (d[biggest] == 0) break;
+    d[biggest] -= 1;
+  }
+  SpendLeftover(costs, budget, &d);
+  return d;
+}
+
+Result<std::vector<long long>> ProportionalAllocation(
+    const std::vector<size_t>& sizes, const std::vector<double>& costs,
+    double budget) {
+  ST_RETURN_NOT_OK(Validate(sizes, costs, budget));
+  const size_t n = sizes.size();
+  double weighted = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    weighted += costs[i] * static_cast<double>(sizes[i]);
+  }
+  std::vector<long long> d(n, 0);
+  if (weighted <= 0.0) return d;
+  const double scale = budget / weighted;
+  for (size_t i = 0; i < n; ++i) {
+    d[i] = static_cast<long long>(
+        std::floor(scale * static_cast<double>(sizes[i])));
+  }
+  SpendLeftover(costs, budget, &d);
+  return d;
+}
+
+}  // namespace slicetuner

@@ -1,0 +1,49 @@
+// The acquisition baselines of Section 2.2 / Figure 3: Uniform (equal
+// amounts per slice), Water filling (equalize final sizes), and
+// Proportional (match the original distribution, the strictly-worse baseline
+// from reference [12]).
+
+#ifndef SLICETUNER_CORE_BASELINES_H_
+#define SLICETUNER_CORE_BASELINES_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace slicetuner {
+
+enum class BaselineKind {
+  kUniform,
+  kWaterFilling,
+  kProportional,
+};
+
+const char* BaselineName(BaselineKind kind);
+
+/// Computes how many examples each baseline acquires per slice given current
+/// sizes, per-example costs, and the budget. The returned plan's spend never
+/// exceeds `budget`, and leftover budget smaller than the cheapest example
+/// is forfeited. Errors on arity mismatch / non-positive costs.
+Result<std::vector<long long>> BaselineAllocation(
+    BaselineKind kind, const std::vector<size_t>& sizes,
+    const std::vector<double>& costs, double budget);
+
+/// Uniform: the same d for every slice, the largest d affordable.
+Result<std::vector<long long>> UniformAllocation(
+    const std::vector<size_t>& sizes, const std::vector<double>& costs,
+    double budget);
+
+/// Water filling: raise all slices toward a common level L with
+/// sum_i c_i * max(0, L - |s_i|) = B (level found by bisection).
+Result<std::vector<long long>> WaterFillingAllocation(
+    const std::vector<size_t>& sizes, const std::vector<double>& costs,
+    double budget);
+
+/// Proportional: d_i proportional to |s_i| (preserves the existing bias).
+Result<std::vector<long long>> ProportionalAllocation(
+    const std::vector<size_t>& sizes, const std::vector<double>& costs,
+    double budget);
+
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_CORE_BASELINES_H_

@@ -1,0 +1,160 @@
+#include "core/experiment.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+
+namespace slicetuner {
+
+const char* MethodName(Method method) {
+  switch (method) {
+    case Method::kOriginal:
+      return "Original";
+    case Method::kUniform:
+      return "Uniform";
+    case Method::kWaterFilling:
+      return "Water filling";
+    case Method::kProportional:
+      return "Proportional";
+    case Method::kOneShot:
+      return "One-shot";
+    case Method::kAggressive:
+      return "Aggressive";
+    case Method::kModerate:
+      return "Moderate";
+    case Method::kConservative:
+      return "Conservative";
+  }
+  return "?";
+}
+
+std::vector<size_t> EqualSizes(int num_slices, size_t size) {
+  return std::vector<size_t>(static_cast<size_t>(num_slices), size);
+}
+
+std::vector<size_t> ExponentialSizes(int num_slices, size_t first,
+                                     double decay, size_t min_size) {
+  std::vector<size_t> sizes;
+  sizes.reserve(static_cast<size_t>(num_slices));
+  double cur = static_cast<double>(first);
+  for (int i = 0; i < num_slices; ++i) {
+    sizes.push_back(
+        std::max(min_size, static_cast<size_t>(std::llround(cur))));
+    cur *= decay;
+  }
+  return sizes;
+}
+
+Result<MethodOutcome> RunMethod(const ExperimentConfig& config,
+                                Method method) {
+  const DatasetPreset& preset = config.preset;
+  const int num_slices = preset.num_slices();
+  if (static_cast<int>(config.initial_sizes.size()) != num_slices) {
+    return Status::InvalidArgument(
+        StrFormat("RunMethod: initial_sizes has %zu entries for %d slices",
+                  config.initial_sizes.size(), num_slices));
+  }
+  if (config.trials <= 0) {
+    return Status::InvalidArgument("RunMethod: trials must be positive");
+  }
+
+  Stopwatch timer;
+  std::vector<double> losses, avg_eers, max_eers, iters;
+  std::vector<double> acquired_sum(static_cast<size_t>(num_slices), 0.0);
+  int model_trainings = 0;
+
+  for (int trial = 0; trial < config.trials; ++trial) {
+    Rng rng(config.seed + 7919ull * static_cast<uint64_t>(trial));
+    const Dataset initial =
+        preset.generator.GenerateDataset(config.initial_sizes, &rng);
+    const Dataset validation = preset.generator.GenerateDataset(
+        EqualSizes(num_slices, config.val_per_slice), &rng);
+    SyntheticPool source(&preset.generator,
+                         std::make_unique<TableCost>(preset.costs), rng());
+
+    SliceTunerOptions options;
+    options.model_spec = preset.model_spec;
+    options.trainer =
+        config.use_preset_trainer ? preset.trainer : config.trainer_override;
+    options.curve_options = config.curve_options;
+    options.curve_options.seed = rng();
+    options.lambda = config.lambda;
+
+    ST_ASSIGN_OR_RETURN(
+        SliceTuner tuner,
+        SliceTuner::Create(initial, validation, num_slices, options));
+
+    IterativeResult run;
+    switch (method) {
+      case Method::kOriginal:
+        break;
+      case Method::kUniform: {
+        ST_ASSIGN_OR_RETURN(run, tuner.AcquireBaseline(
+                                     &source, config.budget,
+                                     BaselineKind::kUniform));
+        break;
+      }
+      case Method::kWaterFilling: {
+        ST_ASSIGN_OR_RETURN(run, tuner.AcquireBaseline(
+                                     &source, config.budget,
+                                     BaselineKind::kWaterFilling));
+        break;
+      }
+      case Method::kProportional: {
+        ST_ASSIGN_OR_RETURN(run, tuner.AcquireBaseline(
+                                     &source, config.budget,
+                                     BaselineKind::kProportional));
+        break;
+      }
+      case Method::kOneShot: {
+        ST_ASSIGN_OR_RETURN(run,
+                            tuner.AcquireOneShot(&source, config.budget));
+        break;
+      }
+      case Method::kAggressive:
+      case Method::kModerate:
+      case Method::kConservative: {
+        IterativeOptions it;
+        it.strategy = method == Method::kAggressive
+                          ? IterationStrategy::kAggressive
+                          : method == Method::kModerate
+                                ? IterationStrategy::kModerate
+                                : IterationStrategy::kConservative;
+        it.min_slice_size = config.min_slice_size;
+        ST_ASSIGN_OR_RETURN(run, tuner.Acquire(&source, config.budget, it));
+        break;
+      }
+    }
+
+    ST_ASSIGN_OR_RETURN(SliceMetrics metrics, tuner.Evaluate(rng()));
+    losses.push_back(metrics.overall_loss);
+    avg_eers.push_back(metrics.avg_eer);
+    max_eers.push_back(metrics.max_eer);
+    iters.push_back(static_cast<double>(run.iterations));
+    model_trainings += run.model_trainings;
+    for (size_t s = 0; s < run.acquired.size(); ++s) {
+      acquired_sum[s] += static_cast<double>(run.acquired[s]);
+    }
+  }
+
+  MethodOutcome outcome;
+  outcome.loss_mean = Mean(losses);
+  outcome.loss_se = StandardError(losses);
+  outcome.avg_eer_mean = Mean(avg_eers);
+  outcome.avg_eer_se = StandardError(avg_eers);
+  outcome.max_eer_mean = Mean(max_eers);
+  outcome.max_eer_se = StandardError(max_eers);
+  outcome.iterations_mean = Mean(iters);
+  outcome.model_trainings = model_trainings;
+  outcome.acquired_mean.resize(acquired_sum.size());
+  for (size_t s = 0; s < acquired_sum.size(); ++s) {
+    outcome.acquired_mean[s] =
+        acquired_sum[s] / static_cast<double>(config.trials);
+  }
+  outcome.wall_seconds = timer.ElapsedSeconds();
+  return outcome;
+}
+
+}  // namespace slicetuner

@@ -1,0 +1,77 @@
+// Experiment runner shared by the benchmark binaries: builds initial data
+// and a validation set from a DatasetPreset, applies one acquisition method,
+// trains the final model, and reports loss/unfairness means over trials —
+// exactly the protocol of Section 6.1.
+
+#ifndef SLICETUNER_CORE_EXPERIMENT_H_
+#define SLICETUNER_CORE_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/slice_tuner.h"
+#include "data/synthetic.h"
+
+namespace slicetuner {
+
+/// The acquisition methods compared in Section 6.
+enum class Method {
+  kOriginal,      // no acquisition
+  kUniform,       // baseline 1
+  kWaterFilling,  // baseline 2
+  kProportional,  // reference [12]-style baseline
+  kOneShot,
+  kAggressive,
+  kModerate,
+  kConservative,
+};
+
+const char* MethodName(Method method);
+
+struct ExperimentConfig {
+  DatasetPreset preset;
+  /// Initial slice sizes (and the minimum slice size L of Algorithm 1).
+  std::vector<size_t> initial_sizes;
+  size_t val_per_slice = 200;
+  double budget = 1000.0;
+  double lambda = 1.0;
+  int trials = 3;
+  uint64_t seed = 1;
+  LearningCurveOptions curve_options;
+  /// L for the iterative methods; 0 = min(initial_sizes) is already fine.
+  long long min_slice_size = 0;
+  /// Override for the preset's trainer (epochs etc.); nullopt semantics via
+  /// use_preset_trainer.
+  bool use_preset_trainer = true;
+  TrainerOptions trainer_override;
+};
+
+/// Aggregated over trials.
+struct MethodOutcome {
+  double loss_mean = 0.0;
+  double loss_se = 0.0;
+  double avg_eer_mean = 0.0;
+  double avg_eer_se = 0.0;
+  double max_eer_mean = 0.0;
+  double max_eer_se = 0.0;
+  std::vector<double> acquired_mean;  // per slice
+  double iterations_mean = 0.0;
+  int model_trainings = 0;  // summed over trials
+  double wall_seconds = 0.0;
+};
+
+/// Runs `method` under `config` and aggregates the outcome.
+Result<MethodOutcome> RunMethod(const ExperimentConfig& config, Method method);
+
+/// Convenience: equal initial sizes.
+std::vector<size_t> EqualSizes(int num_slices, size_t size);
+
+/// Initial sizes following an exponential distribution (Appendix C):
+/// sizes[i] = max(min_size, round(first * decay^i)).
+std::vector<size_t> ExponentialSizes(int num_slices, size_t first,
+                                     double decay, size_t min_size);
+
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_CORE_EXPERIMENT_H_

@@ -1,0 +1,230 @@
+#include "core/iterative.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/one_shot.h"
+#include "opt/change_ratio.h"
+
+namespace slicetuner {
+
+namespace {
+
+std::vector<double> PositiveSizes(const std::vector<size_t>& sizes) {
+  std::vector<double> out;
+  out.reserve(sizes.size());
+  for (size_t s : sizes) {
+    out.push_back(std::max<double>(static_cast<double>(s), 1.0));
+  }
+  return out;
+}
+
+double MinCost(const std::vector<double>& costs) {
+  double mn = costs.front();
+  for (double c : costs) mn = std::min(mn, c);
+  return mn;
+}
+
+double PlanSpend(const std::vector<long long>& plan,
+                 const std::vector<double>& costs) {
+  double total = 0.0;
+  for (size_t i = 0; i < plan.size(); ++i) {
+    total += static_cast<double>(plan[i]) * costs[i];
+  }
+  return total;
+}
+
+// Acquires plan[i] examples of each slice from the source into train.
+Status Collect(Dataset* train, DataSource* source,
+               const std::vector<long long>& plan) {
+  for (size_t s = 0; s < plan.size(); ++s) {
+    if (plan[s] <= 0) continue;
+    const Dataset batch =
+        source->Acquire(static_cast<int>(s), static_cast<size_t>(plan[s]));
+    ST_RETURN_NOT_OK(train->Merge(batch));
+  }
+  return Status::OK();
+}
+
+double IncreaseLimit(double t, const IterativeOptions& options) {
+  switch (options.strategy) {
+    case IterationStrategy::kConservative:
+      return t;
+    case IterationStrategy::kModerate:
+      return t + options.increment;
+    case IterationStrategy::kAggressive:
+      return t * options.multiplier;
+  }
+  return t;
+}
+
+}  // namespace
+
+const char* StrategyName(IterationStrategy strategy) {
+  switch (strategy) {
+    case IterationStrategy::kConservative:
+      return "Conservative";
+    case IterationStrategy::kModerate:
+      return "Moderate";
+    case IterationStrategy::kAggressive:
+      return "Aggressive";
+  }
+  return "?";
+}
+
+Result<IterativeResult> RunIterative(Dataset* train, const Dataset& validation,
+                                     int num_slices,
+                                     const ModelSpec& model_spec,
+                                     const TrainerOptions& trainer,
+                                     DataSource* source, double budget,
+                                     const IterativeOptions& options) {
+  if (train == nullptr || source == nullptr) {
+    return Status::InvalidArgument("RunIterative: null train/source");
+  }
+  if (num_slices <= 0) {
+    return Status::InvalidArgument("RunIterative: num_slices must be > 0");
+  }
+  const size_t n = static_cast<size_t>(num_slices);
+  const std::vector<double> costs = CostVector(source->cost(), num_slices);
+
+  IterativeResult result;
+  result.acquired.assign(n, 0);
+  std::vector<size_t> sizes = train->SliceSizes(num_slices);
+  double remaining = budget;
+  double t_limit = options.initial_limit;
+
+  // Algorithm 1 lines 3-6: top slices up to the minimum size L first.
+  if (options.min_slice_size > 0) {
+    std::vector<long long> topup(n, 0);
+    for (size_t s = 0; s < n; ++s) {
+      const long long need = options.min_slice_size -
+                             static_cast<long long>(sizes[s]);
+      if (need > 0) topup[s] = need;
+    }
+    const double topup_cost = PlanSpend(topup, costs);
+    if (topup_cost > 0.0) {
+      if (topup_cost > remaining) {
+        return Status::ResourceExhausted(
+            "RunIterative: budget too small to reach minimum slice size L");
+      }
+      ST_RETURN_NOT_OK(Collect(train, source, topup));
+      for (size_t s = 0; s < n; ++s) {
+        sizes[s] += static_cast<size_t>(topup[s]);
+        result.acquired[s] += topup[s];
+      }
+      remaining -= topup_cost;
+      result.budget_spent += topup_cost;
+    }
+  }
+
+  double imbalance = ImbalanceRatio(PositiveSizes(sizes));
+  Rng curve_rng(options.curve_options.seed);
+
+  while (remaining >= MinCost(costs) &&
+         result.iterations < options.max_iterations) {
+    // Re-estimate the learning curves on the current data.
+    LearningCurveOptions curve_options = options.curve_options;
+    curve_options.seed = curve_rng();
+    ST_ASSIGN_OR_RETURN(
+        CurveEstimationResult estimation,
+        EstimateLearningCurves(*train, validation, num_slices, model_spec,
+                               trainer, curve_options));
+    result.model_trainings += estimation.model_trainings;
+    result.final_curves = estimation.slices;
+
+    // One-shot plan with the entire remaining budget (Algorithm 1 line 9).
+    ST_ASSIGN_OR_RETURN(
+        OneShotPlan plan,
+        PlanOneShotWithCurves(estimation.slices, sizes, costs, remaining,
+                              options.lambda));
+    std::vector<long long> num = plan.examples;
+    bool any = false;
+    for (long long v : num) any = any || v > 0;
+    if (!any) break;
+
+    // Cap the imbalance-ratio change at T (lines 10-15).
+    const std::vector<double> cur_sizes = PositiveSizes(sizes);
+    std::vector<double> planned(n);
+    for (size_t s = 0; s < n; ++s) {
+      planned[s] = static_cast<double>(num[s]);
+    }
+    std::vector<double> after_sizes(n);
+    for (size_t s = 0; s < n; ++s) after_sizes[s] = cur_sizes[s] + planned[s];
+    double after_ir = ImbalanceRatio(after_sizes);
+    if (std::fabs(after_ir - imbalance) > t_limit) {
+      const double target =
+          imbalance + t_limit * (after_ir >= imbalance ? 1.0 : -1.0);
+      ST_ASSIGN_OR_RETURN(const double change_ratio,
+                          GetChangeRatio(cur_sizes, planned, target));
+      for (size_t s = 0; s < n; ++s) {
+        num[s] = static_cast<long long>(
+            std::floor(change_ratio * static_cast<double>(num[s])));
+      }
+      any = false;
+      for (long long v : num) any = any || v > 0;
+      if (!any) {
+        // The cap scaled the plan to nothing; force minimal progress on the
+        // largest planned slice so the loop always advances.
+        size_t biggest = 0;
+        for (size_t s = 1; s < n; ++s) {
+          if (plan.examples[s] > plan.examples[biggest]) biggest = s;
+        }
+        if (costs[biggest] <= remaining) num[biggest] = 1;
+      }
+    }
+    // Never overspend: trim greedily from the largest acquisition.
+    while (PlanSpend(num, costs) > remaining + 1e-9) {
+      size_t biggest = 0;
+      for (size_t s = 1; s < n; ++s) {
+        if (num[s] > num[biggest]) biggest = s;
+      }
+      if (num[biggest] <= 0) break;
+      num[biggest] -= 1;
+    }
+    any = false;
+    for (long long v : num) any = any || v > 0;
+    if (!any) break;
+
+    ST_RETURN_NOT_OK(Collect(train, source, num));
+    const double spent = PlanSpend(num, costs);
+    for (size_t s = 0; s < n; ++s) {
+      sizes[s] += static_cast<size_t>(num[s]);
+      result.acquired[s] += num[s];
+    }
+    remaining -= spent;
+    result.budget_spent += spent;
+    t_limit = IncreaseLimit(t_limit, options);
+    imbalance = ImbalanceRatio(PositiveSizes(sizes));
+    ++result.iterations;
+  }
+  return result;
+}
+
+Result<IterativeResult> RunOneShotAcquisition(
+    Dataset* train, const Dataset& validation, int num_slices,
+    const ModelSpec& model_spec, const TrainerOptions& trainer,
+    DataSource* source, double budget, double lambda,
+    const LearningCurveOptions& curve_options) {
+  if (train == nullptr || source == nullptr) {
+    return Status::InvalidArgument("RunOneShotAcquisition: null train/source");
+  }
+  const std::vector<double> costs = CostVector(source->cost(), num_slices);
+  OneShotOptions options;
+  options.lambda = lambda;
+  options.curve_options = curve_options;
+  ST_ASSIGN_OR_RETURN(
+      OneShotPlan plan,
+      PlanOneShot(*train, validation, num_slices, model_spec, trainer, costs,
+                  budget, options));
+  ST_RETURN_NOT_OK(Collect(train, source, plan.examples));
+
+  IterativeResult result;
+  result.acquired = plan.examples;
+  result.iterations = 1;
+  result.model_trainings = plan.model_trainings;
+  result.budget_spent = PlanSpend(plan.examples, costs);
+  result.final_curves = plan.curves;
+  return result;
+}
+
+}  // namespace slicetuner

@@ -1,0 +1,74 @@
+// The Iterative algorithm of Section 5.2 (Algorithm 1): repeatedly run
+// One-shot, cap the imbalance-ratio change at T, acquire, and re-estimate
+// the learning curves. T grows per iteration according to the strategy:
+// Conservative (constant), Moderate (+c), Aggressive (*c).
+
+#ifndef SLICETUNER_CORE_ITERATIVE_H_
+#define SLICETUNER_CORE_ITERATIVE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/learning_curve.h"
+#include "data/acquisition.h"
+#include "data/dataset.h"
+#include "nn/model.h"
+#include "nn/trainer.h"
+
+namespace slicetuner {
+
+enum class IterationStrategy {
+  kConservative,  // T stays constant
+  kModerate,      // T += increment
+  kAggressive,    // T *= multiplier
+};
+
+const char* StrategyName(IterationStrategy strategy);
+
+struct IterativeOptions {
+  IterationStrategy strategy = IterationStrategy::kModerate;
+  /// Initial imbalance-ratio change limit T (Algorithm 1 line 2).
+  double initial_limit = 1.0;
+  /// Moderate: T += increment (paper: 1).
+  double increment = 1.0;
+  /// Aggressive: T *= multiplier (paper: 2).
+  double multiplier = 2.0;
+  /// Minimum slice size L (Algorithm 1 lines 3-6). 0 disables.
+  long long min_slice_size = 0;
+  double lambda = 1.0;
+  LearningCurveOptions curve_options;
+  /// Safety bound on iterations.
+  int max_iterations = 25;
+};
+
+struct IterativeResult {
+  std::vector<long long> acquired;  // total per slice (incl. the L top-up)
+  int iterations = 0;
+  int model_trainings = 0;
+  double budget_spent = 0.0;
+  /// Curves from the last iteration (for inspection/plots).
+  std::vector<SliceCurveEstimate> final_curves;
+};
+
+/// Runs Algorithm 1. `train` is grown in place with data pulled from
+/// `source`; `validation` stays fixed. One-shot (with the entire remaining
+/// budget) is invoked each iteration, and the plan is scaled back whenever
+/// it would change the imbalance ratio by more than T.
+Result<IterativeResult> RunIterative(Dataset* train, const Dataset& validation,
+                                     int num_slices,
+                                     const ModelSpec& model_spec,
+                                     const TrainerOptions& trainer,
+                                     DataSource* source, double budget,
+                                     const IterativeOptions& options);
+
+/// Degenerate single-iteration variant: plans once with the whole budget and
+/// acquires without the T cap (the One-shot *method* of the experiments).
+Result<IterativeResult> RunOneShotAcquisition(
+    Dataset* train, const Dataset& validation, int num_slices,
+    const ModelSpec& model_spec, const TrainerOptions& trainer,
+    DataSource* source, double budget, double lambda,
+    const LearningCurveOptions& curve_options);
+
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_CORE_ITERATIVE_H_

@@ -1,0 +1,212 @@
+#include "core/learning_curve.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "core/metrics.h"
+
+namespace slicetuner {
+
+namespace {
+
+// Subset fractions for the K measurement points, spanning
+// [min_fraction, 1.0].
+std::vector<double> SubsetFractions(const LearningCurveOptions& options) {
+  std::vector<double> fractions;
+  const int k = std::max(options.num_points, 2);
+  fractions.reserve(static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    fractions.push_back(options.min_fraction +
+                        (1.0 - options.min_fraction) * static_cast<double>(i) /
+                            static_cast<double>(k - 1));
+  }
+  return fractions;
+}
+
+// Fallback when a slice's points cannot support a power-law fit: a nearly
+// flat curve anchored at the last observed loss (or 1.0). Flat curves make
+// the optimizer treat the slice as having no cost-benefit, which matches the
+// paper's graceful degradation story (Section 6.3.4).
+SliceCurveEstimate DefaultCurve(const std::vector<CurvePoint>& points) {
+  SliceCurveEstimate est;
+  est.points = points;
+  est.reliable = false;
+  double loss = 1.0;
+  double size = 10.0;
+  if (!points.empty()) {
+    loss = std::max(points.back().loss, 1e-3);
+    size = std::max(points.back().size, 1.0);
+  }
+  est.curve.a = 0.05;
+  est.curve.b = loss * std::pow(size, est.curve.a);
+  return est;
+}
+
+struct MeasuredRun {
+  std::vector<double> slice_sizes;   // subset size per slice
+  std::vector<double> slice_losses;  // validation loss per slice
+  bool ok = false;
+};
+
+// Trains one model on `subset` and evaluates per-slice validation losses.
+MeasuredRun TrainAndMeasure(const Dataset& subset, const Dataset& validation,
+                            int num_slices, const ModelSpec& model_spec,
+                            TrainerOptions trainer, uint64_t seed) {
+  MeasuredRun run;
+  Rng rng(seed);
+  Model model = BuildModel(model_spec, &rng);
+  trainer.seed = rng();
+  Result<TrainLog> log =
+      Train(&model, subset.FeatureMatrix(), subset.Labels(), trainer);
+  if (!log.ok()) return run;
+  Result<SliceMetrics> metrics =
+      EvaluatePerSlice(&model, validation, num_slices);
+  if (!metrics.ok()) return run;
+  const std::vector<size_t> sizes = subset.SliceSizes(num_slices);
+  run.slice_sizes.assign(sizes.begin(), sizes.end());
+  run.slice_losses = metrics->slice_losses;
+  run.ok = true;
+  return run;
+}
+
+}  // namespace
+
+Result<CurveEstimationResult> EstimateLearningCurves(
+    const Dataset& train, const Dataset& validation, int num_slices,
+    const ModelSpec& model_spec, const TrainerOptions& trainer,
+    const LearningCurveOptions& options) {
+  if (train.empty()) {
+    return Status::InvalidArgument("EstimateLearningCurves: empty train set");
+  }
+  if (validation.empty()) {
+    return Status::InvalidArgument(
+        "EstimateLearningCurves: empty validation set");
+  }
+  if (num_slices <= 0) {
+    return Status::InvalidArgument(
+        "EstimateLearningCurves: num_slices must be positive");
+  }
+
+  Stopwatch timer;
+  const std::vector<double> fractions = SubsetFractions(options);
+  const size_t k = fractions.size();
+  Rng master(options.seed);
+
+  CurveEstimationResult result;
+  std::vector<std::vector<CurvePoint>> points(
+      static_cast<size_t>(num_slices));
+
+  if (!options.exhaustive) {
+    // Efficient (Section 4.2): one model per subset fraction, all slices
+    // subsampled together; every model yields one point for every slice.
+    std::vector<uint64_t> seeds;
+    seeds.reserve(k);
+    for (size_t i = 0; i < k; ++i) seeds.push_back(master());
+    std::vector<MeasuredRun> runs(k);
+    auto task = [&](size_t i) {
+      Rng rng(seeds[i]);
+      const Dataset subset = train.StratifiedSample(
+          fractions[i], options.min_subset, num_slices, &rng);
+      runs[i] = TrainAndMeasure(subset, validation, num_slices, model_spec,
+                                trainer, rng());
+    };
+    if (options.parallel) {
+      DefaultThreadPool().ParallelFor(k, task);
+    } else {
+      for (size_t i = 0; i < k; ++i) task(i);
+    }
+    for (const MeasuredRun& run : runs) {
+      if (!run.ok) continue;
+      ++result.model_trainings;
+      for (int s = 0; s < num_slices; ++s) {
+        const size_t idx = static_cast<size_t>(s);
+        if (run.slice_sizes[idx] > 0.0) {
+          points[idx].push_back(
+              CurvePoint{run.slice_sizes[idx], run.slice_losses[idx]});
+        }
+      }
+    }
+  } else {
+    // Exhaustive: subsample one slice at a time, keep the rest whole, and
+    // read off only that slice's loss. |S| * K model trainings.
+    struct Job {
+      int slice;
+      double fraction;
+      uint64_t seed;
+    };
+    std::vector<Job> jobs;
+    for (int s = 0; s < num_slices; ++s) {
+      for (size_t i = 0; i < k; ++i) {
+        jobs.push_back(Job{s, fractions[i], master()});
+      }
+    }
+    std::vector<MeasuredRun> runs(jobs.size());
+    auto task = [&](size_t j) {
+      const Job& job = jobs[j];
+      Rng rng(job.seed);
+      // Subsample only job.slice; all other slices stay complete.
+      const std::vector<size_t> slice_rows = train.SliceIndices(job.slice);
+      std::vector<size_t> keep;
+      if (!slice_rows.empty()) {
+        size_t take = static_cast<size_t>(std::ceil(
+            job.fraction * static_cast<double>(slice_rows.size())));
+        take = std::max(take, std::min(options.min_subset,
+                                       slice_rows.size()));
+        const std::vector<size_t> chosen =
+            rng.SampleWithoutReplacement(slice_rows.size(), take);
+        for (size_t c : chosen) keep.push_back(slice_rows[c]);
+      }
+      for (size_t r = 0; r < train.size(); ++r) {
+        if (train.slice(r) != job.slice) keep.push_back(r);
+      }
+      std::sort(keep.begin(), keep.end());
+      const Dataset subset = train.Subset(keep);
+      runs[j] = TrainAndMeasure(subset, validation, num_slices, model_spec,
+                                trainer, rng());
+    };
+    if (options.parallel) {
+      DefaultThreadPool().ParallelFor(jobs.size(), task);
+    } else {
+      for (size_t j = 0; j < jobs.size(); ++j) task(j);
+    }
+    for (size_t j = 0; j < jobs.size(); ++j) {
+      if (!runs[j].ok) continue;
+      ++result.model_trainings;
+      const int s = jobs[j].slice;
+      const size_t idx = static_cast<size_t>(s);
+      if (runs[j].slice_sizes[idx] > 0.0) {
+        points[idx].push_back(CurvePoint{runs[j].slice_sizes[idx],
+                                         runs[j].slice_losses[idx]});
+      }
+    }
+  }
+
+  // Fit a curve per slice; weight points by subset size and average
+  // bootstrap draws (Section 4.1).
+  result.slices.resize(static_cast<size_t>(num_slices));
+  for (int s = 0; s < num_slices; ++s) {
+    const size_t idx = static_cast<size_t>(s);
+    std::sort(points[idx].begin(), points[idx].end(),
+              [](const CurvePoint& a, const CurvePoint& b) {
+                return a.size < b.size;
+              });
+    FitOptions fit_options;
+    fit_options.num_draws = options.num_curve_draws;
+    fit_options.seed = master();
+    Result<PowerLawCurve> fit =
+        FitPowerLawAveraged(points[idx], fit_options);
+    if (fit.ok() && fit->a > 1e-5) {
+      result.slices[idx].curve = *fit;
+      result.slices[idx].points = points[idx];
+      result.slices[idx].reliable = true;
+    } else {
+      result.slices[idx] = DefaultCurve(points[idx]);
+    }
+  }
+  result.wall_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace slicetuner

@@ -1,0 +1,87 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+#include "nn/loss.h"
+
+namespace slicetuner {
+
+Result<SliceMetrics> EvaluatePerSlice(Model* model, const Dataset& validation,
+                                      int num_slices) {
+  if (validation.empty()) {
+    return Status::InvalidArgument("EvaluatePerSlice: empty validation set");
+  }
+  if (num_slices <= 0) {
+    return Status::InvalidArgument("EvaluatePerSlice: num_slices must be > 0");
+  }
+  Matrix probs;
+  model->Predict(validation.FeatureMatrix(), &probs);
+
+  SliceMetrics metrics;
+  metrics.slice_losses.assign(static_cast<size_t>(num_slices), 0.0);
+  std::vector<double> sums(static_cast<size_t>(num_slices), 0.0);
+  std::vector<size_t> counts(static_cast<size_t>(num_slices), 0);
+  double total = 0.0;
+  for (size_t i = 0; i < validation.size(); ++i) {
+    const double nll =
+        -SafeLog(probs(i, static_cast<size_t>(validation.label(i))));
+    total += nll;
+    const int s = validation.slice(i);
+    if (s >= 0 && s < num_slices) {
+      sums[static_cast<size_t>(s)] += nll;
+      counts[static_cast<size_t>(s)] += 1;
+    }
+  }
+  metrics.overall_loss = total / static_cast<double>(validation.size());
+  std::vector<double> present;
+  for (int s = 0; s < num_slices; ++s) {
+    const size_t idx = static_cast<size_t>(s);
+    if (counts[idx] > 0) {
+      metrics.slice_losses[idx] = sums[idx] / static_cast<double>(counts[idx]);
+      present.push_back(metrics.slice_losses[idx]);
+    }
+  }
+  metrics.avg_eer = AverageEer(present, metrics.overall_loss);
+  metrics.max_eer = MaxEer(present, metrics.overall_loss);
+  return metrics;
+}
+
+double AverageEer(const std::vector<double>& slice_losses,
+                  double overall_loss) {
+  if (slice_losses.empty()) return 0.0;
+  double acc = 0.0;
+  for (double l : slice_losses) acc += std::fabs(l - overall_loss);
+  return acc / static_cast<double>(slice_losses.size());
+}
+
+double MaxEer(const std::vector<double>& slice_losses, double overall_loss) {
+  double mx = 0.0;
+  for (double l : slice_losses) mx = std::max(mx, std::fabs(l - overall_loss));
+  return mx;
+}
+
+std::vector<double> Influence(const std::vector<double>& losses_before,
+                              const std::vector<double>& losses_after) {
+  std::vector<double> out(losses_after.size(), 0.0);
+  for (size_t i = 0; i < losses_after.size() && i < losses_before.size();
+       ++i) {
+    out[i] = losses_after[i] - losses_before[i];
+  }
+  return out;
+}
+
+double ImbalanceRatioOf(const std::vector<size_t>& sizes) {
+  double mx = 0.0;
+  double mn = HUGE_VAL;
+  for (size_t s : sizes) {
+    if (s == 0) continue;
+    mx = std::max(mx, static_cast<double>(s));
+    mn = std::min(mn, static_cast<double>(s));
+  }
+  if (!std::isfinite(mn) || mn == 0.0) return 1.0;
+  return mx / mn;
+}
+
+}  // namespace slicetuner

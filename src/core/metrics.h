@@ -1,0 +1,46 @@
+// Accuracy and fairness measures (Section 2.1): per-slice log loss, the
+// unfairness of Definition 1 (average equalized error rates), its max
+// variant, imbalance ratio, and influence.
+
+#ifndef SLICETUNER_CORE_METRICS_H_
+#define SLICETUNER_CORE_METRICS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "nn/model.h"
+
+namespace slicetuner {
+
+/// Evaluation of one trained model against a sliced validation set.
+struct SliceMetrics {
+  std::vector<double> slice_losses;  // psi(s_i, M)
+  double overall_loss = 0.0;         // psi(D, M)
+  double avg_eer = 0.0;              // Definition 1
+  double max_eer = 0.0;              // max variant
+};
+
+/// Computes per-slice and overall log loss of `model` on `validation`
+/// (slices with no validation rows get loss 0 and are excluded from EER).
+Result<SliceMetrics> EvaluatePerSlice(Model* model, const Dataset& validation,
+                                      int num_slices);
+
+/// avg_i |loss_i - overall| over slices with validation data.
+double AverageEer(const std::vector<double>& slice_losses,
+                  double overall_loss);
+
+/// max_i |loss_i - overall|.
+double MaxEer(const std::vector<double>& slice_losses, double overall_loss);
+
+/// Influence of an acquisition on each slice: loss change after - before
+/// (Section 5.2; positive = the slice got worse).
+std::vector<double> Influence(const std::vector<double>& losses_before,
+                              const std::vector<double>& losses_after);
+
+/// max(sizes)/min(sizes) over positive sizes (the bias proxy of Section 5.2).
+double ImbalanceRatioOf(const std::vector<size_t>& sizes);
+
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_CORE_METRICS_H_

@@ -1,0 +1,47 @@
+#include "core/one_shot.h"
+
+#include "opt/allocation.h"
+
+namespace slicetuner {
+
+Result<OneShotPlan> PlanOneShotWithCurves(
+    const std::vector<SliceCurveEstimate>& curves,
+    const std::vector<size_t>& sizes, const std::vector<double>& costs,
+    double budget, double lambda) {
+  AllocationProblem problem;
+  problem.curves.reserve(curves.size());
+  for (const SliceCurveEstimate& c : curves) problem.curves.push_back(c.curve);
+  problem.sizes.assign(sizes.begin(), sizes.end());
+  problem.costs = costs;
+  problem.budget = budget;
+  problem.lambda = lambda;
+
+  ST_ASSIGN_OR_RETURN(AllocationResult solution, SolveAllocation(problem));
+
+  OneShotPlan plan;
+  plan.curves = curves;
+  plan.examples = RoundAllocation(problem, solution.examples);
+  plan.objective = solution.objective;
+  return plan;
+}
+
+Result<OneShotPlan> PlanOneShot(const Dataset& train,
+                                const Dataset& validation, int num_slices,
+                                const ModelSpec& model_spec,
+                                const TrainerOptions& trainer,
+                                const std::vector<double>& costs,
+                                double budget,
+                                const OneShotOptions& options) {
+  ST_ASSIGN_OR_RETURN(
+      CurveEstimationResult estimation,
+      EstimateLearningCurves(train, validation, num_slices, model_spec,
+                             trainer, options.curve_options));
+  const std::vector<size_t> sizes = train.SliceSizes(num_slices);
+  ST_ASSIGN_OR_RETURN(OneShotPlan plan,
+                      PlanOneShotWithCurves(estimation.slices, sizes, costs,
+                                            budget, options.lambda));
+  plan.model_trainings = estimation.model_trainings;
+  return plan;
+}
+
+}  // namespace slicetuner

@@ -1,0 +1,48 @@
+// The One-shot algorithm (Section 5.1): estimate learning curves once, solve
+// the convex acquisition problem with the entire budget, and return the
+// per-slice plan. Assumes slices are independent and curves are perfect.
+
+#ifndef SLICETUNER_CORE_ONE_SHOT_H_
+#define SLICETUNER_CORE_ONE_SHOT_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/learning_curve.h"
+#include "data/dataset.h"
+#include "nn/model.h"
+#include "nn/trainer.h"
+
+namespace slicetuner {
+
+struct OneShotOptions {
+  double lambda = 1.0;
+  LearningCurveOptions curve_options;
+};
+
+struct OneShotPlan {
+  std::vector<long long> examples;       // d_i to acquire per slice
+  std::vector<SliceCurveEstimate> curves;
+  int model_trainings = 0;
+  double objective = 0.0;
+};
+
+/// Computes the one-shot acquisition plan from the current data. Does not
+/// acquire anything itself.
+Result<OneShotPlan> PlanOneShot(const Dataset& train,
+                                const Dataset& validation, int num_slices,
+                                const ModelSpec& model_spec,
+                                const TrainerOptions& trainer,
+                                const std::vector<double>& costs,
+                                double budget, const OneShotOptions& options);
+
+/// Variant that reuses already-estimated curves (used by the iterative
+/// algorithm to re-plan within an iteration without retraining).
+Result<OneShotPlan> PlanOneShotWithCurves(
+    const std::vector<SliceCurveEstimate>& curves,
+    const std::vector<size_t>& sizes, const std::vector<double>& costs,
+    double budget, double lambda);
+
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_CORE_ONE_SHOT_H_

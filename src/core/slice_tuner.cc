@@ -1,0 +1,106 @@
+#include "core/slice_tuner.h"
+
+#include "common/string_util.h"
+
+namespace slicetuner {
+
+Result<SliceTuner> SliceTuner::Create(Dataset train, Dataset validation,
+                                      int num_slices,
+                                      SliceTunerOptions options) {
+  if (train.empty()) {
+    return Status::InvalidArgument("SliceTuner: empty training data");
+  }
+  if (validation.empty()) {
+    return Status::InvalidArgument("SliceTuner: empty validation data");
+  }
+  if (num_slices <= 0) {
+    return Status::InvalidArgument("SliceTuner: num_slices must be positive");
+  }
+  if (train.dim() != validation.dim()) {
+    return Status::InvalidArgument(
+        StrFormat("SliceTuner: train dim %zu != validation dim %zu",
+                  train.dim(), validation.dim()));
+  }
+  if (options.model_spec.input_dim != train.dim()) {
+    return Status::InvalidArgument(
+        StrFormat("SliceTuner: model input dim %zu != data dim %zu",
+                  options.model_spec.input_dim, train.dim()));
+  }
+  for (size_t i = 0; i < train.size(); ++i) {
+    if (train.slice(i) < 0 || train.slice(i) >= num_slices) {
+      return Status::OutOfRange(
+          StrFormat("SliceTuner: train row %zu has slice id %d outside "
+                    "[0, %d)",
+                    i, train.slice(i), num_slices));
+    }
+  }
+  return SliceTuner(std::move(train), std::move(validation), num_slices,
+                    std::move(options));
+}
+
+Result<CurveEstimationResult> SliceTuner::EstimateCurves() const {
+  return EstimateLearningCurves(train_, validation_, num_slices_,
+                                options_.model_spec, options_.trainer,
+                                options_.curve_options);
+}
+
+Result<OneShotPlan> SliceTuner::Suggest(const CostFunction& cost,
+                                        double budget) const {
+  OneShotOptions one_shot;
+  one_shot.lambda = options_.lambda;
+  one_shot.curve_options = options_.curve_options;
+  return PlanOneShot(train_, validation_, num_slices_, options_.model_spec,
+                     options_.trainer, CostVector(cost, num_slices_), budget,
+                     one_shot);
+}
+
+Result<IterativeResult> SliceTuner::Acquire(
+    DataSource* source, double budget,
+    const IterativeOptions& iterative_options) {
+  IterativeOptions opts = iterative_options;
+  opts.lambda = options_.lambda;
+  opts.curve_options = options_.curve_options;
+  return RunIterative(&train_, validation_, num_slices_, options_.model_spec,
+                      options_.trainer, source, budget, opts);
+}
+
+Result<IterativeResult> SliceTuner::AcquireOneShot(DataSource* source,
+                                                   double budget) {
+  return RunOneShotAcquisition(&train_, validation_, num_slices_,
+                               options_.model_spec, options_.trainer, source,
+                               budget, options_.lambda,
+                               options_.curve_options);
+}
+
+Result<IterativeResult> SliceTuner::AcquireBaseline(DataSource* source,
+                                                    double budget,
+                                                    BaselineKind kind) {
+  const std::vector<double> costs = CostVector(source->cost(), num_slices_);
+  ST_ASSIGN_OR_RETURN(
+      std::vector<long long> plan,
+      BaselineAllocation(kind, SliceSizes(), costs, budget));
+  IterativeResult result;
+  result.acquired = plan;
+  result.iterations = 1;
+  for (size_t s = 0; s < plan.size(); ++s) {
+    if (plan[s] <= 0) continue;
+    const Dataset batch =
+        source->Acquire(static_cast<int>(s), static_cast<size_t>(plan[s]));
+    ST_RETURN_NOT_OK(train_.Merge(batch));
+    result.budget_spent += static_cast<double>(plan[s]) * costs[s];
+  }
+  return result;
+}
+
+Result<SliceMetrics> SliceTuner::Evaluate(uint64_t seed) const {
+  Rng rng(seed);
+  Model model = BuildModel(options_.model_spec, &rng);
+  TrainerOptions trainer = options_.trainer;
+  trainer.seed = rng();
+  ST_RETURN_NOT_OK(
+      Train(&model, train_.FeatureMatrix(), train_.Labels(), trainer)
+          .status());
+  return EvaluatePerSlice(&model, validation_, num_slices_);
+}
+
+}  // namespace slicetuner

@@ -1,0 +1,89 @@
+// SliceTuner: the public facade of the library (Figure 4 of the paper).
+// Holds the sliced training data and a validation set, estimates learning
+// curves, suggests per-slice acquisition amounts, and can drive a full
+// acquisition loop against a DataSource.
+
+#ifndef SLICETUNER_CORE_SLICE_TUNER_H_
+#define SLICETUNER_CORE_SLICE_TUNER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/baselines.h"
+#include "core/iterative.h"
+#include "core/learning_curve.h"
+#include "core/metrics.h"
+#include "core/one_shot.h"
+#include "data/acquisition.h"
+#include "data/cost.h"
+#include "data/dataset.h"
+#include "nn/model.h"
+#include "nn/trainer.h"
+
+namespace slicetuner {
+
+/// Facade options: the model family, its (frozen) hyperparameters, how
+/// curves are estimated, and the loss/fairness balance lambda.
+struct SliceTunerOptions {
+  ModelSpec model_spec;
+  TrainerOptions trainer;
+  LearningCurveOptions curve_options;
+  double lambda = 1.0;
+};
+
+class SliceTuner {
+ public:
+  /// Validates inputs: non-empty train/validation, consistent dims, slice
+  /// ids within [0, num_slices).
+  static Result<SliceTuner> Create(Dataset train, Dataset validation,
+                                   int num_slices,
+                                   SliceTunerOptions options);
+
+  /// Estimates the learning curve of every slice from the current data.
+  Result<CurveEstimationResult> EstimateCurves() const;
+
+  /// One-shot suggestion: how many examples to acquire per slice for
+  /// `budget`, without acquiring anything.
+  Result<OneShotPlan> Suggest(const CostFunction& cost, double budget) const;
+
+  /// Runs the iterative algorithm (Algorithm 1), growing the training data
+  /// with examples pulled from `source`.
+  Result<IterativeResult> Acquire(DataSource* source, double budget,
+                                  const IterativeOptions& iterative_options);
+
+  /// One-shot acquisition: plan once with the whole budget, then acquire.
+  Result<IterativeResult> AcquireOneShot(DataSource* source, double budget);
+
+  /// Baseline acquisition (Uniform / Water filling / Proportional).
+  Result<IterativeResult> AcquireBaseline(DataSource* source, double budget,
+                                          BaselineKind kind);
+
+  /// Trains a fresh model on the current training data and evaluates the
+  /// per-slice losses and unfairness on the validation set.
+  Result<SliceMetrics> Evaluate(uint64_t seed) const;
+
+  const Dataset& train() const { return train_; }
+  const Dataset& validation() const { return validation_; }
+  int num_slices() const { return num_slices_; }
+  std::vector<size_t> SliceSizes() const {
+    return train_.SliceSizes(num_slices_);
+  }
+  const SliceTunerOptions& options() const { return options_; }
+
+ private:
+  SliceTuner(Dataset train, Dataset validation, int num_slices,
+             SliceTunerOptions options)
+      : train_(std::move(train)),
+        validation_(std::move(validation)),
+        num_slices_(num_slices),
+        options_(std::move(options)) {}
+
+  Dataset train_;
+  Dataset validation_;
+  int num_slices_;
+  SliceTunerOptions options_;
+};
+
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_CORE_SLICE_TUNER_H_

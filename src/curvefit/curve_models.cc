@@ -1,0 +1,154 @@
+#include "curvefit/curve_models.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace slicetuner {
+
+namespace {
+
+// Weighted log-log linear regression: log y = log b - a log x. Used as the
+// initial guess for the power-law families.
+void LogLogInit(const std::vector<double>& xs, const std::vector<double>& ys,
+                double* b, double* a) {
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  size_t n = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    if (xs[i] <= 0.0 || ys[i] <= 0.0) continue;
+    const double lx = std::log(xs[i]);
+    const double ly = std::log(ys[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    ++n;
+  }
+  if (n < 2) {
+    *b = n == 1 ? std::exp(sy) : 1.0;
+    *a = 0.1;
+    return;
+  }
+  const double denom = static_cast<double>(n) * sxx - sx * sx;
+  double slope = 0.0;
+  if (std::fabs(denom) > 1e-12) {
+    slope = (static_cast<double>(n) * sxy - sx * sy) / denom;
+  }
+  const double intercept = (sy - slope * sx) / static_cast<double>(n);
+  *a = Clamp(-slope, 1e-4, 5.0);
+  *b = Clamp(std::exp(intercept), 1e-8, 1e8);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- PowerLaw
+
+double PowerLawModel::Eval(double x, const std::vector<double>& p) const {
+  return p[0] * std::pow(x, -p[1]);
+}
+
+void PowerLawModel::Gradient(double x, const std::vector<double>& p,
+                             double* grad) const {
+  const double xa = std::pow(x, -p[1]);
+  grad[0] = xa;                          // d/db
+  grad[1] = -p[0] * xa * std::log(x);    // d/da
+}
+
+std::vector<double> PowerLawModel::InitialGuess(
+    const std::vector<double>& xs, const std::vector<double>& ys) const {
+  double b = 1.0, a = 0.1;
+  LogLogInit(xs, ys, &b, &a);
+  return {b, a};
+}
+
+void PowerLawModel::ClampParams(std::vector<double>* p) const {
+  (*p)[0] = Clamp((*p)[0], 1e-8, 1e8);
+  (*p)[1] = Clamp((*p)[1], 1e-6, 5.0);
+}
+
+// ----------------------------------------------------------- PowerLawFloor
+
+double PowerLawFloorModel::Eval(double x, const std::vector<double>& p) const {
+  return p[0] * std::pow(x, -p[1]) + p[2];
+}
+
+void PowerLawFloorModel::Gradient(double x, const std::vector<double>& p,
+                                  double* grad) const {
+  const double xa = std::pow(x, -p[1]);
+  grad[0] = xa;
+  grad[1] = -p[0] * xa * std::log(x);
+  grad[2] = 1.0;
+}
+
+std::vector<double> PowerLawFloorModel::InitialGuess(
+    const std::vector<double>& xs, const std::vector<double>& ys) const {
+  double b = 1.0, a = 0.1;
+  LogLogInit(xs, ys, &b, &a);
+  const double floor =
+      ys.empty() ? 0.0 : 0.5 * *std::min_element(ys.begin(), ys.end());
+  return {b, a, std::max(floor, 0.0)};
+}
+
+void PowerLawFloorModel::ClampParams(std::vector<double>* p) const {
+  (*p)[0] = Clamp((*p)[0], 1e-8, 1e8);
+  (*p)[1] = Clamp((*p)[1], 1e-6, 5.0);
+  (*p)[2] = Clamp((*p)[2], 0.0, 1e8);
+}
+
+// -------------------------------------------------------- ExponentialDecay
+
+double ExponentialDecayModel::Eval(double x,
+                                   const std::vector<double>& p) const {
+  return p[0] * std::exp(-p[1] * x) + p[2];
+}
+
+void ExponentialDecayModel::Gradient(double x, const std::vector<double>& p,
+                                     double* grad) const {
+  const double e = std::exp(-p[1] * x);
+  grad[0] = e;
+  grad[1] = -p[0] * x * e;
+  grad[2] = 1.0;
+}
+
+std::vector<double> ExponentialDecayModel::InitialGuess(
+    const std::vector<double>& xs, const std::vector<double>& ys) const {
+  if (xs.empty()) return {1.0, 0.01, 0.0};
+  const double ymax = *std::max_element(ys.begin(), ys.end());
+  const double ymin = *std::min_element(ys.begin(), ys.end());
+  const double xmax = *std::max_element(xs.begin(), xs.end());
+  return {std::max(ymax - ymin, 1e-3), 1.0 / std::max(xmax, 1.0),
+          std::max(ymin, 0.0)};
+}
+
+void ExponentialDecayModel::ClampParams(std::vector<double>* p) const {
+  (*p)[0] = Clamp((*p)[0], 1e-8, 1e8);
+  (*p)[1] = Clamp((*p)[1], 1e-8, 1e3);
+  (*p)[2] = Clamp((*p)[2], 0.0, 1e8);
+}
+
+// ------------------------------------------------------------- Logarithmic
+
+double LogarithmicModel::Eval(double x, const std::vector<double>& p) const {
+  return p[1] - p[0] * std::log(x);
+}
+
+void LogarithmicModel::Gradient(double x, const std::vector<double>& /*p*/,
+                                double* grad) const {
+  grad[0] = -std::log(x);
+  grad[1] = 1.0;
+}
+
+std::vector<double> LogarithmicModel::InitialGuess(
+    const std::vector<double>& xs, const std::vector<double>& ys) const {
+  if (xs.empty()) return {0.1, 1.0};
+  const double ymax = *std::max_element(ys.begin(), ys.end());
+  return {0.1, ymax};
+}
+
+void LogarithmicModel::ClampParams(std::vector<double>* p) const {
+  (*p)[0] = Clamp((*p)[0], 0.0, 1e8);
+  (*p)[1] = Clamp((*p)[1], -1e8, 1e8);
+}
+
+}  // namespace slicetuner

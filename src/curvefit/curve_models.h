@@ -1,0 +1,95 @@
+// Parametric learning-curve families. The paper adopts the power law
+// y = b x^(-a) (optionally + c for the diminishing-returns floor) after the
+// Baidu study [22]; Domhan et al. [15] compare further parametric models, so
+// we provide exponential and logarithmic alternatives for the ablation.
+
+#ifndef SLICETUNER_CURVEFIT_CURVE_MODELS_H_
+#define SLICETUNER_CURVEFIT_CURVE_MODELS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace slicetuner {
+
+/// A parametric scalar model y = f(x; p) with analytic gradient in p.
+class ParametricModel {
+ public:
+  virtual ~ParametricModel() = default;
+
+  virtual size_t num_params() const = 0;
+  virtual double Eval(double x, const std::vector<double>& p) const = 0;
+
+  /// grad[k] = df/dp_k at (x, p). `grad` has num_params() entries.
+  virtual void Gradient(double x, const std::vector<double>& p,
+                        double* grad) const = 0;
+
+  /// Heuristic starting point from the data.
+  virtual std::vector<double> InitialGuess(
+      const std::vector<double>& xs, const std::vector<double>& ys) const = 0;
+
+  /// Projects parameters back into the feasible region (e.g., b > 0).
+  virtual void ClampParams(std::vector<double>* p) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// y = b * x^(-a), b > 0, a >= 0. Params p = [b, a].
+class PowerLawModel : public ParametricModel {
+ public:
+  size_t num_params() const override { return 2; }
+  double Eval(double x, const std::vector<double>& p) const override;
+  void Gradient(double x, const std::vector<double>& p,
+                double* grad) const override;
+  std::vector<double> InitialGuess(
+      const std::vector<double>& xs,
+      const std::vector<double>& ys) const override;
+  void ClampParams(std::vector<double>* p) const override;
+  std::string name() const override { return "power_law"; }
+};
+
+/// y = b * x^(-a) + c, with floor c >= 0. Params p = [b, a, c].
+class PowerLawFloorModel : public ParametricModel {
+ public:
+  size_t num_params() const override { return 3; }
+  double Eval(double x, const std::vector<double>& p) const override;
+  void Gradient(double x, const std::vector<double>& p,
+                double* grad) const override;
+  std::vector<double> InitialGuess(
+      const std::vector<double>& xs,
+      const std::vector<double>& ys) const override;
+  void ClampParams(std::vector<double>* p) const override;
+  std::string name() const override { return "power_law_floor"; }
+};
+
+/// y = b * exp(-a x) + c. Params p = [b, a, c].
+class ExponentialDecayModel : public ParametricModel {
+ public:
+  size_t num_params() const override { return 3; }
+  double Eval(double x, const std::vector<double>& p) const override;
+  void Gradient(double x, const std::vector<double>& p,
+                double* grad) const override;
+  std::vector<double> InitialGuess(
+      const std::vector<double>& xs,
+      const std::vector<double>& ys) const override;
+  void ClampParams(std::vector<double>* p) const override;
+  std::string name() const override { return "exp_decay"; }
+};
+
+/// y = c - b * log(x). Params p = [b, c].
+class LogarithmicModel : public ParametricModel {
+ public:
+  size_t num_params() const override { return 2; }
+  double Eval(double x, const std::vector<double>& p) const override;
+  void Gradient(double x, const std::vector<double>& p,
+                double* grad) const override;
+  std::vector<double> InitialGuess(
+      const std::vector<double>& xs,
+      const std::vector<double>& ys) const override;
+  void ClampParams(std::vector<double>* p) const override;
+  std::string name() const override { return "logarithmic"; }
+};
+
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_CURVEFIT_CURVE_MODELS_H_

@@ -1,0 +1,80 @@
+#include "curvefit/fitter.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+#include "curvefit/curve_models.h"
+#include "curvefit/levenberg_marquardt.h"
+
+namespace slicetuner {
+
+Result<PowerLawCurve> FitPowerLaw(const std::vector<CurvePoint>& points,
+                                  bool size_weighted) {
+  std::vector<double> xs, ys, ws;
+  for (const CurvePoint& p : points) {
+    if (p.size <= 0.0 || p.loss <= 0.0 || !std::isfinite(p.loss)) continue;
+    xs.push_back(p.size);
+    ys.push_back(p.loss);
+    ws.push_back(size_weighted ? p.size : 1.0);
+  }
+  if (xs.size() < 2) {
+    return Status::InvalidArgument(
+        "FitPowerLaw: need at least 2 valid points");
+  }
+  // Normalize weights to mean 1 for better LM conditioning.
+  const double wsum = Sum(ws);
+  for (auto& w : ws) w *= static_cast<double>(ws.size()) / wsum;
+
+  PowerLawModel model;
+  ST_ASSIGN_OR_RETURN(
+      LmFit fit, LevenbergMarquardt(model, xs, ys, ws,
+                                    model.InitialGuess(xs, ys)));
+  PowerLawCurve curve;
+  curve.b = fit.params[0];
+  curve.a = fit.params[1];
+  return curve;
+}
+
+Result<PowerLawCurve> FitPowerLawAveraged(
+    const std::vector<CurvePoint>& points, const FitOptions& options) {
+  ST_ASSIGN_OR_RETURN(PowerLawCurve base,
+                      FitPowerLaw(points, options.size_weighted));
+  if (options.num_draws <= 1 || points.size() < 3) return base;
+
+  Rng rng(options.seed);
+  // Average the curves in log-parameter space: the mean of b is taken
+  // geometrically so one outlier draw cannot dominate.
+  double sum_log_b = 0.0;
+  double sum_a = 0.0;
+  int ok = 0;
+  for (int d = 0; d < options.num_draws; ++d) {
+    std::vector<CurvePoint> resampled;
+    resampled.reserve(points.size());
+    for (size_t i = 0; i < points.size(); ++i) {
+      resampled.push_back(points[rng.UniformInt(points.size())]);
+    }
+    Result<PowerLawCurve> fit = FitPowerLaw(resampled, options.size_weighted);
+    if (!fit.ok()) continue;
+    sum_log_b += std::log(fit->b);
+    sum_a += fit->a;
+    ++ok;
+  }
+  if (ok == 0) return base;
+  PowerLawCurve avg;
+  avg.b = std::exp(sum_log_b / ok);
+  avg.a = sum_a / ok;
+  return avg;
+}
+
+double CurveLogR2(const PowerLawCurve& curve,
+                  const std::vector<CurvePoint>& points) {
+  std::vector<double> observed, predicted;
+  for (const CurvePoint& p : points) {
+    if (p.size <= 0.0 || p.loss <= 0.0) continue;
+    observed.push_back(std::log(p.loss));
+    predicted.push_back(std::log(std::max(curve.Eval(p.size), 1e-12)));
+  }
+  return RSquared(observed, predicted);
+}
+
+}  // namespace slicetuner

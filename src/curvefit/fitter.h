@@ -1,0 +1,49 @@
+// High-level curve fitting used by the Learning Curve Estimator:
+// size-weighted power-law fits with multi-draw averaging (the paper draws 5
+// curves and averages them for reliability, Section 4.1).
+
+#ifndef SLICETUNER_CURVEFIT_FITTER_H_
+#define SLICETUNER_CURVEFIT_FITTER_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "curvefit/power_law.h"
+
+namespace slicetuner {
+
+/// One measured point: a model trained with `size` slice examples had
+/// validation loss `loss`.
+struct CurvePoint {
+  double size = 0.0;
+  double loss = 0.0;
+};
+
+struct FitOptions {
+  /// Weight each point proportionally to its subset size (losses measured on
+  /// small subsets are noisier — Figure 5's high-variance region).
+  bool size_weighted = true;
+  /// Number of bootstrap draws averaged into the final curve (paper: 5).
+  int num_draws = 5;
+  /// Seed for the bootstrap resampling.
+  uint64_t seed = 1234;
+};
+
+/// Fits y = b x^(-a) to the points with weighted Levenberg–Marquardt,
+/// initialized by log-log regression. Errors on fewer than 2 usable points.
+Result<PowerLawCurve> FitPowerLaw(const std::vector<CurvePoint>& points,
+                                  bool size_weighted = true);
+
+/// Robust fit: averages `num_draws` bootstrap fits (resampling points with
+/// replacement); falls back to the plain fit if bootstrap fits fail.
+Result<PowerLawCurve> FitPowerLawAveraged(
+    const std::vector<CurvePoint>& points, const FitOptions& options);
+
+/// Goodness of fit of a curve on the points (R^2 in log space).
+double CurveLogR2(const PowerLawCurve& curve,
+                  const std::vector<CurvePoint>& points);
+
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_CURVEFIT_FITTER_H_

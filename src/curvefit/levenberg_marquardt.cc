@@ -1,0 +1,148 @@
+#include "curvefit/levenberg_marquardt.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace slicetuner {
+
+namespace {
+
+// Solves the (tiny) symmetric positive-definite system A x = rhs in place by
+// Gaussian elimination with partial pivoting. Returns false when singular.
+bool SolveDense(std::vector<std::vector<double>> a, std::vector<double> rhs,
+                std::vector<double>* x) {
+  const size_t n = rhs.size();
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    for (size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+    }
+    if (std::fabs(a[pivot][col]) < 1e-14) return false;
+    std::swap(a[col], a[pivot]);
+    std::swap(rhs[col], rhs[pivot]);
+    for (size_t r = col + 1; r < n; ++r) {
+      const double factor = a[r][col] / a[col][col];
+      for (size_t c = col; c < n; ++c) a[r][c] -= factor * a[col][c];
+      rhs[r] -= factor * rhs[col];
+    }
+  }
+  x->assign(n, 0.0);
+  for (size_t r = n; r-- > 0;) {
+    double acc = rhs[r];
+    for (size_t c = r + 1; c < n; ++c) acc -= a[r][c] * (*x)[c];
+    (*x)[r] = acc / a[r][r];
+  }
+  return true;
+}
+
+double WeightedSse(const ParametricModel& model, const std::vector<double>& xs,
+                   const std::vector<double>& ys,
+                   const std::vector<double>& ws,
+                   const std::vector<double>& p) {
+  double sse = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double r = ys[i] - model.Eval(xs[i], p);
+    sse += ws[i] * r * r;
+  }
+  return sse;
+}
+
+}  // namespace
+
+Result<LmFit> LevenbergMarquardt(const ParametricModel& model,
+                                 const std::vector<double>& xs,
+                                 const std::vector<double>& ys,
+                                 const std::vector<double>& weights,
+                                 std::vector<double> initial,
+                                 const LmOptions& options) {
+  const size_t n = xs.size();
+  const size_t k = model.num_params();
+  if (ys.size() != n) {
+    return Status::InvalidArgument("xs/ys size mismatch");
+  }
+  if (n < k) {
+    return Status::InvalidArgument(
+        StrFormat("need at least %zu points for %zu parameters, got %zu", k,
+                  k, n));
+  }
+  if (initial.size() != k) {
+    return Status::InvalidArgument("initial guess has wrong arity");
+  }
+  std::vector<double> ws = weights;
+  if (ws.empty()) ws.assign(n, 1.0);
+  if (ws.size() != n) {
+    return Status::InvalidArgument("weights size mismatch");
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(xs[i]) || !std::isfinite(ys[i]) ||
+        !std::isfinite(ws[i]) || ws[i] < 0.0) {
+      return Status::InvalidArgument("non-finite or negative-weight input");
+    }
+  }
+
+  std::vector<double> p = std::move(initial);
+  model.ClampParams(&p);
+  double damping = options.initial_damping;
+  double sse = WeightedSse(model, xs, ys, ws, p);
+
+  LmFit fit;
+  std::vector<double> grad_buf(k);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    fit.iterations = iter + 1;
+    // Build J^T W J and J^T W r.
+    std::vector<std::vector<double>> jtj(k, std::vector<double>(k, 0.0));
+    std::vector<double> jtr(k, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      model.Gradient(xs[i], p, grad_buf.data());
+      const double r = ys[i] - model.Eval(xs[i], p);
+      for (size_t a = 0; a < k; ++a) {
+        jtr[a] += ws[i] * grad_buf[a] * r;
+        for (size_t b = a; b < k; ++b) {
+          jtj[a][b] += ws[i] * grad_buf[a] * grad_buf[b];
+        }
+      }
+    }
+    for (size_t a = 0; a < k; ++a) {
+      for (size_t b = 0; b < a; ++b) jtj[a][b] = jtj[b][a];
+    }
+
+    bool improved = false;
+    for (int attempt = 0; attempt < 12 && !improved; ++attempt) {
+      auto damped = jtj;
+      for (size_t a = 0; a < k; ++a) damped[a][a] *= 1.0 + damping;
+      std::vector<double> step;
+      if (!SolveDense(damped, jtr, &step)) {
+        damping *= options.damping_up;
+        continue;
+      }
+      std::vector<double> candidate = p;
+      for (size_t a = 0; a < k; ++a) candidate[a] += step[a];
+      model.ClampParams(&candidate);
+      const double cand_sse = WeightedSse(model, xs, ys, ws, candidate);
+      if (cand_sse < sse) {
+        const double rel = (sse - cand_sse) / std::max(sse, 1e-30);
+        p = std::move(candidate);
+        sse = cand_sse;
+        damping *= options.damping_down;
+        damping = std::max(damping, 1e-12);
+        improved = true;
+        if (rel < options.tolerance) {
+          fit.converged = true;
+        }
+      } else {
+        damping *= options.damping_up;
+      }
+    }
+    if (!improved || fit.converged) {
+      fit.converged = true;
+      break;
+    }
+  }
+
+  fit.params = std::move(p);
+  fit.sse = sse;
+  return fit;
+}
+
+}  // namespace slicetuner

@@ -1,0 +1,45 @@
+// Weighted non-linear least squares via Levenberg–Marquardt. This is the
+// C++ counterpart of the SciPy curve_fit call the paper uses to fit
+// power-law learning curves (Section 4.1, "non-linear least squares method
+// [18]" with subset-size-proportional weights).
+
+#ifndef SLICETUNER_CURVEFIT_LEVENBERG_MARQUARDT_H_
+#define SLICETUNER_CURVEFIT_LEVENBERG_MARQUARDT_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "curvefit/curve_models.h"
+
+namespace slicetuner {
+
+struct LmOptions {
+  int max_iterations = 200;
+  double initial_damping = 1e-3;
+  double damping_up = 10.0;
+  double damping_down = 0.1;
+  /// Convergence: relative SSE improvement below this stops.
+  double tolerance = 1e-10;
+};
+
+struct LmFit {
+  std::vector<double> params;
+  double sse = 0.0;          // weighted sum of squared residuals
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Minimizes sum_i w_i (y_i - f(x_i; p))^2 starting from `initial`.
+/// Weights default to 1. The model's ClampParams keeps parameters feasible
+/// after every accepted step. Returns an error for degenerate input (fewer
+/// points than parameters, size mismatches, non-finite data).
+Result<LmFit> LevenbergMarquardt(const ParametricModel& model,
+                                 const std::vector<double>& xs,
+                                 const std::vector<double>& ys,
+                                 const std::vector<double>& weights,
+                                 std::vector<double> initial,
+                                 const LmOptions& options = LmOptions());
+
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_CURVEFIT_LEVENBERG_MARQUARDT_H_

@@ -1,0 +1,63 @@
+#include "curvefit/model_selection.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "curvefit/levenberg_marquardt.h"
+
+namespace slicetuner {
+
+std::vector<ModelFitReport> CompareCurveModels(
+    const std::vector<CurvePoint>& points) {
+  std::vector<double> xs, ys;
+  for (const CurvePoint& p : points) {
+    if (p.size > 0.0 && p.loss > 0.0 && std::isfinite(p.loss)) {
+      xs.push_back(p.size);
+      ys.push_back(p.loss);
+    }
+  }
+  const double n = static_cast<double>(xs.size());
+
+  std::vector<std::unique_ptr<ParametricModel>> models;
+  models.push_back(std::make_unique<PowerLawModel>());
+  models.push_back(std::make_unique<PowerLawFloorModel>());
+  models.push_back(std::make_unique<ExponentialDecayModel>());
+  models.push_back(std::make_unique<LogarithmicModel>());
+
+  std::vector<ModelFitReport> reports;
+  for (const auto& model : models) {
+    ModelFitReport report;
+    report.model_name = model->name();
+    if (n >= static_cast<double>(model->num_params())) {
+      Result<LmFit> fit = LevenbergMarquardt(
+          *model, xs, ys, {}, model->InitialGuess(xs, ys));
+      if (fit.ok()) {
+        report.ok = true;
+        report.params = fit->params;
+        report.sse = fit->sse;
+        // AIC for least squares: n * ln(SSE / n) + 2k.
+        report.aic =
+            n * std::log(std::max(fit->sse, 1e-15) / n) +
+            2.0 * static_cast<double>(model->num_params());
+      }
+    }
+    reports.push_back(std::move(report));
+  }
+  std::sort(reports.begin(), reports.end(),
+            [](const ModelFitReport& a, const ModelFitReport& b) {
+              if (a.ok != b.ok) return a.ok;
+              return a.aic < b.aic;
+            });
+  return reports;
+}
+
+Result<std::string> SelectCurveModel(const std::vector<CurvePoint>& points) {
+  const std::vector<ModelFitReport> reports = CompareCurveModels(points);
+  if (reports.empty() || !reports.front().ok) {
+    return Status::InvalidArgument(
+        "SelectCurveModel: no parametric family fits the points");
+  }
+  return reports.front().model_name;
+}
+
+}  // namespace slicetuner

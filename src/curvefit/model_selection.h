@@ -1,0 +1,42 @@
+// Parametric model selection for learning curves. Domhan et al. [15]
+// compare 11 parametric families; the paper settles on the power law after
+// observing it "fits as well as any other curve". This module makes that
+// comparison executable: fit every family, score by AIC (penalizing the
+// extra floor/offset parameters), and report the winner.
+
+#ifndef SLICETUNER_CURVEFIT_MODEL_SELECTION_H_
+#define SLICETUNER_CURVEFIT_MODEL_SELECTION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "curvefit/curve_models.h"
+#include "curvefit/fitter.h"
+
+namespace slicetuner {
+
+/// Outcome of fitting one parametric family.
+struct ModelFitReport {
+  std::string model_name;
+  std::vector<double> params;
+  double sse = 0.0;
+  double aic = 0.0;
+  bool ok = false;
+};
+
+/// Fits all built-in families (power law, power law + floor, exponential
+/// decay, logarithmic) to the points and ranks them by AIC
+/// (n*log(SSE/n) + 2k). Reports are sorted best-first; families that fail
+/// to fit appear last with ok = false.
+std::vector<ModelFitReport> CompareCurveModels(
+    const std::vector<CurvePoint>& points);
+
+/// Convenience: the name of the AIC-best family ("power_law" etc.), or an
+/// error if nothing fits.
+Result<std::string> SelectCurveModel(const std::vector<CurvePoint>& points);
+
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_CURVEFIT_MODEL_SELECTION_H_

@@ -1,0 +1,29 @@
+#include "curvefit/power_law.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace slicetuner {
+
+double PowerLawCurve::Eval(double x) const {
+  x = std::max(x, 1.0);
+  return b * std::pow(x, -a);
+}
+
+double PowerLawCurve::Derivative(double x) const {
+  x = std::max(x, 1.0);
+  return -a * b * std::pow(x, -a - 1.0);
+}
+
+double PowerLawCurve::InverseEval(double loss) const {
+  if (loss <= 0.0 || a <= 0.0) return 1e18;
+  return std::pow(b / loss, 1.0 / a);
+}
+
+std::string PowerLawCurve::ToString() const {
+  return StrFormat("y = %.3fx^-%.3f", b, a);
+}
+
+}  // namespace slicetuner

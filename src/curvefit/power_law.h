@@ -1,0 +1,32 @@
+// The fitted power-law learning curve of one slice: loss(x) = b * x^(-a).
+// This is the object the Slice Tuner optimizer consumes.
+
+#ifndef SLICETUNER_CURVEFIT_POWER_LAW_H_
+#define SLICETUNER_CURVEFIT_POWER_LAW_H_
+
+#include <string>
+
+namespace slicetuner {
+
+/// y = b * x^(-a). Valid when b > 0 and a >= 0 (a == 0 means a flat,
+/// uninformative curve).
+struct PowerLawCurve {
+  double b = 1.0;
+  double a = 0.1;
+
+  /// Predicted loss at `x` examples. x is clamped to >= 1.
+  double Eval(double x) const;
+
+  /// d loss / d x at `x` (non-positive: more data never predicted to hurt).
+  double Derivative(double x) const;
+
+  /// Examples needed for the curve to reach `loss` (inverse of Eval);
+  /// returns a large sentinel when unreachable.
+  double InverseEval(double loss) const;
+
+  std::string ToString() const;  // "y = 2.894x^-0.204"
+};
+
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_CURVEFIT_POWER_LAW_H_

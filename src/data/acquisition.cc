@@ -1,0 +1,85 @@
+#include "data/acquisition.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace slicetuner {
+
+SyntheticPool::SyntheticPool(const SyntheticGenerator* generator,
+                             std::unique_ptr<CostFunction> cost,
+                             uint64_t seed)
+    : generator_(generator), cost_(std::move(cost)), rng_(seed) {}
+
+Dataset SyntheticPool::Acquire(int slice, size_t count) {
+  Dataset out(generator_->dim());
+  for (size_t i = 0; i < count; ++i) {
+    (void)out.Append(generator_->Generate(slice, &rng_));
+  }
+  return out;
+}
+
+double CrowdsourceStats::AvgTaskSeconds(int slice) const {
+  const size_t s = static_cast<size_t>(slice);
+  if (s >= tasks_submitted.size() || tasks_submitted[s] == 0) return 0.0;
+  return total_task_seconds[s] / static_cast<double>(tasks_submitted[s]);
+}
+
+std::vector<double> CrowdsourceSimulator::CostsFromTaskTimes(
+    const std::vector<double>& mean_seconds) {
+  std::vector<double> costs(mean_seconds.size(), 1.0);
+  if (mean_seconds.empty()) return costs;
+  const double min_time =
+      *std::min_element(mean_seconds.begin(), mean_seconds.end());
+  for (size_t i = 0; i < mean_seconds.size(); ++i) {
+    // Round to one decimal, as Table 1 reports (e.g., 104.6s / 67.6s -> 1.5).
+    costs[i] = std::round(10.0 * mean_seconds[i] / min_time) / 10.0;
+  }
+  return costs;
+}
+
+CrowdsourceSimulator::CrowdsourceSimulator(const SyntheticGenerator* generator,
+                                           CrowdsourceOptions options,
+                                           uint64_t seed)
+    : generator_(generator), options_(std::move(options)), rng_(seed) {
+  const size_t n = static_cast<size_t>(generator_->num_slices());
+  if (options_.mean_task_seconds.size() != n) {
+    options_.mean_task_seconds.resize(n, 60.0);
+  }
+  cost_ = std::make_unique<TableCost>(
+      CostsFromTaskTimes(options_.mean_task_seconds));
+  stats_.total_task_seconds.assign(n, 0.0);
+  stats_.tasks_submitted.assign(n, 0);
+  stats_.duplicates_removed.assign(n, 0);
+  stats_.mistakes_filtered.assign(n, 0);
+  stats_.accepted.assign(n, 0);
+}
+
+Dataset CrowdsourceSimulator::Acquire(int slice, size_t count) {
+  const size_t s = static_cast<size_t>(slice);
+  Dataset out(generator_->dim());
+  // Lognormal task time calibrated so the mean equals mean_task_seconds[s]:
+  // E[lognormal(mu, sigma)] = exp(mu + sigma^2/2).
+  const double sigma = options_.task_time_sigma;
+  const double mu =
+      std::log(std::max(options_.mean_task_seconds[s], 1e-6)) -
+      0.5 * sigma * sigma;
+  while (out.size() < count) {
+    stats_.tasks_submitted[s] += 1;
+    stats_.total_task_seconds[s] += rng_.LogNormal(mu, sigma);
+    if (rng_.Bernoulli(options_.duplicate_rate)) {
+      // Post-processing removes exact duplicates.
+      stats_.duplicates_removed[s] += 1;
+      continue;
+    }
+    if (rng_.Bernoulli(options_.mistake_rate)) {
+      // Worker submitted the wrong demographic; filtered manually.
+      stats_.mistakes_filtered[s] += 1;
+      continue;
+    }
+    (void)out.Append(generator_->Generate(slice, &rng_));
+    stats_.accepted[s] += 1;
+  }
+  return out;
+}
+
+}  // namespace slicetuner

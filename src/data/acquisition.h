@@ -1,0 +1,104 @@
+// Data acquisition sources. The paper abstracts acquisition behind a cost
+// function and a per-slice "get me d_i new examples" operation; we provide a
+// clean generator-backed pool and a crowdsourcing simulator that reproduces
+// the AMT campaign of Section 6.1 (per-slice task times -> Table 1 costs,
+// duplicate submissions, worker mistakes, post-processing).
+
+#ifndef SLICETUNER_DATA_ACQUISITION_H_
+#define SLICETUNER_DATA_ACQUISITION_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "data/cost.h"
+#include "data/dataset.h"
+#include "data/synthetic.h"
+
+namespace slicetuner {
+
+/// A source of new examples per slice.
+class DataSource {
+ public:
+  virtual ~DataSource() = default;
+
+  /// Acquires `count` new examples for `slice`. Implementations always
+  /// deliver exactly `count` usable examples (re-collecting internally when
+  /// submissions are rejected), mirroring a fixed-size accepted batch.
+  virtual Dataset Acquire(int slice, size_t count) = 0;
+
+  /// The per-example acquisition cost of each slice.
+  virtual const CostFunction& cost() const = 0;
+};
+
+/// Unlimited generator-backed pool with a fixed cost table. Used for the
+/// simulated-acquisition datasets (cost 1 everywhere).
+class SyntheticPool : public DataSource {
+ public:
+  SyntheticPool(const SyntheticGenerator* generator,
+                std::unique_ptr<CostFunction> cost, uint64_t seed);
+
+  Dataset Acquire(int slice, size_t count) override;
+  const CostFunction& cost() const override { return *cost_; }
+
+ private:
+  const SyntheticGenerator* generator_;  // not owned
+  std::unique_ptr<CostFunction> cost_;
+  Rng rng_;
+};
+
+/// Worker behaviour of the crowdsourcing simulator.
+struct CrowdsourceOptions {
+  /// Mean task completion time (seconds) per slice; drives Cost (the paper
+  /// sets cost proportional to average task time, normalized so the
+  /// cheapest slice costs 1).
+  std::vector<double> mean_task_seconds;
+  /// Lognormal sigma of task times.
+  double task_time_sigma = 0.35;
+  /// Probability a submission duplicates an already-acquired example.
+  double duplicate_rate = 0.08;
+  /// Probability a worker submits an example of the wrong slice/demographic.
+  double mistake_rate = 0.05;
+};
+
+/// Per-slice campaign statistics, used to regenerate Table 1.
+struct CrowdsourceStats {
+  std::vector<double> total_task_seconds;
+  std::vector<size_t> tasks_submitted;
+  std::vector<size_t> duplicates_removed;
+  std::vector<size_t> mistakes_filtered;
+  std::vector<size_t> accepted;
+
+  double AvgTaskSeconds(int slice) const;
+};
+
+/// Simulates an AMT-style campaign over a synthetic generator. Duplicates
+/// and mistaken submissions are filtered in post-processing (and
+/// re-collected), so Acquire still yields `count` clean examples, but the
+/// stats record the wasted work.
+class CrowdsourceSimulator : public DataSource {
+ public:
+  CrowdsourceSimulator(const SyntheticGenerator* generator,
+                       CrowdsourceOptions options, uint64_t seed);
+
+  Dataset Acquire(int slice, size_t count) override;
+  const CostFunction& cost() const override { return *cost_; }
+
+  const CrowdsourceStats& stats() const { return stats_; }
+
+  /// Cost table derived from mean task times (min-normalized, one decimal,
+  /// exactly how Table 1 derives costs from times).
+  static std::vector<double> CostsFromTaskTimes(
+      const std::vector<double>& mean_seconds);
+
+ private:
+  const SyntheticGenerator* generator_;  // not owned
+  CrowdsourceOptions options_;
+  std::unique_ptr<CostFunction> cost_;
+  Rng rng_;
+  CrowdsourceStats stats_;
+};
+
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_DATA_ACQUISITION_H_

@@ -1,0 +1,20 @@
+#include "data/cost.h"
+
+namespace slicetuner {
+
+double TableCost::Cost(int slice) const {
+  if (costs_.empty()) return 1.0;
+  if (slice < 0) return costs_.front();
+  const size_t idx = static_cast<size_t>(slice);
+  if (idx >= costs_.size()) return costs_.back();
+  return costs_[idx];
+}
+
+std::vector<double> CostVector(const CostFunction& cost, int n) {
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int s = 0; s < n; ++s) out.push_back(cost.Cost(s));
+  return out;
+}
+
+}  // namespace slicetuner

@@ -1,0 +1,48 @@
+// Data acquisition cost functions C(s) (Section 2.1). Costs are per example
+// and constant within a batch, varying by slice.
+
+#ifndef SLICETUNER_DATA_COST_H_
+#define SLICETUNER_DATA_COST_H_
+
+#include <memory>
+#include <vector>
+
+namespace slicetuner {
+
+/// Per-slice cost of acquiring one example.
+class CostFunction {
+ public:
+  virtual ~CostFunction() = default;
+
+  /// Cost of one example in `slice`. Must be > 0.
+  virtual double Cost(int slice) const = 0;
+};
+
+/// The same cost for every slice (the simulated-acquisition setting of the
+/// paper, where C(s) = 1).
+class UniformCost : public CostFunction {
+ public:
+  explicit UniformCost(double cost = 1.0) : cost_(cost) {}
+  double Cost(int /*slice*/) const override { return cost_; }
+
+ private:
+  double cost_;
+};
+
+/// Per-slice costs from a table (e.g., the UTKFace AMT costs of Table 1).
+/// Slices beyond the table use the last entry.
+class TableCost : public CostFunction {
+ public:
+  explicit TableCost(std::vector<double> costs) : costs_(std::move(costs)) {}
+  double Cost(int slice) const override;
+
+ private:
+  std::vector<double> costs_;
+};
+
+/// Convenience: materializes Cost(s) for s in [0, n).
+std::vector<double> CostVector(const CostFunction& cost, int n);
+
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_DATA_COST_H_

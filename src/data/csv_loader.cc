@@ -1,0 +1,146 @@
+#include "data/csv_loader.h"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace slicetuner {
+
+namespace {
+
+// Parses one CSV line (no embedded-quote support needed for numeric data,
+// but quoted fields are unwrapped for robustness).
+std::vector<std::string> ParseLine(const std::string& line) {
+  std::vector<std::string> fields = Split(line, ',');
+  for (auto& f : fields) {
+    f = Strip(f);
+    if (f.size() >= 2 && f.front() == '"' && f.back() == '"') {
+      f = f.substr(1, f.size() - 2);
+    }
+  }
+  return fields;
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(text.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+bool ParseNonNegativeInt(const std::string& text, int* out) {
+  double value = 0.0;
+  if (!ParseDouble(text, &value)) return false;
+  if (value < 0.0 || value != static_cast<double>(static_cast<int>(value))) {
+    return false;
+  }
+  *out = static_cast<int>(value);
+  return true;
+}
+
+}  // namespace
+
+Result<Dataset> LoadCsvDataset(const std::string& path,
+                               const CsvLoadOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open CSV file: " + path);
+
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("CSV file is empty: " + path);
+  }
+  const std::vector<std::string> header = ParseLine(line);
+
+  int label_idx = -1;
+  int slice_idx = -1;
+  std::vector<size_t> feature_columns;
+  for (size_t c = 0; c < header.size(); ++c) {
+    if (header[c] == options.label_column) {
+      label_idx = static_cast<int>(c);
+    } else if (!options.slice_column.empty() &&
+               header[c] == options.slice_column) {
+      slice_idx = static_cast<int>(c);
+    } else {
+      feature_columns.push_back(c);
+    }
+  }
+  if (label_idx < 0) {
+    return Status::InvalidArgument("label column '" + options.label_column +
+                                   "' not found in CSV header");
+  }
+  if (!options.slice_column.empty() && slice_idx < 0) {
+    return Status::InvalidArgument("slice column '" + options.slice_column +
+                                   "' not found in CSV header");
+  }
+  if (feature_columns.empty()) {
+    return Status::InvalidArgument("CSV has no feature columns");
+  }
+
+  Dataset dataset(feature_columns.size());
+  size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (Strip(line).empty()) continue;
+    const std::vector<std::string> fields = ParseLine(line);
+    if (fields.size() != header.size()) {
+      if (options.strict) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: expected %zu fields, got %zu", line_number,
+                      header.size(), fields.size()));
+      }
+      continue;
+    }
+    Example example;
+    bool valid = true;
+    example.features.reserve(feature_columns.size());
+    for (size_t c : feature_columns) {
+      double value = 0.0;
+      if (!ParseDouble(fields[c], &value)) {
+        valid = false;
+        break;
+      }
+      example.features.push_back(value);
+    }
+    if (valid) {
+      valid = ParseNonNegativeInt(fields[static_cast<size_t>(label_idx)],
+                                  &example.label);
+    }
+    if (valid && slice_idx >= 0) {
+      valid = ParseNonNegativeInt(fields[static_cast<size_t>(slice_idx)],
+                                  &example.slice);
+    }
+    if (!valid) {
+      if (options.strict) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: non-numeric or negative field", line_number));
+      }
+      continue;
+    }
+    ST_RETURN_NOT_OK(dataset.Append(example));
+  }
+  if (dataset.empty()) {
+    return Status::InvalidArgument("CSV contained no usable rows: " + path);
+  }
+  return dataset;
+}
+
+Status SaveCsvDataset(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out) return Status::NotFound("cannot open CSV file for write: " + path);
+  for (size_t d = 0; d < dataset.dim(); ++d) {
+    out << "f" << d << ",";
+  }
+  out << "label,slice\n";
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    const double* features = dataset.features(i);
+    for (size_t d = 0; d < dataset.dim(); ++d) {
+      out << FormatDouble(features[d], 6) << ",";
+    }
+    out << dataset.label(i) << "," << dataset.slice(i) << "\n";
+  }
+  if (!out) return Status::Internal("CSV write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace slicetuner

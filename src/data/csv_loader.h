@@ -1,0 +1,36 @@
+// CSV import/export for Dataset: lets downstream users run Slice Tuner on
+// their own tabular data. Format: one header row, numeric feature columns,
+// one label column, and an optional slice column.
+
+#ifndef SLICETUNER_DATA_CSV_LOADER_H_
+#define SLICETUNER_DATA_CSV_LOADER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace slicetuner {
+
+struct CsvLoadOptions {
+  /// Name of the label column (required, must exist in the header).
+  std::string label_column = "label";
+  /// Name of the slice column; empty = all rows get slice 0.
+  std::string slice_column;
+  /// Rows with non-numeric fields are rejected (error) when true, skipped
+  /// when false.
+  bool strict = true;
+};
+
+/// Parses `path` into a Dataset. Every column other than the label/slice
+/// columns becomes a feature (in header order). Labels and slices must be
+/// non-negative integers.
+Result<Dataset> LoadCsvDataset(const std::string& path,
+                               const CsvLoadOptions& options);
+
+/// Writes `dataset` to `path` with columns f0..f{d-1}, label, slice.
+Status SaveCsvDataset(const Dataset& dataset, const std::string& path);
+
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_DATA_CSV_LOADER_H_

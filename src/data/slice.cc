@@ -1,0 +1,171 @@
+#include "data/slice.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/math_util.h"
+
+namespace slicetuner {
+
+bool Predicate::Matches(const double* features) const {
+  return std::fabs(features[feature_index] - value) < 1e-9;
+}
+
+bool SliceSpec::Matches(const double* features) const {
+  for (const Predicate& p : conjuncts) {
+    if (!p.Matches(features)) return false;
+  }
+  return true;
+}
+
+int Slicer::Assign(const double* features) const {
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    if (specs_[i].Matches(features)) return static_cast<int>(i);
+  }
+  return static_cast<int>(specs_.size());
+}
+
+Dataset Slicer::Apply(const Dataset& dataset) const {
+  Dataset out(dataset.dim());
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    Example e = dataset.ExampleAt(i);
+    e.slice = Assign(e.features.data());
+    // Append cannot fail here: dims match by construction.
+    (void)out.Append(e);
+  }
+  return out;
+}
+
+Dataset SliceByLabel(const Dataset& dataset) {
+  Dataset out(dataset.dim());
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    Example e = dataset.ExampleAt(i);
+    e.slice = e.label;
+    (void)out.Append(e);
+  }
+  return out;
+}
+
+double LabelEntropy(const Dataset& dataset, const std::vector<size_t>& rows) {
+  if (rows.empty()) return 0.0;
+  std::map<int, size_t> counts;
+  for (size_t r : rows) ++counts[dataset.label(r)];
+  double entropy = 0.0;
+  const double n = static_cast<double>(rows.size());
+  for (const auto& [label, count] : counts) {
+    const double p = static_cast<double>(count) / n;
+    entropy -= p * std::log(p);
+  }
+  return entropy;
+}
+
+namespace {
+
+struct SplitCandidate {
+  size_t feature = 0;
+  double threshold = 0.0;
+  double gain = -1.0;
+};
+
+// Finds the (feature, threshold) split with the greatest entropy reduction.
+SplitCandidate BestSplit(const Dataset& dataset,
+                         const std::vector<size_t>& rows,
+                         size_t min_child_size) {
+  SplitCandidate best;
+  const double parent_entropy = LabelEntropy(dataset, rows);
+  const double n = static_cast<double>(rows.size());
+  for (size_t f = 0; f < dataset.dim(); ++f) {
+    // Candidate thresholds: midpoints between sorted unique values (capped
+    // at 16 quantile cuts for speed).
+    std::vector<double> values;
+    values.reserve(rows.size());
+    for (size_t r : rows) values.push_back(dataset.features(r)[f]);
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+    if (values.size() < 2) continue;
+    const size_t cuts = std::min<size_t>(16, values.size() - 1);
+    for (size_t c = 1; c <= cuts; ++c) {
+      const size_t idx = c * (values.size() - 1) / (cuts + 1);
+      const double threshold = 0.5 * (values[idx] + values[idx + 1]);
+      std::vector<size_t> left, right;
+      for (size_t r : rows) {
+        if (dataset.features(r)[f] <= threshold) {
+          left.push_back(r);
+        } else {
+          right.push_back(r);
+        }
+      }
+      if (left.size() < min_child_size || right.size() < min_child_size) {
+        continue;
+      }
+      const double child_entropy =
+          (static_cast<double>(left.size()) / n) *
+              LabelEntropy(dataset, left) +
+          (static_cast<double>(right.size()) / n) *
+              LabelEntropy(dataset, right);
+      const double gain = parent_entropy - child_entropy;
+      if (gain > best.gain) {
+        best = SplitCandidate{f, threshold, gain};
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<AutoSliceResult> AutoSlice(const Dataset& dataset,
+                                  const AutoSliceOptions& options) {
+  if (dataset.empty()) {
+    return Status::InvalidArgument("AutoSlice: empty dataset");
+  }
+  if (options.max_slices < 1) {
+    return Status::InvalidArgument("AutoSlice: max_slices must be >= 1");
+  }
+  // Greedy top-down: repeatedly split the node with the highest entropy.
+  std::vector<std::vector<size_t>> nodes;
+  {
+    std::vector<size_t> all(dataset.size());
+    for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+    nodes.push_back(std::move(all));
+  }
+  while (static_cast<int>(nodes.size()) < options.max_slices) {
+    // Pick the splittable node with the highest entropy.
+    double worst_entropy = options.entropy_threshold;
+    int pick = -1;
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      if (nodes[i].size() < 2 * options.min_slice_size) continue;
+      const double h = LabelEntropy(dataset, nodes[i]);
+      if (h > worst_entropy) {
+        worst_entropy = h;
+        pick = static_cast<int>(i);
+      }
+    }
+    if (pick < 0) break;
+    const SplitCandidate split =
+        BestSplit(dataset, nodes[static_cast<size_t>(pick)],
+                  options.min_slice_size);
+    if (split.gain <= 1e-12) break;
+    std::vector<size_t> left, right;
+    for (size_t r : nodes[static_cast<size_t>(pick)]) {
+      if (dataset.features(r)[split.feature] <= split.threshold) {
+        left.push_back(r);
+      } else {
+        right.push_back(r);
+      }
+    }
+    nodes[static_cast<size_t>(pick)] = std::move(left);
+    nodes.push_back(std::move(right));
+  }
+
+  AutoSliceResult result;
+  result.assignments.assign(dataset.size(), 0);
+  result.num_slices = static_cast<int>(nodes.size());
+  for (size_t s = 0; s < nodes.size(); ++s) {
+    for (size_t r : nodes[s]) result.assignments[r] = static_cast<int>(s);
+  }
+  return result;
+}
+
+}  // namespace slicetuner

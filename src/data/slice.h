@@ -1,0 +1,80 @@
+// Slicing: assignment of examples to slices by conjunctions of feature-value
+// predicates or by label (Section 2.1). Also an entropy-guided automatic
+// slicer in the spirit of Appendix A.
+
+#ifndef SLICETUNER_DATA_SLICE_H_
+#define SLICETUNER_DATA_SLICE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace slicetuner {
+
+/// Equality predicate on one feature: features[feature_index] == value
+/// (within tolerance, since categorical features are stored as doubles).
+struct Predicate {
+  size_t feature_index = 0;
+  double value = 0.0;
+
+  bool Matches(const double* features) const;
+};
+
+/// A named slice defined by a conjunction of predicates
+/// (e.g., region=Europe AND gender=Female).
+struct SliceSpec {
+  std::string name;
+  std::vector<Predicate> conjuncts;
+
+  bool Matches(const double* features) const;
+};
+
+/// Maps examples to slice ids via an ordered list of SliceSpecs (first match
+/// wins). Examples matching no spec get slice id = specs.size() ("other").
+class Slicer {
+ public:
+  explicit Slicer(std::vector<SliceSpec> specs) : specs_(std::move(specs)) {}
+
+  int Assign(const double* features) const;
+
+  /// Re-labels every row's slice id in `dataset` according to this slicer,
+  /// returning a new dataset.
+  Dataset Apply(const Dataset& dataset) const;
+
+  size_t num_slices() const { return specs_.size() + 1; }
+  const std::vector<SliceSpec>& specs() const { return specs_; }
+
+ private:
+  std::vector<SliceSpec> specs_;
+};
+
+/// Assigns slice id = label for every example (the Fashion-MNIST style
+/// slicing where each class is a slice).
+Dataset SliceByLabel(const Dataset& dataset);
+
+/// Appendix A: automatic slicing by recursive binary splits that maximize
+/// label-entropy reduction, stopping when slices are small or pure enough.
+/// Returns slice assignments (one id per row) and the number of slices.
+struct AutoSliceResult {
+  std::vector<int> assignments;
+  int num_slices = 0;
+};
+
+struct AutoSliceOptions {
+  size_t min_slice_size = 50;
+  int max_slices = 16;
+  /// Stop splitting when a node's label entropy is below this (nats).
+  double entropy_threshold = 0.1;
+};
+
+Result<AutoSliceResult> AutoSlice(const Dataset& dataset,
+                                  const AutoSliceOptions& options);
+
+/// Shannon entropy (nats) of the label distribution of the given rows.
+double LabelEntropy(const Dataset& dataset, const std::vector<size_t>& rows);
+
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_DATA_SLICE_H_

@@ -1,0 +1,66 @@
+#include "data/split.h"
+
+#include <algorithm>
+
+namespace slicetuner {
+
+Result<TrainValSplit> SplitPerSlice(const Dataset& dataset, int num_slices,
+                                    size_t val_per_slice, Rng* rng) {
+  if (dataset.empty()) {
+    return Status::InvalidArgument("SplitPerSlice: empty dataset");
+  }
+  if (num_slices <= 0) {
+    return Status::InvalidArgument("SplitPerSlice: num_slices must be > 0");
+  }
+  std::vector<size_t> val_rows;
+  std::vector<char> is_val(dataset.size(), 0);
+  for (int s = 0; s < num_slices; ++s) {
+    const std::vector<size_t> rows = dataset.SliceIndices(s);
+    if (rows.empty()) continue;
+    size_t take = val_per_slice;
+    if (rows.size() <= val_per_slice) {
+      take = std::max<size_t>(1, rows.size() / 2);
+    }
+    const std::vector<size_t> chosen =
+        rng->SampleWithoutReplacement(rows.size(), take);
+    for (size_t c : chosen) {
+      val_rows.push_back(rows[c]);
+      is_val[rows[c]] = 1;
+    }
+  }
+  std::vector<size_t> train_rows;
+  train_rows.reserve(dataset.size() - val_rows.size());
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    if (!is_val[i]) train_rows.push_back(i);
+  }
+  TrainValSplit split;
+  split.train = dataset.Subset(train_rows);
+  std::sort(val_rows.begin(), val_rows.end());
+  split.validation = dataset.Subset(val_rows);
+  return split;
+}
+
+Result<TrainValSplit> SplitRandom(const Dataset& dataset, double val_fraction,
+                                  Rng* rng) {
+  if (dataset.empty()) {
+    return Status::InvalidArgument("SplitRandom: empty dataset");
+  }
+  if (val_fraction < 0.0 || val_fraction > 1.0) {
+    return Status::InvalidArgument("SplitRandom: val_fraction out of [0,1]");
+  }
+  const size_t n_val = static_cast<size_t>(
+      val_fraction * static_cast<double>(dataset.size()));
+  const std::vector<size_t> perm = rng->Permutation(dataset.size());
+  std::vector<size_t> val_rows(perm.begin(),
+                               perm.begin() + static_cast<ptrdiff_t>(n_val));
+  std::vector<size_t> train_rows(perm.begin() + static_cast<ptrdiff_t>(n_val),
+                                 perm.end());
+  std::sort(val_rows.begin(), val_rows.end());
+  std::sort(train_rows.begin(), train_rows.end());
+  TrainValSplit split;
+  split.train = dataset.Subset(train_rows);
+  split.validation = dataset.Subset(val_rows);
+  return split;
+}
+
+}  // namespace slicetuner

@@ -1,0 +1,31 @@
+// Train/validation splitting. The paper evaluates loss on a per-slice
+// validation set of fixed size (Section 6.1 uses 500 per slice); we follow
+// the same design with a configurable size.
+
+#ifndef SLICETUNER_DATA_SPLIT_H_
+#define SLICETUNER_DATA_SPLIT_H_
+
+#include "common/random.h"
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace slicetuner {
+
+struct TrainValSplit {
+  Dataset train;
+  Dataset validation;
+};
+
+/// Takes `val_per_slice` random rows of each slice for validation; the rest
+/// are training data. Slices with <= val_per_slice rows contribute half of
+/// their rows (at least 1) to validation so every slice stays evaluable.
+Result<TrainValSplit> SplitPerSlice(const Dataset& dataset, int num_slices,
+                                    size_t val_per_slice, Rng* rng);
+
+/// Plain random split with `val_fraction` of rows as validation.
+Result<TrainValSplit> SplitRandom(const Dataset& dataset, double val_fraction,
+                                  Rng* rng);
+
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_DATA_SPLIT_H_

@@ -1,0 +1,66 @@
+// Element-wise activation layers: ReLU, Sigmoid, Tanh, LeakyReLU.
+
+#ifndef SLICETUNER_NN_ACTIVATION_H_
+#define SLICETUNER_NN_ACTIVATION_H_
+
+#include <memory>
+#include <string>
+
+#include "nn/layer.h"
+
+namespace slicetuner {
+
+/// max(0, x).
+class ReluLayer : public Layer {
+ public:
+  void Forward(const Matrix& x, Matrix* y) override;
+  void Backward(const Matrix& grad_y, Matrix* grad_x) override;
+  std::string name() const override { return "ReLU"; }
+  std::unique_ptr<Layer> Clone() const override;
+
+ private:
+  Matrix input_;
+};
+
+/// max(alpha * x, x); alpha in (0, 1).
+class LeakyReluLayer : public Layer {
+ public:
+  explicit LeakyReluLayer(double alpha = 0.01) : alpha_(alpha) {}
+
+  void Forward(const Matrix& x, Matrix* y) override;
+  void Backward(const Matrix& grad_y, Matrix* grad_x) override;
+  std::string name() const override;
+  std::unique_ptr<Layer> Clone() const override;
+
+ private:
+  double alpha_;
+  Matrix input_;
+};
+
+/// 1 / (1 + exp(-x)).
+class SigmoidLayer : public Layer {
+ public:
+  void Forward(const Matrix& x, Matrix* y) override;
+  void Backward(const Matrix& grad_y, Matrix* grad_x) override;
+  std::string name() const override { return "Sigmoid"; }
+  std::unique_ptr<Layer> Clone() const override;
+
+ private:
+  Matrix output_;  // sigmoid gradient uses the output value
+};
+
+/// tanh(x).
+class TanhLayer : public Layer {
+ public:
+  void Forward(const Matrix& x, Matrix* y) override;
+  void Backward(const Matrix& grad_y, Matrix* grad_x) override;
+  std::string name() const override { return "Tanh"; }
+  std::unique_ptr<Layer> Clone() const override;
+
+ private:
+  Matrix output_;
+};
+
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_NN_ACTIVATION_H_

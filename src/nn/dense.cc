@@ -1,0 +1,47 @@
+#include "nn/dense.h"
+
+#include "common/string_util.h"
+#include "tensor/ops.h"
+
+namespace slicetuner {
+
+DenseLayer::DenseLayer(size_t in_dim, size_t out_dim, Rng* rng, Init init)
+    : init_(init),
+      weights_(in_dim, out_dim),
+      bias_(1, out_dim),
+      grad_weights_(in_dim, out_dim),
+      grad_bias_(1, out_dim) {
+  ResetParameters(rng);
+}
+
+void DenseLayer::ResetParameters(Rng* rng) {
+  if (init_ == Init::kHe) {
+    weights_.FillHe(rng);
+  } else {
+    weights_.FillGlorot(rng);
+  }
+  bias_.Zero();
+}
+
+void DenseLayer::Forward(const Matrix& x, Matrix* y) {
+  input_ = x;
+  MatMul(x, weights_, y);
+  AddRowBroadcast(y, bias_);
+}
+
+void DenseLayer::Backward(const Matrix& grad_y, Matrix* grad_x) {
+  // dW = x^T * dY, db = column-sum(dY), dX = dY * W^T.
+  MatMulTransposedA(input_, grad_y, &grad_weights_);
+  ColumnSum(grad_y, &grad_bias_);
+  MatMulTransposedB(grad_y, weights_, grad_x);
+}
+
+std::string DenseLayer::name() const {
+  return StrFormat("Dense(%zu->%zu)", weights_.rows(), weights_.cols());
+}
+
+std::unique_ptr<Layer> DenseLayer::Clone() const {
+  return std::make_unique<DenseLayer>(*this);
+}
+
+}  // namespace slicetuner

@@ -1,0 +1,52 @@
+// Fully connected (dense) layer: y = x W + b.
+
+#ifndef SLICETUNER_NN_DENSE_H_
+#define SLICETUNER_NN_DENSE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace slicetuner {
+
+/// Weight initialization schemes for DenseLayer.
+enum class Init {
+  kGlorot,  // Xavier uniform (default; good for tanh/sigmoid/linear)
+  kHe,      // Kaiming normal (good for ReLU)
+};
+
+/// Dense layer with weights (in_dim x out_dim) and bias (1 x out_dim).
+class DenseLayer : public Layer {
+ public:
+  DenseLayer(size_t in_dim, size_t out_dim, Rng* rng,
+             Init init = Init::kGlorot);
+
+  void Forward(const Matrix& x, Matrix* y) override;
+  void Backward(const Matrix& grad_y, Matrix* grad_x) override;
+  std::vector<Matrix*> Params() override { return {&weights_, &bias_}; }
+  std::vector<Matrix*> Grads() override {
+    return {&grad_weights_, &grad_bias_};
+  }
+  void ResetParameters(Rng* rng) override;
+  std::string name() const override;
+  std::unique_ptr<Layer> Clone() const override;
+
+  size_t in_dim() const { return weights_.rows(); }
+  size_t out_dim() const { return weights_.cols(); }
+  const Matrix& weights() const { return weights_; }
+  const Matrix& bias() const { return bias_; }
+
+ private:
+  Init init_;
+  Matrix weights_;
+  Matrix bias_;
+  Matrix grad_weights_;
+  Matrix grad_bias_;
+  Matrix input_;  // cached Forward input for the backward pass
+};
+
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_NN_DENSE_H_

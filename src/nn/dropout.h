@@ -1,0 +1,38 @@
+// Inverted dropout layer. Active only while training (the Trainer flips the
+// mode); at inference it is the identity, so Predict needs no rescaling.
+
+#ifndef SLICETUNER_NN_DROPOUT_H_
+#define SLICETUNER_NN_DROPOUT_H_
+
+#include <memory>
+#include <string>
+
+#include "nn/layer.h"
+
+namespace slicetuner {
+
+class DropoutLayer : public Layer {
+ public:
+  /// `rate` in [0, 1): the probability of zeroing each activation.
+  explicit DropoutLayer(double rate, uint64_t seed = 7);
+
+  void Forward(const Matrix& x, Matrix* y) override;
+  void Backward(const Matrix& grad_y, Matrix* grad_x) override;
+  std::string name() const override;
+  std::unique_ptr<Layer> Clone() const override;
+
+  /// Training mode applies the random mask; eval mode is the identity.
+  void set_training(bool training) { training_ = training; }
+  bool training() const { return training_; }
+  double rate() const { return rate_; }
+
+ private:
+  double rate_;
+  bool training_ = false;
+  Rng rng_;
+  Matrix mask_;  // saved scale factors for the backward pass
+};
+
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_NN_DROPOUT_H_

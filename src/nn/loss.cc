@@ -1,0 +1,51 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+#include "tensor/ops.h"
+
+namespace slicetuner {
+
+double SoftmaxCrossEntropy::Forward(const Matrix& logits,
+                                    const std::vector<int>& labels) {
+  probs_ = logits;
+  SoftmaxRows(&probs_);
+  labels_ = labels;
+  double loss = 0.0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    loss -= SafeLog(probs_(i, static_cast<size_t>(labels[i])));
+  }
+  return loss / static_cast<double>(labels.size());
+}
+
+void SoftmaxCrossEntropy::Backward(Matrix* grad_logits) const {
+  *grad_logits = probs_;
+  const double inv_batch = 1.0 / static_cast<double>(labels_.size());
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    (*grad_logits)(i, static_cast<size_t>(labels_[i])) -= 1.0;
+  }
+  *grad_logits *= inv_batch;
+}
+
+double LogLoss(const Matrix& probabilities, const std::vector<int>& labels) {
+  if (labels.empty()) return 0.0;
+  double loss = 0.0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    loss -= SafeLog(probabilities(i, static_cast<size_t>(labels[i])));
+  }
+  return loss / static_cast<double>(labels.size());
+}
+
+double Accuracy(const Matrix& probabilities, const std::vector<int>& labels) {
+  if (labels.empty()) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (probabilities.ArgMaxRow(i) == static_cast<size_t>(labels[i])) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+}  // namespace slicetuner

@@ -1,0 +1,42 @@
+// Softmax cross-entropy loss (the paper's log loss, Section 2.1) computed on
+// raw logits. Forward returns the mean loss over the batch; Backward returns
+// d(mean loss)/d(logits) = (softmax - onehot) / batch.
+
+#ifndef SLICETUNER_NN_LOSS_H_
+#define SLICETUNER_NN_LOSS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace slicetuner {
+
+/// Multi-class softmax cross-entropy.
+class SoftmaxCrossEntropy {
+ public:
+  /// Computes mean -log p(label) over the batch; caches probabilities.
+  /// `labels[i]` must be in [0, logits.cols()).
+  double Forward(const Matrix& logits, const std::vector<int>& labels);
+
+  /// Gradient with respect to the logits of the last Forward call.
+  void Backward(Matrix* grad_logits) const;
+
+  /// Probabilities computed by the last Forward (batch x classes).
+  const Matrix& probabilities() const { return probs_; }
+
+ private:
+  Matrix probs_;
+  std::vector<int> labels_;
+};
+
+/// Mean log loss of probability predictions vs labels, with clamping.
+/// Standalone helper used by evaluation (no gradients).
+double LogLoss(const Matrix& probabilities, const std::vector<int>& labels);
+
+/// Fraction of rows whose argmax equals the label.
+double Accuracy(const Matrix& probabilities, const std::vector<int>& labels);
+
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_NN_LOSS_H_

@@ -1,0 +1,78 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace slicetuner {
+
+void Sgd::Step(const std::vector<Matrix*>& params,
+               const std::vector<Matrix*>& grads) {
+  for (size_t i = 0; i < params.size(); ++i) {
+    double* p = params[i]->data();
+    const double* g = grads[i]->data();
+    for (size_t j = 0; j < params[i]->size(); ++j) {
+      p[j] -= lr_ * (g[j] + weight_decay_ * p[j]);
+    }
+  }
+}
+
+void SgdMomentum::Step(const std::vector<Matrix*>& params,
+                       const std::vector<Matrix*>& grads) {
+  if (velocity_.size() != params.size()) {
+    velocity_.clear();
+    for (Matrix* p : params) velocity_.emplace_back(p->rows(), p->cols());
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    double* p = params[i]->data();
+    const double* g = grads[i]->data();
+    double* v = velocity_[i].data();
+    for (size_t j = 0; j < params[i]->size(); ++j) {
+      v[j] = momentum_ * v[j] - lr_ * (g[j] + weight_decay_ * p[j]);
+      p[j] += v[j];
+    }
+  }
+}
+
+void Adam::Step(const std::vector<Matrix*>& params,
+                const std::vector<Matrix*>& grads) {
+  if (m_.size() != params.size()) {
+    m_.clear();
+    v_.clear();
+    for (Matrix* p : params) {
+      m_.emplace_back(p->rows(), p->cols());
+      v_.emplace_back(p->rows(), p->cols());
+    }
+    t_ = 0;
+  }
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (size_t i = 0; i < params.size(); ++i) {
+    double* p = params[i]->data();
+    const double* g = grads[i]->data();
+    double* m = m_[i].data();
+    double* v = v_[i].data();
+    for (size_t j = 0; j < params[i]->size(); ++j) {
+      const double grad = g[j] + weight_decay_ * p[j];
+      m[j] = beta1_ * m[j] + (1.0 - beta1_) * grad;
+      v[j] = beta2_ * v[j] + (1.0 - beta2_) * grad * grad;
+      const double mhat = m[j] / bc1;
+      const double vhat = v[j] / bc2;
+      p[j] -= lr_ * mhat / (std::sqrt(vhat) + epsilon_);
+    }
+  }
+}
+
+std::unique_ptr<Optimizer> MakeOptimizer(OptimizerKind kind, double lr,
+                                         double weight_decay) {
+  switch (kind) {
+    case OptimizerKind::kSgd:
+      return std::make_unique<Sgd>(lr, weight_decay);
+    case OptimizerKind::kMomentum:
+      return std::make_unique<SgdMomentum>(lr, 0.9, weight_decay);
+    case OptimizerKind::kAdam:
+      return std::make_unique<Adam>(lr, 0.9, 0.999, 1e-8, weight_decay);
+  }
+  return std::make_unique<Sgd>(lr, weight_decay);
+}
+
+}  // namespace slicetuner

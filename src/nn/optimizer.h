@@ -1,0 +1,102 @@
+// First-order optimizers over a model's parameter list: SGD, SGD+momentum,
+// and Adam (the default used throughout the experiments).
+
+#ifndef SLICETUNER_NN_OPTIMIZER_H_
+#define SLICETUNER_NN_OPTIMIZER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace slicetuner {
+
+/// Abstract parameter updater. Step() applies one update given gradients.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update: params[i] -= f(grads[i]). The params/grads lists
+  /// must be identical (same pointers, same order) across calls.
+  virtual void Step(const std::vector<Matrix*>& params,
+                    const std::vector<Matrix*>& grads) = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Updates the step size (used by learning-rate schedules); optimizer
+  /// state (momentum/Adam moments) is preserved.
+  virtual void set_learning_rate(double lr) = 0;
+};
+
+/// Plain SGD: p -= lr * (g + weight_decay * p).
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(double lr, double weight_decay = 0.0)
+      : lr_(lr), weight_decay_(weight_decay) {}
+
+  void Step(const std::vector<Matrix*>& params,
+            const std::vector<Matrix*>& grads) override;
+  std::string name() const override { return "SGD"; }
+  void set_learning_rate(double lr) override { lr_ = lr; }
+
+ private:
+  double lr_;
+  double weight_decay_;
+};
+
+/// SGD with classical momentum.
+class SgdMomentum : public Optimizer {
+ public:
+  SgdMomentum(double lr, double momentum = 0.9, double weight_decay = 0.0)
+      : lr_(lr), momentum_(momentum), weight_decay_(weight_decay) {}
+
+  void Step(const std::vector<Matrix*>& params,
+            const std::vector<Matrix*>& grads) override;
+  std::string name() const override { return "SGD+momentum"; }
+  void set_learning_rate(double lr) override { lr_ = lr; }
+
+ private:
+  double lr_;
+  double momentum_;
+  double weight_decay_;
+  std::vector<Matrix> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam : public Optimizer {
+ public:
+  explicit Adam(double lr, double beta1 = 0.9, double beta2 = 0.999,
+                double epsilon = 1e-8, double weight_decay = 0.0)
+      : lr_(lr),
+        beta1_(beta1),
+        beta2_(beta2),
+        epsilon_(epsilon),
+        weight_decay_(weight_decay) {}
+
+  void Step(const std::vector<Matrix*>& params,
+            const std::vector<Matrix*>& grads) override;
+  std::string name() const override { return "Adam"; }
+  void set_learning_rate(double lr) override { lr_ = lr; }
+
+ private:
+  double lr_;
+  double beta1_;
+  double beta2_;
+  double epsilon_;
+  double weight_decay_;
+  int64_t t_ = 0;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+};
+
+/// Optimizer selection for TrainerOptions.
+enum class OptimizerKind { kSgd, kMomentum, kAdam };
+
+/// Factory: builds the optimizer named by `kind`.
+std::unique_ptr<Optimizer> MakeOptimizer(OptimizerKind kind, double lr,
+                                         double weight_decay = 0.0);
+
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_NN_OPTIMIZER_H_

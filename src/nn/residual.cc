@@ -1,0 +1,61 @@
+#include "nn/residual.h"
+
+#include "common/string_util.h"
+
+namespace slicetuner {
+
+ResidualBlock::ResidualBlock(size_t dim, size_t hidden_dim, Rng* rng)
+    : fc1_(dim, hidden_dim, rng, Init::kHe),
+      fc2_(hidden_dim, dim, rng, Init::kGlorot) {}
+
+void ResidualBlock::Forward(const Matrix& x, Matrix* y) {
+  fc1_.Forward(x, &hidden_pre_);
+  hidden_post_ = hidden_pre_;
+  double* h = hidden_post_.data();
+  for (size_t i = 0; i < hidden_post_.size(); ++i) {
+    if (h[i] < 0.0) h[i] = 0.0;
+  }
+  fc2_.Forward(hidden_post_, y);
+  *y += x;  // skip connection
+}
+
+void ResidualBlock::Backward(const Matrix& grad_y, Matrix* grad_x) {
+  // Branch path: through fc2, ReLU, fc1.
+  Matrix grad_hidden_post;
+  fc2_.Backward(grad_y, &grad_hidden_post);
+  const double* pre = hidden_pre_.data();
+  double* g = grad_hidden_post.data();
+  for (size_t i = 0; i < grad_hidden_post.size(); ++i) {
+    if (pre[i] <= 0.0) g[i] = 0.0;
+  }
+  fc1_.Backward(grad_hidden_post, grad_x);
+  // Skip path adds the incoming gradient.
+  *grad_x += grad_y;
+}
+
+std::vector<Matrix*> ResidualBlock::Params() {
+  std::vector<Matrix*> out = fc1_.Params();
+  for (Matrix* p : fc2_.Params()) out.push_back(p);
+  return out;
+}
+
+std::vector<Matrix*> ResidualBlock::Grads() {
+  std::vector<Matrix*> out = fc1_.Grads();
+  for (Matrix* g : fc2_.Grads()) out.push_back(g);
+  return out;
+}
+
+void ResidualBlock::ResetParameters(Rng* rng) {
+  fc1_.ResetParameters(rng);
+  fc2_.ResetParameters(rng);
+}
+
+std::string ResidualBlock::name() const {
+  return StrFormat("Residual(%zu,h=%zu)", fc1_.in_dim(), fc1_.out_dim());
+}
+
+std::unique_ptr<Layer> ResidualBlock::Clone() const {
+  return std::make_unique<ResidualBlock>(*this);
+}
+
+}  // namespace slicetuner

@@ -1,0 +1,41 @@
+// Residual MLP block: y = x + Dense2(ReLU(Dense1(x))). Stands in for the
+// ResNet-18 comparison of the paper's Appendix B: a deliberately
+// over-parameterized architecture relative to the dataset size.
+
+#ifndef SLICETUNER_NN_RESIDUAL_H_
+#define SLICETUNER_NN_RESIDUAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/dense.h"
+#include "nn/layer.h"
+
+namespace slicetuner {
+
+/// Pre-activation residual block over a fixed width `dim`:
+///   h = ReLU(x W1 + b1); y = x + (h W2 + b2).
+class ResidualBlock : public Layer {
+ public:
+  ResidualBlock(size_t dim, size_t hidden_dim, Rng* rng);
+
+  void Forward(const Matrix& x, Matrix* y) override;
+  void Backward(const Matrix& grad_y, Matrix* grad_x) override;
+  std::vector<Matrix*> Params() override;
+  std::vector<Matrix*> Grads() override;
+  void ResetParameters(Rng* rng) override;
+  std::string name() const override;
+  std::unique_ptr<Layer> Clone() const override;
+
+ private:
+  DenseLayer fc1_;
+  DenseLayer fc2_;
+  Matrix hidden_pre_;   // x W1 + b1 (pre-ReLU), cached for backward
+  Matrix hidden_post_;  // ReLU output
+  Matrix scratch_;
+};
+
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_NN_RESIDUAL_H_

@@ -1,0 +1,100 @@
+#include "nn/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/result.h"
+#include "common/string_util.h"
+
+namespace slicetuner {
+
+Result<TrainLog> Train(Model* model, const Matrix& features,
+                       const std::vector<int>& labels,
+                       const TrainerOptions& options) {
+  if (features.rows() != labels.size()) {
+    return Status::InvalidArgument(
+        StrFormat("features rows (%zu) != labels size (%zu)", features.rows(),
+                  labels.size()));
+  }
+  if (features.rows() == 0) {
+    return Status::InvalidArgument("empty training set");
+  }
+  if (options.batch_size == 0) {
+    return Status::InvalidArgument("batch_size must be positive");
+  }
+  if (options.epochs <= 0) {
+    return Status::InvalidArgument("epochs must be positive");
+  }
+
+  Rng rng(options.seed);
+  std::unique_ptr<Optimizer> optimizer = MakeOptimizer(
+      options.optimizer, options.learning_rate, options.weight_decay);
+  const std::vector<Matrix*> params = model->Params();
+  const std::vector<Matrix*> grads = model->Grads();
+
+  model->SetTraining(true);
+  const size_t n = features.rows();
+  double lr = options.learning_rate;
+  TrainLog log;
+  log.epoch_losses.reserve(static_cast<size_t>(options.epochs));
+  std::vector<size_t> batch_indices;
+  std::vector<int> batch_labels;
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    const std::vector<size_t> perm = rng.Permutation(n);
+    double epoch_loss = 0.0;
+    size_t batches = 0;
+    for (size_t start = 0; start < n; start += options.batch_size) {
+      const size_t end = std::min(n, start + options.batch_size);
+      batch_indices.assign(perm.begin() + static_cast<ptrdiff_t>(start),
+                           perm.begin() + static_cast<ptrdiff_t>(end));
+      const Matrix batch_x = features.GatherRows(batch_indices);
+      batch_labels.clear();
+      batch_labels.reserve(batch_indices.size());
+      for (size_t idx : batch_indices) batch_labels.push_back(labels[idx]);
+      epoch_loss += model->ForwardBackward(batch_x, batch_labels);
+      if (options.clip_norm > 0.0) {
+        double norm_sq = 0.0;
+        for (Matrix* g : grads) {
+          const double* p = g->data();
+          for (size_t j = 0; j < g->size(); ++j) norm_sq += p[j] * p[j];
+        }
+        const double norm = std::sqrt(norm_sq);
+        if (norm > options.clip_norm) {
+          const double scale = options.clip_norm / norm;
+          for (Matrix* g : grads) *g *= scale;
+        }
+      }
+      optimizer->Step(params, grads);
+      ++batches;
+    }
+    epoch_loss /= static_cast<double>(batches);
+    log.epoch_losses.push_back(epoch_loss);
+    log.epochs_run = epoch + 1;
+    if (epoch_loss < options.loss_floor) break;
+    if (options.lr_decay != 1.0) {
+      lr *= options.lr_decay;
+      optimizer->set_learning_rate(lr);
+    }
+  }
+  model->SetTraining(false);
+  return log;
+}
+
+double EvaluateLogLoss(Model* model, const Matrix& features,
+                       const std::vector<int>& labels) {
+  if (labels.empty()) return 0.0;
+  Matrix probs;
+  model->Predict(features, &probs);
+  return LogLoss(probs, labels);
+}
+
+double EvaluateAccuracy(Model* model, const Matrix& features,
+                        const std::vector<int>& labels) {
+  if (labels.empty()) return 0.0;
+  Matrix probs;
+  model->Predict(features, &probs);
+  return Accuracy(probs, labels);
+}
+
+}  // namespace slicetuner

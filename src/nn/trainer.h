@@ -1,0 +1,59 @@
+// Mini-batch trainer: shuffles, batches, runs the optimizer for a fixed
+// number of epochs. Matches the paper's setting of fixed hyperparameters
+// (Section 6.1: grid-searched once, then frozen for all Slice Tuner runs).
+
+#ifndef SLICETUNER_NN_TRAINER_H_
+#define SLICETUNER_NN_TRAINER_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "nn/model.h"
+#include "nn/optimizer.h"
+#include "tensor/matrix.h"
+
+namespace slicetuner {
+
+/// Training hyperparameters. Defaults are the "grid-searched once" values
+/// used by all experiments.
+struct TrainerOptions {
+  int epochs = 30;
+  size_t batch_size = 32;
+  double learning_rate = 0.01;
+  double weight_decay = 1e-4;
+  OptimizerKind optimizer = OptimizerKind::kAdam;
+  uint64_t seed = 42;
+  /// Stop early when the epoch's mean training loss falls below this.
+  double loss_floor = 1e-4;
+  /// Per-epoch multiplicative learning-rate decay (1.0 = constant).
+  double lr_decay = 1.0;
+  /// Global gradient-norm clipping threshold (0 = off).
+  double clip_norm = 0.0;
+};
+
+/// Per-epoch training record.
+struct TrainLog {
+  std::vector<double> epoch_losses;
+  int epochs_run = 0;
+};
+
+/// Trains `model` in place on (features, labels). Features: n x d, labels in
+/// [0, num_classes). Returns the training log or an error for shape
+/// mismatches / empty data.
+Result<TrainLog> Train(Model* model, const Matrix& features,
+                       const std::vector<int>& labels,
+                       const TrainerOptions& options);
+
+/// Evaluates mean log loss of `model` on (features, labels).
+double EvaluateLogLoss(Model* model, const Matrix& features,
+                       const std::vector<int>& labels);
+
+/// Evaluates classification accuracy.
+double EvaluateAccuracy(Model* model, const Matrix& features,
+                        const std::vector<int>& labels);
+
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_NN_TRAINER_H_

@@ -1,0 +1,208 @@
+#include "opt/allocation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "opt/projection.h"
+
+namespace slicetuner {
+
+namespace {
+
+// Average estimated loss over slices at the current sizes: the constant A of
+// the unfairness term.
+double AverageLoss(const AllocationProblem& p) {
+  double total = 0.0;
+  for (size_t i = 0; i < p.curves.size(); ++i) {
+    total += p.curves[i].Eval(p.sizes[i]);
+  }
+  return total / static_cast<double>(p.curves.size());
+}
+
+Status Validate(const AllocationProblem& p) {
+  const size_t n = p.curves.size();
+  if (n == 0) return Status::InvalidArgument("allocation: no slices");
+  if (p.sizes.size() != n || p.costs.size() != n) {
+    return Status::InvalidArgument(
+        StrFormat("allocation: sizes/costs arity mismatch (%zu curves, %zu "
+                  "sizes, %zu costs)",
+                  n, p.sizes.size(), p.costs.size()));
+  }
+  if (p.budget < 0.0) {
+    return Status::InvalidArgument("allocation: negative budget");
+  }
+  if (p.lambda < 0.0) {
+    return Status::InvalidArgument("allocation: negative lambda");
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (p.costs[i] <= 0.0) {
+      return Status::InvalidArgument("allocation: non-positive cost");
+    }
+    if (p.sizes[i] < 0.0) {
+      return Status::InvalidArgument("allocation: negative slice size");
+    }
+    if (p.curves[i].b <= 0.0 || p.curves[i].a < 0.0) {
+      return Status::InvalidArgument(
+          StrFormat("allocation: invalid curve for slice %zu (b=%f, a=%f)",
+                    i, p.curves[i].b, p.curves[i].a));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+double AllocationObjective(const AllocationProblem& problem,
+                           const std::vector<double>& d) {
+  const double avg = AverageLoss(problem);
+  double obj = 0.0;
+  double worst_penalty = 0.0;
+  for (size_t i = 0; i < problem.curves.size(); ++i) {
+    const double loss = problem.curves[i].Eval(problem.sizes[i] + d[i]);
+    obj += loss;
+    if (problem.lambda > 0.0 && avg > 0.0) {
+      const double penalty = std::max(0.0, loss / avg - 1.0);
+      if (problem.penalty == PenaltyKind::kAverage) {
+        obj += problem.lambda * penalty;
+      } else {
+        worst_penalty = std::max(worst_penalty, penalty);
+      }
+    }
+  }
+  if (problem.penalty == PenaltyKind::kMax) {
+    obj += problem.lambda * worst_penalty;
+  }
+  return obj;
+}
+
+Result<AllocationResult> SolveAllocation(const AllocationProblem& problem,
+                                         const AllocationOptions& options) {
+  ST_RETURN_NOT_OK(Validate(problem));
+  const size_t n = problem.curves.size();
+
+  AllocationResult result;
+  result.examples.assign(n, 0.0);
+  if (problem.budget == 0.0) {
+    result.objective = AllocationObjective(problem, result.examples);
+    return result;
+  }
+
+  const double avg = AverageLoss(problem);
+
+  // Start from the uniform-spend point projected onto the constraint.
+  std::vector<double> d(n);
+  for (size_t i = 0; i < n; ++i) {
+    d[i] = problem.budget / (static_cast<double>(n) * problem.costs[i]);
+  }
+  ST_ASSIGN_OR_RETURN(
+      d, ProjectOntoBudgetSimplex(d, problem.costs, problem.budget));
+
+  double obj = AllocationObjective(problem, d);
+  std::vector<double> grad(n), candidate(n);
+
+  // Initial step size: large enough to move a meaningful share of the
+  // budget, then adapted by backtracking.
+  double eta = -1.0;
+  int stall = 0;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    double max_abs_grad = 0.0;
+    // For the max penalty, only the currently-worst slice carries the
+    // fairness subgradient.
+    size_t worst = 0;
+    if (problem.penalty == PenaltyKind::kMax) {
+      double worst_loss = -HUGE_VAL;
+      for (size_t i = 0; i < n; ++i) {
+        const double loss = problem.curves[i].Eval(problem.sizes[i] + d[i]);
+        if (loss > worst_loss) {
+          worst_loss = loss;
+          worst = i;
+        }
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const double x = problem.sizes[i] + d[i];
+      const double loss = problem.curves[i].Eval(x);
+      double g = problem.curves[i].Derivative(x);
+      if (problem.lambda > 0.0 && avg > 0.0 && loss > avg) {
+        const bool active = problem.penalty == PenaltyKind::kAverage ||
+                            i == worst;
+        if (active) g *= 1.0 + problem.lambda / avg;
+      }
+      grad[i] = g;
+      max_abs_grad = std::max(max_abs_grad, std::fabs(g));
+    }
+    if (max_abs_grad < 1e-18) break;
+    if (eta < 0.0) eta = 0.25 * problem.budget / max_abs_grad;
+
+    bool improved = false;
+    for (int attempt = 0; attempt < 30; ++attempt) {
+      for (size_t i = 0; i < n; ++i) candidate[i] = d[i] - eta * grad[i];
+      Result<std::vector<double>> projected = ProjectOntoBudgetSimplex(
+          candidate, problem.costs, problem.budget);
+      if (!projected.ok()) return projected.status();
+      const double cand_obj = AllocationObjective(problem, *projected);
+      if (cand_obj < obj - 1e-15) {
+        const double rel = (obj - cand_obj) / std::max(obj, 1e-30);
+        d = std::move(*projected);
+        obj = cand_obj;
+        eta *= 1.3;
+        improved = true;
+        stall = rel < options.tolerance ? stall + 1 : 0;
+        break;
+      }
+      eta *= 0.5;
+    }
+    if (!improved || stall >= 3) break;
+  }
+
+  result.examples = std::move(d);
+  result.objective = obj;
+  return result;
+}
+
+std::vector<long long> RoundAllocation(const AllocationProblem& problem,
+                                       const std::vector<double>& examples) {
+  const size_t n = examples.size();
+  std::vector<long long> out(n, 0);
+  double spent = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<long long>(std::floor(std::max(examples[i], 0.0)));
+    spent += problem.costs[i] * static_cast<double>(out[i]);
+  }
+  // Spend the fractional leftover greedily: one example at a time to the
+  // slice with the best (penalty-aware) loss reduction per unit cost.
+  const double avg = [&] {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      total += problem.curves[i].Eval(problem.sizes[i]);
+    }
+    return total / static_cast<double>(n);
+  }();
+  for (;;) {
+    int best = -1;
+    double best_gain = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (spent + problem.costs[i] > problem.budget + 1e-9) continue;
+      const double x = problem.sizes[i] + static_cast<double>(out[i]);
+      const double cur = problem.curves[i].Eval(x);
+      const double next = problem.curves[i].Eval(x + 1.0);
+      double gain = cur - next;
+      if (problem.lambda > 0.0 && avg > 0.0 && cur > avg) {
+        gain *= 1.0 + problem.lambda / avg;
+      }
+      gain /= problem.costs[i];
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) break;
+    out[static_cast<size_t>(best)] += 1;
+    spent += problem.costs[static_cast<size_t>(best)];
+  }
+  return out;
+}
+
+}  // namespace slicetuner

@@ -1,0 +1,69 @@
+// The selective data acquisition convex program (Section 5.1):
+//
+//   min_d  sum_i b_i (s_i + d_i)^(-a_i)
+//        + lambda * sum_i max(0, b_i (s_i + d_i)^(-a_i) / A - 1)
+//   s.t.   sum_i C(s_i) d_i = B,  d_i >= 0
+//
+// where A is the average loss over slices for the current data (a constant
+// during one solve). Solved by projected gradient descent with exact
+// projection onto the budget simplex; the lambda = 0 case is cross-checked
+// by the closed-form KKT solver in water_filling.h.
+
+#ifndef SLICETUNER_OPT_ALLOCATION_H_
+#define SLICETUNER_OPT_ALLOCATION_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "curvefit/power_law.h"
+
+namespace slicetuner {
+
+/// Which unfairness penalty the objective uses. Definition 1 of the paper
+/// averages |loss_i - A|; it also notes the max-variation, which penalizes
+/// only the worst slice. Both are convex.
+enum class PenaltyKind {
+  kAverage,  // lambda * sum_i max(0, L_i/A - 1)   (the paper's default)
+  kMax,      // lambda * max_i max(0, L_i/A - 1)   (worst-case fairness)
+};
+
+/// Problem statement for one solve.
+struct AllocationProblem {
+  std::vector<PowerLawCurve> curves;  // learning curve of each slice
+  std::vector<double> sizes;          // current slice sizes |s_i|
+  std::vector<double> costs;          // per-example cost C(s_i) > 0
+  double budget = 0.0;                // B
+  double lambda = 1.0;                // loss/fairness balance
+  PenaltyKind penalty = PenaltyKind::kAverage;
+};
+
+struct AllocationOptions {
+  int max_iterations = 2000;
+  double tolerance = 1e-9;  // stop when the objective improvement is tiny
+};
+
+struct AllocationResult {
+  std::vector<double> examples;  // continuous d_i >= 0, costs.d = B
+  double objective = 0.0;
+  int iterations = 0;
+};
+
+/// Value of the objective at `d`.
+double AllocationObjective(const AllocationProblem& problem,
+                           const std::vector<double>& d);
+
+/// Solves the program. Errors on inconsistent sizes, non-positive costs, or
+/// a negative budget. budget == 0 returns all-zero.
+Result<AllocationResult> SolveAllocation(
+    const AllocationProblem& problem,
+    const AllocationOptions& options = AllocationOptions());
+
+/// Rounds a continuous allocation to integers whose spend does not exceed
+/// the budget, assigning leftover budget greedily by marginal loss
+/// reduction per unit cost.
+std::vector<long long> RoundAllocation(const AllocationProblem& problem,
+                                       const std::vector<double>& examples);
+
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_OPT_ALLOCATION_H_

@@ -1,0 +1,72 @@
+#include "opt/change_ratio.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace slicetuner {
+
+double ImbalanceRatio(const std::vector<double>& sizes) {
+  double mx = sizes.front();
+  double mn = sizes.front();
+  for (double s : sizes) {
+    mx = std::max(mx, s);
+    mn = std::min(mn, s);
+  }
+  return mx / mn;
+}
+
+Result<double> GetChangeRatio(const std::vector<double>& sizes,
+                              const std::vector<double>& num_examples,
+                              double target_ratio) {
+  const size_t n = sizes.size();
+  if (n == 0 || num_examples.size() != n) {
+    return Status::InvalidArgument("GetChangeRatio: arity mismatch");
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (sizes[i] <= 0.0) {
+      return Status::InvalidArgument(
+          "GetChangeRatio: slice sizes must be positive");
+    }
+    if (num_examples[i] < 0.0) {
+      return Status::InvalidArgument(
+          "GetChangeRatio: negative acquisition");
+    }
+  }
+
+  auto ratio_at = [&](double x) {
+    double mx = 0.0;
+    double mn = HUGE_VAL;
+    for (size_t i = 0; i < n; ++i) {
+      const double s = sizes[i] + x * num_examples[i];
+      mx = std::max(mx, s);
+      mn = std::min(mn, s);
+    }
+    return mx / mn;
+  };
+
+  const double r0 = ratio_at(0.0);
+  const double r1 = ratio_at(1.0);
+  // If the full plan stays within the limit (in either direction), keep it.
+  if ((r1 >= r0 && target_ratio >= r1) || (r1 < r0 && target_ratio <= r1)) {
+    return 1.0;
+  }
+  if ((r1 >= r0 && target_ratio <= r0) || (r1 < r0 && target_ratio >= r0)) {
+    return 0.0;
+  }
+
+  double lo = 0.0, hi = 1.0;
+  const bool increasing = r1 >= r0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const double r = ratio_at(mid);
+    const bool below = increasing ? (r < target_ratio) : (r > target_ratio);
+    if (below) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace slicetuner

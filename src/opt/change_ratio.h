@@ -1,0 +1,28 @@
+// GetChangeRatio of Algorithm 1: the scaling x in (0, 1] such that acquiring
+// x * num_examples changes the imbalance ratio to exactly target_ratio.
+// The paper solves this nonlinear constraint with an off-the-shelf SciPy
+// routine; we use bisection on the (continuous) imbalance-ratio path.
+
+#ifndef SLICETUNER_OPT_CHANGE_RATIO_H_
+#define SLICETUNER_OPT_CHANGE_RATIO_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace slicetuner {
+
+/// max(sizes) / min(sizes). Sizes must be positive and non-empty.
+double ImbalanceRatio(const std::vector<double>& sizes);
+
+/// Finds x in [0, 1] with IR(sizes + x * num_examples) == target_ratio.
+/// Requires target_ratio to lie between IR(sizes) and
+/// IR(sizes + num_examples); returns 1.0 when the full acquisition does not
+/// overshoot, and an error for invalid sizes.
+Result<double> GetChangeRatio(const std::vector<double>& sizes,
+                              const std::vector<double>& num_examples,
+                              double target_ratio);
+
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_OPT_CHANGE_RATIO_H_

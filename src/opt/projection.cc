@@ -1,0 +1,76 @@
+#include "opt/projection.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace slicetuner {
+
+double Spend(const std::vector<double>& d, const std::vector<double>& costs) {
+  double total = 0.0;
+  for (size_t i = 0; i < d.size(); ++i) total += costs[i] * d[i];
+  return total;
+}
+
+Result<std::vector<double>> ProjectOntoBudgetSimplex(
+    const std::vector<double>& v, const std::vector<double>& costs,
+    double budget) {
+  const size_t n = v.size();
+  if (costs.size() != n) {
+    return Status::InvalidArgument("projection: costs size mismatch");
+  }
+  if (budget < 0.0) {
+    return Status::InvalidArgument("projection: negative budget");
+  }
+  for (double c : costs) {
+    if (c <= 0.0) {
+      return Status::InvalidArgument("projection: non-positive cost");
+    }
+  }
+  if (n == 0) return std::vector<double>{};
+
+  // d_i(mu) = max(0, v_i - mu c_i); spend(mu) is continuous, non-increasing.
+  auto spend_at = [&](double mu) {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      total += costs[i] * std::max(0.0, v[i] - mu * costs[i]);
+    }
+    return total;
+  };
+
+  // Bracket mu: at mu_hi all coordinates clamp to zero (spend 0 <= B needs
+  // mu_hi >= max(v_i / c_i)); decrease mu_lo until spend >= B.
+  double mu_hi = 0.0;
+  for (size_t i = 0; i < n; ++i) mu_hi = std::max(mu_hi, v[i] / costs[i]);
+  double mu_lo = mu_hi;
+  double width = std::max(1.0, mu_hi);
+  while (spend_at(mu_lo) < budget) {
+    mu_lo -= width;
+    width *= 2.0;
+    if (width > 1e30) {
+      return Status::NumericalError("projection: cannot bracket multiplier");
+    }
+  }
+
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (mu_lo + mu_hi);
+    if (spend_at(mid) >= budget) {
+      mu_lo = mid;
+    } else {
+      mu_hi = mid;
+    }
+  }
+  const double mu = 0.5 * (mu_lo + mu_hi);
+  std::vector<double> d(n);
+  for (size_t i = 0; i < n; ++i) {
+    d[i] = std::max(0.0, v[i] - mu * costs[i]);
+  }
+  // Exact budget: rescale the tiny residual error onto the support.
+  const double s = Spend(d, costs);
+  if (s > 0.0) {
+    const double scale = budget / s;
+    for (auto& x : d) x *= scale;
+  }
+  return d;
+}
+
+}  // namespace slicetuner

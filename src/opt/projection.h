@@ -1,0 +1,27 @@
+// Euclidean projection onto the budget simplex
+//   { d : d_i >= 0, sum_i c_i d_i = B }
+// used by the projected-gradient solver for the selective data acquisition
+// problem (Section 5.1).
+
+#ifndef SLICETUNER_OPT_PROJECTION_H_
+#define SLICETUNER_OPT_PROJECTION_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace slicetuner {
+
+/// Projects `v` onto {d >= 0, c.d = B}. Costs must be positive and B >= 0.
+/// Solved exactly via the KKT conditions: d_i = max(0, v_i - mu * c_i) with
+/// mu found by bisection on the (monotone) spend function.
+Result<std::vector<double>> ProjectOntoBudgetSimplex(
+    const std::vector<double>& v, const std::vector<double>& costs,
+    double budget);
+
+/// Total spend sum_i c_i d_i.
+double Spend(const std::vector<double>& d, const std::vector<double>& costs);
+
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_OPT_PROJECTION_H_

@@ -1,0 +1,84 @@
+#include "opt/water_filling.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace slicetuner {
+
+Result<AllocationResult> SolveAllocationKkt(const AllocationProblem& problem) {
+  const size_t n = problem.curves.size();
+  if (n == 0) return Status::InvalidArgument("kkt: no slices");
+  if (problem.sizes.size() != n || problem.costs.size() != n) {
+    return Status::InvalidArgument("kkt: arity mismatch");
+  }
+  if (problem.budget < 0.0) {
+    return Status::InvalidArgument("kkt: negative budget");
+  }
+
+  AllocationResult result;
+  result.examples.assign(n, 0.0);
+  if (problem.budget == 0.0) {
+    result.objective = AllocationObjective(problem, result.examples);
+    return result;
+  }
+
+  auto d_at = [&](double mu, size_t i) {
+    const double a = std::max(problem.curves[i].a, 1e-9);
+    const double b = problem.curves[i].b;
+    const double c = problem.costs[i];
+    const double target = std::pow(a * b / (mu * c), 1.0 / (a + 1.0));
+    return std::max(0.0, target - std::max(problem.sizes[i], 1.0));
+  };
+  auto spend_at = [&](double mu) {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) total += problem.costs[i] * d_at(mu, i);
+    return total;
+  };
+
+  // Spend is decreasing in mu. Bracket: mu_hi where nothing is bought (the
+  // largest marginal gain at current sizes), mu_lo shrunk until spend >= B.
+  double mu_hi = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double a = std::max(problem.curves[i].a, 1e-9);
+    const double s = std::max(problem.sizes[i], 1.0);
+    const double marginal =
+        a * problem.curves[i].b * std::pow(s, -a - 1.0) / problem.costs[i];
+    mu_hi = std::max(mu_hi, marginal);
+  }
+  if (mu_hi <= 0.0) {
+    return Status::NumericalError("kkt: all marginal gains are zero");
+  }
+  double mu_lo = mu_hi;
+  while (spend_at(mu_lo) < problem.budget) {
+    mu_lo *= 0.5;
+    if (mu_lo < 1e-300) {
+      return Status::NumericalError("kkt: cannot bracket multiplier");
+    }
+  }
+
+  for (int iter = 0; iter < 300; ++iter) {
+    const double mid = std::sqrt(mu_lo * mu_hi);  // geometric: mu spans decades
+    if (spend_at(mid) >= problem.budget) {
+      mu_lo = mid;
+    } else {
+      mu_hi = mid;
+    }
+    result.iterations = iter + 1;
+  }
+  const double mu = std::sqrt(mu_lo * mu_hi);
+  for (size_t i = 0; i < n; ++i) result.examples[i] = d_at(mu, i);
+
+  // Scale out the residual bisection error so spend == B exactly.
+  double spent = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    spent += problem.costs[i] * result.examples[i];
+  }
+  if (spent > 0.0) {
+    const double scale = problem.budget / spent;
+    for (auto& d : result.examples) d *= scale;
+  }
+  result.objective = AllocationObjective(problem, result.examples);
+  return result;
+}
+
+}  // namespace slicetuner

@@ -1,0 +1,27 @@
+// Closed-form KKT solver for the lambda = 0 allocation problem:
+//
+//   min sum_i b_i (s_i + d_i)^(-a_i)  s.t.  sum_i c_i d_i = B, d_i >= 0.
+//
+// Stationarity gives a_i b_i (s_i + d_i)^(-a_i - 1) = mu c_i on the active
+// set, i.e. d_i(mu) = max(0, (a_i b_i / (mu c_i))^(1/(a_i+1)) - s_i), with mu
+// found by bisection on the monotone spend. Used both as an independent
+// cross-check of the PGD solver and as a fast path when lambda = 0.
+// (Distinct from the "Water filling" *baseline*, which equalizes slice
+// sizes; see core/baselines.h.)
+
+#ifndef SLICETUNER_OPT_WATER_FILLING_H_
+#define SLICETUNER_OPT_WATER_FILLING_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "opt/allocation.h"
+
+namespace slicetuner {
+
+/// Exact minimizer for lambda = 0; problem.lambda is ignored.
+Result<AllocationResult> SolveAllocationKkt(const AllocationProblem& problem);
+
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_OPT_WATER_FILLING_H_

@@ -1,0 +1,133 @@
+#include "tensor/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace slicetuner {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows)
+    : rows_(rows.size()), cols_(0) {
+  for (const auto& r : rows) cols_ = std::max(cols_, r.size());
+  data_.assign(rows_ * cols_, 0.0);
+  size_t i = 0;
+  for (const auto& r : rows) {
+    size_t j = 0;
+    for (double v : r) data_[i * cols_ + j++] = v;
+    ++i;
+  }
+}
+
+void Matrix::Fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Matrix::FillNormal(Rng* rng, double stddev) {
+  for (auto& v : data_) v = rng->Normal(0.0, stddev);
+}
+
+void Matrix::FillUniform(Rng* rng, double limit) {
+  for (auto& v : data_) v = rng->Uniform(-limit, limit);
+}
+
+void Matrix::FillGlorot(Rng* rng) {
+  const double fan_in = static_cast<double>(rows_);
+  const double fan_out = static_cast<double>(cols_);
+  const double limit = std::sqrt(6.0 / (fan_in + fan_out));
+  FillUniform(rng, limit);
+}
+
+void Matrix::FillHe(Rng* rng) {
+  const double fan_in = static_cast<double>(rows_);
+  FillNormal(rng, std::sqrt(2.0 / std::max(fan_in, 1.0)));
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) {
+      out(c, r) = (*this)(r, c);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::RowCopy(size_t r) const {
+  Matrix out(1, cols_);
+  std::copy(row(r), row(r) + cols_, out.data());
+  return out;
+}
+
+Matrix Matrix::GatherRows(const std::vector<size_t>& indices) const {
+  Matrix out(indices.size(), cols_);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    std::copy(row(indices[i]), row(indices[i]) + cols_, out.row(i));
+  }
+  return out;
+}
+
+double Matrix::Norm() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+double Matrix::Sum() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v;
+  return acc;
+}
+
+size_t Matrix::ArgMaxRow(size_t r) const {
+  const double* p = row(r);
+  size_t best = 0;
+  for (size_t c = 1; c < cols_; ++c) {
+    if (p[c] > p[best]) best = c;
+  }
+  return best;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) {
+  for (auto& v : data_) v *= scalar;
+  return *this;
+}
+
+std::string Matrix::ToString(int precision) const {
+  std::ostringstream oss;
+  oss << "Matrix(" << rows_ << "x" << cols_ << ")[";
+  for (size_t r = 0; r < rows_; ++r) {
+    oss << (r == 0 ? "[" : " [");
+    for (size_t c = 0; c < cols_; ++c) {
+      if (c > 0) oss << ", ";
+      oss << FormatDouble((*this)(r, c), precision);
+    }
+    oss << "]";
+    if (r + 1 < rows_) oss << "\n";
+  }
+  oss << "]";
+  return oss.str();
+}
+
+bool operator==(const Matrix& a, const Matrix& b) {
+  if (!a.SameShape(b)) return false;
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t c = 0; c < a.cols(); ++c) {
+      if (a(r, c) != b(r, c)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace slicetuner

@@ -1,0 +1,104 @@
+// Dense row-major double matrix: the numeric substrate under the neural
+// network library. Deliberately minimal — no views, no broadcasting beyond
+// what the NN layers need — and fully owned storage.
+
+#ifndef SLICETUNER_TENSOR_MATRIX_H_
+#define SLICETUNER_TENSOR_MATRIX_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace slicetuner {
+
+/// A rows x cols matrix of doubles, stored row-major in one contiguous
+/// buffer. A 1 x n or n x 1 matrix doubles as a vector.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds from nested initializer lists: Matrix m = {{1, 2}, {3, 4}};
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  Matrix(Matrix&&) = default;
+  Matrix& operator=(Matrix&&) = default;
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  double* row(size_t r) { return data_.data() + r * cols_; }
+  const double* row(size_t r) const { return data_.data() + r * cols_; }
+
+  /// Sets all entries to `value`.
+  void Fill(double value);
+
+  /// Sets all entries to 0.
+  void Zero() { Fill(0.0); }
+
+  /// Fills with N(0, stddev^2) entries.
+  void FillNormal(Rng* rng, double stddev);
+
+  /// Fills with U(-limit, limit) entries.
+  void FillUniform(Rng* rng, double limit);
+
+  /// Xavier/Glorot uniform initialization for a fan_in x fan_out weight.
+  void FillGlorot(Rng* rng);
+
+  /// He/Kaiming normal initialization (for ReLU layers).
+  void FillHe(Rng* rng);
+
+  /// Returns the transposed matrix.
+  Matrix Transposed() const;
+
+  /// Copies row r into a 1 x cols matrix.
+  Matrix RowCopy(size_t r) const;
+
+  /// Extracts the rows listed in `indices` (in order) into a new matrix.
+  Matrix GatherRows(const std::vector<size_t>& indices) const;
+
+  /// Frobenius norm.
+  double Norm() const;
+
+  /// Sum of all entries.
+  double Sum() const;
+
+  /// Index of the maximum entry in row r.
+  size_t ArgMaxRow(size_t r) const;
+
+  /// Element-wise in-place operations.
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double scalar);
+
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  /// Human-readable rendering, for debugging and test failure messages.
+  std::string ToString(int precision = 4) const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+bool operator==(const Matrix& a, const Matrix& b);
+
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_TENSOR_MATRIX_H_

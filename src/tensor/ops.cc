@@ -1,0 +1,133 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+
+namespace slicetuner {
+
+void MatMul(const Matrix& a, const Matrix& b, Matrix* out) {
+  const size_t m = a.rows();
+  const size_t k = a.cols();
+  const size_t n = b.cols();
+  if (out->rows() != m || out->cols() != n) *out = Matrix(m, n);
+  out->Zero();
+  // i-k-j loop order: streams through b and out rows sequentially.
+  for (size_t i = 0; i < m; ++i) {
+    const double* arow = a.row(i);
+    double* orow = out->row(i);
+    for (size_t kk = 0; kk < k; ++kk) {
+      const double av = arow[kk];
+      if (av == 0.0) continue;
+      const double* brow = b.row(kk);
+      for (size_t j = 0; j < n; ++j) {
+        orow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+void MatMulTransposedB(const Matrix& a, const Matrix& b, Matrix* out) {
+  const size_t m = a.rows();
+  const size_t k = a.cols();
+  const size_t n = b.rows();
+  if (out->rows() != m || out->cols() != n) *out = Matrix(m, n);
+  for (size_t i = 0; i < m; ++i) {
+    const double* arow = a.row(i);
+    double* orow = out->row(i);
+    for (size_t j = 0; j < n; ++j) {
+      const double* brow = b.row(j);
+      double acc = 0.0;
+      for (size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      orow[j] = acc;
+    }
+  }
+}
+
+void MatMulTransposedA(const Matrix& a, const Matrix& b, Matrix* out) {
+  const size_t k = a.rows();
+  const size_t m = a.cols();
+  const size_t n = b.cols();
+  if (out->rows() != m || out->cols() != n) *out = Matrix(m, n);
+  out->Zero();
+  for (size_t kk = 0; kk < k; ++kk) {
+    const double* arow = a.row(kk);
+    const double* brow = b.row(kk);
+    for (size_t i = 0; i < m; ++i) {
+      const double av = arow[i];
+      if (av == 0.0) continue;
+      double* orow = out->row(i);
+      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void AddRowBroadcast(Matrix* m, const Matrix& bias) {
+  for (size_t r = 0; r < m->rows(); ++r) {
+    double* row = m->row(r);
+    const double* b = bias.data();
+    for (size_t c = 0; c < m->cols(); ++c) row[c] += b[c];
+  }
+}
+
+void ColumnSum(const Matrix& m, Matrix* out) {
+  if (out->rows() != 1 || out->cols() != m.cols()) *out = Matrix(1, m.cols());
+  out->Zero();
+  double* o = out->data();
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const double* row = m.row(r);
+    for (size_t c = 0; c < m.cols(); ++c) o[c] += row[c];
+  }
+}
+
+void SoftmaxRows(Matrix* m) {
+  for (size_t r = 0; r < m->rows(); ++r) {
+    double* row = m->row(r);
+    double mx = row[0];
+    for (size_t c = 1; c < m->cols(); ++c) mx = std::max(mx, row[c]);
+    double sum = 0.0;
+    for (size_t c = 0; c < m->cols(); ++c) {
+      row[c] = std::exp(row[c] - mx);
+      sum += row[c];
+    }
+    const double inv = 1.0 / sum;
+    for (size_t c = 0; c < m->cols(); ++c) row[c] *= inv;
+  }
+}
+
+void Hadamard(const Matrix& a, const Matrix& b, Matrix* out) {
+  if (!out->SameShape(a)) *out = Matrix(a.rows(), a.cols());
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double* po = out->data();
+  for (size_t i = 0; i < a.size(); ++i) po[i] = pa[i] * pb[i];
+  return;
+}
+
+Matrix Add(const Matrix& a, const Matrix& b) {
+  Matrix out = a;
+  out += b;
+  return out;
+}
+
+Matrix Sub(const Matrix& a, const Matrix& b) {
+  Matrix out = a;
+  out -= b;
+  return out;
+}
+
+Matrix Scale(const Matrix& a, double scalar) {
+  Matrix out = a;
+  out *= scalar;
+  return out;
+}
+
+double MaxAbsDiff(const Matrix& a, const Matrix& b) {
+  double mx = 0.0;
+  const double* pa = a.data();
+  const double* pb = b.data();
+  for (size_t i = 0; i < a.size(); ++i) {
+    mx = std::max(mx, std::fabs(pa[i] - pb[i]));
+  }
+  return mx;
+}
+
+}  // namespace slicetuner

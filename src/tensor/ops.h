@@ -1,0 +1,48 @@
+// Free-function kernels on Matrix: matmul, softmax, reductions. These are the
+// hot loops of model training; they favor simple cache-friendly forms.
+
+#ifndef SLICETUNER_TENSOR_OPS_H_
+#define SLICETUNER_TENSOR_OPS_H_
+
+#include "tensor/matrix.h"
+
+namespace slicetuner {
+
+/// out = a * b. Shapes must agree (a: m x k, b: k x n, out: m x n); `out` is
+/// resized as needed. `out` must not alias a or b.
+void MatMul(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// out = a * b^T (a: m x k, b: n x k, out: m x n). Cache-friendly for the
+/// backward pass.
+void MatMulTransposedB(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// out = a^T * b (a: k x m, b: k x n, out: m x n).
+void MatMulTransposedA(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// Adds a 1 x n bias row to every row of `m` (in place).
+void AddRowBroadcast(Matrix* m, const Matrix& bias);
+
+/// Column-wise sum of `m` into a 1 x cols matrix.
+void ColumnSum(const Matrix& m, Matrix* out);
+
+/// Row-wise softmax (in place), numerically stabilized.
+void SoftmaxRows(Matrix* m);
+
+/// Element-wise product: out = a ⊙ b (resized to match).
+void Hadamard(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// out = a + b (element-wise).
+Matrix Add(const Matrix& a, const Matrix& b);
+
+/// out = a - b (element-wise).
+Matrix Sub(const Matrix& a, const Matrix& b);
+
+/// out = scalar * a.
+Matrix Scale(const Matrix& a, double scalar);
+
+/// Maximum absolute difference between entries of equally-shaped matrices.
+double MaxAbsDiff(const Matrix& a, const Matrix& b);
+
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_TENSOR_OPS_H_

@@ -1,0 +1,134 @@
+// Tests for acquisition sources: cost functions, the synthetic pool, and the
+// crowdsourcing simulator (task times, duplicate/mistake filtering, Table 1
+// cost derivation).
+
+#include <gtest/gtest.h>
+
+#include "data/acquisition.h"
+
+namespace slicetuner {
+namespace {
+
+TEST(CostTest, UniformCostConstant) {
+  UniformCost c(2.5);
+  EXPECT_EQ(c.Cost(0), 2.5);
+  EXPECT_EQ(c.Cost(99), 2.5);
+}
+
+TEST(CostTest, TableCostLookup) {
+  TableCost c({1.0, 1.5, 2.0});
+  EXPECT_EQ(c.Cost(0), 1.0);
+  EXPECT_EQ(c.Cost(2), 2.0);
+  // Beyond the table -> last entry; negative -> first.
+  EXPECT_EQ(c.Cost(10), 2.0);
+  EXPECT_EQ(c.Cost(-1), 1.0);
+}
+
+TEST(CostTest, EmptyTableDefaultsToOne) {
+  TableCost c({});
+  EXPECT_EQ(c.Cost(0), 1.0);
+}
+
+TEST(CostTest, CostVectorMaterializes) {
+  TableCost c({1.0, 1.5});
+  const auto v = CostVector(c, 3);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[1], 1.5);
+  EXPECT_EQ(v[2], 1.5);
+}
+
+TEST(SyntheticPoolTest, AcquiresExactCount) {
+  const DatasetPreset preset = MakeFashionLike();
+  SyntheticPool pool(&preset.generator, std::make_unique<UniformCost>(), 1);
+  const Dataset batch = pool.Acquire(2, 50);
+  EXPECT_EQ(batch.size(), 50u);
+  for (size_t i = 0; i < batch.size(); ++i) EXPECT_EQ(batch.slice(i), 2);
+}
+
+TEST(SyntheticPoolTest, SubsequentAcquisitionsDiffer) {
+  const DatasetPreset preset = MakeFashionLike();
+  SyntheticPool pool(&preset.generator, std::make_unique<UniformCost>(), 2);
+  const Dataset a = pool.Acquire(0, 5);
+  const Dataset b = pool.Acquire(0, 5);
+  // The internal stream advances: first features should differ.
+  EXPECT_NE(a.features(0)[0], b.features(0)[0]);
+}
+
+TEST(CrowdsourceTest, CostsFromTaskTimesMatchTable1) {
+  // Table 1 of the paper: times -> costs with min-normalization and one
+  // decimal of precision.
+  const std::vector<double> times = {82.1, 81.9, 67.6, 79.3,
+                                     94.8, 77.5, 91.6, 104.6};
+  const auto costs = CrowdsourceSimulator::CostsFromTaskTimes(times);
+  const std::vector<double> expected = {1.2, 1.2, 1.0, 1.2,
+                                        1.4, 1.1, 1.4, 1.5};
+  ASSERT_EQ(costs.size(), expected.size());
+  for (size_t i = 0; i < costs.size(); ++i) {
+    EXPECT_NEAR(costs[i], expected[i], 1e-9) << "slice " << i;
+  }
+}
+
+TEST(CrowdsourceTest, AcquireDeliversCleanBatch) {
+  const DatasetPreset preset = MakeFaceLike();
+  CrowdsourceOptions options;
+  options.mean_task_seconds = {82.1, 81.9, 67.6, 79.3,
+                               94.8, 77.5, 91.6, 104.6};
+  CrowdsourceSimulator sim(&preset.generator, options, 3);
+  const Dataset batch = sim.Acquire(1, 100);
+  EXPECT_EQ(batch.size(), 100u);
+  for (size_t i = 0; i < batch.size(); ++i) EXPECT_EQ(batch.slice(i), 1);
+}
+
+TEST(CrowdsourceTest, StatsRecordWaste) {
+  const DatasetPreset preset = MakeFaceLike();
+  CrowdsourceOptions options;
+  options.mean_task_seconds.assign(8, 60.0);
+  options.duplicate_rate = 0.2;
+  options.mistake_rate = 0.1;
+  CrowdsourceSimulator sim(&preset.generator, options, 4);
+  (void)sim.Acquire(0, 500);
+  const CrowdsourceStats& stats = sim.stats();
+  EXPECT_EQ(stats.accepted[0], 500u);
+  EXPECT_GT(stats.duplicates_removed[0], 50u);
+  EXPECT_GT(stats.mistakes_filtered[0], 20u);
+  EXPECT_GT(stats.tasks_submitted[0], 500u);
+  // Untouched slice has no activity.
+  EXPECT_EQ(stats.tasks_submitted[3], 0u);
+  EXPECT_EQ(stats.AvgTaskSeconds(3), 0.0);
+}
+
+TEST(CrowdsourceTest, MeasuredTaskTimesMatchConfiguredMeans) {
+  const DatasetPreset preset = MakeFaceLike();
+  CrowdsourceOptions options;
+  options.mean_task_seconds = {50.0, 100.0, 60.0, 60.0,
+                               60.0, 60.0, 60.0, 60.0};
+  CrowdsourceSimulator sim(&preset.generator, options, 5);
+  (void)sim.Acquire(0, 2000);
+  (void)sim.Acquire(1, 2000);
+  EXPECT_NEAR(sim.stats().AvgTaskSeconds(0), 50.0, 3.0);
+  EXPECT_NEAR(sim.stats().AvgTaskSeconds(1), 100.0, 6.0);
+}
+
+TEST(CrowdsourceTest, CostReflectsTaskTimes) {
+  const DatasetPreset preset = MakeFaceLike();
+  CrowdsourceOptions options;
+  options.mean_task_seconds = {50.0, 100.0, 50.0, 50.0,
+                               50.0, 50.0, 50.0, 75.0};
+  CrowdsourceSimulator sim(&preset.generator, options, 6);
+  EXPECT_NEAR(sim.cost().Cost(0), 1.0, 1e-9);
+  EXPECT_NEAR(sim.cost().Cost(1), 2.0, 1e-9);
+  EXPECT_NEAR(sim.cost().Cost(7), 1.5, 1e-9);
+}
+
+TEST(CrowdsourceTest, WrongSizedTimesAreResized) {
+  const DatasetPreset preset = MakeFaceLike();
+  CrowdsourceOptions options;
+  options.mean_task_seconds = {60.0};  // too short for 8 slices
+  CrowdsourceSimulator sim(&preset.generator, options, 7);
+  // Should not crash; all slices get a default.
+  const Dataset batch = sim.Acquire(7, 5);
+  EXPECT_EQ(batch.size(), 5u);
+}
+
+}  // namespace
+}  // namespace slicetuner

@@ -1,0 +1,130 @@
+// Tests for the epsilon-greedy acquisition bandit (the rotting-bandit-style
+// comparator of Section 7).
+
+#include <gtest/gtest.h>
+
+#include "core/bandit.h"
+#include "data/synthetic.h"
+
+namespace slicetuner {
+namespace {
+
+struct Fixture {
+  DatasetPreset preset = MakeCensusLike();
+  Dataset train;
+  Dataset validation;
+  std::unique_ptr<SyntheticPool> source;
+
+  Fixture() {
+    Rng rng(47);
+    train = preset.generator.GenerateDataset({120, 120, 120, 120}, &rng);
+    validation = preset.generator.GenerateDataset({100, 100, 100, 100}, &rng);
+    source = std::make_unique<SyntheticPool>(
+        &preset.generator, std::make_unique<TableCost>(preset.costs),
+        rng());
+  }
+
+  BanditOptions FastOptions() const {
+    BanditOptions o;
+    o.batch_size = 50;
+    o.seed = 3;
+    o.max_pulls = 20;
+    return o;
+  }
+};
+
+TEST(BanditTest, SpendsBudgetInBatches) {
+  Fixture f;
+  const auto result = RunBanditAcquisition(
+      &f.train, f.validation, 4, f.preset.model_spec, f.preset.trainer,
+      f.source.get(), 400.0, f.FastOptions());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->pulls, 8);  // 400 / 50 with unit costs
+  EXPECT_NEAR(result->budget_spent, 400.0, 1e-9);
+  long long total = 0;
+  for (long long a : result->acquired) total += a;
+  EXPECT_EQ(total, 400);
+}
+
+TEST(BanditTest, GrowsTrainingData) {
+  Fixture f;
+  const size_t before = f.train.size();
+  const auto result = RunBanditAcquisition(
+      &f.train, f.validation, 4, f.preset.model_spec, f.preset.trainer,
+      f.source.get(), 200.0, f.FastOptions());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(f.train.size(), before + 200);
+}
+
+TEST(BanditTest, TrainsOneModelPerPullPlusBaseline) {
+  Fixture f;
+  BanditOptions o = f.FastOptions();
+  o.eval_seeds = 1;
+  const auto result = RunBanditAcquisition(
+      &f.train, f.validation, 4, f.preset.model_spec, f.preset.trainer,
+      f.source.get(), 200.0, o);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->model_trainings, result->pulls + 1);
+}
+
+TEST(BanditTest, RespectsMaxPulls) {
+  Fixture f;
+  BanditOptions o = f.FastOptions();
+  o.max_pulls = 3;
+  const auto result = RunBanditAcquisition(
+      &f.train, f.validation, 4, f.preset.model_spec, f.preset.trainer,
+      f.source.get(), 10000.0, o);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->pulls, 3);
+}
+
+TEST(BanditTest, ZeroBudgetDoesNothing) {
+  Fixture f;
+  const auto result = RunBanditAcquisition(
+      &f.train, f.validation, 4, f.preset.model_spec, f.preset.trainer,
+      f.source.get(), 0.0, f.FastOptions());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->pulls, 0);
+  // The baseline measurement still trains once.
+  EXPECT_EQ(result->model_trainings, 1);
+}
+
+TEST(BanditTest, RejectsBadArguments) {
+  Fixture f;
+  EXPECT_FALSE(RunBanditAcquisition(nullptr, f.validation, 4,
+                                    f.preset.model_spec, f.preset.trainer,
+                                    f.source.get(), 100.0, BanditOptions())
+                   .ok());
+  EXPECT_FALSE(RunBanditAcquisition(&f.train, f.validation, 4,
+                                    f.preset.model_spec, f.preset.trainer,
+                                    nullptr, 100.0, BanditOptions())
+                   .ok());
+  BanditOptions zero_batch;
+  zero_batch.batch_size = 0;
+  EXPECT_FALSE(RunBanditAcquisition(&f.train, f.validation, 4,
+                                    f.preset.model_spec, f.preset.trainer,
+                                    f.source.get(), 100.0, zero_batch)
+                   .ok());
+  EXPECT_FALSE(RunBanditAcquisition(&f.train, f.validation, 0,
+                                    f.preset.model_spec, f.preset.trainer,
+                                    f.source.get(), 100.0, BanditOptions())
+                   .ok());
+}
+
+TEST(BanditTest, DeterministicGivenSeed) {
+  Fixture f1, f2;
+  const auto r1 = RunBanditAcquisition(
+      &f1.train, f1.validation, 4, f1.preset.model_spec, f1.preset.trainer,
+      f1.source.get(), 300.0, f1.FastOptions());
+  const auto r2 = RunBanditAcquisition(
+      &f2.train, f2.validation, 4, f2.preset.model_spec, f2.preset.trainer,
+      f2.source.get(), 300.0, f2.FastOptions());
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  for (size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(r1->acquired[s], r2->acquired[s]);
+  }
+}
+
+}  // namespace
+}  // namespace slicetuner

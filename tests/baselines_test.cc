@@ -1,0 +1,161 @@
+// Tests for the acquisition baselines (Figure 3): Uniform, Water filling,
+// and Proportional.
+
+#include <gtest/gtest.h>
+
+#include "core/baselines.h"
+
+namespace slicetuner {
+namespace {
+
+double SpendOf(const std::vector<long long>& d,
+               const std::vector<double>& costs) {
+  double total = 0.0;
+  for (size_t i = 0; i < d.size(); ++i) {
+    total += static_cast<double>(d[i]) * costs[i];
+  }
+  return total;
+}
+
+TEST(UniformTest, EqualAmountsPerSlice) {
+  const auto d = UniformAllocation({100, 200, 300}, {1.0, 1.0, 1.0}, 300.0);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ((*d)[0], 100);
+  EXPECT_EQ((*d)[1], 100);
+  EXPECT_EQ((*d)[2], 100);
+}
+
+TEST(UniformTest, CostAwareEqualCounts) {
+  // Equal *counts* per slice, so the per-slice spend differs with cost.
+  const auto d = UniformAllocation({10, 10}, {1.0, 2.0}, 90.0);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ((*d)[0], (*d)[1]);
+  EXPECT_LE(SpendOf(*d, {1.0, 2.0}), 90.0);
+  EXPECT_GE(SpendOf(*d, {1.0, 2.0}), 87.0);
+}
+
+TEST(UniformTest, LeftoverSpentOnCheapestSlices) {
+  const auto d = UniformAllocation({0, 0, 0}, {1.0, 1.0, 1.0}, 100.0);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(SpendOf(*d, {1.0, 1.0, 1.0}), 100.0, 1e-9);
+}
+
+TEST(WaterFillingTest, EqualizesFinalSizes) {
+  const auto d =
+      WaterFillingAllocation({100, 300, 500}, {1.0, 1.0, 1.0}, 600.0);
+  ASSERT_TRUE(d.ok());
+  // Level = (100+300+600*... ) -> target 500: 400 to s0, 200 to s1, 0 to s2.
+  EXPECT_EQ((*d)[0], 400);
+  EXPECT_EQ((*d)[1], 200);
+  EXPECT_EQ((*d)[2], 0);
+}
+
+TEST(WaterFillingTest, LargeSlicesUntouched) {
+  const auto d = WaterFillingAllocation({10, 1000}, {1.0, 1.0}, 100.0);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ((*d)[0], 100);
+  EXPECT_EQ((*d)[1], 0);
+}
+
+TEST(WaterFillingTest, BudgetFullySpentWithinOneExample) {
+  const auto d =
+      WaterFillingAllocation({100, 150, 170}, {1.0, 1.0, 1.0}, 333.0);
+  ASSERT_TRUE(d.ok());
+  const double spend = SpendOf(*d, {1.0, 1.0, 1.0});
+  EXPECT_LE(spend, 333.0);
+  EXPECT_GE(spend, 332.0);
+}
+
+TEST(WaterFillingTest, CostsShrinkExpensiveTopUps) {
+  const auto cheap =
+      WaterFillingAllocation({0, 100}, {1.0, 1.0}, 100.0);
+  const auto costly =
+      WaterFillingAllocation({0, 100}, {4.0, 1.0}, 100.0);
+  ASSERT_TRUE(cheap.ok());
+  ASSERT_TRUE(costly.ok());
+  // With cost 4 on slice 0, fewer of its examples are affordable.
+  EXPECT_LT((*costly)[0], (*cheap)[0]);
+}
+
+TEST(WaterFillingTest, EqualSizesDegeneratesToUniform) {
+  const auto wf =
+      WaterFillingAllocation({200, 200, 200}, {1.0, 1.0, 1.0}, 300.0);
+  const auto uni = UniformAllocation({200, 200, 200}, {1.0, 1.0, 1.0}, 300.0);
+  ASSERT_TRUE(wf.ok());
+  ASSERT_TRUE(uni.ok());
+  for (size_t i = 0; i < 3; ++i) EXPECT_EQ((*wf)[i], (*uni)[i]);
+}
+
+TEST(ProportionalTest, FollowsOriginalDistribution) {
+  const auto d =
+      ProportionalAllocation({100, 300}, {1.0, 1.0}, 400.0);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ((*d)[0], 100);
+  EXPECT_EQ((*d)[1], 300);
+}
+
+TEST(ProportionalTest, PreservesImbalance) {
+  const auto d =
+      ProportionalAllocation({100, 300}, {1.0, 1.0}, 400.0);
+  ASSERT_TRUE(d.ok());
+  const double before = 300.0 / 100.0;
+  const double after = (300.0 + static_cast<double>((*d)[1])) /
+                       (100.0 + static_cast<double>((*d)[0]));
+  EXPECT_NEAR(before, after, 0.05);
+}
+
+TEST(BaselineTest, DispatcherRoutesToRightBaseline) {
+  const std::vector<size_t> sizes = {100, 300, 500};
+  const std::vector<double> costs = {1.0, 1.0, 1.0};
+  const auto uni =
+      BaselineAllocation(BaselineKind::kUniform, sizes, costs, 600.0);
+  const auto wf =
+      BaselineAllocation(BaselineKind::kWaterFilling, sizes, costs, 600.0);
+  ASSERT_TRUE(uni.ok());
+  ASSERT_TRUE(wf.ok());
+  EXPECT_EQ((*uni)[0], 200);
+  EXPECT_EQ((*wf)[0], 400);
+}
+
+TEST(BaselineTest, NamesAreStable) {
+  EXPECT_STREQ(BaselineName(BaselineKind::kUniform), "Uniform");
+  EXPECT_STREQ(BaselineName(BaselineKind::kWaterFilling), "Water filling");
+  EXPECT_STREQ(BaselineName(BaselineKind::kProportional), "Proportional");
+}
+
+TEST(BaselineTest, RejectsInvalidArguments) {
+  EXPECT_FALSE(UniformAllocation({}, {}, 100.0).ok());
+  EXPECT_FALSE(UniformAllocation({10}, {1.0, 1.0}, 100.0).ok());
+  EXPECT_FALSE(UniformAllocation({10}, {0.0}, 100.0).ok());
+  EXPECT_FALSE(WaterFillingAllocation({10}, {1.0}, -1.0).ok());
+}
+
+TEST(BaselineTest, ZeroBudgetAcquiresNothing) {
+  for (BaselineKind kind : {BaselineKind::kUniform,
+                            BaselineKind::kWaterFilling,
+                            BaselineKind::kProportional}) {
+    const auto d = BaselineAllocation(kind, {10, 20}, {1.0, 1.0}, 0.0);
+    ASSERT_TRUE(d.ok());
+    EXPECT_EQ((*d)[0], 0);
+    EXPECT_EQ((*d)[1], 0);
+  }
+}
+
+TEST(BaselineTest, NeverOverspends) {
+  const std::vector<size_t> sizes = {17, 93, 5, 211};
+  const std::vector<double> costs = {1.2, 1.0, 1.5, 1.1};
+  for (BaselineKind kind : {BaselineKind::kUniform,
+                            BaselineKind::kWaterFilling,
+                            BaselineKind::kProportional}) {
+    for (double budget : {1.0, 10.0, 123.0, 999.5}) {
+      const auto d = BaselineAllocation(kind, sizes, costs, budget);
+      ASSERT_TRUE(d.ok());
+      EXPECT_LE(SpendOf(*d, costs), budget + 1e-9)
+          << BaselineName(kind) << " budget " << budget;
+      for (long long v : *d) EXPECT_GE(v, 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace slicetuner

@@ -1,0 +1,170 @@
+// Tests for CSV dataset import/export.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "data/csv_loader.h"
+
+namespace slicetuner {
+namespace {
+
+std::string WriteTemp(const std::string& name, const std::string& content) {
+  const std::string path = testing::TempDir() + "/" + name;
+  std::ofstream out(path);
+  out << content;
+  return path;
+}
+
+TEST(CsvLoaderTest, LoadsFeaturesLabelAndSlice) {
+  const std::string path = WriteTemp("basic.csv",
+                                     "a,b,label,slice\n"
+                                     "1.5,2.5,0,1\n"
+                                     "-3.0,4.0,1,0\n");
+  CsvLoadOptions options;
+  options.slice_column = "slice";
+  const auto data = LoadCsvDataset(path, options);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->size(), 2u);
+  EXPECT_EQ(data->dim(), 2u);
+  EXPECT_DOUBLE_EQ(data->features(0)[0], 1.5);
+  EXPECT_DOUBLE_EQ(data->features(1)[1], 4.0);
+  EXPECT_EQ(data->label(0), 0);
+  EXPECT_EQ(data->slice(0), 1);
+  EXPECT_EQ(data->slice(1), 0);
+  std::remove(path.c_str());
+}
+
+TEST(CsvLoaderTest, NoSliceColumnDefaultsToZero) {
+  const std::string path = WriteTemp("noslice.csv",
+                                     "x,label\n"
+                                     "1.0,1\n"
+                                     "2.0,0\n");
+  const auto data = LoadCsvDataset(path, CsvLoadOptions());
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->slice(0), 0);
+  EXPECT_EQ(data->slice(1), 0);
+  std::remove(path.c_str());
+}
+
+TEST(CsvLoaderTest, CustomLabelColumnName) {
+  const std::string path = WriteTemp("custom.csv",
+                                     "x,target\n"
+                                     "1.0,1\n");
+  CsvLoadOptions options;
+  options.label_column = "target";
+  const auto data = LoadCsvDataset(path, options);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->label(0), 1);
+  std::remove(path.c_str());
+}
+
+TEST(CsvLoaderTest, MissingLabelColumnFails) {
+  const std::string path = WriteTemp("nolabel.csv", "x,y\n1.0,2.0\n");
+  const auto data = LoadCsvDataset(path, CsvLoadOptions());
+  EXPECT_EQ(data.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(CsvLoaderTest, MissingFileFails) {
+  EXPECT_EQ(LoadCsvDataset("/nonexistent/x.csv", CsvLoadOptions())
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CsvLoaderTest, StrictModeRejectsBadRows) {
+  const std::string path = WriteTemp("bad.csv",
+                                     "x,label\n"
+                                     "1.0,1\n"
+                                     "oops,0\n");
+  EXPECT_FALSE(LoadCsvDataset(path, CsvLoadOptions()).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CsvLoaderTest, LenientModeSkipsBadRows) {
+  const std::string path = WriteTemp("lenient.csv",
+                                     "x,label\n"
+                                     "1.0,1\n"
+                                     "oops,0\n"
+                                     "2.0,0\n"
+                                     "3.0,not_an_int\n");
+  CsvLoadOptions options;
+  options.strict = false;
+  const auto data = LoadCsvDataset(path, options);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvLoaderTest, NegativeLabelRejected) {
+  const std::string path = WriteTemp("neg.csv", "x,label\n1.0,-1\n");
+  EXPECT_FALSE(LoadCsvDataset(path, CsvLoadOptions()).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CsvLoaderTest, SkipsBlankLines) {
+  const std::string path = WriteTemp("blank.csv",
+                                     "x,label\n"
+                                     "1.0,1\n"
+                                     "\n"
+                                     "2.0,0\n");
+  const auto data = LoadCsvDataset(path, CsvLoadOptions());
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvLoaderTest, QuotedFieldsUnwrapped) {
+  const std::string path = WriteTemp("quoted.csv",
+                                     "x,label\n"
+                                     "\"1.25\",\"1\"\n");
+  const auto data = LoadCsvDataset(path, CsvLoadOptions());
+  ASSERT_TRUE(data.ok());
+  EXPECT_DOUBLE_EQ(data->features(0)[0], 1.25);
+  std::remove(path.c_str());
+}
+
+TEST(CsvLoaderTest, EmptyFileFails) {
+  const std::string path = WriteTemp("empty.csv", "");
+  EXPECT_FALSE(LoadCsvDataset(path, CsvLoadOptions()).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CsvLoaderTest, HeaderOnlyFails) {
+  const std::string path = WriteTemp("header.csv", "x,label\n");
+  EXPECT_FALSE(LoadCsvDataset(path, CsvLoadOptions()).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CsvLoaderTest, SaveLoadRoundTrip) {
+  Dataset original(3);
+  for (int i = 0; i < 5; ++i) {
+    Example e;
+    e.features = {1.0 * i, 2.0 * i, -0.5 * i};
+    e.label = i % 2;
+    e.slice = i % 3;
+    ASSERT_TRUE(original.Append(e).ok());
+  }
+  const std::string path = testing::TempDir() + "/roundtrip.csv";
+  ASSERT_TRUE(SaveCsvDataset(original, path).ok());
+
+  CsvLoadOptions options;
+  options.slice_column = "slice";
+  const auto loaded = LoadCsvDataset(path, options);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), original.size());
+  ASSERT_EQ(loaded->dim(), original.dim());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded->label(i), original.label(i));
+    EXPECT_EQ(loaded->slice(i), original.slice(i));
+    for (size_t d = 0; d < original.dim(); ++d) {
+      EXPECT_NEAR(loaded->features(i)[d], original.features(i)[d], 1e-5);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace slicetuner

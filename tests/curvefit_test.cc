@@ -1,0 +1,334 @@
+// Tests for curve fitting: Levenberg-Marquardt recovers known parameters,
+// the power-law fitter handles weights/noise/degenerate input, and the
+// alternative curve models evaluate and differentiate correctly.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "curvefit/curve_models.h"
+#include "curvefit/fitter.h"
+#include "curvefit/levenberg_marquardt.h"
+#include "curvefit/power_law.h"
+
+namespace slicetuner {
+namespace {
+
+// ---------------------------------------------------------- PowerLawCurve
+
+TEST(PowerLawCurveTest, EvalMatchesFormula) {
+  PowerLawCurve c{2.0, 0.5};
+  EXPECT_NEAR(c.Eval(4.0), 1.0, 1e-12);
+  EXPECT_NEAR(c.Eval(100.0), 0.2, 1e-12);
+}
+
+TEST(PowerLawCurveTest, EvalClampsBelowOne) {
+  PowerLawCurve c{2.0, 0.5};
+  EXPECT_EQ(c.Eval(0.0), c.Eval(1.0));
+  EXPECT_EQ(c.Eval(-5.0), 2.0);
+}
+
+TEST(PowerLawCurveTest, DerivativeIsNegative) {
+  PowerLawCurve c{2.0, 0.5};
+  EXPECT_LT(c.Derivative(10.0), 0.0);
+  // Matches numeric derivative.
+  const double eps = 1e-5;
+  const double numeric = (c.Eval(10.0 + eps) - c.Eval(10.0 - eps)) / (2 * eps);
+  EXPECT_NEAR(c.Derivative(10.0), numeric, 1e-8);
+}
+
+TEST(PowerLawCurveTest, InverseEvalRoundTrips) {
+  PowerLawCurve c{3.0, 0.4};
+  const double x = 250.0;
+  EXPECT_NEAR(c.InverseEval(c.Eval(x)), x, 1e-6);
+  // Unreachable loss -> sentinel.
+  EXPECT_GT(c.InverseEval(0.0), 1e17);
+}
+
+TEST(PowerLawCurveTest, ToStringFormat) {
+  PowerLawCurve c{2.894, 0.204};
+  EXPECT_EQ(c.ToString(), "y = 2.894x^-0.204");
+}
+
+// ------------------------------------------------------------ curve models
+
+TEST(CurveModelsTest, PowerLawEvalAndGradient) {
+  PowerLawModel m;
+  const std::vector<double> p = {2.0, 0.5};
+  EXPECT_NEAR(m.Eval(4.0, p), 1.0, 1e-12);
+  double grad[2];
+  m.Gradient(4.0, p, grad);
+  // d/db = x^-a, d/da = -b x^-a ln x.
+  EXPECT_NEAR(grad[0], 0.5, 1e-12);
+  EXPECT_NEAR(grad[1], -2.0 * 0.5 * std::log(4.0), 1e-12);
+}
+
+// Verifies each model's analytic gradient against finite differences.
+class ModelGradientTest : public testing::TestWithParam<int> {};
+
+TEST_P(ModelGradientTest, AnalyticMatchesNumeric) {
+  std::unique_ptr<ParametricModel> model;
+  std::vector<double> p;
+  switch (GetParam()) {
+    case 0:
+      model = std::make_unique<PowerLawModel>();
+      p = {2.0, 0.3};
+      break;
+    case 1:
+      model = std::make_unique<PowerLawFloorModel>();
+      p = {2.0, 0.3, 0.2};
+      break;
+    case 2:
+      model = std::make_unique<ExponentialDecayModel>();
+      p = {1.5, 0.01, 0.1};
+      break;
+    default:
+      model = std::make_unique<LogarithmicModel>();
+      p = {0.2, 3.0};
+      break;
+  }
+  const double xs[] = {2.0, 10.0, 100.0};
+  std::vector<double> grad(model->num_params());
+  const double eps = 1e-6;
+  for (double x : xs) {
+    model->Gradient(x, p, grad.data());
+    for (size_t k = 0; k < model->num_params(); ++k) {
+      std::vector<double> pp = p;
+      pp[k] += eps;
+      const double up = model->Eval(x, pp);
+      pp[k] = p[k] - eps;
+      const double down = model->Eval(x, pp);
+      EXPECT_NEAR(grad[k], (up - down) / (2 * eps), 1e-5)
+          << model->name() << " param " << k << " at x=" << x;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ModelGradientTest,
+                         testing::Values(0, 1, 2, 3));
+
+TEST(CurveModelsTest, ClampKeepsParamsFeasible) {
+  PowerLawModel m;
+  std::vector<double> p = {-5.0, 100.0};
+  m.ClampParams(&p);
+  EXPECT_GT(p[0], 0.0);
+  EXPECT_LE(p[1], 5.0);
+}
+
+TEST(CurveModelsTest, InitialGuessFromLogLog) {
+  // Exact power-law data: log-log init should be near the truth.
+  PowerLawModel m;
+  std::vector<double> xs, ys;
+  for (double x : {10.0, 30.0, 100.0, 300.0}) {
+    xs.push_back(x);
+    ys.push_back(2.5 * std::pow(x, -0.35));
+  }
+  const auto p0 = m.InitialGuess(xs, ys);
+  EXPECT_NEAR(p0[0], 2.5, 0.05);
+  EXPECT_NEAR(p0[1], 0.35, 0.01);
+}
+
+// ---------------------------------------------------- Levenberg-Marquardt
+
+TEST(LmTest, RecoversExactPowerLaw) {
+  PowerLawModel model;
+  std::vector<double> xs, ys;
+  for (double x = 10.0; x <= 1000.0; x *= 1.6) {
+    xs.push_back(x);
+    ys.push_back(3.2 * std::pow(x, -0.42));
+  }
+  const auto fit =
+      LevenbergMarquardt(model, xs, ys, {}, model.InitialGuess(xs, ys));
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->params[0], 3.2, 1e-4);
+  EXPECT_NEAR(fit->params[1], 0.42, 1e-5);
+  EXPECT_LT(fit->sse, 1e-10);
+}
+
+TEST(LmTest, RecoversPowerLawWithFloor) {
+  PowerLawFloorModel model;
+  std::vector<double> xs, ys;
+  for (double x = 10.0; x <= 30000.0; x *= 1.8) {
+    xs.push_back(x);
+    ys.push_back(5.0 * std::pow(x, -0.5) + 0.25);
+  }
+  const auto fit =
+      LevenbergMarquardt(model, xs, ys, {}, model.InitialGuess(xs, ys));
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->params[0], 5.0, 0.1);
+  EXPECT_NEAR(fit->params[1], 0.5, 0.02);
+  EXPECT_NEAR(fit->params[2], 0.25, 0.02);
+}
+
+TEST(LmTest, RecoversNoisyPowerLawApproximately) {
+  Rng rng(1);
+  PowerLawModel model;
+  std::vector<double> xs, ys;
+  for (double x = 20.0; x <= 2000.0; x *= 1.3) {
+    xs.push_back(x);
+    ys.push_back(2.0 * std::pow(x, -0.3) * (1.0 + rng.Normal(0.0, 0.03)));
+  }
+  const auto fit =
+      LevenbergMarquardt(model, xs, ys, {}, model.InitialGuess(xs, ys));
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->params[0], 2.0, 0.3);
+  EXPECT_NEAR(fit->params[1], 0.3, 0.05);
+}
+
+TEST(LmTest, WeightsChangeTheFit) {
+  // Two clusters of inconsistent points; upweighting one pulls the fit
+  // toward it.
+  PowerLawModel model;
+  const std::vector<double> xs = {10.0, 20.0, 400.0, 800.0};
+  const std::vector<double> ys = {1.0, 0.9, 0.8, 0.79};
+  const std::vector<double> w_small = {100.0, 100.0, 1.0, 1.0};
+  const std::vector<double> w_large = {1.0, 1.0, 100.0, 100.0};
+  const auto fit_small = LevenbergMarquardt(model, xs, ys, w_small,
+                                            model.InitialGuess(xs, ys));
+  const auto fit_large = LevenbergMarquardt(model, xs, ys, w_large,
+                                            model.InitialGuess(xs, ys));
+  ASSERT_TRUE(fit_small.ok());
+  ASSERT_TRUE(fit_large.ok());
+  // Residuals on the emphasized cluster should be smaller in each case.
+  const double r_small = std::fabs(
+      ys[0] - model.Eval(xs[0], fit_small->params));
+  const double r_small_other = std::fabs(
+      ys[0] - model.Eval(xs[0], fit_large->params));
+  EXPECT_LE(r_small, r_small_other + 1e-9);
+}
+
+TEST(LmTest, RejectsDegenerateInput) {
+  PowerLawModel model;
+  EXPECT_FALSE(
+      LevenbergMarquardt(model, {1.0}, {1.0}, {}, {1.0, 0.1}).ok());
+  EXPECT_FALSE(LevenbergMarquardt(model, {1.0, 2.0}, {1.0}, {}, {1.0, 0.1})
+                   .ok());
+  EXPECT_FALSE(LevenbergMarquardt(model, {1.0, 2.0}, {1.0, 1.0}, {},
+                                  {1.0})
+                   .ok());
+  const double nan = std::nan("");
+  EXPECT_FALSE(LevenbergMarquardt(model, {1.0, nan}, {1.0, 1.0}, {},
+                                  {1.0, 0.1})
+                   .ok());
+  EXPECT_FALSE(LevenbergMarquardt(model, {1.0, 2.0}, {1.0, 1.0},
+                                  {-1.0, 1.0}, {1.0, 0.1})
+                   .ok());
+}
+
+TEST(LmTest, ExponentialModelFitsItsOwnData) {
+  ExponentialDecayModel model;
+  std::vector<double> xs, ys;
+  for (double x = 0.0; x <= 500.0; x += 50.0) {
+    xs.push_back(x + 1.0);
+    ys.push_back(2.0 * std::exp(-0.01 * (x + 1.0)) + 0.3);
+  }
+  const auto fit =
+      LevenbergMarquardt(model, xs, ys, {}, model.InitialGuess(xs, ys));
+  ASSERT_TRUE(fit.ok());
+  EXPECT_LT(fit->sse, 1e-6);
+}
+
+// ------------------------------------------------------------------ Fitter
+
+std::vector<CurvePoint> PowerLawPoints(double b, double a, double noise,
+                                       uint64_t seed) {
+  Rng rng(seed);
+  std::vector<CurvePoint> points;
+  for (double x = 20.0; x <= 2000.0; x *= 1.45) {
+    points.push_back(
+        CurvePoint{x, b * std::pow(x, -a) * (1.0 + rng.Normal(0.0, noise))});
+  }
+  return points;
+}
+
+TEST(FitterTest, FitsCleanCurve) {
+  const auto fit = FitPowerLaw(PowerLawPoints(2.9, 0.2, 0.0, 1));
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->b, 2.9, 0.01);
+  EXPECT_NEAR(fit->a, 0.2, 0.002);
+}
+
+TEST(FitterTest, SkipsInvalidPoints) {
+  auto points = PowerLawPoints(2.0, 0.3, 0.0, 2);
+  points.push_back(CurvePoint{-5.0, 1.0});
+  points.push_back(CurvePoint{100.0, -1.0});
+  points.push_back(CurvePoint{100.0, std::nan("")});
+  const auto fit = FitPowerLaw(points);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->a, 0.3, 0.01);
+}
+
+TEST(FitterTest, FailsOnTooFewPoints) {
+  EXPECT_FALSE(FitPowerLaw({CurvePoint{10.0, 1.0}}).ok());
+  EXPECT_FALSE(FitPowerLaw({}).ok());
+  // All-invalid points also fail.
+  EXPECT_FALSE(
+      FitPowerLaw({CurvePoint{-1.0, 1.0}, CurvePoint{2.0, -3.0}}).ok());
+}
+
+TEST(FitterTest, AveragedFitIsCloseToPlainOnCleanData) {
+  const auto points = PowerLawPoints(2.0, 0.25, 0.0, 3);
+  FitOptions options;
+  options.num_draws = 5;
+  const auto avg = FitPowerLawAveraged(points, options);
+  ASSERT_TRUE(avg.ok());
+  EXPECT_NEAR(avg->b, 2.0, 0.05);
+  EXPECT_NEAR(avg->a, 0.25, 0.01);
+}
+
+TEST(FitterTest, AveragedFitHandlesNoise) {
+  const auto points = PowerLawPoints(2.0, 0.25, 0.15, 4);
+  FitOptions options;
+  options.num_draws = 7;
+  const auto avg = FitPowerLawAveraged(points, options);
+  ASSERT_TRUE(avg.ok());
+  EXPECT_NEAR(avg->a, 0.25, 0.12);
+}
+
+TEST(FitterTest, AveragedFitDeterministicGivenSeed) {
+  const auto points = PowerLawPoints(2.0, 0.25, 0.1, 5);
+  FitOptions options;
+  options.seed = 42;
+  const auto a1 = FitPowerLawAveraged(points, options);
+  const auto a2 = FitPowerLawAveraged(points, options);
+  ASSERT_TRUE(a1.ok());
+  ASSERT_TRUE(a2.ok());
+  EXPECT_DOUBLE_EQ(a1->b, a2->b);
+  EXPECT_DOUBLE_EQ(a1->a, a2->a);
+}
+
+TEST(FitterTest, CurveLogR2HighForGoodFit) {
+  const auto points = PowerLawPoints(2.0, 0.3, 0.0, 6);
+  const auto fit = FitPowerLaw(points);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_GT(CurveLogR2(*fit, points), 0.999);
+  // A wrong curve scores poorly.
+  PowerLawCurve wrong{10.0, 1.5};
+  EXPECT_LT(CurveLogR2(wrong, points), 0.5);
+}
+
+// Property sweep: the fitter recovers (b, a) across a grid of true values.
+struct FitterParam {
+  double b;
+  double a;
+};
+
+class FitterRecoveryTest : public testing::TestWithParam<FitterParam> {};
+
+TEST_P(FitterRecoveryTest, RecoversParameters) {
+  const FitterParam param = GetParam();
+  const auto fit = FitPowerLaw(PowerLawPoints(param.b, param.a, 0.01, 77));
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->b, param.b, 0.15 * param.b + 0.05);
+  EXPECT_NEAR(fit->a, param.a, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FitterRecoveryTest,
+    testing::Values(FitterParam{0.5, 0.1}, FitterParam{1.0, 0.2},
+                    FitterParam{2.0, 0.4}, FitterParam{3.0, 0.6},
+                    FitterParam{5.0, 0.9}, FitterParam{0.8, 0.05}));
+
+}  // namespace
+}  // namespace slicetuner

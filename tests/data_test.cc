@@ -1,0 +1,253 @@
+// Unit tests for Dataset storage, subsetting, sampling, and splits.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "data/dataset.h"
+#include "data/split.h"
+
+namespace slicetuner {
+namespace {
+
+Dataset MakeToy() {
+  Dataset d(2);
+  // 3 slices: slice 0 -> rows {0,1}, slice 1 -> {2,3,4}, slice 2 -> {5}.
+  const int slices[] = {0, 0, 1, 1, 1, 2};
+  for (int i = 0; i < 6; ++i) {
+    Example e;
+    e.features = {static_cast<double>(i), static_cast<double>(10 * i)};
+    e.label = i % 2;
+    e.slice = slices[i];
+    EXPECT_TRUE(d.Append(e).ok());
+  }
+  return d;
+}
+
+TEST(DatasetTest, AppendAndAccessors) {
+  const Dataset d = MakeToy();
+  EXPECT_EQ(d.size(), 6u);
+  EXPECT_EQ(d.dim(), 2u);
+  EXPECT_EQ(d.label(3), 1);
+  EXPECT_EQ(d.slice(5), 2);
+  EXPECT_EQ(d.features(2)[0], 2.0);
+  EXPECT_EQ(d.features(2)[1], 20.0);
+}
+
+TEST(DatasetTest, AppendDimMismatchFails) {
+  Dataset d(2);
+  Example e;
+  e.features = {1.0, 2.0, 3.0};
+  EXPECT_EQ(d.Append(e).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatasetTest, EmptyDatasetAdoptsFirstDim) {
+  Dataset d;
+  Example e;
+  e.features = {1.0, 2.0, 3.0};
+  EXPECT_TRUE(d.Append(e).ok());
+  EXPECT_EQ(d.dim(), 3u);
+}
+
+TEST(DatasetTest, ExampleAtRoundTrips) {
+  const Dataset d = MakeToy();
+  const Example e = d.ExampleAt(4);
+  EXPECT_EQ(e.features[0], 4.0);
+  EXPECT_EQ(e.label, 0);
+  EXPECT_EQ(e.slice, 1);
+}
+
+TEST(DatasetTest, MaxSliceIdAndNumClasses) {
+  const Dataset d = MakeToy();
+  EXPECT_EQ(d.MaxSliceId(), 3);
+  EXPECT_EQ(d.NumClasses(), 2);
+  EXPECT_EQ(Dataset(2).MaxSliceId(), 0);
+}
+
+TEST(DatasetTest, SliceIndicesAndSizes) {
+  const Dataset d = MakeToy();
+  const auto idx1 = d.SliceIndices(1);
+  ASSERT_EQ(idx1.size(), 3u);
+  EXPECT_EQ(idx1[0], 2u);
+  EXPECT_EQ(idx1[2], 4u);
+  const auto sizes = d.SliceSizes(3);
+  EXPECT_EQ(sizes[0], 2u);
+  EXPECT_EQ(sizes[1], 3u);
+  EXPECT_EQ(sizes[2], 1u);
+}
+
+TEST(DatasetTest, SliceSizesIgnoresOutOfRange) {
+  Dataset d(1);
+  Example e;
+  e.features = {0.0};
+  e.slice = 7;
+  ASSERT_TRUE(d.Append(e).ok());
+  const auto sizes = d.SliceSizes(3);
+  EXPECT_EQ(sizes[0] + sizes[1] + sizes[2], 0u);
+}
+
+TEST(DatasetTest, SubsetPreservesOrderAndContent) {
+  const Dataset d = MakeToy();
+  const Dataset sub = d.Subset({5, 0});
+  ASSERT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub.slice(0), 2);
+  EXPECT_EQ(sub.features(1)[0], 0.0);
+}
+
+TEST(DatasetTest, SliceSubset) {
+  const Dataset d = MakeToy();
+  const Dataset s1 = d.SliceSubset(1);
+  EXPECT_EQ(s1.size(), 3u);
+  for (size_t i = 0; i < s1.size(); ++i) EXPECT_EQ(s1.slice(i), 1);
+}
+
+TEST(DatasetTest, MergeConcatenates) {
+  Dataset a = MakeToy();
+  const Dataset b = MakeToy();
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_EQ(a.size(), 12u);
+  EXPECT_EQ(a.SliceSizes(3)[1], 6u);
+}
+
+TEST(DatasetTest, MergeDimMismatchFails) {
+  Dataset a = MakeToy();
+  Dataset b(3);
+  Example e;
+  e.features = {1.0, 2.0, 3.0};
+  ASSERT_TRUE(b.Append(e).ok());
+  EXPECT_FALSE(a.Merge(b).ok());
+}
+
+TEST(DatasetTest, MergeEmptyIsNoOp) {
+  Dataset a = MakeToy();
+  EXPECT_TRUE(a.Merge(Dataset()).ok());
+  EXPECT_EQ(a.size(), 6u);
+}
+
+TEST(DatasetTest, SampleWithoutReplacementDistinctRows) {
+  const Dataset d = MakeToy();
+  Rng rng(1);
+  const Dataset s = d.Sample(4, &rng);
+  EXPECT_EQ(s.size(), 4u);
+  std::set<double> firsts;
+  for (size_t i = 0; i < s.size(); ++i) firsts.insert(s.features(i)[0]);
+  EXPECT_EQ(firsts.size(), 4u);
+}
+
+TEST(DatasetTest, StratifiedSampleKeepsFractionPerSlice) {
+  Dataset d(1);
+  for (int s = 0; s < 3; ++s) {
+    for (int i = 0; i < 100; ++i) {
+      Example e;
+      e.features = {0.0};
+      e.slice = s;
+      ASSERT_TRUE(d.Append(e).ok());
+    }
+  }
+  Rng rng(2);
+  const Dataset sub = d.StratifiedSample(0.3, 1, 3, &rng);
+  const auto sizes = sub.SliceSizes(3);
+  for (int s = 0; s < 3; ++s) EXPECT_EQ(sizes[static_cast<size_t>(s)], 30u);
+}
+
+TEST(DatasetTest, StratifiedSampleRespectsMinPerSlice) {
+  Dataset d(1);
+  for (int i = 0; i < 50; ++i) {
+    Example e;
+    e.features = {0.0};
+    e.slice = 0;
+    ASSERT_TRUE(d.Append(e).ok());
+  }
+  Rng rng(3);
+  const Dataset sub = d.StratifiedSample(0.02, 10, 1, &rng);
+  EXPECT_EQ(sub.size(), 10u);
+}
+
+TEST(DatasetTest, FeatureMatrixMatchesRows) {
+  const Dataset d = MakeToy();
+  const Matrix f = d.FeatureMatrix();
+  ASSERT_EQ(f.rows(), 6u);
+  ASSERT_EQ(f.cols(), 2u);
+  EXPECT_EQ(f(3, 1), 30.0);
+}
+
+TEST(DatasetTest, GatherFeaturesAndLabels) {
+  const Dataset d = MakeToy();
+  const Matrix f = d.GatherFeatures({1, 3});
+  EXPECT_EQ(f(0, 0), 1.0);
+  EXPECT_EQ(f(1, 0), 3.0);
+  const auto labels = d.GatherLabels({1, 3});
+  EXPECT_EQ(labels[0], 1);
+  EXPECT_EQ(labels[1], 1);
+}
+
+// ------------------------------------------------------------------ Splits
+
+Dataset BigSliced(int num_slices, int per_slice) {
+  Dataset d(1);
+  for (int s = 0; s < num_slices; ++s) {
+    for (int i = 0; i < per_slice; ++i) {
+      Example e;
+      e.features = {static_cast<double>(s)};
+      e.label = s % 2;
+      e.slice = s;
+      (void)d.Append(e);
+    }
+  }
+  return d;
+}
+
+TEST(SplitTest, PerSliceSplitSizes) {
+  const Dataset d = BigSliced(4, 100);
+  Rng rng(4);
+  const auto split = SplitPerSlice(d, 4, 20, &rng);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->validation.size(), 80u);
+  EXPECT_EQ(split->train.size(), 320u);
+  const auto val_sizes = split->validation.SliceSizes(4);
+  for (int s = 0; s < 4; ++s) EXPECT_EQ(val_sizes[static_cast<size_t>(s)], 20u);
+}
+
+TEST(SplitTest, PerSliceSplitIsDisjointAndComplete) {
+  const Dataset d = BigSliced(2, 10);
+  Rng rng(5);
+  const auto split = SplitPerSlice(d, 2, 3, &rng);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->train.size() + split->validation.size(), d.size());
+}
+
+TEST(SplitTest, SmallSlicesContributeHalf) {
+  const Dataset d = BigSliced(1, 4);
+  Rng rng(6);
+  const auto split = SplitPerSlice(d, 1, 100, &rng);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->validation.size(), 2u);
+  EXPECT_EQ(split->train.size(), 2u);
+}
+
+TEST(SplitTest, PerSliceRejectsEmptyOrBadArgs) {
+  Rng rng(7);
+  EXPECT_FALSE(SplitPerSlice(Dataset(1), 2, 5, &rng).ok());
+  const Dataset d = BigSliced(2, 10);
+  EXPECT_FALSE(SplitPerSlice(d, 0, 5, &rng).ok());
+}
+
+TEST(SplitTest, RandomSplitFractions) {
+  const Dataset d = BigSliced(2, 100);
+  Rng rng(8);
+  const auto split = SplitRandom(d, 0.25, &rng);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->validation.size(), 50u);
+  EXPECT_EQ(split->train.size(), 150u);
+}
+
+TEST(SplitTest, RandomSplitRejectsBadFraction) {
+  const Dataset d = BigSliced(1, 10);
+  Rng rng(9);
+  EXPECT_FALSE(SplitRandom(d, -0.1, &rng).ok());
+  EXPECT_FALSE(SplitRandom(d, 1.5, &rng).ok());
+}
+
+}  // namespace
+}  // namespace slicetuner

@@ -1,0 +1,105 @@
+// Tests for the experiment runner used by the benchmark harnesses.
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+
+namespace slicetuner {
+namespace {
+
+ExperimentConfig FastConfig() {
+  ExperimentConfig config;
+  config.preset = MakeCensusLike();
+  config.initial_sizes = EqualSizes(4, 100);
+  config.val_per_slice = 80;
+  config.budget = 200.0;
+  config.lambda = 1.0;
+  config.trials = 2;
+  config.seed = 5;
+  config.curve_options.num_points = 4;
+  config.curve_options.num_curve_draws = 1;
+  return config;
+}
+
+TEST(ExperimentTest, OriginalAcquiresNothing) {
+  const auto outcome = RunMethod(FastConfig(), Method::kOriginal);
+  ASSERT_TRUE(outcome.ok());
+  for (double a : outcome->acquired_mean) EXPECT_EQ(a, 0.0);
+  EXPECT_GT(outcome->loss_mean, 0.0);
+  EXPECT_EQ(outcome->iterations_mean, 0.0);
+}
+
+TEST(ExperimentTest, UniformAcquiresEqualAmounts) {
+  const auto outcome = RunMethod(FastConfig(), Method::kUniform);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_EQ(outcome->acquired_mean.size(), 4u);
+  for (double a : outcome->acquired_mean) EXPECT_DOUBLE_EQ(a, 50.0);
+}
+
+TEST(ExperimentTest, ModerateSpendsBudget) {
+  const auto outcome = RunMethod(FastConfig(), Method::kModerate);
+  ASSERT_TRUE(outcome.ok());
+  double total = 0.0;
+  for (double a : outcome->acquired_mean) total += a;
+  EXPECT_GT(total, 150.0);
+  EXPECT_LE(total, 200.0 + 1e-9);
+  EXPECT_GE(outcome->iterations_mean, 1.0);
+  EXPECT_GT(outcome->model_trainings, 0);
+}
+
+TEST(ExperimentTest, MeansAndErrorsArePopulated) {
+  const auto outcome = RunMethod(FastConfig(), Method::kWaterFilling);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_GT(outcome->loss_mean, 0.0);
+  EXPECT_GE(outcome->loss_se, 0.0);
+  EXPECT_GE(outcome->avg_eer_mean, 0.0);
+  EXPECT_GE(outcome->max_eer_mean, outcome->avg_eer_mean);
+  EXPECT_GT(outcome->wall_seconds, 0.0);
+}
+
+TEST(ExperimentTest, DeterministicGivenSeed) {
+  const auto o1 = RunMethod(FastConfig(), Method::kUniform);
+  const auto o2 = RunMethod(FastConfig(), Method::kUniform);
+  ASSERT_TRUE(o1.ok());
+  ASSERT_TRUE(o2.ok());
+  EXPECT_DOUBLE_EQ(o1->loss_mean, o2->loss_mean);
+  EXPECT_DOUBLE_EQ(o1->avg_eer_mean, o2->avg_eer_mean);
+}
+
+TEST(ExperimentTest, RejectsBadConfigs) {
+  ExperimentConfig config = FastConfig();
+  config.initial_sizes = EqualSizes(3, 100);  // wrong arity
+  EXPECT_FALSE(RunMethod(config, Method::kUniform).ok());
+  config = FastConfig();
+  config.trials = 0;
+  EXPECT_FALSE(RunMethod(config, Method::kUniform).ok());
+}
+
+TEST(ExperimentTest, MethodNamesMatchPaper) {
+  EXPECT_STREQ(MethodName(Method::kOriginal), "Original");
+  EXPECT_STREQ(MethodName(Method::kOneShot), "One-shot");
+  EXPECT_STREQ(MethodName(Method::kWaterFilling), "Water filling");
+  EXPECT_STREQ(MethodName(Method::kConservative), "Conservative");
+}
+
+TEST(ExperimentTest, EqualSizesHelper) {
+  const auto sizes = EqualSizes(3, 42);
+  ASSERT_EQ(sizes.size(), 3u);
+  for (size_t s : sizes) EXPECT_EQ(s, 42u);
+}
+
+TEST(ExperimentTest, ExponentialSizesDecay) {
+  const auto sizes = ExponentialSizes(5, 400, 0.7, 50);
+  ASSERT_EQ(sizes.size(), 5u);
+  EXPECT_EQ(sizes[0], 400u);
+  for (size_t i = 1; i < sizes.size(); ++i) {
+    EXPECT_LE(sizes[i], sizes[i - 1]);
+    EXPECT_GE(sizes[i], 50u);
+  }
+  // Floor kicks in eventually.
+  const auto floored = ExponentialSizes(10, 100, 0.3, 20);
+  EXPECT_EQ(floored[9], 20u);
+}
+
+}  // namespace
+}  // namespace slicetuner

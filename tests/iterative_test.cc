@@ -1,0 +1,196 @@
+// Tests for Algorithm 1 (the Iterative algorithm): budget accounting, the
+// minimum-slice-size top-up, the imbalance-ratio cap, and the T-growth
+// strategies.
+
+#include <gtest/gtest.h>
+
+#include "core/iterative.h"
+#include "core/metrics.h"
+#include "data/synthetic.h"
+
+namespace slicetuner {
+namespace {
+
+struct Fixture {
+  DatasetPreset preset = MakeCensusLike();
+  Dataset train;
+  Dataset validation;
+  std::unique_ptr<SyntheticPool> source;
+
+  explicit Fixture(std::vector<size_t> sizes = {120, 120, 120, 120}) {
+    Rng rng(21);
+    train = preset.generator.GenerateDataset(sizes, &rng);
+    validation = preset.generator.GenerateDataset({100, 100, 100, 100}, &rng);
+    source = std::make_unique<SyntheticPool>(
+        &preset.generator, std::make_unique<TableCost>(preset.costs),
+        rng());
+  }
+
+  IterativeOptions FastOptions(IterationStrategy strategy) const {
+    IterativeOptions o;
+    o.strategy = strategy;
+    o.curve_options.num_points = 4;
+    o.curve_options.num_curve_draws = 1;
+    o.curve_options.seed = 31;
+    o.max_iterations = 10;
+    return o;
+  }
+};
+
+TEST(IterativeTest, SpendsBudgetAndGrowsData) {
+  Fixture f;
+  const size_t before = f.train.size();
+  const auto result = RunIterative(
+      &f.train, f.validation, 4, f.preset.model_spec, f.preset.trainer,
+      f.source.get(), 400.0, f.FastOptions(IterationStrategy::kModerate));
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->iterations, 0);
+  EXPECT_LE(result->budget_spent, 400.0 + 1e-9);
+  EXPECT_GT(result->budget_spent, 390.0);
+  long long acquired_total = 0;
+  for (long long a : result->acquired) acquired_total += a;
+  EXPECT_EQ(f.train.size(), before + static_cast<size_t>(acquired_total));
+}
+
+TEST(IterativeTest, AcquiredMatchesSliceGrowth) {
+  Fixture f;
+  const auto before = f.train.SliceSizes(4);
+  const auto result = RunIterative(
+      &f.train, f.validation, 4, f.preset.model_spec, f.preset.trainer,
+      f.source.get(), 300.0, f.FastOptions(IterationStrategy::kAggressive));
+  ASSERT_TRUE(result.ok());
+  const auto after = f.train.SliceSizes(4);
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_EQ(after[s] - before[s],
+              static_cast<size_t>(result->acquired[s]));
+  }
+}
+
+TEST(IterativeTest, MinSliceSizeToppedUpFirst) {
+  Fixture f({20, 120, 120, 120});
+  IterativeOptions o = f.FastOptions(IterationStrategy::kModerate);
+  o.min_slice_size = 50;
+  const auto result =
+      RunIterative(&f.train, f.validation, 4, f.preset.model_spec,
+                   f.preset.trainer, f.source.get(), 300.0, o);
+  ASSERT_TRUE(result.ok());
+  const auto sizes = f.train.SliceSizes(4);
+  EXPECT_GE(sizes[0], 50u);
+  // At least the 30-example top-up went to slice 0.
+  EXPECT_GE(result->acquired[0], 30);
+}
+
+TEST(IterativeTest, BudgetTooSmallForTopUpFails) {
+  Fixture f({5, 120, 120, 120});
+  IterativeOptions o = f.FastOptions(IterationStrategy::kModerate);
+  o.min_slice_size = 1000;
+  const auto result =
+      RunIterative(&f.train, f.validation, 4, f.preset.model_spec,
+                   f.preset.trainer, f.source.get(), 50.0, o);
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(IterativeTest, ConservativeUsesMoreIterationsThanAggressive) {
+  // Conservative caps IR change at 1 each round; Aggressive doubles the cap,
+  // so it should finish in at most as many iterations.
+  Fixture f1, f2;
+  const auto conservative = RunIterative(
+      &f1.train, f1.validation, 4, f1.preset.model_spec, f1.preset.trainer,
+      f1.source.get(), 600.0, f1.FastOptions(IterationStrategy::kConservative));
+  const auto aggressive = RunIterative(
+      &f2.train, f2.validation, 4, f2.preset.model_spec, f2.preset.trainer,
+      f2.source.get(), 600.0, f2.FastOptions(IterationStrategy::kAggressive));
+  ASSERT_TRUE(conservative.ok());
+  ASSERT_TRUE(aggressive.ok());
+  EXPECT_GE(conservative->iterations, aggressive->iterations);
+}
+
+TEST(IterativeTest, ModelTrainingsAccumulateAcrossIterations) {
+  Fixture f;
+  const auto result = RunIterative(
+      &f.train, f.validation, 4, f.preset.model_spec, f.preset.trainer,
+      f.source.get(), 400.0, f.FastOptions(IterationStrategy::kConservative));
+  ASSERT_TRUE(result.ok());
+  // K per iteration.
+  EXPECT_EQ(result->model_trainings, 4 * result->iterations);
+  EXPECT_EQ(result->final_curves.size(), 4u);
+}
+
+TEST(IterativeTest, RespectsMaxIterations) {
+  Fixture f;
+  IterativeOptions o = f.FastOptions(IterationStrategy::kConservative);
+  o.max_iterations = 2;
+  const auto result =
+      RunIterative(&f.train, f.validation, 4, f.preset.model_spec,
+                   f.preset.trainer, f.source.get(), 5000.0, o);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->iterations, 2);
+}
+
+TEST(IterativeTest, NullArgumentsRejected) {
+  Fixture f;
+  EXPECT_FALSE(RunIterative(nullptr, f.validation, 4, f.preset.model_spec,
+                            f.preset.trainer, f.source.get(), 100.0,
+                            IterativeOptions())
+                   .ok());
+  EXPECT_FALSE(RunIterative(&f.train, f.validation, 4, f.preset.model_spec,
+                            f.preset.trainer, nullptr, 100.0,
+                            IterativeOptions())
+                   .ok());
+  EXPECT_FALSE(RunIterative(&f.train, f.validation, 0, f.preset.model_spec,
+                            f.preset.trainer, f.source.get(), 100.0,
+                            IterativeOptions())
+                   .ok());
+}
+
+TEST(IterativeTest, ZeroBudgetDoesNothing) {
+  Fixture f;
+  const size_t before = f.train.size();
+  const auto result = RunIterative(
+      &f.train, f.validation, 4, f.preset.model_spec, f.preset.trainer,
+      f.source.get(), 0.0, f.FastOptions(IterationStrategy::kModerate));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->iterations, 0);
+  EXPECT_EQ(f.train.size(), before);
+}
+
+TEST(IterativeTest, OneShotAcquisitionUsesSingleIteration) {
+  Fixture f;
+  LearningCurveOptions curve_options;
+  curve_options.num_points = 4;
+  curve_options.num_curve_draws = 1;
+  curve_options.seed = 17;
+  const auto result = RunOneShotAcquisition(
+      &f.train, f.validation, 4, f.preset.model_spec, f.preset.trainer,
+      f.source.get(), 300.0, 1.0, curve_options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->iterations, 1);
+  EXPECT_LE(result->budget_spent, 300.0 + 1e-9);
+  EXPECT_GT(result->budget_spent, 290.0);
+}
+
+TEST(IterativeTest, StrategyNames) {
+  EXPECT_STREQ(StrategyName(IterationStrategy::kConservative),
+               "Conservative");
+  EXPECT_STREQ(StrategyName(IterationStrategy::kModerate), "Moderate");
+  EXPECT_STREQ(StrategyName(IterationStrategy::kAggressive), "Aggressive");
+}
+
+TEST(IterativeTest, ImbalanceRatioCapHolds) {
+  // With Conservative (T = 1 fixed) and an initially balanced dataset, the
+  // imbalance ratio after the first iteration can be at most IR0 + 1.
+  Fixture f;
+  IterativeOptions o = f.FastOptions(IterationStrategy::kConservative);
+  o.max_iterations = 1;
+  const auto before_sizes = f.train.SliceSizes(4);
+  const double ir_before = ImbalanceRatioOf(before_sizes);
+  const auto result =
+      RunIterative(&f.train, f.validation, 4, f.preset.model_spec,
+                   f.preset.trainer, f.source.get(), 2000.0, o);
+  ASSERT_TRUE(result.ok());
+  const double ir_after = ImbalanceRatioOf(f.train.SliceSizes(4));
+  EXPECT_LE(ir_after, ir_before + 1.0 + 0.05);
+}
+
+}  // namespace
+}  // namespace slicetuner

@@ -1,0 +1,176 @@
+// Tests for the Learning Curve Estimator (Section 4): both estimation modes,
+// the amortized training-count guarantee, curve sanity (loss decreasing in
+// data), and graceful degradation on unreliable slices.
+
+#include <gtest/gtest.h>
+
+#include "core/learning_curve.h"
+#include "data/synthetic.h"
+
+namespace slicetuner {
+namespace {
+
+struct Fixture {
+  DatasetPreset preset;
+  Dataset train;
+  Dataset validation;
+
+  explicit Fixture(size_t per_slice = 150, size_t val_per_slice = 120)
+      : preset(MakeCensusLike()) {
+    Rng rng(11);
+    std::vector<size_t> sizes(static_cast<size_t>(preset.num_slices()),
+                              per_slice);
+    train = preset.generator.GenerateDataset(sizes, &rng);
+    std::vector<size_t> val_sizes(static_cast<size_t>(preset.num_slices()),
+                                  val_per_slice);
+    validation = preset.generator.GenerateDataset(val_sizes, &rng);
+  }
+};
+
+LearningCurveOptions FastOptions() {
+  LearningCurveOptions o;
+  o.num_points = 5;
+  o.num_curve_draws = 2;
+  o.seed = 5;
+  return o;
+}
+
+TEST(LearningCurveTest, EfficientModeTrainsKModels) {
+  Fixture f;
+  const auto result = EstimateLearningCurves(
+      f.train, f.validation, f.preset.num_slices(), f.preset.model_spec,
+      f.preset.trainer, FastOptions());
+  ASSERT_TRUE(result.ok());
+  // Section 4.2: the number of trainings is K, independent of |S|.
+  EXPECT_EQ(result->model_trainings, 5);
+  EXPECT_EQ(result->slices.size(), 4u);
+}
+
+TEST(LearningCurveTest, ExhaustiveModeTrainsKTimesSModels) {
+  Fixture f;
+  LearningCurveOptions o = FastOptions();
+  o.exhaustive = true;
+  const auto result = EstimateLearningCurves(
+      f.train, f.validation, f.preset.num_slices(), f.preset.model_spec,
+      f.preset.trainer, o);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->model_trainings, 5 * 4);
+}
+
+TEST(LearningCurveTest, CurvesHavePositiveParameters) {
+  Fixture f;
+  const auto result = EstimateLearningCurves(
+      f.train, f.validation, f.preset.num_slices(), f.preset.model_spec,
+      f.preset.trainer, FastOptions());
+  ASSERT_TRUE(result.ok());
+  for (const auto& s : result->slices) {
+    EXPECT_GT(s.curve.b, 0.0);
+    EXPECT_GE(s.curve.a, 0.0);
+    EXPECT_FALSE(s.points.empty());
+  }
+}
+
+TEST(LearningCurveTest, PointsCoverIncreasingSizes) {
+  Fixture f;
+  const auto result = EstimateLearningCurves(
+      f.train, f.validation, f.preset.num_slices(), f.preset.model_spec,
+      f.preset.trainer, FastOptions());
+  ASSERT_TRUE(result.ok());
+  for (const auto& s : result->slices) {
+    ASSERT_GE(s.points.size(), 2u);
+    EXPECT_LT(s.points.front().size, s.points.back().size);
+  }
+}
+
+TEST(LearningCurveTest, MeasuredLossesDecreaseWithData) {
+  // On the easy separable slice (slice 0 of census has the largest margin),
+  // the loss at the largest subset should be below the loss at the smallest.
+  Fixture f(400, 150);
+  LearningCurveOptions o = FastOptions();
+  o.num_points = 6;
+  const auto result = EstimateLearningCurves(
+      f.train, f.validation, f.preset.num_slices(), f.preset.model_spec,
+      f.preset.trainer, o);
+  ASSERT_TRUE(result.ok());
+  int decreasing = 0;
+  for (const auto& s : result->slices) {
+    if (s.points.back().loss < s.points.front().loss) ++decreasing;
+  }
+  // At least half the slices should show the expected trend even with noise.
+  EXPECT_GE(decreasing, 2);
+}
+
+TEST(LearningCurveTest, DeterministicGivenSeed) {
+  Fixture f;
+  const auto r1 = EstimateLearningCurves(
+      f.train, f.validation, f.preset.num_slices(), f.preset.model_spec,
+      f.preset.trainer, FastOptions());
+  const auto r2 = EstimateLearningCurves(
+      f.train, f.validation, f.preset.num_slices(), f.preset.model_spec,
+      f.preset.trainer, FastOptions());
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  for (size_t s = 0; s < r1->slices.size(); ++s) {
+    EXPECT_DOUBLE_EQ(r1->slices[s].curve.b, r2->slices[s].curve.b);
+    EXPECT_DOUBLE_EQ(r1->slices[s].curve.a, r2->slices[s].curve.a);
+  }
+}
+
+TEST(LearningCurveTest, SerialMatchesParallel) {
+  Fixture f;
+  LearningCurveOptions serial = FastOptions();
+  serial.parallel = false;
+  LearningCurveOptions parallel = FastOptions();
+  parallel.parallel = true;
+  const auto r1 = EstimateLearningCurves(
+      f.train, f.validation, f.preset.num_slices(), f.preset.model_spec,
+      f.preset.trainer, serial);
+  const auto r2 = EstimateLearningCurves(
+      f.train, f.validation, f.preset.num_slices(), f.preset.model_spec,
+      f.preset.trainer, parallel);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  for (size_t s = 0; s < r1->slices.size(); ++s) {
+    EXPECT_DOUBLE_EQ(r1->slices[s].curve.b, r2->slices[s].curve.b);
+    EXPECT_DOUBLE_EQ(r1->slices[s].curve.a, r2->slices[s].curve.a);
+  }
+}
+
+TEST(LearningCurveTest, EmptySliceGetsUnreliableDefaultCurve) {
+  Fixture f;
+  // Ask for 5 slices when only 4 exist: slice 4 has no data anywhere.
+  const auto result = EstimateLearningCurves(
+      f.train, f.validation, 5, f.preset.model_spec, f.preset.trainer,
+      FastOptions());
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->slices[4].reliable);
+  EXPECT_GT(result->slices[4].curve.b, 0.0);
+}
+
+TEST(LearningCurveTest, RejectsBadInput) {
+  Fixture f;
+  EXPECT_FALSE(EstimateLearningCurves(Dataset(1), f.validation, 4,
+                                      f.preset.model_spec, f.preset.trainer,
+                                      FastOptions())
+                   .ok());
+  EXPECT_FALSE(EstimateLearningCurves(f.train, Dataset(1), 4,
+                                      f.preset.model_spec, f.preset.trainer,
+                                      FastOptions())
+                   .ok());
+  EXPECT_FALSE(EstimateLearningCurves(f.train, f.validation, 0,
+                                      f.preset.model_spec, f.preset.trainer,
+                                      FastOptions())
+                   .ok());
+}
+
+TEST(LearningCurveTest, WallSecondsIsPopulated) {
+  Fixture f;
+  const auto result = EstimateLearningCurves(
+      f.train, f.validation, f.preset.num_slices(), f.preset.model_spec,
+      f.preset.trainer, FastOptions());
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->wall_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace slicetuner

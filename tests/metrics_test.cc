@@ -1,0 +1,117 @@
+// Tests for the accuracy/fairness metrics of Section 2.1.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/metrics.h"
+#include "nn/trainer.h"
+
+namespace slicetuner {
+namespace {
+
+TEST(EerTest, PaperToyExample) {
+  // Section 1's toy: losses {5, 3}, overall 4 -> unfairness 1.
+  EXPECT_DOUBLE_EQ(AverageEer({5.0, 3.0}, 4.0), 1.0);
+  // After acquisition: losses {2, 3}, overall 2.4 -> unfairness 0.5.
+  EXPECT_NEAR(AverageEer({2.0, 3.0}, 2.4), 0.5, 1e-12);
+}
+
+TEST(EerTest, MaxVariant) {
+  EXPECT_DOUBLE_EQ(MaxEer({5.0, 3.0}, 4.0), 1.0);
+  EXPECT_NEAR(MaxEer({2.0, 3.0}, 2.4), 0.6, 1e-12);
+  EXPECT_EQ(MaxEer({}, 1.0), 0.0);
+}
+
+TEST(EerTest, PerfectlyFairIsZero) {
+  EXPECT_EQ(AverageEer({0.5, 0.5, 0.5}, 0.5), 0.0);
+  EXPECT_EQ(MaxEer({0.5, 0.5, 0.5}, 0.5), 0.0);
+}
+
+TEST(InfluenceTest, ComputesLossChange) {
+  const auto inf = Influence({1.0, 2.0, 3.0}, {1.5, 1.0, 3.0});
+  ASSERT_EQ(inf.size(), 3u);
+  EXPECT_DOUBLE_EQ(inf[0], 0.5);   // got worse
+  EXPECT_DOUBLE_EQ(inf[1], -1.0);  // improved
+  EXPECT_DOUBLE_EQ(inf[2], 0.0);
+}
+
+TEST(ImbalanceRatioOfTest, BasicAndDegenerate) {
+  EXPECT_DOUBLE_EQ(ImbalanceRatioOf({10, 20, 30}), 3.0);
+  EXPECT_DOUBLE_EQ(ImbalanceRatioOf({10, 10}), 1.0);
+  // Zero sizes are ignored.
+  EXPECT_DOUBLE_EQ(ImbalanceRatioOf({0, 10, 20}), 2.0);
+  EXPECT_DOUBLE_EQ(ImbalanceRatioOf({0, 0}), 1.0);
+}
+
+// A hand-built "model" scenario: logits that perfectly predict slice 0 and
+// guess uniformly on slice 1 should yield per-slice losses ~0 and ~log(2).
+TEST(EvaluatePerSliceTest, SeparatesSliceQuality) {
+  Rng rng(1);
+  // Slice 0: points at (+4, label 1) and (-4, label 0) — separable.
+  // Slice 1: points at 0 with random labels — irreducible.
+  Dataset train(1), validation(1);
+  for (int i = 0; i < 200; ++i) {
+    Example e;
+    const bool positive = i % 2 == 0;
+    e.features = {positive ? 4.0 + rng.Normal() : -4.0 + rng.Normal()};
+    e.label = positive ? 1 : 0;
+    e.slice = 0;
+    (void)train.Append(e);
+    (void)validation.Append(e);
+    Example h;
+    h.features = {rng.Normal() * 0.2};
+    h.label = rng.Bernoulli(0.5) ? 1 : 0;
+    h.slice = 1;
+    (void)train.Append(h);
+    (void)validation.Append(h);
+  }
+  Rng model_rng(2);
+  Model model = BuildModel(ModelSpec{1, 2, {8}, 0, 32}, &model_rng);
+  TrainerOptions opts;
+  opts.epochs = 25;
+  ASSERT_TRUE(
+      Train(&model, train.FeatureMatrix(), train.Labels(), opts).ok());
+  const auto metrics = EvaluatePerSlice(&model, validation, 2);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_LT(metrics->slice_losses[0], 0.15);
+  EXPECT_GT(metrics->slice_losses[1], 0.5);
+  EXPECT_GT(metrics->avg_eer, 0.2);
+  EXPECT_GE(metrics->max_eer, metrics->avg_eer);
+  // Overall loss lies between the two slice losses.
+  EXPECT_GT(metrics->overall_loss, metrics->slice_losses[0]);
+  EXPECT_LT(metrics->overall_loss, metrics->slice_losses[1]);
+}
+
+TEST(EvaluatePerSliceTest, RejectsBadInput) {
+  Rng rng(3);
+  Model model = BuildModel(ModelSpec{1, 2, {}, 0, 32}, &rng);
+  EXPECT_FALSE(EvaluatePerSlice(&model, Dataset(1), 2).ok());
+  Dataset d(1);
+  Example e;
+  e.features = {0.0};
+  (void)d.Append(e);
+  EXPECT_FALSE(EvaluatePerSlice(&model, d, 0).ok());
+}
+
+TEST(EvaluatePerSliceTest, EmptySlicesExcludedFromEer) {
+  Rng rng(4);
+  Model model = BuildModel(ModelSpec{1, 2, {}, 0, 32}, &rng);
+  Dataset d(1);
+  for (int i = 0; i < 10; ++i) {
+    Example e;
+    e.features = {rng.Normal()};
+    e.label = i % 2;
+    e.slice = 0;  // only slice 0 populated out of 3
+    (void)d.Append(e);
+  }
+  const auto metrics = EvaluatePerSlice(&model, d, 3);
+  ASSERT_TRUE(metrics.ok());
+  // One populated slice: its loss equals the overall loss, EER = 0.
+  EXPECT_NEAR(metrics->avg_eer, 0.0, 1e-12);
+  EXPECT_EQ(metrics->slice_losses[1], 0.0);
+  EXPECT_EQ(metrics->slice_losses[2], 0.0);
+}
+
+}  // namespace
+}  // namespace slicetuner

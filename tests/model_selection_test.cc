@@ -1,0 +1,88 @@
+// Tests for learning-curve model selection (AIC over parametric families).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "curvefit/model_selection.h"
+
+namespace slicetuner {
+namespace {
+
+std::vector<CurvePoint> FromFunction(double (*f)(double), double noise,
+                                     uint64_t seed) {
+  Rng rng(seed);
+  std::vector<CurvePoint> points;
+  for (double x = 10.0; x <= 10000.0; x *= 1.5) {
+    points.push_back(CurvePoint{x, f(x) * (1.0 + rng.Normal(0.0, noise))});
+  }
+  return points;
+}
+
+double PurePowerLaw(double x) { return 3.0 * std::pow(x, -0.4); }
+double PowerLawWithFloor(double x) {
+  return 3.0 * std::pow(x, -0.6) + 0.5;
+}
+double LogCurve(double x) { return 2.0 - 0.15 * std::log(x); }
+
+TEST(ModelSelectionTest, PurePowerLawPicksPowerFamily) {
+  const auto best = SelectCurveModel(FromFunction(PurePowerLaw, 0.0, 1));
+  ASSERT_TRUE(best.ok());
+  // Either power family is acceptable: the floor variant can fit c ~ 0.
+  EXPECT_TRUE(*best == "power_law" || *best == "power_law_floor") << *best;
+}
+
+TEST(ModelSelectionTest, FlooredCurvePicksFloorFamily) {
+  const auto best =
+      SelectCurveModel(FromFunction(PowerLawWithFloor, 0.0, 2));
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(*best, "power_law_floor");
+}
+
+TEST(ModelSelectionTest, LogarithmicDataPicksLogFamily) {
+  const auto best = SelectCurveModel(FromFunction(LogCurve, 0.0, 3));
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(*best, "logarithmic");
+}
+
+TEST(ModelSelectionTest, ReportsSortedByAic) {
+  const auto reports =
+      CompareCurveModels(FromFunction(PowerLawWithFloor, 0.01, 4));
+  ASSERT_EQ(reports.size(), 4u);
+  for (size_t i = 1; i < reports.size(); ++i) {
+    if (reports[i].ok) {
+      EXPECT_LE(reports[i - 1].aic, reports[i].aic);
+    }
+  }
+}
+
+TEST(ModelSelectionTest, AicPenalizesExtraParamsOnTinySamples) {
+  // With exactly 3 clean power-law points, the 2-parameter family should
+  // not lose to the 3-parameter one by AIC.
+  std::vector<CurvePoint> points = {
+      {10.0, PurePowerLaw(10.0)},
+      {100.0, PurePowerLaw(100.0)},
+      {1000.0, PurePowerLaw(1000.0)},
+  };
+  const auto reports = CompareCurveModels(points);
+  ASSERT_TRUE(reports.front().ok);
+  EXPECT_EQ(reports.front().model_name, "power_law");
+}
+
+TEST(ModelSelectionTest, FailsOnNoUsablePoints) {
+  EXPECT_FALSE(SelectCurveModel({}).ok());
+  EXPECT_FALSE(
+      SelectCurveModel({CurvePoint{-1.0, 1.0}, CurvePoint{2.0, -1.0}}).ok());
+}
+
+TEST(ModelSelectionTest, NoisyPowerLawStillPrefersPowerFamilies) {
+  const auto reports =
+      CompareCurveModels(FromFunction(PurePowerLaw, 0.05, 5));
+  ASSERT_TRUE(reports.front().ok);
+  EXPECT_TRUE(reports.front().model_name == "power_law" ||
+              reports.front().model_name == "power_law_floor");
+}
+
+}  // namespace
+}  // namespace slicetuner

@@ -1,0 +1,191 @@
+// Tests for the NN extensions: dropout (train/eval modes, inverted
+// scaling), learning-rate decay schedules, and gradient clipping.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/dropout.h"
+#include "nn/model.h"
+#include "nn/optimizer.h"
+#include "nn/trainer.h"
+#include "tensor/ops.h"
+
+namespace slicetuner {
+namespace {
+
+TEST(DropoutTest, EvalModeIsIdentity) {
+  DropoutLayer dropout(0.5);
+  dropout.set_training(false);
+  Matrix x(4, 8, 1.0);
+  Matrix y;
+  dropout.Forward(x, &y);
+  EXPECT_LT(MaxAbsDiff(x, y), 1e-12);
+}
+
+TEST(DropoutTest, TrainingModeZeroesAboutRateFraction) {
+  DropoutLayer dropout(0.3, 11);
+  dropout.set_training(true);
+  Matrix x(100, 100, 1.0);
+  Matrix y;
+  dropout.Forward(x, &y);
+  size_t zeros = 0;
+  for (size_t i = 0; i < y.size(); ++i) {
+    if (y.data()[i] == 0.0) ++zeros;
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / static_cast<double>(y.size()),
+              0.3, 0.02);
+}
+
+TEST(DropoutTest, InvertedScalingPreservesExpectation) {
+  DropoutLayer dropout(0.4, 13);
+  dropout.set_training(true);
+  Matrix x(200, 200, 1.0);
+  Matrix y;
+  dropout.Forward(x, &y);
+  // E[y] = E[x] with inverted dropout.
+  EXPECT_NEAR(y.Sum() / static_cast<double>(y.size()), 1.0, 0.02);
+}
+
+TEST(DropoutTest, BackwardUsesSameMask) {
+  DropoutLayer dropout(0.5, 17);
+  dropout.set_training(true);
+  Matrix x(10, 10, 1.0);
+  Matrix y;
+  dropout.Forward(x, &y);
+  Matrix grad_y(10, 10, 1.0);
+  Matrix grad_x;
+  dropout.Backward(grad_y, &grad_x);
+  // Gradient must be zero exactly where the output was zeroed, and scaled
+  // identically elsewhere.
+  for (size_t i = 0; i < y.size(); ++i) {
+    EXPECT_DOUBLE_EQ(grad_x.data()[i], y.data()[i]);
+  }
+}
+
+TEST(DropoutTest, ZeroRateIsIdentityEvenWhenTraining) {
+  DropoutLayer dropout(0.0);
+  dropout.set_training(true);
+  Matrix x(5, 5, 2.0);
+  Matrix y;
+  dropout.Forward(x, &y);
+  EXPECT_LT(MaxAbsDiff(x, y), 1e-12);
+}
+
+TEST(DropoutTest, ModelSetTrainingTogglesDropoutLayers) {
+  Rng rng(19);
+  ModelSpec spec{8, 2, {16}, 0, 32};
+  spec.dropout = 0.5;
+  Model model = BuildModel(spec, &rng);
+  // In eval mode (default), two identical Predict calls agree exactly.
+  Matrix x(20, 8);
+  x.FillNormal(&rng, 1.0);
+  Matrix p1, p2;
+  model.Predict(x, &p1);
+  model.Predict(x, &p2);
+  EXPECT_LT(MaxAbsDiff(p1, p2), 1e-12);
+  // In training mode the dropout mask varies between forward passes.
+  model.SetTraining(true);
+  Matrix l1, l2;
+  model.ForwardLogits(x, &l1);
+  model.ForwardLogits(x, &l2);
+  EXPECT_GT(MaxAbsDiff(l1, l2), 1e-9);
+  model.SetTraining(false);
+}
+
+TEST(DropoutTest, TrainerRestoresEvalMode) {
+  Rng rng(23);
+  ModelSpec spec{4, 2, {8}, 0, 32};
+  spec.dropout = 0.3;
+  Model model = BuildModel(spec, &rng);
+  Matrix x(32, 4);
+  x.FillNormal(&rng, 1.0);
+  std::vector<int> labels(32);
+  for (size_t i = 0; i < 32; ++i) labels[i] = static_cast<int>(i % 2);
+  TrainerOptions opts;
+  opts.epochs = 3;
+  ASSERT_TRUE(Train(&model, x, labels, opts).ok());
+  // After Train, dropout must be off: predictions deterministic.
+  Matrix p1, p2;
+  model.Predict(x, &p1);
+  model.Predict(x, &p2);
+  EXPECT_LT(MaxAbsDiff(p1, p2), 1e-12);
+}
+
+TEST(LrScheduleTest, SetLearningRateChangesStepSize) {
+  Matrix p(1, 1, 0.0);
+  Matrix g(1, 1, 1.0);
+  Sgd sgd(0.1);
+  Matrix gc = g;
+  sgd.Step({&p}, {&gc});
+  EXPECT_NEAR(p(0, 0), -0.1, 1e-12);
+  sgd.set_learning_rate(0.01);
+  gc = g;
+  sgd.Step({&p}, {&gc});
+  EXPECT_NEAR(p(0, 0), -0.11, 1e-12);
+}
+
+TEST(LrScheduleTest, DecayReducesLateUpdates) {
+  // With aggressive decay, the parameters move much less in later epochs;
+  // check training still converges and runs all epochs.
+  Rng rng(29);
+  Matrix x(100, 2);
+  std::vector<int> labels(100);
+  for (size_t i = 0; i < 100; ++i) {
+    labels[i] = static_cast<int>(i % 2);
+    const double c = labels[i] == 0 ? -2.0 : 2.0;
+    x(i, 0) = rng.Normal(c, 0.5);
+    x(i, 1) = rng.Normal(c, 0.5);
+  }
+  Model m1 = BuildModel(ModelSpec{2, 2, {8}, 0, 32}, &rng);
+  Model m2 = m1;
+  TrainerOptions no_decay;
+  no_decay.epochs = 15;
+  TrainerOptions with_decay = no_decay;
+  with_decay.lr_decay = 0.7;
+  const auto log1 = Train(&m1, x, labels, no_decay);
+  const auto log2 = Train(&m2, x, labels, with_decay);
+  ASSERT_TRUE(log1.ok());
+  ASSERT_TRUE(log2.ok());
+  // Both should learn the separable problem.
+  EXPECT_GT(EvaluateAccuracy(&m1, x, labels), 0.9);
+  EXPECT_GT(EvaluateAccuracy(&m2, x, labels), 0.9);
+}
+
+TEST(ClipTest, GradientsClippedToNorm) {
+  // Train one step with a huge learning problem and tiny clip_norm; the
+  // parameter movement must be bounded by lr * clip_norm.
+  Rng rng(31);
+  Model model = BuildModel(ModelSpec{2, 2, {}, 0, 32}, &rng);
+  Matrix x = {{100.0, -100.0}, {-100.0, 100.0}};
+  std::vector<int> labels = {0, 1};
+  // Snapshot initial params.
+  std::vector<Matrix> before;
+  for (Matrix* p : model.Params()) before.push_back(*p);
+  TrainerOptions opts;
+  opts.epochs = 1;
+  opts.batch_size = 2;
+  opts.optimizer = OptimizerKind::kSgd;
+  opts.learning_rate = 1.0;
+  opts.weight_decay = 0.0;
+  opts.clip_norm = 0.01;
+  ASSERT_TRUE(Train(&model, x, labels, opts).ok());
+  double movement_sq = 0.0;
+  const auto params = model.Params();
+  for (size_t i = 0; i < params.size(); ++i) {
+    for (size_t j = 0; j < params[i]->size(); ++j) {
+      const double d = params[i]->data()[j] - before[i].data()[j];
+      movement_sq += d * d;
+    }
+  }
+  EXPECT_LE(std::sqrt(movement_sq), 1.0 * 0.01 + 1e-9);
+}
+
+TEST(ClipTest, DisabledByDefault) {
+  TrainerOptions opts;
+  EXPECT_EQ(opts.clip_norm, 0.0);
+  EXPECT_EQ(opts.lr_decay, 1.0);
+}
+
+}  // namespace
+}  // namespace slicetuner

@@ -1,0 +1,108 @@
+// Tests for the One-shot algorithm (Section 5.1).
+
+#include <gtest/gtest.h>
+
+#include "core/one_shot.h"
+#include "data/synthetic.h"
+
+namespace slicetuner {
+namespace {
+
+SliceCurveEstimate MakeCurve(double b, double a) {
+  SliceCurveEstimate est;
+  est.curve.b = b;
+  est.curve.a = a;
+  est.reliable = true;
+  return est;
+}
+
+TEST(PlanWithCurvesTest, SpendsBudgetOnSteepSlice) {
+  const std::vector<SliceCurveEstimate> curves = {MakeCurve(5.0, 0.5),
+                                                  MakeCurve(3.0, 0.05)};
+  const auto plan = PlanOneShotWithCurves(curves, {100, 100}, {1.0, 1.0},
+                                          200.0, /*lambda=*/0.0);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_GT(plan->examples[0], plan->examples[1]);
+  long long total = plan->examples[0] + plan->examples[1];
+  EXPECT_LE(total, 200);
+  EXPECT_GE(total, 199);
+}
+
+TEST(PlanWithCurvesTest, FlatCurvesFallBackGracefully) {
+  // Two equally flat curves with equal sizes: the plan should be roughly
+  // symmetric (no pathological all-in-one-slice behavior).
+  const std::vector<SliceCurveEstimate> curves = {MakeCurve(1.0, 0.05),
+                                                  MakeCurve(1.0, 0.05)};
+  const auto plan = PlanOneShotWithCurves(curves, {100, 100}, {1.0, 1.0},
+                                          100.0, 1.0);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NEAR(static_cast<double>(plan->examples[0]),
+              static_cast<double>(plan->examples[1]), 10.0);
+}
+
+TEST(PlanWithCurvesTest, RespectsCosts) {
+  const std::vector<SliceCurveEstimate> curves = {MakeCurve(2.0, 0.3),
+                                                  MakeCurve(2.0, 0.3)};
+  const auto plan = PlanOneShotWithCurves(curves, {100, 100}, {5.0, 1.0},
+                                          100.0, 0.0);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_LT(plan->examples[0], plan->examples[1]);
+  const double spend = 5.0 * static_cast<double>(plan->examples[0]) +
+                       static_cast<double>(plan->examples[1]);
+  EXPECT_LE(spend, 100.0 + 1e-9);
+}
+
+TEST(PlanWithCurvesTest, ErrorsOnInconsistentArity) {
+  const std::vector<SliceCurveEstimate> curves = {MakeCurve(2.0, 0.3)};
+  EXPECT_FALSE(
+      PlanOneShotWithCurves(curves, {100, 100}, {1.0, 1.0}, 100.0, 1.0)
+          .ok());
+}
+
+TEST(PlanOneShotTest, EndToEndOnCensusPreset) {
+  const DatasetPreset preset = MakeCensusLike();
+  Rng rng(3);
+  const Dataset train = preset.generator.GenerateDataset(
+      {150, 150, 150, 150}, &rng);
+  const Dataset validation = preset.generator.GenerateDataset(
+      {120, 120, 120, 120}, &rng);
+  OneShotOptions options;
+  options.lambda = 1.0;
+  options.curve_options.num_points = 5;
+  options.curve_options.num_curve_draws = 2;
+  options.curve_options.seed = 9;
+  const auto plan =
+      PlanOneShot(train, validation, 4, preset.model_spec, preset.trainer,
+                  preset.costs, 500.0, options);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->examples.size(), 4u);
+  EXPECT_EQ(plan->model_trainings, 5);
+  long long total = 0;
+  for (long long d : plan->examples) {
+    EXPECT_GE(d, 0);
+    total += d;
+  }
+  EXPECT_LE(total, 500);
+  EXPECT_GE(total, 495);  // nearly all the budget is spent (cost = 1)
+  EXPECT_EQ(plan->curves.size(), 4u);
+}
+
+TEST(PlanOneShotTest, ZeroBudgetPlansNothing) {
+  const DatasetPreset preset = MakeCensusLike();
+  Rng rng(4);
+  const Dataset train = preset.generator.GenerateDataset(
+      {100, 100, 100, 100}, &rng);
+  const Dataset validation = preset.generator.GenerateDataset(
+      {80, 80, 80, 80}, &rng);
+  OneShotOptions options;
+  options.curve_options.num_points = 4;
+  options.curve_options.num_curve_draws = 1;
+  const auto plan =
+      PlanOneShot(train, validation, 4, preset.model_spec, preset.trainer,
+                  preset.costs, 0.0, options);
+  ASSERT_TRUE(plan.ok());
+  for (long long d : plan->examples) EXPECT_EQ(d, 0);
+}
+
+}  // namespace
+}  // namespace slicetuner

@@ -1,0 +1,421 @@
+// Tests for the optimization module: budget-simplex projection, the PGD
+// allocation solver (cross-checked against the closed-form KKT solver and
+// brute force), rounding, and the change-ratio root finder.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "opt/allocation.h"
+#include "opt/change_ratio.h"
+#include "opt/projection.h"
+#include "opt/water_filling.h"
+
+namespace slicetuner {
+namespace {
+
+// -------------------------------------------------------------- Projection
+
+TEST(ProjectionTest, FeasiblePointsSatisfyConstraints) {
+  const auto d = ProjectOntoBudgetSimplex({10.0, -5.0, 3.0},
+                                          {1.0, 2.0, 1.5}, 12.0);
+  ASSERT_TRUE(d.ok());
+  for (double v : *d) EXPECT_GE(v, 0.0);
+  EXPECT_NEAR(Spend(*d, {1.0, 2.0, 1.5}), 12.0, 1e-6);
+}
+
+TEST(ProjectionTest, AlreadyFeasibleIsFixedPoint) {
+  const std::vector<double> costs = {1.0, 1.0};
+  const std::vector<double> v = {3.0, 7.0};  // spend = 10
+  const auto d = ProjectOntoBudgetSimplex(v, costs, 10.0);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR((*d)[0], 3.0, 1e-6);
+  EXPECT_NEAR((*d)[1], 7.0, 1e-6);
+}
+
+TEST(ProjectionTest, ProjectionIsClosestFeasiblePoint) {
+  // Verify against a dense sweep on the 2D constraint line.
+  const std::vector<double> costs = {1.0, 2.0};
+  const std::vector<double> v = {5.0, 1.0};
+  const double budget = 6.0;
+  const auto d = ProjectOntoBudgetSimplex(v, costs, budget);
+  ASSERT_TRUE(d.ok());
+  const double proj_dist = std::pow((*d)[0] - v[0], 2.0) +
+                           std::pow((*d)[1] - v[1], 2.0);
+  for (double x = 0.0; x * costs[0] <= budget; x += 0.001) {
+    const double y = (budget - x * costs[0]) / costs[1];
+    const double dist =
+        std::pow(x - v[0], 2.0) + std::pow(y - v[1], 2.0);
+    EXPECT_GE(dist + 1e-6, proj_dist);
+  }
+}
+
+TEST(ProjectionTest, NegativeInputClampsToZero) {
+  const auto d =
+      ProjectOntoBudgetSimplex({-100.0, 10.0}, {1.0, 1.0}, 5.0);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR((*d)[0], 0.0, 1e-6);
+  EXPECT_NEAR((*d)[1], 5.0, 1e-6);
+}
+
+TEST(ProjectionTest, RejectsBadInput) {
+  EXPECT_FALSE(ProjectOntoBudgetSimplex({1.0}, {1.0, 2.0}, 1.0).ok());
+  EXPECT_FALSE(ProjectOntoBudgetSimplex({1.0}, {0.0}, 1.0).ok());
+  EXPECT_FALSE(ProjectOntoBudgetSimplex({1.0}, {1.0}, -1.0).ok());
+}
+
+TEST(ProjectionTest, ZeroBudgetGivesZeroVector) {
+  const auto d = ProjectOntoBudgetSimplex({5.0, 5.0}, {1.0, 1.0}, 0.0);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR((*d)[0] + (*d)[1], 0.0, 1e-9);
+}
+
+// -------------------------------------------------------------- Allocation
+
+AllocationProblem TwoSliceProblem() {
+  // Slice 0: high loss, steep curve (big cost-benefit). Slice 1: low loss,
+  // nearly flat curve (little benefit). Marginal gains at size 100:
+  // 0.5*5*100^-1.5 = 2.5e-3 vs 0.05*0.5*100^-1.05 = 2e-4.
+  AllocationProblem p;
+  p.curves = {PowerLawCurve{5.0, 0.5}, PowerLawCurve{0.5, 0.05}};
+  p.sizes = {100.0, 100.0};
+  p.costs = {1.0, 1.0};
+  p.budget = 200.0;
+  p.lambda = 0.0;
+  return p;
+}
+
+TEST(AllocationTest, SpendsWholeBudget) {
+  const auto r = SolveAllocation(TwoSliceProblem());
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(Spend(r->examples, {1.0, 1.0}), 200.0, 1e-6);
+  for (double d : r->examples) EXPECT_GE(d, 0.0);
+}
+
+TEST(AllocationTest, SteeperCurveGetsMoreData) {
+  // Slice 0 has much higher loss and steeper curve: it should receive the
+  // bulk of the budget (the paper's toy example of Section 1).
+  const auto r = SolveAllocation(TwoSliceProblem());
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->examples[0], r->examples[1]);
+  EXPECT_GT(r->examples[0], 150.0);
+}
+
+TEST(AllocationTest, MatchesKktSolverAtLambdaZero) {
+  for (double budget : {50.0, 200.0, 1000.0}) {
+    AllocationProblem p = TwoSliceProblem();
+    p.budget = budget;
+    const auto pgd = SolveAllocation(p);
+    const auto kkt = SolveAllocationKkt(p);
+    ASSERT_TRUE(pgd.ok());
+    ASSERT_TRUE(kkt.ok());
+    EXPECT_NEAR(pgd->objective, kkt->objective, 1e-4)
+        << "budget " << budget;
+    for (size_t i = 0; i < 2; ++i) {
+      EXPECT_NEAR(pgd->examples[i], kkt->examples[i],
+                  0.02 * budget + 1.0)
+          << "budget " << budget << " slice " << i;
+    }
+  }
+}
+
+TEST(AllocationTest, BeatsBruteForceGridAtLambdaZero) {
+  AllocationProblem p = TwoSliceProblem();
+  const auto r = SolveAllocation(p);
+  ASSERT_TRUE(r.ok());
+  double best = HUGE_VAL;
+  for (double d0 = 0.0; d0 <= p.budget; d0 += 0.5) {
+    const std::vector<double> d = {d0, p.budget - d0};
+    best = std::min(best, AllocationObjective(p, d));
+  }
+  EXPECT_LE(r->objective, best + 1e-4);
+}
+
+TEST(AllocationTest, BeatsBruteForceGridWithLambda) {
+  AllocationProblem p = TwoSliceProblem();
+  p.lambda = 2.0;
+  const auto r = SolveAllocation(p);
+  ASSERT_TRUE(r.ok());
+  double best = HUGE_VAL;
+  for (double d0 = 0.0; d0 <= p.budget; d0 += 0.5) {
+    const std::vector<double> d = {d0, p.budget - d0};
+    best = std::min(best, AllocationObjective(p, d));
+  }
+  EXPECT_LE(r->objective, best + 1e-3);
+}
+
+TEST(AllocationTest, LambdaShiftsBudgetTowardHighLossSlices) {
+  // Slice 0: high loss (3.0 at size 200) but almost flat (a = 0.05), so its
+  // marginal gain a*loss/x = 0.15/x is below slice 1's 0.5/x (loss 1.0,
+  // a = 0.5). Pure loss minimization favors slice 1; a large enough lambda
+  // multiplies slice 0's marginal by (1 + lambda/A) and must shift budget
+  // toward the unfair (above-average-loss) slice.
+  AllocationProblem p;
+  p.curves = {PowerLawCurve{3.0 * std::pow(200.0, 0.05), 0.05},
+              PowerLawCurve{std::pow(200.0, 0.5), 0.5}};
+  p.sizes = {200.0, 200.0};
+  p.costs = {1.0, 1.0};
+  p.budget = 400.0;
+  p.lambda = 0.0;
+  const auto r0 = SolveAllocation(p);
+  p.lambda = 20.0;
+  const auto r20 = SolveAllocation(p);
+  ASSERT_TRUE(r0.ok());
+  ASSERT_TRUE(r20.ok());
+  EXPECT_GT(r20->examples[0], r0->examples[0] + 10.0);
+}
+
+TEST(AllocationTest, CostsShiftAllocation) {
+  // Same curves, but slice 0 is 3x more expensive: it should get less than
+  // in the equal-cost problem.
+  AllocationProblem equal;
+  equal.curves = {PowerLawCurve{2.0, 0.3}, PowerLawCurve{2.0, 0.3}};
+  equal.sizes = {100.0, 100.0};
+  equal.costs = {1.0, 1.0};
+  equal.budget = 300.0;
+  equal.lambda = 0.0;
+  AllocationProblem skewed = equal;
+  skewed.costs = {3.0, 1.0};
+  const auto re = SolveAllocation(equal);
+  const auto rs = SolveAllocation(skewed);
+  ASSERT_TRUE(re.ok());
+  ASSERT_TRUE(rs.ok());
+  EXPECT_NEAR(re->examples[0], re->examples[1], 1.0);  // symmetric
+  EXPECT_LT(rs->examples[0], rs->examples[1]);
+}
+
+TEST(AllocationTest, ZeroBudgetReturnsZeros) {
+  AllocationProblem p = TwoSliceProblem();
+  p.budget = 0.0;
+  const auto r = SolveAllocation(p);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->examples[0], 0.0);
+  EXPECT_EQ(r->examples[1], 0.0);
+}
+
+TEST(AllocationTest, RejectsInvalidProblems) {
+  AllocationProblem p = TwoSliceProblem();
+  p.costs = {1.0};  // arity mismatch
+  EXPECT_FALSE(SolveAllocation(p).ok());
+  p = TwoSliceProblem();
+  p.costs = {0.0, 1.0};
+  EXPECT_FALSE(SolveAllocation(p).ok());
+  p = TwoSliceProblem();
+  p.budget = -5.0;
+  EXPECT_FALSE(SolveAllocation(p).ok());
+  p = TwoSliceProblem();
+  p.lambda = -1.0;
+  EXPECT_FALSE(SolveAllocation(p).ok());
+  p = TwoSliceProblem();
+  p.curves[0].b = -1.0;
+  EXPECT_FALSE(SolveAllocation(p).ok());
+  EXPECT_FALSE(SolveAllocation(AllocationProblem()).ok());
+}
+
+TEST(AllocationTest, ManySlicesConverges) {
+  AllocationProblem p;
+  for (int i = 0; i < 20; ++i) {
+    p.curves.push_back(
+        PowerLawCurve{1.0 + 0.2 * i, 0.1 + 0.03 * i});
+    p.sizes.push_back(100.0 + 10.0 * i);
+    p.costs.push_back(1.0 + 0.05 * i);
+  }
+  p.budget = 5000.0;
+  p.lambda = 1.0;
+  const auto r = SolveAllocation(p);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(Spend(r->examples, p.costs), 5000.0, 1e-3);
+}
+
+// ---------------------------------------------------------------- Rounding
+
+TEST(RoundingTest, IntegersRespectBudget) {
+  AllocationProblem p = TwoSliceProblem();
+  const auto r = SolveAllocation(p);
+  ASSERT_TRUE(r.ok());
+  const auto rounded = RoundAllocation(p, r->examples);
+  double spend = 0.0;
+  for (size_t i = 0; i < rounded.size(); ++i) {
+    EXPECT_GE(rounded[i], 0);
+    spend += static_cast<double>(rounded[i]) * p.costs[i];
+  }
+  EXPECT_LE(spend, p.budget + 1e-9);
+  // Integer spend should be within one max-cost of the budget.
+  EXPECT_GE(spend, p.budget - 1.0 - 1e-9);
+}
+
+TEST(RoundingTest, FractionalCostsDoNotOverspend) {
+  AllocationProblem p;
+  p.curves = {PowerLawCurve{2.0, 0.3}, PowerLawCurve{2.0, 0.3},
+              PowerLawCurve{2.0, 0.3}};
+  p.sizes = {50.0, 50.0, 50.0};
+  p.costs = {1.2, 1.4, 1.5};
+  p.budget = 100.0;
+  p.lambda = 1.0;
+  const auto r = SolveAllocation(p);
+  ASSERT_TRUE(r.ok());
+  const auto rounded = RoundAllocation(p, r->examples);
+  double spend = 0.0;
+  for (size_t i = 0; i < rounded.size(); ++i) {
+    spend += static_cast<double>(rounded[i]) * p.costs[i];
+  }
+  EXPECT_LE(spend, p.budget + 1e-9);
+  EXPECT_GE(spend, p.budget - 1.5);
+}
+
+// --------------------------------------------------------------------- KKT
+
+TEST(KktTest, SpendsExactBudget) {
+  const auto r = SolveAllocationKkt(TwoSliceProblem());
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(Spend(r->examples, {1.0, 1.0}), 200.0, 1e-6);
+}
+
+TEST(KktTest, EqualCurvesEqualSizesSplitEvenly) {
+  AllocationProblem p;
+  p.curves = {PowerLawCurve{2.0, 0.3}, PowerLawCurve{2.0, 0.3}};
+  p.sizes = {100.0, 100.0};
+  p.costs = {1.0, 1.0};
+  p.budget = 100.0;
+  const auto r = SolveAllocationKkt(p);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->examples[0], 50.0, 0.5);
+  EXPECT_NEAR(r->examples[1], 50.0, 0.5);
+}
+
+TEST(KktTest, EqualCurvesUnequalSizesEqualizesTotals) {
+  // With identical curves, the optimum tops the smaller slice up first —
+  // exactly the paper's observation that Water filling is optimal for
+  // identical curves.
+  AllocationProblem p;
+  p.curves = {PowerLawCurve{2.0, 0.3}, PowerLawCurve{2.0, 0.3}};
+  p.sizes = {50.0, 150.0};
+  p.costs = {1.0, 1.0};
+  p.budget = 100.0;
+  const auto r = SolveAllocationKkt(p);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(p.sizes[0] + r->examples[0], p.sizes[1] + r->examples[1], 1.0);
+}
+
+TEST(KktTest, RejectsInvalid) {
+  AllocationProblem p = TwoSliceProblem();
+  p.sizes.pop_back();
+  EXPECT_FALSE(SolveAllocationKkt(p).ok());
+}
+
+// ------------------------------------------------------------- Max penalty
+
+TEST(MaxPenaltyTest, ObjectiveUsesOnlyWorstSlice) {
+  AllocationProblem p;
+  p.curves = {PowerLawCurve{4.0, 0.1}, PowerLawCurve{3.0, 0.1},
+              PowerLawCurve{1.0, 0.1}};
+  p.sizes = {100.0, 100.0, 100.0};
+  p.costs = {1.0, 1.0, 1.0};
+  p.budget = 0.0;
+  p.lambda = 2.0;
+  const std::vector<double> d = {0.0, 0.0, 0.0};
+  p.penalty = PenaltyKind::kAverage;
+  const double avg_obj = AllocationObjective(p, d);
+  p.penalty = PenaltyKind::kMax;
+  const double max_obj = AllocationObjective(p, d);
+  // Two slices exceed the average loss, so the average penalty counts both
+  // while the max penalty counts only the worst one.
+  EXPECT_LT(max_obj, avg_obj);
+  // Both exceed the raw loss sum.
+  const double raw = p.curves[0].Eval(100.0) + p.curves[1].Eval(100.0) +
+                     p.curves[2].Eval(100.0);
+  EXPECT_GT(max_obj, raw);
+}
+
+TEST(MaxPenaltyTest, SolverBeatsBruteForceGrid) {
+  AllocationProblem p;
+  p.curves = {PowerLawCurve{5.0, 0.5}, PowerLawCurve{0.5, 0.05}};
+  p.sizes = {100.0, 100.0};
+  p.costs = {1.0, 1.0};
+  p.budget = 200.0;
+  p.lambda = 3.0;
+  p.penalty = PenaltyKind::kMax;
+  const auto r = SolveAllocation(p);
+  ASSERT_TRUE(r.ok());
+  double best = HUGE_VAL;
+  for (double d0 = 0.0; d0 <= p.budget; d0 += 0.5) {
+    best = std::min(best,
+                    AllocationObjective(p, {d0, p.budget - d0}));
+  }
+  EXPECT_LE(r->objective, best + 1e-3);
+}
+
+TEST(MaxPenaltyTest, PushesBudgetToWorstSlice) {
+  // Slice 0 is the worst and nearly flat; a large max-penalty lambda must
+  // route more budget there than lambda = 0 does.
+  AllocationProblem p;
+  p.curves = {PowerLawCurve{3.0 * std::pow(200.0, 0.05), 0.05},
+              PowerLawCurve{std::pow(200.0, 0.5), 0.5}};
+  p.sizes = {200.0, 200.0};
+  p.costs = {1.0, 1.0};
+  p.budget = 400.0;
+  p.penalty = PenaltyKind::kMax;
+  p.lambda = 0.0;
+  const auto r0 = SolveAllocation(p);
+  p.lambda = 40.0;
+  const auto r40 = SolveAllocation(p);
+  ASSERT_TRUE(r0.ok());
+  ASSERT_TRUE(r40.ok());
+  EXPECT_GT(r40->examples[0], r0->examples[0] + 10.0);
+}
+
+// -------------------------------------------------------------- ChangeRatio
+
+TEST(ChangeRatioTest, ImbalanceRatioBasics) {
+  EXPECT_DOUBLE_EQ(ImbalanceRatio({10.0, 20.0, 30.0}), 3.0);
+  EXPECT_DOUBLE_EQ(ImbalanceRatio({5.0}), 1.0);
+}
+
+TEST(ChangeRatioTest, PaperExample) {
+  // Section 5.2's worked example: sizes [10,10], plan [10,40], target 2.
+  // Solution: (10+40x)/(10+10x) = 2 -> x = 0.5.
+  const auto x = GetChangeRatio({10.0, 10.0}, {10.0, 40.0}, 2.0);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(*x, 0.5, 1e-6);
+}
+
+TEST(ChangeRatioTest, FullPlanWithinLimitReturnsOne) {
+  // After-IR is 1.5; target 2.0 is not exceeded.
+  const auto x = GetChangeRatio({10.0, 10.0}, {0.0, 5.0}, 2.0);
+  ASSERT_TRUE(x.ok());
+  EXPECT_DOUBLE_EQ(*x, 1.0);
+}
+
+TEST(ChangeRatioTest, DecreasingImbalanceDirection) {
+  // Acquiring only for the small slice decreases IR from 4 to 1.5;
+  // a target of 2 (between them) must be achievable.
+  const auto x = GetChangeRatio({10.0, 40.0}, {30.0, 0.0}, 2.0);
+  ASSERT_TRUE(x.ok());
+  const double s0 = 10.0 + *x * 30.0;
+  EXPECT_NEAR(40.0 / s0, 2.0, 1e-6);
+}
+
+TEST(ChangeRatioTest, SolutionHitsTargetExactly) {
+  const std::vector<double> sizes = {100.0, 250.0, 60.0};
+  const std::vector<double> plan = {400.0, 0.0, 100.0};
+  const double start = ImbalanceRatio(sizes);
+  std::vector<double> after(3);
+  for (int i = 0; i < 3; ++i) after[i] = sizes[i] + plan[i];
+  const double full = ImbalanceRatio(after);
+  const double target = 0.5 * (start + full);
+  const auto x = GetChangeRatio(sizes, plan, target);
+  ASSERT_TRUE(x.ok());
+  std::vector<double> scaled(3);
+  for (int i = 0; i < 3; ++i) scaled[i] = sizes[i] + *x * plan[i];
+  EXPECT_NEAR(ImbalanceRatio(scaled), target, 1e-6);
+}
+
+TEST(ChangeRatioTest, RejectsInvalidInput) {
+  EXPECT_FALSE(GetChangeRatio({}, {}, 2.0).ok());
+  EXPECT_FALSE(GetChangeRatio({0.0, 10.0}, {1.0, 1.0}, 2.0).ok());
+  EXPECT_FALSE(GetChangeRatio({10.0}, {1.0, 1.0}, 2.0).ok());
+  EXPECT_FALSE(GetChangeRatio({10.0, 10.0}, {-1.0, 1.0}, 2.0).ok());
+}
+
+}  // namespace
+}  // namespace slicetuner

@@ -1,0 +1,225 @@
+// Property-based tests (parameterized sweeps) on the library's invariants:
+// the allocation optimizer's KKT agreement and budget feasibility across a
+// grid of random problems, projection idempotence, change-ratio consistency,
+// baseline feasibility, and curve-fit recovery under noise.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "core/baselines.h"
+#include "curvefit/fitter.h"
+#include "opt/allocation.h"
+#include "opt/change_ratio.h"
+#include "opt/projection.h"
+#include "opt/water_filling.h"
+
+namespace slicetuner {
+namespace {
+
+// Builds a random-but-reproducible allocation problem from a seed.
+AllocationProblem RandomProblem(uint64_t seed, int n, double lambda) {
+  Rng rng(seed);
+  AllocationProblem p;
+  for (int i = 0; i < n; ++i) {
+    p.curves.push_back(PowerLawCurve{rng.Uniform(0.5, 5.0),
+                                     rng.Uniform(0.05, 0.9)});
+    p.sizes.push_back(rng.Uniform(20.0, 500.0));
+    p.costs.push_back(rng.Uniform(0.5, 2.0));
+  }
+  p.budget = rng.Uniform(50.0, 3000.0);
+  p.lambda = lambda;
+  return p;
+}
+
+// ------------------------------------------------- allocation feasibility
+
+class AllocationFeasibilityTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(AllocationFeasibilityTest, SolutionIsFeasible) {
+  const AllocationProblem p = RandomProblem(GetParam(), 6, 1.0);
+  const auto r = SolveAllocation(p);
+  ASSERT_TRUE(r.ok());
+  for (double d : r->examples) EXPECT_GE(d, -1e-9);
+  EXPECT_NEAR(Spend(r->examples, p.costs), p.budget, 1e-3 * p.budget + 1e-6);
+}
+
+TEST_P(AllocationFeasibilityTest, ObjectiveNotWorseThanUniformSplit) {
+  const AllocationProblem p = RandomProblem(GetParam(), 6, 1.0);
+  const auto r = SolveAllocation(p);
+  ASSERT_TRUE(r.ok());
+  // Uniform-spend feasible point.
+  std::vector<double> uniform(p.curves.size());
+  double cost_sum = 0.0;
+  for (double c : p.costs) cost_sum += c;
+  for (size_t i = 0; i < uniform.size(); ++i) {
+    uniform[i] = p.budget / cost_sum;
+  }
+  EXPECT_LE(r->objective,
+            AllocationObjective(p, uniform) + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocationFeasibilityTest,
+                         testing::Range(uint64_t{100}, uint64_t{120}));
+
+// ----------------------------------------------------- PGD vs KKT agreement
+
+class PgdKktAgreementTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(PgdKktAgreementTest, ObjectivesAgreeAtLambdaZero) {
+  AllocationProblem p = RandomProblem(GetParam(), 5, 0.0);
+  const auto pgd = SolveAllocation(p);
+  const auto kkt = SolveAllocationKkt(p);
+  ASSERT_TRUE(pgd.ok());
+  ASSERT_TRUE(kkt.ok());
+  // Both solve the same convex problem; objectives must agree closely.
+  EXPECT_NEAR(pgd->objective, kkt->objective,
+              1e-3 * std::fabs(kkt->objective) + 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PgdKktAgreementTest,
+                         testing::Range(uint64_t{200}, uint64_t{220}));
+
+// -------------------------------------------------- projection properties
+
+class ProjectionPropertyTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(ProjectionPropertyTest, IdempotentAndFeasible) {
+  Rng rng(GetParam());
+  const int n = 5;
+  std::vector<double> v(n), costs(n);
+  for (int i = 0; i < n; ++i) {
+    v[i] = rng.Uniform(-50.0, 200.0);
+    costs[i] = rng.Uniform(0.5, 3.0);
+  }
+  const double budget = rng.Uniform(10.0, 500.0);
+  const auto d = ProjectOntoBudgetSimplex(v, costs, budget);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(Spend(*d, costs), budget, 1e-6 * budget + 1e-9);
+  // Projecting the projection changes nothing.
+  const auto d2 = ProjectOntoBudgetSimplex(*d, costs, budget);
+  ASSERT_TRUE(d2.ok());
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR((*d)[static_cast<size_t>(i)], (*d2)[static_cast<size_t>(i)],
+                1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProjectionPropertyTest,
+                         testing::Range(uint64_t{300}, uint64_t{325}));
+
+// ------------------------------------------------- change-ratio invariants
+
+class ChangeRatioPropertyTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChangeRatioPropertyTest, ScaledPlanHitsTargetRatio) {
+  Rng rng(GetParam());
+  const int n = 4;
+  std::vector<double> sizes(n), plan(n);
+  for (int i = 0; i < n; ++i) {
+    sizes[i] = rng.Uniform(10.0, 300.0);
+    plan[i] = rng.Uniform(0.0, 500.0);
+  }
+  const double r0 = ImbalanceRatio(sizes);
+  std::vector<double> after(n);
+  for (int i = 0; i < n; ++i) after[i] = sizes[i] + plan[i];
+  const double r1 = ImbalanceRatio(after);
+  if (std::fabs(r1 - r0) < 1e-6) return;  // nothing to cap
+  const double target = 0.5 * (r0 + r1);
+  const auto x = GetChangeRatio(sizes, plan, target);
+  ASSERT_TRUE(x.ok());
+  EXPECT_GE(*x, 0.0);
+  EXPECT_LE(*x, 1.0);
+  std::vector<double> scaled(n);
+  for (int i = 0; i < n; ++i) scaled[i] = sizes[i] + *x * plan[i];
+  EXPECT_NEAR(ImbalanceRatio(scaled), target, 1e-4 * target);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChangeRatioPropertyTest,
+                         testing::Range(uint64_t{400}, uint64_t{430}));
+
+// --------------------------------------------------- baseline feasibility
+
+class BaselinePropertyTest
+    : public testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(BaselinePropertyTest, PlansAreFeasibleAndNearlyExhaustBudget) {
+  const BaselineKind kind =
+      static_cast<BaselineKind>(std::get<0>(GetParam()));
+  Rng rng(std::get<1>(GetParam()));
+  const int n = 2 + static_cast<int>(rng.UniformInt(uint64_t{6}));
+  std::vector<size_t> sizes(static_cast<size_t>(n));
+  std::vector<double> costs(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    sizes[static_cast<size_t>(i)] =
+        1 + static_cast<size_t>(rng.UniformInt(uint64_t{400}));
+    costs[static_cast<size_t>(i)] = rng.Uniform(0.5, 2.0);
+  }
+  const double budget = rng.Uniform(10.0, 2000.0);
+  const auto d = BaselineAllocation(kind, sizes, costs, budget);
+  ASSERT_TRUE(d.ok());
+  double spend = 0.0;
+  double max_cost = 0.0;
+  for (size_t i = 0; i < d->size(); ++i) {
+    EXPECT_GE((*d)[i], 0);
+    spend += static_cast<double>((*d)[i]) * costs[i];
+    max_cost = std::max(max_cost, costs[i]);
+  }
+  EXPECT_LE(spend, budget + 1e-9);
+  // Proportional with all-zero sizes is the only case allowed to leave
+  // budget unspent beyond one example's cost.
+  if (kind != BaselineKind::kProportional) {
+    EXPECT_GE(spend, budget - max_cost - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndSeeds, BaselinePropertyTest,
+    testing::Combine(testing::Values(0, 1, 2),
+                     testing::Range(uint64_t{500}, uint64_t{510})));
+
+// -------------------------------------------------- curve fit under noise
+
+class CurveNoiseTest : public testing::TestWithParam<double> {};
+
+TEST_P(CurveNoiseTest, ExponentRecoveredWithinNoiseDependentTolerance) {
+  const double noise = GetParam();
+  Rng rng(static_cast<uint64_t>(noise * 1000) + 1);
+  std::vector<CurvePoint> points;
+  const double b = 2.5, a = 0.35;
+  for (double x = 30.0; x <= 3000.0; x *= 1.35) {
+    points.push_back(CurvePoint{
+        x, b * std::pow(x, -a) * (1.0 + rng.Normal(0.0, noise))});
+  }
+  FitOptions options;
+  options.num_draws = 5;
+  const auto fit = FitPowerLawAveraged(points, options);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->a, a, 0.02 + 2.0 * noise);
+  EXPECT_GT(fit->b, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseLevels, CurveNoiseTest,
+                         testing::Values(0.0, 0.02, 0.05, 0.1, 0.2));
+
+// ------------------------------------------- monotonicity of the optimum
+
+class BudgetMonotonicityTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(BudgetMonotonicityTest, MoreBudgetNeverWorsensTheObjective) {
+  AllocationProblem p = RandomProblem(GetParam(), 4, 1.0);
+  p.budget = 100.0;
+  const auto small = SolveAllocation(p);
+  p.budget = 500.0;
+  const auto large = SolveAllocation(p);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_LE(large->objective, small->objective + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BudgetMonotonicityTest,
+                         testing::Range(uint64_t{600}, uint64_t{615}));
+
+}  // namespace
+}  // namespace slicetuner

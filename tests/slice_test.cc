@@ -1,0 +1,203 @@
+// Tests for slicing: predicates, conjunction specs, label slicing, and the
+// Appendix-A automatic entropy-based slicer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "data/slice.h"
+
+namespace slicetuner {
+namespace {
+
+Dataset CategoricalData() {
+  // Features: [region (0/1/2), gender (0/1)].
+  Dataset d(2);
+  for (int region = 0; region < 3; ++region) {
+    for (int gender = 0; gender < 2; ++gender) {
+      for (int i = 0; i < 5; ++i) {
+        Example e;
+        e.features = {static_cast<double>(region),
+                      static_cast<double>(gender)};
+        e.label = region == 2 ? 1 : 0;
+        e.slice = 0;
+        (void)d.Append(e);
+      }
+    }
+  }
+  return d;
+}
+
+TEST(PredicateTest, MatchesExactValue) {
+  Predicate p{0, 1.0};
+  const double row_match[] = {1.0, 5.0};
+  const double row_miss[] = {2.0, 5.0};
+  EXPECT_TRUE(p.Matches(row_match));
+  EXPECT_FALSE(p.Matches(row_miss));
+}
+
+TEST(SliceSpecTest, ConjunctionRequiresAll) {
+  SliceSpec spec{"europe_female", {{0, 1.0}, {1, 1.0}}};
+  const double both[] = {1.0, 1.0};
+  const double one[] = {1.0, 0.0};
+  EXPECT_TRUE(spec.Matches(both));
+  EXPECT_FALSE(spec.Matches(one));
+}
+
+TEST(SliceSpecTest, EmptyConjunctionMatchesEverything) {
+  SliceSpec spec{"all", {}};
+  const double row[] = {3.0, 4.0};
+  EXPECT_TRUE(spec.Matches(row));
+}
+
+TEST(SlicerTest, FirstMatchWinsAndFallback) {
+  Slicer slicer({SliceSpec{"r0", {{0, 0.0}}}, SliceSpec{"r1", {{0, 1.0}}}});
+  EXPECT_EQ(slicer.num_slices(), 3u);
+  const double r0[] = {0.0, 0.0};
+  const double r1[] = {1.0, 0.0};
+  const double other[] = {2.0, 0.0};
+  EXPECT_EQ(slicer.Assign(r0), 0);
+  EXPECT_EQ(slicer.Assign(r1), 1);
+  EXPECT_EQ(slicer.Assign(other), 2);
+}
+
+TEST(SlicerTest, ApplyRelabelsAllRows) {
+  const Dataset d = CategoricalData();
+  Slicer slicer({SliceSpec{"r0", {{0, 0.0}}},
+                 SliceSpec{"r1", {{0, 1.0}}},
+                 SliceSpec{"r2", {{0, 2.0}}}});
+  const Dataset sliced = slicer.Apply(d);
+  ASSERT_EQ(sliced.size(), d.size());
+  const auto sizes = sliced.SliceSizes(4);
+  EXPECT_EQ(sizes[0], 10u);
+  EXPECT_EQ(sizes[1], 10u);
+  EXPECT_EQ(sizes[2], 10u);
+  EXPECT_EQ(sizes[3], 0u);
+}
+
+TEST(SlicerTest, ConjunctionSlicing) {
+  const Dataset d = CategoricalData();
+  // region=2 AND gender=1 (paper's region ^ gender example).
+  Slicer slicer({SliceSpec{"r2_female", {{0, 2.0}, {1, 1.0}}}});
+  const Dataset sliced = slicer.Apply(d);
+  const auto sizes = sliced.SliceSizes(2);
+  EXPECT_EQ(sizes[0], 5u);
+  EXPECT_EQ(sizes[1], 25u);
+}
+
+TEST(SliceByLabelTest, SliceEqualsLabel) {
+  const Dataset d = CategoricalData();
+  const Dataset sliced = SliceByLabel(d);
+  for (size_t i = 0; i < sliced.size(); ++i) {
+    EXPECT_EQ(sliced.slice(i), sliced.label(i));
+  }
+}
+
+TEST(LabelEntropyTest, PureAndUniform) {
+  const Dataset d = CategoricalData();
+  // Rows of region 2 all have label 1 -> entropy 0.
+  std::vector<size_t> pure;
+  std::vector<size_t> all;
+  for (size_t i = 0; i < d.size(); ++i) {
+    all.push_back(i);
+    if (d.features(i)[0] == 2.0) pure.push_back(i);
+  }
+  EXPECT_NEAR(LabelEntropy(d, pure), 0.0, 1e-12);
+  // Overall: 1/3 positives -> H = -(1/3 ln 1/3 + 2/3 ln 2/3).
+  const double expected =
+      -(1.0 / 3.0) * std::log(1.0 / 3.0) - (2.0 / 3.0) * std::log(2.0 / 3.0);
+  EXPECT_NEAR(LabelEntropy(d, all), expected, 1e-12);
+  EXPECT_EQ(LabelEntropy(d, {}), 0.0);
+}
+
+TEST(AutoSliceTest, SplitsMixedLabelsAlongInformativeFeature) {
+  // Labels depend on feature 0 only; AutoSlice should separate the classes.
+  Rng rng(1);
+  Dataset d(2);
+  for (int i = 0; i < 400; ++i) {
+    Example e;
+    const int label = i % 2;
+    e.features = {label == 0 ? rng.Uniform(0.0, 1.0) : rng.Uniform(2.0, 3.0),
+                  rng.Uniform()};
+    e.label = label;
+    (void)d.Append(e);
+  }
+  AutoSliceOptions options;
+  options.min_slice_size = 20;
+  options.max_slices = 4;
+  const auto result = AutoSlice(d, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->num_slices, 2);
+  // The split should remove most of the label entropy: the size-weighted
+  // average entropy must be far below the initial ~0.69 nats (small boundary
+  // groups below 2 * min_slice_size may legitimately stay mixed).
+  std::vector<std::vector<size_t>> groups(
+      static_cast<size_t>(result->num_slices));
+  for (size_t i = 0; i < d.size(); ++i) {
+    groups[static_cast<size_t>(result->assignments[i])].push_back(i);
+  }
+  double weighted_entropy = 0.0;
+  for (const auto& g : groups) {
+    if (g.empty()) continue;
+    weighted_entropy += LabelEntropy(d, g) *
+                        static_cast<double>(g.size()) /
+                        static_cast<double>(d.size());
+  }
+  EXPECT_LT(weighted_entropy, 0.1);
+}
+
+TEST(AutoSliceTest, PureDataStaysWhole) {
+  Dataset d(1);
+  for (int i = 0; i < 100; ++i) {
+    Example e;
+    e.features = {static_cast<double>(i)};
+    e.label = 0;
+    (void)d.Append(e);
+  }
+  const auto result = AutoSlice(d, AutoSliceOptions());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_slices, 1);
+}
+
+TEST(AutoSliceTest, RespectsMaxSlices) {
+  Rng rng(2);
+  Dataset d(1);
+  for (int i = 0; i < 800; ++i) {
+    Example e;
+    e.features = {rng.Uniform()};
+    e.label = static_cast<int>(rng.UniformInt(uint64_t{8}));
+    (void)d.Append(e);
+  }
+  AutoSliceOptions options;
+  options.max_slices = 3;
+  options.min_slice_size = 10;
+  const auto result = AutoSlice(d, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->num_slices, 3);
+}
+
+TEST(AutoSliceTest, RejectsEmptyDataset) {
+  EXPECT_FALSE(AutoSlice(Dataset(1), AutoSliceOptions()).ok());
+}
+
+TEST(AutoSliceTest, AssignmentsCoverAllRows) {
+  Rng rng(3);
+  Dataset d(2);
+  for (int i = 0; i < 300; ++i) {
+    Example e;
+    e.features = {rng.Uniform(), rng.Uniform()};
+    e.label = rng.Bernoulli(0.5) ? 1 : 0;
+    (void)d.Append(e);
+  }
+  const auto result = AutoSlice(d, AutoSliceOptions());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->assignments.size(), d.size());
+  for (int a : result->assignments) {
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, result->num_slices);
+  }
+}
+
+}  // namespace
+}  // namespace slicetuner

@@ -1,0 +1,150 @@
+// Tests for the SliceTuner facade: validation, suggestion, acquisition
+// paths, and evaluation.
+
+#include <gtest/gtest.h>
+
+#include "core/slice_tuner.h"
+#include "data/synthetic.h"
+
+namespace slicetuner {
+namespace {
+
+struct Fixture {
+  DatasetPreset preset = MakeCensusLike();
+  Dataset train;
+  Dataset validation;
+  std::unique_ptr<SyntheticPool> source;
+
+  Fixture() {
+    Rng rng(33);
+    train = preset.generator.GenerateDataset({120, 120, 120, 120}, &rng);
+    validation =
+        preset.generator.GenerateDataset({100, 100, 100, 100}, &rng);
+    source = std::make_unique<SyntheticPool>(
+        &preset.generator, std::make_unique<TableCost>(preset.costs),
+        rng());
+  }
+
+  SliceTunerOptions Options() const {
+    SliceTunerOptions o;
+    o.model_spec = preset.model_spec;
+    o.trainer = preset.trainer;
+    o.curve_options.num_points = 4;
+    o.curve_options.num_curve_draws = 1;
+    o.curve_options.seed = 13;
+    o.lambda = 1.0;
+    return o;
+  }
+};
+
+TEST(SliceTunerTest, CreateValidatesInputs) {
+  Fixture f;
+  EXPECT_TRUE(
+      SliceTuner::Create(f.train, f.validation, 4, f.Options()).ok());
+  EXPECT_FALSE(
+      SliceTuner::Create(Dataset(12), f.validation, 4, f.Options()).ok());
+  EXPECT_FALSE(
+      SliceTuner::Create(f.train, Dataset(12), 4, f.Options()).ok());
+  EXPECT_FALSE(
+      SliceTuner::Create(f.train, f.validation, 0, f.Options()).ok());
+  // Slice ids out of range.
+  EXPECT_EQ(SliceTuner::Create(f.train, f.validation, 2, f.Options())
+                .status()
+                .code(),
+            StatusCode::kOutOfRange);
+  // Model/data dim mismatch.
+  SliceTunerOptions bad = f.Options();
+  bad.model_spec.input_dim = 99;
+  EXPECT_FALSE(SliceTuner::Create(f.train, f.validation, 4, bad).ok());
+}
+
+TEST(SliceTunerTest, SliceSizesReflectTrainData) {
+  Fixture f;
+  auto tuner = SliceTuner::Create(f.train, f.validation, 4, f.Options());
+  ASSERT_TRUE(tuner.ok());
+  const auto sizes = tuner->SliceSizes();
+  ASSERT_EQ(sizes.size(), 4u);
+  for (size_t s : sizes) EXPECT_EQ(s, 120u);
+}
+
+TEST(SliceTunerTest, EstimateCurvesProducesAllSlices) {
+  Fixture f;
+  auto tuner = SliceTuner::Create(f.train, f.validation, 4, f.Options());
+  ASSERT_TRUE(tuner.ok());
+  const auto curves = tuner->EstimateCurves();
+  ASSERT_TRUE(curves.ok());
+  EXPECT_EQ(curves->slices.size(), 4u);
+}
+
+TEST(SliceTunerTest, SuggestReturnsAffordablePlan) {
+  Fixture f;
+  auto tuner = SliceTuner::Create(f.train, f.validation, 4, f.Options());
+  ASSERT_TRUE(tuner.ok());
+  UniformCost cost(1.0);
+  const auto plan = tuner->Suggest(cost, 200.0);
+  ASSERT_TRUE(plan.ok());
+  long long total = 0;
+  for (long long d : plan->examples) total += d;
+  EXPECT_LE(total, 200);
+  // Suggest must not mutate the training data.
+  EXPECT_EQ(tuner->train().size(), 480u);
+}
+
+TEST(SliceTunerTest, AcquireGrowsTrainingData) {
+  Fixture f;
+  auto tuner = SliceTuner::Create(f.train, f.validation, 4, f.Options());
+  ASSERT_TRUE(tuner.ok());
+  IterativeOptions it;
+  it.curve_options.num_points = 4;
+  it.max_iterations = 5;
+  const auto result = tuner->Acquire(f.source.get(), 200.0, it);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(tuner->train().size(), 480u);
+}
+
+TEST(SliceTunerTest, AcquireBaselineUniform) {
+  Fixture f;
+  auto tuner = SliceTuner::Create(f.train, f.validation, 4, f.Options());
+  ASSERT_TRUE(tuner.ok());
+  const auto result = tuner->AcquireBaseline(f.source.get(), 400.0,
+                                             BaselineKind::kUniform);
+  ASSERT_TRUE(result.ok());
+  for (long long a : result->acquired) EXPECT_EQ(a, 100);
+  EXPECT_EQ(tuner->train().size(), 880u);
+}
+
+TEST(SliceTunerTest, EvaluateProducesFiniteMetrics) {
+  Fixture f;
+  auto tuner = SliceTuner::Create(f.train, f.validation, 4, f.Options());
+  ASSERT_TRUE(tuner.ok());
+  const auto metrics = tuner->Evaluate(77);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_GT(metrics->overall_loss, 0.0);
+  EXPECT_LT(metrics->overall_loss, 5.0);
+  EXPECT_GE(metrics->avg_eer, 0.0);
+  EXPECT_GE(metrics->max_eer, metrics->avg_eer);
+}
+
+TEST(SliceTunerTest, AcquisitionImprovesLossOverOriginal) {
+  // End-to-end sanity: acquiring 600 examples with the tuner should not make
+  // the model worse than training on the initial data.
+  Fixture f;
+  auto original =
+      SliceTuner::Create(f.train, f.validation, 4, f.Options());
+  ASSERT_TRUE(original.ok());
+  const auto before = original->Evaluate(5);
+  ASSERT_TRUE(before.ok());
+
+  auto tuner = SliceTuner::Create(f.train, f.validation, 4, f.Options());
+  ASSERT_TRUE(tuner.ok());
+  IterativeOptions it;
+  it.max_iterations = 6;
+  const auto run = tuner->Acquire(f.source.get(), 600.0, it);
+  ASSERT_TRUE(run.ok());
+  const auto after = tuner->Evaluate(5);
+  ASSERT_TRUE(after.ok());
+  EXPECT_LT(after->overall_loss, before->overall_loss + 0.02);
+}
+
+}  // namespace
+}  // namespace slicetuner
