@@ -5,11 +5,16 @@
 #ifndef SLICETUNER_BENCH_BENCH_UTIL_H_
 #define SLICETUNER_BENCH_BENCH_UTIL_H_
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <sys/stat.h>
+#include <utility>
 #include <vector>
 
 #include "common/csv.h"
+#include "common/status.h"
 #include "common/string_util.h"
 #include "core/experiment.h"
 
@@ -57,6 +62,49 @@ inline LearningCurveOptions BenchCurveOptions(uint64_t seed) {
 inline std::vector<Method> SliceTunerMethods() {
   return {Method::kOriginal, Method::kOneShot, Method::kAggressive,
           Method::kModerate, Method::kConservative};
+}
+
+/// Parses an integer `--<flag>=N` argument (e.g. "--threads=").
+inline int ParseIntFlag(int argc, char** argv, const char* prefix,
+                        int default_value) {
+  const size_t len = std::strlen(prefix);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix, len) == 0) {
+      return std::atoi(argv[i] + len);
+    }
+  }
+  return default_value;
+}
+
+/// Parses `--threads=N` from the command line: the engine lane count the
+/// bench opts into (1 = serial, 0 = every core; see engine/parallel_for.h).
+/// Results are identical at any setting — only wall time changes.
+inline int ParseThreadsFlag(int argc, char** argv, int default_threads = 0) {
+  return ParseIntFlag(argc, argv, "--threads=", default_threads);
+}
+
+/// Writes a flat one-object JSON summary (BENCH_*.json convention). Values
+/// are emitted verbatim, so pass numbers pre-formatted ("12.5") and quote
+/// strings yourself ("\"serial\"").
+inline Status WriteBenchJson(
+    const std::string& path,
+    const std::vector<std::pair<std::string, std::string>>& fields) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::NotFound("WriteBenchJson: cannot open " + path);
+  }
+  std::fprintf(f, "{\n");
+  for (size_t i = 0; i < fields.size(); ++i) {
+    std::fprintf(f, "  \"%s\": %s%s\n", fields[i].first.c_str(),
+                 fields[i].second.c_str(),
+                 i + 1 < fields.size() ? "," : "");
+  }
+  std::fprintf(f, "}\n");
+  const bool write_error = std::ferror(f) != 0;
+  if (std::fclose(f) != 0 || write_error) {
+    return Status::Internal("WriteBenchJson: write failed for " + path);
+  }
+  return Status::OK();
 }
 
 }  // namespace bench

@@ -15,7 +15,8 @@ namespace slicetuner {
 namespace {
 
 void RunDataset(const DatasetPreset& preset, size_t init_per_slice,
-                const std::vector<int>& highlight, CsvWriter* csv) {
+                const std::vector<int>& highlight, int threads,
+                CsvWriter* csv) {
   Rng rng(2024);
   const int n = preset.num_slices();
   const Dataset train = preset.generator.GenerateDataset(
@@ -26,6 +27,9 @@ void RunDataset(const DatasetPreset& preset, size_t init_per_slice,
   LearningCurveOptions options = bench::BenchCurveOptions(7);
   options.num_points = 10;  // K = 10 as in Section 6.2
   options.num_curve_draws = 5;
+  // The K trainings fan out over the engine; fitted curves are identical at
+  // any --threads setting.
+  options.num_threads = threads;
   const auto result = EstimateLearningCurves(
       train, validation, n, preset.model_spec, preset.trainer, options);
   ST_CHECK_OK(result.status());
@@ -61,8 +65,9 @@ void RunDataset(const DatasetPreset& preset, size_t init_per_slice,
 }  // namespace
 }  // namespace slicetuner
 
-int main() {
+int main(int argc, char** argv) {
   using namespace slicetuner;
+  const int threads = bench::ParseThreadsFlag(argc, argv);
   std::printf("=== Figure 8: learning curves of the four datasets ===\n");
   CsvWriter csv;
   ST_CHECK_OK(csv.Open(bench::ResultsDir() + "/fig8_curves.csv"));
@@ -72,10 +77,10 @@ int main() {
   // Highlighted slice pairs mirror the paper's choices:
   //   Fashion: Shirt vs Pullover; Mixed: a fashion slice vs a digit slice;
   //   Face: White_Male vs Black_Female; Census: Black_Male vs White_Female.
-  RunDataset(MakeFashionLike(), 300, {6, 2}, &csv);
-  RunDataset(MakeMixedLike(), 300, {5, 10}, &csv);
-  RunDataset(MakeFaceLike(), 300, {0, 3}, &csv);
-  RunDataset(MakeCensusLike(), 300, {2, 1}, &csv);
+  RunDataset(MakeFashionLike(), 300, {6, 2}, threads, &csv);
+  RunDataset(MakeMixedLike(), 300, {5, 10}, threads, &csv);
+  RunDataset(MakeFaceLike(), 300, {0, 3}, threads, &csv);
+  RunDataset(MakeCensusLike(), 300, {2, 1}, threads, &csv);
   ST_CHECK_OK(csv.Close());
   std::printf("\nSeries written to results/fig8_curves.csv\n");
   return 0;

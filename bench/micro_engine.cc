@@ -1,0 +1,119 @@
+// Engine microbenchmark: serial vs. parallel learning-curve estimation.
+//
+// Measures wall time of the exhaustive 4-slice x (K=5 subset points x 4
+// slices = 20 training cells) Monte-Carlo grid on the Census-like preset,
+// first with the serial fallback (--threads=1 semantics) and then with the
+// engine fanning the grid out across every core. Verifies that both paths
+// produce identical fitted parameters (the engine's determinism contract)
+// and writes a BENCH_engine.json summary under results/.
+//
+// Usage: bench_micro_engine [--threads=N] [--repeats=R]
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "core/learning_curve.h"
+#include "data/synthetic.h"
+
+namespace slicetuner {
+namespace {
+
+struct TimedRun {
+  double best_seconds = 1e300;
+  double total_seconds = 0.0;
+  CurveEstimationResult result;
+};
+
+TimedRun TimeEstimation(const DatasetPreset& preset, const Dataset& train,
+                        const Dataset& validation, int num_threads,
+                        int repeats) {
+  LearningCurveOptions options;
+  options.exhaustive = true;  // the 4-slice x 5-point = 20-training grid
+  options.num_points = 5;
+  options.num_curve_draws = 3;
+  options.seed = 17;
+  options.num_threads = num_threads;
+
+  TimedRun timed;
+  for (int r = 0; r < repeats; ++r) {
+    Stopwatch timer;
+    auto result = EstimateLearningCurves(train, validation,
+                                         preset.num_slices(),
+                                         preset.model_spec, preset.trainer,
+                                         options);
+    const double elapsed = timer.ElapsedSeconds();
+    ST_CHECK_OK(result.status());
+    timed.best_seconds = std::min(timed.best_seconds, elapsed);
+    timed.total_seconds += elapsed;
+    timed.result = std::move(*result);
+  }
+  return timed;
+}
+
+}  // namespace
+}  // namespace slicetuner
+
+int main(int argc, char** argv) {
+  using namespace slicetuner;
+  const int threads = bench::ParseThreadsFlag(argc, argv, /*default=*/0);
+  const int repeats = std::max(
+      1, bench::ParseIntFlag(argc, argv, "--repeats=", /*default=*/3));
+  const unsigned cores = std::thread::hardware_concurrency();
+
+  std::printf("=== Engine microbenchmark: curve estimation "
+              "(4 slices x 5 points x 20 trainings) ===\n");
+  std::printf("hardware cores: %u, parallel lanes: %s, repeats: %d\n", cores,
+              threads == 0 ? "all" : std::to_string(threads).c_str(),
+              repeats);
+
+  const DatasetPreset preset = MakeCensusLike();
+  Rng rng(3);
+  const Dataset train =
+      preset.generator.GenerateDataset(EqualSizes(4, 250), &rng);
+  const Dataset validation =
+      preset.generator.GenerateDataset(EqualSizes(4, 150), &rng);
+
+  const TimedRun serial =
+      TimeEstimation(preset, train, validation, /*num_threads=*/1, repeats);
+  const TimedRun parallel =
+      TimeEstimation(preset, train, validation, threads, repeats);
+
+  // Determinism contract: identical fitted parameters at any lane count.
+  bool identical = true;
+  for (size_t s = 0; s < serial.result.slices.size(); ++s) {
+    identical = identical &&
+                serial.result.slices[s].curve.a ==
+                    parallel.result.slices[s].curve.a &&
+                serial.result.slices[s].curve.b ==
+                    parallel.result.slices[s].curve.b;
+  }
+
+  const double speedup = serial.best_seconds / parallel.best_seconds;
+  std::printf("serial   : best %.3fs (mean %.3fs over %d runs)\n",
+              serial.best_seconds, serial.total_seconds / repeats, repeats);
+  std::printf("parallel : best %.3fs (mean %.3fs over %d runs)\n",
+              parallel.best_seconds, parallel.total_seconds / repeats,
+              repeats);
+  std::printf("speedup  : %.2fx, identical parameters: %s\n", speedup,
+              identical ? "yes" : "NO (BUG)");
+
+  const std::string json_path = bench::ResultsDir() + "/BENCH_engine.json";
+  ST_CHECK_OK(bench::WriteBenchJson(
+      json_path,
+      {{"bench", "\"engine_curve_estimation\""},
+       {"grid", "\"4 slices x 5 points (exhaustive, 20 trainings)\""},
+       {"hardware_cores", StrFormat("%u", cores)},
+       {"threads", StrFormat("%d", threads)},
+       {"repeats", StrFormat("%d", repeats)},
+       {"serial_best_seconds", FormatDouble(serial.best_seconds, 4)},
+       {"parallel_best_seconds", FormatDouble(parallel.best_seconds, 4)},
+       {"speedup", FormatDouble(speedup, 3)},
+       {"identical_parameters", identical ? "true" : "false"},
+       {"model_trainings", StrFormat("%d", serial.result.model_trainings)}}));
+  std::printf("Summary written to %s\n", json_path.c_str());
+  return identical ? 0 : 1;
+}

@@ -2,12 +2,18 @@
 // Moderate method. Expected shape (Table 4): as lambda increases, Avg./Max.
 // EER decrease while loss increases. Table 5 shows the per-slice allocations
 // on Fashion: higher lambda concentrates acquisition on the high-loss slices.
+//
+// The 16 (dataset, lambda) cells are independent experiment sessions, so
+// they fan out concurrently through the engine's ExperimentRunner
+// (--threads=N caps the concurrency; results are identical at any setting).
+// Per-session progress streams to stderr as sessions start and finish.
 
 #include <cstdio>
 #include <iostream>
 
 #include "bench/bench_util.h"
 #include "common/table_printer.h"
+#include "engine/experiment_runner.h"
 
 namespace slicetuner {
 namespace {
@@ -23,14 +29,17 @@ ExperimentConfig BaseConfig(DatasetPreset preset, size_t init,
   config.seed = 55;
   config.curve_options = bench::BenchCurveOptions(6);
   config.min_slice_size = static_cast<long long>(init);
+  // Sessions provide the outer parallelism; keep each one serial inside.
+  config.num_threads = 1;
   return config;
 }
 
 }  // namespace
 }  // namespace slicetuner
 
-int main() {
+int main(int argc, char** argv) {
   using namespace slicetuner;
+  const int threads = bench::ParseThreadsFlag(argc, argv);
   std::printf("=== Table 4: Moderate when varying lambda ===\n");
   std::printf("=== Table 5: Fashion allocations per lambda ===\n");
 
@@ -42,6 +51,31 @@ int main() {
   configs.push_back(BaseConfig(MakeFaceLike(), 300, 1500.0));
   configs.push_back(BaseConfig(MakeCensusLike(), 100, 800.0));
 
+  engine::ExperimentRunner::Options runner_options;
+  runner_options.max_concurrent_sessions = threads;
+  runner_options.on_event = [](const engine::SessionEvent& event) {
+    if (event.state == engine::SessionState::kQueued) return;
+    std::fprintf(stderr, "[%-9s] %s (%.1fs)%s%s\n",
+                 engine::SessionStateName(event.state), event.name.c_str(),
+                 event.wall_seconds, event.detail.empty() ? "" : ": ",
+                 event.detail.c_str());
+  };
+  engine::ExperimentRunner runner(runner_options);
+
+  // Submission order = report order: datasets outer, lambdas inner.
+  std::vector<double> session_lambda;
+  std::vector<std::string> session_dataset;
+  for (auto& config : configs) {
+    for (double lambda : kLambdas) {
+      config.lambda = lambda;
+      runner.Submit(config.preset.name + " lambda=" + FormatDouble(lambda, 1),
+                    config, Method::kModerate);
+      session_lambda.push_back(lambda);
+      session_dataset.push_back(config.preset.name);
+    }
+  }
+  const std::vector<engine::SessionResult> results = runner.RunAll();
+
   CsvWriter csv;
   ST_CHECK_OK(csv.Open(bench::ResultsDir() + "/table4_lambda.csv"));
   ST_CHECK_OK(csv.WriteRow(
@@ -50,27 +84,29 @@ int main() {
   TablePrinter table4({"Dataset", "lambda", "Loss", "Avg./Max. EER"});
   TablePrinter table5({"lambda", "0", "1", "2", "3", "4", "5", "6", "7", "8",
                        "9"});
-  for (auto& config : configs) {
-    for (double lambda : kLambdas) {
-      config.lambda = lambda;
-      const auto outcome = RunMethod(config, Method::kModerate);
-      ST_CHECK_OK(outcome.status());
-      table4.AddRow({config.preset.name, FormatDouble(lambda, 1),
-                     bench::LossCell(*outcome), bench::EerCell(*outcome)});
-      ST_CHECK_OK(csv.WriteRow({config.preset.name, FormatDouble(lambda, 1),
-                                FormatDouble(outcome->loss_mean, 4),
-                                FormatDouble(outcome->avg_eer_mean, 4),
-                                FormatDouble(outcome->max_eer_mean, 4)}));
-      if (config.preset.name == "Fashion-like") {
-        std::vector<std::string> row = {FormatDouble(lambda, 1)};
-        for (int s = 0; s < 10; ++s) {
-          row.push_back(StrFormat(
-              "%.0f", outcome->acquired_mean[static_cast<size_t>(s)]));
-        }
-        table5.AddRow(row);
+  for (size_t i = 0; i < results.size(); ++i) {
+    ST_CHECK_OK(results[i].status);
+    const MethodOutcome& outcome = results[i].outcome;
+    const double lambda = session_lambda[i];
+    const std::string& dataset = session_dataset[i];
+    table4.AddRow({dataset, FormatDouble(lambda, 1), bench::LossCell(outcome),
+                   bench::EerCell(outcome)});
+    ST_CHECK_OK(csv.WriteRow({dataset, FormatDouble(lambda, 1),
+                              FormatDouble(outcome.loss_mean, 4),
+                              FormatDouble(outcome.avg_eer_mean, 4),
+                              FormatDouble(outcome.max_eer_mean, 4)}));
+    if (dataset == "Fashion-like") {
+      std::vector<std::string> row = {FormatDouble(lambda, 1)};
+      for (int s = 0; s < 10; ++s) {
+        row.push_back(StrFormat(
+            "%.0f", outcome.acquired_mean[static_cast<size_t>(s)]));
       }
+      table5.AddRow(row);
     }
-    table4.AddSeparator();
+    const size_t lambdas_per_dataset = std::size(kLambdas);
+    if (i % lambdas_per_dataset == lambdas_per_dataset - 1) {
+      table4.AddSeparator();
+    }
   }
   std::printf("\nTable 4\n");
   table4.Print(std::cout);

@@ -133,4 +133,17 @@ std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
 
 Rng Rng::Fork() { return Rng(Next()); }
 
+uint64_t Rng::ForkSeed(uint64_t index) const {
+  // Condense the 256-bit state and the stream index into one 64-bit seed,
+  // then run it through splitmix64 twice to decorrelate adjacent indices.
+  uint64_t mix = state_[0] ^ Rotl(state_[1], 13) ^ Rotl(state_[2], 29) ^
+                 Rotl(state_[3], 43);
+  mix ^= 0x9E3779B97F4A7C15ULL * (index + 1);
+  uint64_t sm = mix;
+  (void)SplitMix64(&sm);
+  return SplitMix64(&sm);
+}
+
+Rng Rng::Fork(uint64_t index) const { return Rng(ForkSeed(index)); }
+
 }  // namespace slicetuner

@@ -52,8 +52,19 @@ class Rng {
   std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
 
   /// Derives an independent child generator; useful for spawning per-thread
-  /// or per-task streams from one master seed.
+  /// or per-task streams from one master seed. Advances this generator.
   Rng Fork();
+
+  /// Derives the seed of child stream `index` without advancing this
+  /// generator: ForkSeed(i) is a pure function of (current state, i), so
+  /// distinct indices yield statistically independent streams and the same
+  /// index always yields the same stream. This is the engine's determinism
+  /// primitive: parallel tasks seeded with Fork(task_index) produce
+  /// bit-identical results regardless of scheduling or thread count.
+  uint64_t ForkSeed(uint64_t index) const;
+
+  /// Rng(ForkSeed(index)): the child generator of stream `index`.
+  Rng Fork(uint64_t index) const;
 
  private:
   uint64_t Next();

@@ -23,6 +23,7 @@ enum class StatusCode {
   kInternal = 7,
   kNotImplemented = 8,
   kNumericalError = 9,
+  kCancelled = 10,
 };
 
 /// Returns a human-readable name for a status code ("OK", "InvalidArgument"...).
@@ -67,6 +68,9 @@ class Status {
   }
   static Status NumericalError(std::string msg) {
     return Status(StatusCode::kNumericalError, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -5,6 +5,7 @@
 #include "common/math_util.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "engine/parallel_for.h"
 
 namespace slicetuner {
 
@@ -61,12 +62,23 @@ Result<MethodOutcome> RunMethod(const ExperimentConfig& config,
   }
 
   Stopwatch timer;
-  std::vector<double> losses, avg_eers, max_eers, iters;
-  std::vector<double> acquired_sum(static_cast<size_t>(num_slices), 0.0);
-  int model_trainings = 0;
 
-  for (int trial = 0; trial < config.trials; ++trial) {
-    Rng rng(config.seed + 7919ull * static_cast<uint64_t>(trial));
+  // Trials are independent repetitions: fan them out over the engine, one
+  // result slot per trial, and aggregate in trial order afterwards. Trial
+  // t's whole stochastic stream derives from Rng(seed).Fork(t), so the
+  // outcome is the same at any thread count.
+  struct TrialOutcome {
+    Status status;
+    double loss = 0.0;
+    double avg_eer = 0.0;
+    double max_eer = 0.0;
+    double iterations = 0.0;
+    int model_trainings = 0;
+    std::vector<long long> acquired;
+  };
+  std::vector<TrialOutcome> trials(static_cast<size_t>(config.trials));
+
+  auto run_trial = [&](size_t trial, Rng& rng) -> Status {
     const Dataset initial =
         preset.generator.GenerateDataset(config.initial_sizes, &rng);
     const Dataset validation = preset.generator.GenerateDataset(
@@ -80,6 +92,7 @@ Result<MethodOutcome> RunMethod(const ExperimentConfig& config,
         config.use_preset_trainer ? preset.trainer : config.trainer_override;
     options.curve_options = config.curve_options;
     options.curve_options.seed = rng();
+    options.curve_options.num_threads = config.num_threads;
     options.lambda = config.lambda;
 
     ST_ASSIGN_OR_RETURN(
@@ -129,13 +142,37 @@ Result<MethodOutcome> RunMethod(const ExperimentConfig& config,
     }
 
     ST_ASSIGN_OR_RETURN(SliceMetrics metrics, tuner.Evaluate(rng()));
-    losses.push_back(metrics.overall_loss);
-    avg_eers.push_back(metrics.avg_eer);
-    max_eers.push_back(metrics.max_eer);
-    iters.push_back(static_cast<double>(run.iterations));
-    model_trainings += run.model_trainings;
-    for (size_t s = 0; s < run.acquired.size(); ++s) {
-      acquired_sum[s] += static_cast<double>(run.acquired[s]);
+    TrialOutcome& out = trials[trial];
+    out.loss = metrics.overall_loss;
+    out.avg_eer = metrics.avg_eer;
+    out.max_eer = metrics.max_eer;
+    out.iterations = static_cast<double>(run.iterations);
+    out.model_trainings = run.model_trainings;
+    out.acquired = run.acquired;
+    return Status::OK();
+  };
+
+  engine::ParallelOptions parallel_options;
+  parallel_options.num_threads = config.num_threads;
+  engine::ParallelForSeeded(
+      config.seed, trials.size(),
+      [&](size_t trial, Rng& rng) {
+        trials[trial].status = run_trial(trial, rng);
+      },
+      parallel_options);
+
+  std::vector<double> losses, avg_eers, max_eers, iters;
+  std::vector<double> acquired_sum(static_cast<size_t>(num_slices), 0.0);
+  int model_trainings = 0;
+  for (const TrialOutcome& trial : trials) {
+    ST_RETURN_NOT_OK(trial.status);
+    losses.push_back(trial.loss);
+    avg_eers.push_back(trial.avg_eer);
+    max_eers.push_back(trial.max_eer);
+    iters.push_back(trial.iterations);
+    model_trainings += trial.model_trainings;
+    for (size_t s = 0; s < trial.acquired.size(); ++s) {
+      acquired_sum[s] += static_cast<double>(trial.acquired[s]);
     }
   }
 

@@ -39,6 +39,11 @@ struct ExperimentConfig {
   int trials = 3;
   uint64_t seed = 1;
   LearningCurveOptions curve_options;
+  /// Engine lanes for the trial fan-out and curve estimation: 1 = fully
+  /// serial, 0 = every pool worker, N > 1 = at most N lanes. Trial t's
+  /// entire stochastic stream derives from Rng(seed).Fork(t), so outcomes
+  /// are identical at any setting.
+  int num_threads = 0;
   /// L for the iterative methods; 0 = min(initial_sizes) is already fine.
   long long min_slice_size = 0;
   /// Override for the preset's trainer (epochs etc.); nullopt semantics via

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/one_shot.h"
+#include "engine/curve_engine.h"
 #include "opt/change_ratio.h"
 
 namespace slicetuner {
@@ -122,13 +123,23 @@ Result<IterativeResult> RunIterative(Dataset* train, const Dataset& validation,
 
   while (remaining >= MinCost(costs) &&
          result.iterations < options.max_iterations) {
-    // Re-estimate the learning curves on the current data.
+    // Re-estimate the learning curves on the current data. With an engine,
+    // slices untouched by the previous acquisition round are served from its
+    // content-hash cache instead of being re-trained.
     LearningCurveOptions curve_options = options.curve_options;
     curve_options.seed = curve_rng();
-    ST_ASSIGN_OR_RETURN(
-        CurveEstimationResult estimation,
-        EstimateLearningCurves(*train, validation, num_slices, model_spec,
-                               trainer, curve_options));
+    CurveEstimationResult estimation;
+    if (options.curve_engine != nullptr) {
+      ST_ASSIGN_OR_RETURN(
+          estimation,
+          options.curve_engine->Estimate(*train, validation, num_slices,
+                                         model_spec, trainer, curve_options));
+    } else {
+      ST_ASSIGN_OR_RETURN(
+          estimation,
+          EstimateLearningCurves(*train, validation, num_slices, model_spec,
+                                 trainer, curve_options));
+    }
     result.model_trainings += estimation.model_trainings;
     result.final_curves = estimation.slices;
 

@@ -17,6 +17,10 @@
 
 namespace slicetuner {
 
+namespace engine {
+class CurveEstimationEngine;
+}  // namespace engine
+
 enum class IterationStrategy {
   kConservative,  // T stays constant
   kModerate,      // T += increment
@@ -39,6 +43,11 @@ struct IterativeOptions {
   LearningCurveOptions curve_options;
   /// Safety bound on iterations.
   int max_iterations = 25;
+  /// Optional curve-estimation engine (borrowed). When set, the per-
+  /// iteration re-estimation goes through its slice-level cache: only
+  /// slices whose data changed in the last acquisition round are re-fit
+  /// (see engine/curve_engine.h). nullptr = stateless estimation.
+  engine::CurveEstimationEngine* curve_engine = nullptr;
 };
 
 struct IterativeResult {

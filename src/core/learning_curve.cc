@@ -4,8 +4,8 @@
 #include <cmath>
 
 #include "common/stopwatch.h"
-#include "common/thread_pool.h"
 #include "core/metrics.h"
+#include "engine/parallel_for.h"
 
 namespace slicetuner {
 
@@ -71,6 +71,21 @@ MeasuredRun TrainAndMeasure(const Dataset& subset, const Dataset& validation,
   return run;
 }
 
+// mask[s] = 1 when slice s should be estimated.
+std::vector<char> EstimationMask(int num_slices,
+                                 const LearningCurveOptions& options) {
+  std::vector<char> mask(static_cast<size_t>(num_slices),
+                         options.slices_to_estimate.empty() ? 1 : 0);
+  for (int s : options.slices_to_estimate) {
+    if (s >= 0 && s < num_slices) mask[static_cast<size_t>(s)] = 1;
+  }
+  return mask;
+}
+
+// Stream-id namespace for per-slice curve fits, disjoint from the training
+// grid's stream ids (which are < num_slices * K).
+constexpr uint64_t kFitStreamBase = uint64_t{1} << 62;
+
 }  // namespace
 
 Result<CurveEstimationResult> EstimateLearningCurves(
@@ -92,7 +107,16 @@ Result<CurveEstimationResult> EstimateLearningCurves(
   Stopwatch timer;
   const std::vector<double> fractions = SubsetFractions(options);
   const size_t k = fractions.size();
-  Rng master(options.seed);
+  // Every random decision below derives from `master` via a stable stream
+  // id, never by drawing in submission order. The grid cell (slice, point)
+  // always receives the same stream, so parallel execution, any thread
+  // count, and partial (slices_to_estimate) runs all produce bit-identical
+  // fitted parameters.
+  const Rng master(options.seed);
+  const std::vector<char> mask = EstimationMask(num_slices, options);
+
+  engine::ParallelOptions parallel_options;
+  parallel_options.num_threads = options.parallel ? options.num_threads : 1;
 
   CurveEstimationResult result;
   std::vector<std::vector<CurvePoint>> points(
@@ -101,28 +125,23 @@ Result<CurveEstimationResult> EstimateLearningCurves(
   if (!options.exhaustive) {
     // Efficient (Section 4.2): one model per subset fraction, all slices
     // subsampled together; every model yields one point for every slice.
-    std::vector<uint64_t> seeds;
-    seeds.reserve(k);
-    for (size_t i = 0; i < k; ++i) seeds.push_back(master());
     std::vector<MeasuredRun> runs(k);
-    auto task = [&](size_t i) {
-      Rng rng(seeds[i]);
-      const Dataset subset = train.StratifiedSample(
-          fractions[i], options.min_subset, num_slices, &rng);
-      runs[i] = TrainAndMeasure(subset, validation, num_slices, model_spec,
-                                trainer, rng());
-    };
-    if (options.parallel) {
-      DefaultThreadPool().ParallelFor(k, task);
-    } else {
-      for (size_t i = 0; i < k; ++i) task(i);
-    }
+    engine::ParallelFor(
+        k,
+        [&](size_t i) {
+          Rng rng = master.Fork(i);
+          const Dataset subset = train.StratifiedSample(
+              fractions[i], options.min_subset, num_slices, &rng);
+          runs[i] = TrainAndMeasure(subset, validation, num_slices,
+                                    model_spec, trainer, rng());
+        },
+        parallel_options);
     for (const MeasuredRun& run : runs) {
       if (!run.ok) continue;
       ++result.model_trainings;
       for (int s = 0; s < num_slices; ++s) {
         const size_t idx = static_cast<size_t>(s);
-        if (run.slice_sizes[idx] > 0.0) {
+        if (mask[idx] && run.slice_sizes[idx] > 0.0) {
           points[idx].push_back(
               CurvePoint{run.slice_sizes[idx], run.slice_losses[idx]});
         }
@@ -130,52 +149,54 @@ Result<CurveEstimationResult> EstimateLearningCurves(
     }
   } else {
     // Exhaustive: subsample one slice at a time, keep the rest whole, and
-    // read off only that slice's loss. |S| * K model trainings.
+    // read off only that slice's loss. K model trainings per estimated
+    // slice. The stream id s * K + i keys the grid cell, so a partial run
+    // re-derives exactly the seeds a full run would give those cells.
     struct Job {
       int slice;
       double fraction;
-      uint64_t seed;
+      uint64_t stream;
     };
     std::vector<Job> jobs;
     for (int s = 0; s < num_slices; ++s) {
+      if (!mask[static_cast<size_t>(s)]) continue;
       for (size_t i = 0; i < k; ++i) {
-        jobs.push_back(Job{s, fractions[i], master()});
+        jobs.push_back(Job{s, fractions[i],
+                           static_cast<uint64_t>(s) * k + i});
       }
     }
     std::vector<MeasuredRun> runs(jobs.size());
-    auto task = [&](size_t j) {
-      const Job& job = jobs[j];
-      Rng rng(job.seed);
-      // Subsample only job.slice; all other slices stay complete.
-      const std::vector<size_t> slice_rows = train.SliceIndices(job.slice);
-      std::vector<size_t> keep;
-      if (!slice_rows.empty()) {
-        size_t take = static_cast<size_t>(std::ceil(
-            job.fraction * static_cast<double>(slice_rows.size())));
-        take = std::max(take, std::min(options.min_subset,
-                                       slice_rows.size()));
-        const std::vector<size_t> chosen =
-            rng.SampleWithoutReplacement(slice_rows.size(), take);
-        for (size_t c : chosen) keep.push_back(slice_rows[c]);
-      }
-      for (size_t r = 0; r < train.size(); ++r) {
-        if (train.slice(r) != job.slice) keep.push_back(r);
-      }
-      std::sort(keep.begin(), keep.end());
-      const Dataset subset = train.Subset(keep);
-      runs[j] = TrainAndMeasure(subset, validation, num_slices, model_spec,
-                                trainer, rng());
-    };
-    if (options.parallel) {
-      DefaultThreadPool().ParallelFor(jobs.size(), task);
-    } else {
-      for (size_t j = 0; j < jobs.size(); ++j) task(j);
-    }
+    engine::ParallelFor(
+        jobs.size(),
+        [&](size_t j) {
+          const Job& job = jobs[j];
+          Rng rng = master.Fork(job.stream);
+          // Subsample only job.slice; all other slices stay complete.
+          const std::vector<size_t> slice_rows =
+              train.SliceIndices(job.slice);
+          std::vector<size_t> keep;
+          if (!slice_rows.empty()) {
+            size_t take = static_cast<size_t>(std::ceil(
+                job.fraction * static_cast<double>(slice_rows.size())));
+            take = std::max(take, std::min(options.min_subset,
+                                           slice_rows.size()));
+            const std::vector<size_t> chosen =
+                rng.SampleWithoutReplacement(slice_rows.size(), take);
+            for (size_t c : chosen) keep.push_back(slice_rows[c]);
+          }
+          for (size_t r = 0; r < train.size(); ++r) {
+            if (train.slice(r) != job.slice) keep.push_back(r);
+          }
+          std::sort(keep.begin(), keep.end());
+          const Dataset subset = train.Subset(keep);
+          runs[j] = TrainAndMeasure(subset, validation, num_slices,
+                                    model_spec, trainer, rng());
+        },
+        parallel_options);
     for (size_t j = 0; j < jobs.size(); ++j) {
       if (!runs[j].ok) continue;
       ++result.model_trainings;
-      const int s = jobs[j].slice;
-      const size_t idx = static_cast<size_t>(s);
+      const size_t idx = static_cast<size_t>(jobs[j].slice);
       if (runs[j].slice_sizes[idx] > 0.0) {
         points[idx].push_back(CurvePoint{runs[j].slice_sizes[idx],
                                          runs[j].slice_losses[idx]});
@@ -184,17 +205,22 @@ Result<CurveEstimationResult> EstimateLearningCurves(
   }
 
   // Fit a curve per slice; weight points by subset size and average
-  // bootstrap draws (Section 4.1).
+  // bootstrap draws (Section 4.1). Fits are cheap relative to training, so
+  // they stay on the calling thread.
   result.slices.resize(static_cast<size_t>(num_slices));
   for (int s = 0; s < num_slices; ++s) {
     const size_t idx = static_cast<size_t>(s);
+    if (!mask[idx]) {
+      result.slices[idx] = DefaultCurve(points[idx]);
+      continue;
+    }
     std::sort(points[idx].begin(), points[idx].end(),
               [](const CurvePoint& a, const CurvePoint& b) {
                 return a.size < b.size;
               });
     FitOptions fit_options;
     fit_options.num_draws = options.num_curve_draws;
-    fit_options.seed = master();
+    fit_options.seed = master.ForkSeed(kFitStreamBase + idx);
     Result<PowerLawCurve> fit =
         FitPowerLawAveraged(points[idx], fit_options);
     if (fit.ok() && fit->a > 1e-5) {

@@ -31,9 +31,20 @@ struct LearningCurveOptions {
   /// Section 4.2: false = efficient amortized estimation (default),
   /// true = exhaustive per-slice estimation.
   bool exhaustive = false;
-  /// Parallelize the K model trainings over the default thread pool.
+  /// Parallelize the model trainings over the thread pool. false is
+  /// shorthand for num_threads = 1 (the serial fallback).
   bool parallel = true;
+  /// Engine lanes for the Monte-Carlo grid: 1 = serial on the calling
+  /// thread, 0 = every pool worker, N > 1 = at most N lanes. Fitted
+  /// parameters are identical at any setting (see engine/parallel_for.h).
+  int num_threads = 0;
   uint64_t seed = 99;
+  /// When non-empty, only these slices are estimated; the others receive
+  /// default (unreliable) curves. In exhaustive mode their trainings are
+  /// skipped entirely — the curve engine's partial-refit hook. Each listed
+  /// slice's fitted curve is bit-identical to the one a full run with the
+  /// same seed would produce.
+  std::vector<int> slices_to_estimate;
 };
 
 /// The fitted curve of one slice plus the raw measured points behind it.

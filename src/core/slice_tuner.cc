@@ -4,6 +4,19 @@
 
 namespace slicetuner {
 
+SliceTuner::SliceTuner(Dataset train, Dataset validation, int num_slices,
+                       SliceTunerOptions options)
+    : train_(std::move(train)),
+      validation_(std::move(validation)),
+      num_slices_(num_slices),
+      options_(std::move(options)) {
+  engine::CurveEngineOptions engine_options;
+  engine_options.enable_cache = options_.cache_curves;
+  engine_options.num_threads = options_.curve_options.num_threads;
+  curve_engine_ =
+      std::make_shared<engine::CurveEstimationEngine>(engine_options);
+}
+
 Result<SliceTuner> SliceTuner::Create(Dataset train, Dataset validation,
                                       int num_slices,
                                       SliceTunerOptions options) {
@@ -39,9 +52,9 @@ Result<SliceTuner> SliceTuner::Create(Dataset train, Dataset validation,
 }
 
 Result<CurveEstimationResult> SliceTuner::EstimateCurves() const {
-  return EstimateLearningCurves(train_, validation_, num_slices_,
-                                options_.model_spec, options_.trainer,
-                                options_.curve_options);
+  return curve_engine_->Estimate(train_, validation_, num_slices_,
+                                 options_.model_spec, options_.trainer,
+                                 options_.curve_options);
 }
 
 Result<OneShotPlan> SliceTuner::Suggest(const CostFunction& cost,
@@ -60,6 +73,7 @@ Result<IterativeResult> SliceTuner::Acquire(
   IterativeOptions opts = iterative_options;
   opts.lambda = options_.lambda;
   opts.curve_options = options_.curve_options;
+  opts.curve_engine = curve_engine_.get();
   return RunIterative(&train_, validation_, num_slices_, options_.model_spec,
                       options_.trainer, source, budget, opts);
 }

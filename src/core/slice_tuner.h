@@ -6,6 +6,7 @@
 #ifndef SLICETUNER_CORE_SLICE_TUNER_H_
 #define SLICETUNER_CORE_SLICE_TUNER_H_
 
+#include <memory>
 #include <vector>
 
 #include "common/result.h"
@@ -17,6 +18,7 @@
 #include "data/acquisition.h"
 #include "data/cost.h"
 #include "data/dataset.h"
+#include "engine/curve_engine.h"
 #include "nn/model.h"
 #include "nn/trainer.h"
 
@@ -29,6 +31,9 @@ struct SliceTunerOptions {
   TrainerOptions trainer;
   LearningCurveOptions curve_options;
   double lambda = 1.0;
+  /// Cache fitted curves between estimation calls so acquisition rounds
+  /// only re-fit slices whose data changed (see engine/curve_engine.h).
+  bool cache_curves = true;
 };
 
 class SliceTuner {
@@ -70,18 +75,26 @@ class SliceTuner {
   }
   const SliceTunerOptions& options() const { return options_; }
 
+  /// The tuner's curve-estimation engine (per-slice curve cache + parallel
+  /// fan-out). Exposed for cache statistics and manual invalidation.
+  engine::CurveEstimationEngine& curve_engine() { return *curve_engine_; }
+  const engine::CurveEstimationEngine& curve_engine() const {
+    return *curve_engine_;
+  }
+
  private:
   SliceTuner(Dataset train, Dataset validation, int num_slices,
-             SliceTunerOptions options)
-      : train_(std::move(train)),
-        validation_(std::move(validation)),
-        num_slices_(num_slices),
-        options_(std::move(options)) {}
+             SliceTunerOptions options);
 
   Dataset train_;
   Dataset validation_;
   int num_slices_;
   SliceTunerOptions options_;
+  // shared_ptr keeps SliceTuner copyable; copies share the curve cache.
+  // Content-hash keys keep that correct for sequential use, but copies that
+  // diverge and estimate concurrently will serialize on the engine lock and
+  // evict each other's entries — give such copies their own tuner instead.
+  std::shared_ptr<engine::CurveEstimationEngine> curve_engine_;
 };
 
 }  // namespace slicetuner

@@ -37,7 +37,9 @@ Status Dataset::Merge(const Dataset& other) {
 
 Example Dataset::ExampleAt(size_t i) const {
   Example e;
-  e.features.assign(features(i), features(i) + dim_);
+  // Guard dim_ == 0: features_.data() may be null, and assign(null, null)
+  // trips GCC's -Wnonnull when inlined.
+  if (dim_ > 0) e.features.assign(features(i), features(i) + dim_);
   e.label = labels_[i];
   e.slice = slices_[i];
   return e;

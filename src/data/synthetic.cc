@@ -8,6 +8,16 @@ namespace slicetuner {
 
 namespace {
 
+// Stable per-preset RNG stream ids: each preset derives its generator state
+// via Rng(seed).Fork(stream) instead of ad-hoc xor salts, the same
+// derivation the engine uses for per-task streams (see common/random.h).
+enum PresetStream : uint64_t {
+  kFashionStream = 0,
+  kMixedStream = 1,
+  kFaceStream = 2,
+  kCensusStream = 3,
+};
+
 // Draws a random direction of the given norm.
 std::vector<double> RandomCentroid(Rng* rng, size_t dim, double scale) {
   std::vector<double> v(dim);
@@ -71,7 +81,7 @@ Dataset SyntheticGenerator::GenerateDataset(const std::vector<size_t>& counts,
 DatasetPreset MakeFashionLike(uint64_t seed) {
   constexpr size_t kDim = 16;
   constexpr int kClasses = 10;
-  Rng rng(seed ^ 0xFA5410Full);
+  Rng rng = Rng(seed).Fork(kFashionStream);
 
   std::vector<std::vector<double>> centroids;
   centroids.reserve(kClasses);
@@ -118,7 +128,7 @@ DatasetPreset MakeFashionLike(uint64_t seed) {
 DatasetPreset MakeMixedLike(uint64_t seed) {
   constexpr size_t kDim = 16;
   constexpr int kClasses = 20;
-  Rng rng(seed ^ 0x3517EDull);
+  Rng rng = Rng(seed).Fork(kMixedStream);
 
   std::vector<SliceModel> slices(kClasses);
   std::vector<std::string> names;
@@ -152,7 +162,7 @@ DatasetPreset MakeFaceLike(uint64_t seed) {
   constexpr size_t kDim = 16;
   constexpr int kRaces = 4;  // label = race
   constexpr int kSlices = 8; // race x gender
-  Rng rng(seed ^ 0xFACE5Dull);
+  Rng rng = Rng(seed).Fork(kFaceStream);
 
   std::vector<std::vector<double>> race_centroids;
   race_centroids.reserve(kRaces);
@@ -202,7 +212,7 @@ DatasetPreset MakeCensusLike(uint64_t seed) {
   // of Figure 8d (a ~ 0.06-0.10) instead of an instantly saturated model.
   constexpr size_t kDim = 28;
   constexpr int kSlices = 4;
-  Rng rng(seed ^ 0xCE4505ull);
+  Rng rng = Rng(seed).Fork(kCensusStream);
 
   // One global linear boundary direction; slices differ in margin (how
   // separable) and label noise (how irreducible the loss is).

@@ -1,0 +1,218 @@
+#include "engine/curve_engine.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/stopwatch.h"
+
+namespace slicetuner {
+namespace engine {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+inline void Mix(uint64_t* h, uint64_t v) {
+  *h ^= v;
+  *h *= kFnvPrime;
+}
+
+inline void MixDouble(uint64_t* h, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  Mix(h, bits);
+}
+
+void MixRow(uint64_t* h, const Dataset& data, size_t row) {
+  Mix(h, static_cast<uint64_t>(data.label(row)));
+  const double* f = data.features(row);
+  for (size_t d = 0; d < data.dim(); ++d) MixDouble(h, f[d]);
+}
+
+// Trainings an uncached estimation of this call would have performed.
+long long UncachedTrainings(int num_slices,
+                            const LearningCurveOptions& options) {
+  const long long k = std::max(options.num_points, 2);
+  return options.exhaustive ? k * num_slices : k;
+}
+
+}  // namespace
+
+uint64_t HashSliceContent(const Dataset& data, int slice) {
+  uint64_t h = kFnvOffset;
+  Mix(&h, static_cast<uint64_t>(slice));
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (data.slice(i) != slice) continue;
+    MixRow(&h, data, i);
+  }
+  return h;
+}
+
+std::vector<uint64_t> HashAllSliceContents(const Dataset& data,
+                                           int num_slices) {
+  // One pass with a running accumulator per slice; agrees with
+  // HashSliceContent(data, s) for every s because rows are visited in the
+  // same (dataset) order either way.
+  std::vector<uint64_t> hashes(static_cast<size_t>(num_slices), kFnvOffset);
+  for (int s = 0; s < num_slices; ++s) {
+    Mix(&hashes[static_cast<size_t>(s)], static_cast<uint64_t>(s));
+  }
+  for (size_t i = 0; i < data.size(); ++i) {
+    const int s = data.slice(i);
+    if (s < 0 || s >= num_slices) continue;
+    MixRow(&hashes[static_cast<size_t>(s)], data, i);
+  }
+  return hashes;
+}
+
+uint64_t HashDatasetContent(const Dataset& data) {
+  uint64_t h = kFnvOffset;
+  Mix(&h, data.size());
+  Mix(&h, data.dim());
+  for (size_t i = 0; i < data.size(); ++i) {
+    Mix(&h, static_cast<uint64_t>(data.slice(i)));
+    MixRow(&h, data, i);
+  }
+  return h;
+}
+
+CurveEstimationEngine::CurveEstimationEngine(CurveEngineOptions options)
+    : options_(options) {}
+
+uint64_t CurveEstimationEngine::ConfigFingerprint(
+    const Dataset& validation, int num_slices, const ModelSpec& model_spec,
+    const TrainerOptions& trainer, const LearningCurveOptions& options) const {
+  uint64_t h = kFnvOffset;
+  Mix(&h, static_cast<uint64_t>(num_slices));
+  Mix(&h, static_cast<uint64_t>(options.num_points));
+  MixDouble(&h, options.min_fraction);
+  Mix(&h, options.min_subset);
+  Mix(&h, static_cast<uint64_t>(options.num_curve_draws));
+  Mix(&h, options.exhaustive ? 1 : 0);
+  Mix(&h, model_spec.input_dim);
+  Mix(&h, model_spec.num_classes);
+  for (size_t w : model_spec.hidden) Mix(&h, w);
+  Mix(&h, model_spec.residual_blocks);
+  Mix(&h, model_spec.residual_hidden);
+  MixDouble(&h, model_spec.dropout);
+  Mix(&h, static_cast<uint64_t>(trainer.epochs));
+  Mix(&h, trainer.batch_size);
+  MixDouble(&h, trainer.learning_rate);
+  MixDouble(&h, trainer.weight_decay);
+  Mix(&h, static_cast<uint64_t>(trainer.optimizer));
+  MixDouble(&h, trainer.loss_floor);
+  MixDouble(&h, trainer.lr_decay);
+  MixDouble(&h, trainer.clip_norm);
+  Mix(&h, HashDatasetContent(validation));
+  return h;
+}
+
+void CurveEstimationEngine::Invalidate(int slice) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t idx = static_cast<size_t>(slice);
+  if (idx < cache_.size()) cache_[idx].valid = false;
+}
+
+void CurveEstimationEngine::InvalidateAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Entry& e : cache_) e.valid = false;
+}
+
+Result<CurveEstimationResult> CurveEstimationEngine::Estimate(
+    const Dataset& train, const Dataset& validation, int num_slices,
+    const ModelSpec& model_spec, const TrainerOptions& trainer,
+    const LearningCurveOptions& options) {
+  LearningCurveOptions effective = options;
+  if (options_.num_threads != 0) effective.num_threads = options_.num_threads;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.estimate_calls;
+
+  // A caller-supplied slice filter is honored as-is, bypassing the cache:
+  // a partial result must neither be served from nor written into it.
+  if (!options_.enable_cache || num_slices <= 0 ||
+      !options.slices_to_estimate.empty()) {
+    ++stats_.full_runs;
+    return EstimateLearningCurves(train, validation, num_slices, model_spec,
+                                  trainer, effective);
+  }
+
+  const size_t n = static_cast<size_t>(num_slices);
+  const uint64_t fingerprint =
+      ConfigFingerprint(validation, num_slices, model_spec, trainer, options);
+  if (!has_fingerprint_ || fingerprint != fingerprint_ ||
+      cache_.size() != n) {
+    cache_.assign(n, Entry{});
+    fingerprint_ = fingerprint;
+    has_fingerprint_ = true;
+  }
+
+  const std::vector<uint64_t> hashes = HashAllSliceContents(train,
+                                                            num_slices);
+  std::vector<int> stale;
+  for (size_t s = 0; s < n; ++s) {
+    if (!cache_[s].valid || cache_[s].content_hash != hashes[s]) {
+      stale.push_back(static_cast<int>(s));
+    }
+  }
+
+  if (stale.empty()) {
+    // Nothing changed since the last acquisition round: zero trainings.
+    Stopwatch timer;
+    CurveEstimationResult cached;
+    cached.slices.reserve(n);
+    for (const Entry& e : cache_) cached.slices.push_back(e.estimate);
+    cached.model_trainings = 0;
+    cached.wall_seconds = timer.ElapsedSeconds();
+    ++stats_.served_from_cache;
+    stats_.slices_reused += n;
+    stats_.trainings_saved += UncachedTrainings(num_slices, options);
+    return cached;
+  }
+
+  if (effective.exhaustive && stale.size() < n) {
+    // Incremental maintenance: re-train only the stale slices.
+    LearningCurveOptions partial = effective;
+    partial.slices_to_estimate = stale;
+    ST_ASSIGN_OR_RETURN(
+        CurveEstimationResult fresh,
+        EstimateLearningCurves(train, validation, num_slices, model_spec,
+                               trainer, partial));
+    std::vector<char> is_stale(n, 0);
+    for (int s : stale) is_stale[static_cast<size_t>(s)] = 1;
+    for (size_t s = 0; s < n; ++s) {
+      if (is_stale[s]) {
+        // A failed fit (reliable == false) is not cached: the uncached path
+        // would retry it with a fresh seed next round and likely recover.
+        cache_[s] = Entry{fresh.slices[s].reliable, hashes[s],
+                          fresh.slices[s]};
+      } else {
+        fresh.slices[s] = cache_[s].estimate;
+      }
+    }
+    ++stats_.partial_refits;
+    stats_.slices_refit += stale.size();
+    stats_.slices_reused += n - stale.size();
+    stats_.trainings_saved +=
+        UncachedTrainings(num_slices, options) - fresh.model_trainings;
+    return fresh;
+  }
+
+  // Full re-estimation; every slice's curve refreshes.
+  ST_ASSIGN_OR_RETURN(
+      CurveEstimationResult fresh,
+      EstimateLearningCurves(train, validation, num_slices, model_spec,
+                             trainer, effective));
+  for (size_t s = 0; s < n; ++s) {
+    // Unreliable (failed-fit) curves stay uncached so the next call retries
+    // them with that round's fresh seed.
+    cache_[s] = Entry{fresh.slices[s].reliable, hashes[s], fresh.slices[s]};
+  }
+  ++stats_.full_runs;
+  stats_.slices_refit += n;
+  return fresh;
+}
+
+}  // namespace engine
+}  // namespace slicetuner

@@ -1,0 +1,92 @@
+#include "engine/experiment_runner.h"
+
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "engine/task_graph.h"
+
+namespace slicetuner {
+namespace engine {
+
+const char* SessionStateName(SessionState state) {
+  switch (state) {
+    case SessionState::kQueued:
+      return "queued";
+    case SessionState::kRunning:
+      return "running";
+    case SessionState::kSucceeded:
+      return "succeeded";
+    case SessionState::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+ExperimentRunner::ExperimentRunner(Options options)
+    : options_(std::move(options)) {}
+
+size_t ExperimentRunner::Submit(SessionSpec spec) {
+  const size_t id = specs_.size();
+  specs_.push_back(std::move(spec));
+  Emit(SessionEvent{id, specs_.back().name, SessionState::kQueued, 0.0, ""});
+  return id;
+}
+
+size_t ExperimentRunner::Submit(std::string name, ExperimentConfig config,
+                                Method method) {
+  SessionSpec spec;
+  spec.name = std::move(name);
+  spec.config = std::move(config);
+  spec.method = method;
+  return Submit(std::move(spec));
+}
+
+void ExperimentRunner::Emit(SessionEvent event) {
+  if (!options_.on_event) return;
+  std::lock_guard<std::mutex> lock(emit_mu_);
+  options_.on_event(event);
+}
+
+std::vector<SessionResult> ExperimentRunner::RunAll() {
+  std::vector<SessionResult> results(specs_.size());
+
+  // One independent TaskGraph task per session (a future session-chaining
+  // API would express cross-session dependencies here). Session failures
+  // are reported in-band through SessionResult, so every task returns OK
+  // and the graph never cancels siblings.
+  const size_t cap =
+      options_.max_concurrent_sessions > 0
+          ? static_cast<size_t>(options_.max_concurrent_sessions)
+          : 0;
+  TaskGraph graph(/*root_seed=*/0, /*pool=*/nullptr, cap);
+  for (size_t id = 0; id < specs_.size(); ++id) {
+    graph.Add(specs_[id].name, [this, &results, id](TaskContext&) {
+      const SessionSpec& spec = specs_[id];
+      Stopwatch timer;
+      Emit(SessionEvent{id, spec.name, SessionState::kRunning, 0.0, ""});
+
+      SessionResult& result = results[id];
+      result.name = spec.name;
+      Result<MethodOutcome> outcome = RunMethod(spec.config, spec.method);
+      result.wall_seconds = timer.ElapsedSeconds();
+      if (outcome.ok()) {
+        result.outcome = *outcome;
+        result.status = Status::OK();
+        Emit(SessionEvent{id, spec.name, SessionState::kSucceeded,
+                          result.wall_seconds, ""});
+      } else {
+        result.status = outcome.status();
+        Emit(SessionEvent{id, spec.name, SessionState::kFailed,
+                          result.wall_seconds, outcome.status().ToString()});
+      }
+      return Status::OK();
+    });
+  }
+  const Status status = graph.Run();
+  (void)status;  // all tasks return OK; Run only fails on re-entry
+
+  return results;
+}
+
+}  // namespace engine
+}  // namespace slicetuner

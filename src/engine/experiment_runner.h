@@ -1,0 +1,98 @@
+// ExperimentRunner: concurrent fan-out of whole experiment configurations.
+//
+// The paper's evaluation (and any tuning service built on it) runs many
+// SliceTuner configurations — lambda sweeps, budget sweeps, baseline
+// comparisons — that are completely independent of one another. The runner
+// gives them a session API: Submit() queues a named (config, method) pair,
+// RunAll() executes every queued session concurrently over the shared
+// thread pool and returns results in submission order, streaming per-session
+// state transitions (queued -> running -> succeeded/failed) to an optional
+// observer as they happen.
+//
+// Determinism: each session's outcome depends only on its own config (seed
+// included), never on scheduling, so a sweep run with 1 or N concurrent
+// sessions produces identical numbers. Sessions nest freely on the pool:
+// trial fan-out and curve estimation inside a session use the same
+// caller-participating ParallelFor, so workers never deadlock.
+
+#ifndef SLICETUNER_ENGINE_EXPERIMENT_RUNNER_H_
+#define SLICETUNER_ENGINE_EXPERIMENT_RUNNER_H_
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/experiment.h"
+
+namespace slicetuner {
+namespace engine {
+
+/// One queued experiment: a named (config, method) pair.
+struct SessionSpec {
+  std::string name;
+  ExperimentConfig config;
+  Method method = Method::kModerate;
+};
+
+enum class SessionState { kQueued, kRunning, kSucceeded, kFailed };
+
+const char* SessionStateName(SessionState state);
+
+/// Streamed to the observer on every session state transition. Events for
+/// different sessions interleave; events for one session are ordered.
+struct SessionEvent {
+  size_t session_id = 0;
+  std::string name;
+  SessionState state = SessionState::kQueued;
+  /// Wall time of the session so far (terminal states: total runtime).
+  double wall_seconds = 0.0;
+  /// Error text for kFailed.
+  std::string detail;
+};
+
+struct SessionResult {
+  std::string name;
+  Status status;
+  MethodOutcome outcome;  // valid when status.ok()
+  double wall_seconds = 0.0;
+};
+
+class ExperimentRunner {
+ public:
+  struct Options {
+    /// Concurrent sessions: 1 = sequential, 0 = one per pool lane.
+    int max_concurrent_sessions = 0;
+    /// Observer for streamed SessionEvents; invocations are serialized.
+    std::function<void(const SessionEvent&)> on_event;
+  };
+
+  ExperimentRunner() : ExperimentRunner(Options()) {}
+  explicit ExperimentRunner(Options options);
+
+  /// Queues a session; returns its id (index into RunAll()'s result).
+  size_t Submit(SessionSpec spec);
+  size_t Submit(std::string name, ExperimentConfig config, Method method);
+
+  size_t num_sessions() const { return specs_.size(); }
+
+  /// Runs every queued session and blocks until all finish. Results are in
+  /// submission order; per-session failures are reported in-band (the run
+  /// itself only fails fast on internal errors). The queue stays intact, so
+  /// RunAll() can be called again (e.g. after tweaking nothing, to measure
+  /// variance across identical re-runs — results will be identical).
+  std::vector<SessionResult> RunAll();
+
+ private:
+  void Emit(SessionEvent event);
+
+  Options options_;
+  std::vector<SessionSpec> specs_;
+  std::mutex emit_mu_;
+};
+
+}  // namespace engine
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_ENGINE_EXPERIMENT_RUNNER_H_

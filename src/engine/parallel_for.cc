@@ -1,0 +1,112 @@
+#include "engine/parallel_for.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+
+namespace slicetuner {
+namespace engine {
+
+namespace {
+
+// Shared between the caller and its helper tasks. Held by shared_ptr so a
+// helper that is dequeued *after* the caller returned (its work already
+// stolen) can still touch the counters safely; such a straggler sees
+// next >= n and exits without ever invoking fn.
+struct LoopState {
+  explicit LoopState(size_t n_, std::function<void(size_t)> fn_)
+      : n(n_), fn(std::move(fn_)) {}
+
+  const size_t n;
+  const std::function<void(size_t)> fn;
+  std::atomic<size_t> next{0};
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t active = 0;  // helpers currently inside the drain loop
+  std::exception_ptr first_exception;  // guarded by mu
+};
+
+// An exception from fn poisons the loop: record it, stop handing out
+// indices, and let every lane drain to completion so the caller can rethrow
+// only after no helper still touches fn's captures.
+void DrainLoop(LoopState* state) {
+  for (;;) {
+    const size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= state->n) break;
+    try {
+      state->fn(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (!state->first_exception) {
+        state->first_exception = std::current_exception();
+      }
+      state->next.store(state->n, std::memory_order_relaxed);
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+size_t EffectiveThreads(size_t n, const ParallelOptions& options) {
+  if (n <= 1) return 1;
+  if (options.num_threads == 1) return 1;
+  ThreadPool* pool = options.pool ? options.pool : &DefaultThreadPool();
+  size_t lanes = pool->num_threads() + 1;  // workers + the calling thread
+  if (options.num_threads > 1) {
+    lanes = std::min(lanes, static_cast<size_t>(options.num_threads));
+  }
+  return std::min(lanes, n);
+}
+
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                 const ParallelOptions& options) {
+  if (n == 0) return;
+  const size_t lanes = EffectiveThreads(n, options);
+  if (lanes <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  ThreadPool* pool = options.pool ? options.pool : &DefaultThreadPool();
+  auto state = std::make_shared<LoopState>(n, fn);
+  const size_t helpers = lanes - 1;  // the caller is lane 0
+  for (size_t h = 0; h < helpers; ++h) {
+    pool->Submit([state] {
+      {
+        // Register before touching `next`: the caller may only skip waiting
+        // for helpers that have not yet claimed an index.
+        std::lock_guard<std::mutex> lock(state->mu);
+        ++state->active;
+      }
+      DrainLoop(state.get());
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (--state->active == 0) state->done_cv.notify_all();
+      }
+    });
+  }
+
+  DrainLoop(state.get());
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock, [&] { return state->active == 0; });
+  if (state->first_exception) std::rethrow_exception(state->first_exception);
+}
+
+void ParallelForSeeded(uint64_t root_seed, size_t n,
+                       const std::function<void(size_t, Rng&)>& fn,
+                       const ParallelOptions& options) {
+  const Rng root(root_seed);
+  ParallelFor(
+      n,
+      [&](size_t i) {
+        Rng rng = root.Fork(i);
+        fn(i, rng);
+      },
+      options);
+}
+
+}  // namespace engine
+}  // namespace slicetuner

@@ -1,0 +1,233 @@
+#include "engine/task_graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <exception>
+#include <memory>
+#include <string>
+
+namespace slicetuner {
+namespace engine {
+
+namespace {
+
+// Per-Run() handshake between the caller and its helper tasks. Allocated as
+// a shared_ptr so a helper dequeued after Run() returned (the graph already
+// resolved, possibly destroyed) can detect `done` and bail without touching
+// the graph.
+struct HelperGuard {
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t active = 0;
+  bool done = false;
+};
+
+}  // namespace
+
+const char* TaskStateName(TaskState state) {
+  switch (state) {
+    case TaskState::kPending:
+      return "pending";
+    case TaskState::kRunning:
+      return "running";
+    case TaskState::kSucceeded:
+      return "succeeded";
+    case TaskState::kFailed:
+      return "failed";
+    case TaskState::kSkipped:
+      return "skipped";
+  }
+  return "?";
+}
+
+bool TaskContext::cancelled() const {
+  return graph != nullptr && graph->cancelled();
+}
+
+TaskGraph::TaskGraph(uint64_t root_seed, ThreadPool* pool,
+                     size_t max_parallelism)
+    : root_seed_(root_seed),
+      pool_(pool ? pool : &DefaultThreadPool()),
+      max_parallelism_(max_parallelism) {}
+
+TaskId TaskGraph::Add(std::string name, TaskFn fn, std::vector<TaskId> deps) {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(!running_ && "TaskGraph::Add during Run()");
+  const TaskId id = tasks_.size();
+  tasks_.emplace_back();
+  Task& task = tasks_.back();
+  task.name = std::move(name);
+  task.fn = std::move(fn);
+  task.future = task.promise.get_future().share();
+  task.unmet_deps = 0;
+  for (TaskId dep : deps) {
+    assert(dep < id && "TaskGraph dependency on a task not yet added");
+    tasks_[dep].dependents.push_back(id);
+    ++task.unmet_deps;
+  }
+  return id;
+}
+
+void TaskGraph::Cancel() {
+  cancel_requested_.store(true, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(mu_);
+  // Anything already queued as ready will never run.
+  while (!ready_.empty()) {
+    const TaskId id = ready_.front();
+    ready_.pop_front();
+    SkipLocked(id);
+  }
+  ready_cv_.notify_all();
+}
+
+TaskState TaskGraph::state(TaskId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_[id].state;
+}
+
+void TaskGraph::SkipLocked(TaskId id) {
+  Task& task = tasks_[id];
+  if (task.state != TaskState::kPending) return;
+  task.state = TaskState::kSkipped;
+  task.promise.set_value(
+      Status::Cancelled("task \"" + task.name + "\" skipped"));
+  --unresolved_;
+  // A skipped task can never satisfy its dependents: cascade.
+  for (TaskId dep : task.dependents) {
+    --tasks_[dep].unmet_deps;
+    SkipLocked(dep);
+  }
+}
+
+void TaskGraph::Execute(TaskId id) {
+  Task& task = tasks_[id];
+  Status status;
+  if (cancelled()) {
+    status = Status::Cancelled("task \"" + task.name +
+                               "\" preempted by cancellation");
+  } else {
+    TaskContext ctx;
+    ctx.id = id;
+    ctx.rng = Rng(root_seed_).Fork(id);
+    ctx.graph = this;
+    // A throwing body must still resolve the task (and its future): on a
+    // helper lane the exception would otherwise escape into the pool worker
+    // and terminate; on the caller lane it would strand every future.
+    try {
+      status = task.fn(ctx);
+    } catch (const std::exception& e) {
+      status = Status::Internal(std::string("task \"") + task.name +
+                                "\" threw: " + e.what());
+    } catch (...) {
+      status = Status::Internal("task \"" + task.name +
+                                "\" threw a non-std exception");
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  task.state = status.ok() ? TaskState::kSucceeded : TaskState::kFailed;
+  if (!status.ok()) {
+    if (first_error_.ok() && status.code() != StatusCode::kCancelled) {
+      first_error_ = status;
+    }
+    cancel_requested_.store(true, std::memory_order_release);
+  }
+  task.promise.set_value(status);
+  --unresolved_;
+  for (TaskId dep : task.dependents) {
+    Task& child = tasks_[dep];
+    --child.unmet_deps;
+    if (!status.ok()) {
+      SkipLocked(dep);
+    } else if (child.unmet_deps == 0 && child.state == TaskState::kPending) {
+      if (cancel_requested_.load(std::memory_order_acquire)) {
+        SkipLocked(dep);
+      } else {
+        ready_.push_back(dep);
+      }
+    }
+  }
+  ready_cv_.notify_all();
+}
+
+void TaskGraph::WorkLoop(bool is_caller) {
+  for (;;) {
+    TaskId id;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      ready_cv_.wait(lock,
+                     [this] { return !ready_.empty() || unresolved_ == 0; });
+      if (unresolved_ == 0) return;
+      if (ready_.empty()) continue;
+      id = ready_.front();
+      ready_.pop_front();
+      tasks_[id].state = TaskState::kRunning;
+    }
+    Execute(id);
+    (void)is_caller;
+  }
+}
+
+Status TaskGraph::Run() {
+  size_t helpers = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_) {
+      return Status::FailedPrecondition("TaskGraph::Run re-entered");
+    }
+    running_ = true;
+    unresolved_ = 0;
+    for (const Task& task : tasks_) {
+      if (task.state == TaskState::kPending) ++unresolved_;
+    }
+    for (TaskId id = 0; id < tasks_.size(); ++id) {
+      Task& task = tasks_[id];
+      if (task.state != TaskState::kPending || task.unmet_deps != 0) continue;
+      if (cancel_requested_.load(std::memory_order_acquire)) {
+        SkipLocked(id);
+      } else {
+        ready_.push_back(id);
+      }
+    }
+    helpers = std::min(pool_->num_threads(),
+                       unresolved_ > 0 ? unresolved_ - 1 : size_t{0});
+    if (max_parallelism_ > 0) {
+      helpers = std::min(helpers, max_parallelism_ - 1);
+    }
+  }
+
+  auto guard = std::make_shared<HelperGuard>();
+  for (size_t h = 0; h < helpers; ++h) {
+    pool_->Submit([this, guard] {
+      {
+        std::lock_guard<std::mutex> lock(guard->mu);
+        if (guard->done) return;  // graph already resolved; `this` may dangle
+        ++guard->active;
+      }
+      WorkLoop(/*is_caller=*/false);
+      {
+        std::lock_guard<std::mutex> lock(guard->mu);
+        if (--guard->active == 0) guard->cv.notify_all();
+      }
+    });
+  }
+
+  WorkLoop(/*is_caller=*/true);
+
+  {
+    std::unique_lock<std::mutex> lock(guard->mu);
+    guard->done = true;
+    guard->cv.wait(lock, [&] { return guard->active == 0; });
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+  if (!first_error_.ok()) return first_error_;
+  if (cancel_requested_.load(std::memory_order_acquire)) {
+    return Status::Cancelled("TaskGraph cancelled");
+  }
+  return Status::OK();
+}
+
+}  // namespace engine
+}  // namespace slicetuner

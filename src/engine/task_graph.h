@@ -1,0 +1,140 @@
+// TaskGraph: a dependency-ordered task executor on top of ThreadPool with
+// futures, cooperative cancellation, and deterministic per-task RNG seeding.
+//
+// Tasks are added with explicit dependencies and executed in topological
+// order, fanning independent tasks out across the pool. Each task receives a
+// TaskContext carrying an Rng forked from the graph's root seed and the
+// task's stable index (its Add() order), so stochastic tasks are
+// bit-reproducible regardless of scheduling.
+//
+// Failure and cancellation: the first task error cancels the graph; tasks
+// that never started are marked kSkipped and their futures resolve with a
+// Cancelled status. Running tasks can poll TaskContext::cancelled() to bail
+// out early. Run() itself executes tasks on the calling thread as well, so
+// it is safe to invoke from inside a pool worker (see parallel_for.h for the
+// nesting argument).
+
+#ifndef SLICETUNER_ENGINE_TASK_GRAPH_H_
+#define SLICETUNER_ENGINE_TASK_GRAPH_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+
+namespace slicetuner {
+namespace engine {
+
+using TaskId = size_t;
+
+enum class TaskState {
+  kPending,
+  kRunning,
+  kSucceeded,
+  kFailed,
+  kSkipped,  // never started: a dependency failed or the graph was cancelled
+};
+
+const char* TaskStateName(TaskState state);
+
+class TaskGraph;
+
+/// Handed to every task body when it runs.
+struct TaskContext {
+  TaskId id = 0;
+  /// Rng(root_seed).Fork(id): stable per-task stream.
+  Rng rng;
+  /// True once the graph has been cancelled (by Cancel() or a task failure).
+  /// Long-running tasks should poll this and return early.
+  bool cancelled() const;
+
+  const TaskGraph* graph = nullptr;
+};
+
+class TaskGraph {
+ public:
+  using TaskFn = std::function<Status(TaskContext&)>;
+
+  /// `pool` is borrowed (nullptr = DefaultThreadPool()); `root_seed` feeds
+  /// every task's TaskContext::rng. `max_parallelism` caps the concurrent
+  /// lanes of Run() (0 = one per pool worker plus the caller; 1 = the
+  /// caller executes every task, in ready order).
+  explicit TaskGraph(uint64_t root_seed = 0, ThreadPool* pool = nullptr,
+                     size_t max_parallelism = 0);
+
+  TaskGraph(const TaskGraph&) = delete;
+  TaskGraph& operator=(const TaskGraph&) = delete;
+
+  /// Registers a task that runs after every task in `deps`. Must not be
+  /// called while Run() is in flight. Dependencies must already exist.
+  TaskId Add(std::string name, TaskFn fn, std::vector<TaskId> deps = {});
+
+  /// Executes the whole graph and blocks until every task is resolved.
+  /// Returns OK when all tasks succeeded, the first task error otherwise,
+  /// or a Cancelled status when Cancel() preempted the run.
+  Status Run();
+
+  /// Requests cancellation: tasks that have not started resolve as kSkipped;
+  /// running tasks observe TaskContext::cancelled() == true.
+  void Cancel();
+
+  bool cancelled() const {
+    return cancel_requested_.load(std::memory_order_acquire);
+  }
+
+  size_t size() const { return tasks_.size(); }
+  TaskState state(TaskId id) const;
+  const std::string& name(TaskId id) const { return tasks_[id].name; }
+
+  /// Future resolving to the task's final Status (Cancelled for kSkipped
+  /// tasks). Valid after Add(), resolved by Run().
+  std::shared_future<Status> future(TaskId id) {
+    return tasks_[id].future;
+  }
+
+ private:
+  struct Task {
+    std::string name;
+    TaskFn fn;
+    std::vector<TaskId> dependents;
+    size_t unmet_deps = 0;
+    TaskState state = TaskState::kPending;
+    std::promise<Status> promise;
+    std::shared_future<Status> future;
+  };
+
+  // Executes ready tasks until the graph is fully resolved (caller lane) or
+  // no more work can be claimed (helper lanes).
+  void WorkLoop(bool is_caller);
+  // Runs one task and resolves its dependents. Returns under no lock.
+  void Execute(TaskId id);
+  // Marks a pending task skipped and cascades to its dependents.
+  // Requires mu_ held.
+  void SkipLocked(TaskId id);
+
+  uint64_t root_seed_;
+  ThreadPool* pool_;
+  size_t max_parallelism_;
+  std::vector<Task> tasks_;
+
+  mutable std::mutex mu_;
+  std::condition_variable ready_cv_;
+  std::deque<TaskId> ready_;
+  size_t unresolved_ = 0;
+  bool running_ = false;
+  std::atomic<bool> cancel_requested_{false};
+  Status first_error_;
+};
+
+}  // namespace engine
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_ENGINE_TASK_GRAPH_H_

@@ -21,7 +21,7 @@ struct Fixture {
     validation = preset.generator.GenerateDataset({100, 100, 100, 100}, &rng);
     source = std::make_unique<SyntheticPool>(
         &preset.generator, std::make_unique<TableCost>(preset.costs),
-        rng());
+        rng.ForkSeed(0));
   }
 
   BanditOptions FastOptions() const {

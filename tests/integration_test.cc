@@ -66,7 +66,7 @@ TEST(IntegrationTest, CrowdsourcingSourceComposesWithIterative) {
 
   CrowdsourceOptions cs;
   cs.mean_task_seconds = {82.1, 81.9, 67.6, 79.3, 94.8, 77.5, 91.6, 104.6};
-  CrowdsourceSimulator source(&preset.generator, cs, rng());
+  CrowdsourceSimulator source(&preset.generator, cs, rng.ForkSeed(0));
 
   SliceTunerOptions options;
   options.model_spec = preset.model_spec;
@@ -96,24 +96,6 @@ TEST(IntegrationTest, SuggestedPlanMatchesCurveQuality) {
   // that actually improves with data (slice 0) when lambda = 0.
   Rng rng(8);
   Dataset train(4), validation(4);
-  auto add = [&](Dataset* d, int slice, int n) {
-    for (int i = 0; i < n; ++i) {
-      Example e;
-      e.slice = slice;
-      e.features.resize(4);
-      if (slice == 0) {
-        e.label = i % 2;
-        for (auto& f : e.features) {
-          f = rng.Normal(e.label == 0 ? -1.5 : 1.5, 1.0);
-        }
-      } else {
-        e.label = rng.Bernoulli(0.5) ? 1 : 0;
-        for (auto& f : e.features) f = rng.Normal(0.0, 1.0);
-      }
-    }
-    // (filled below)
-  };
-  (void)add;
   for (int slice = 0; slice < 2; ++slice) {
     for (int i = 0; i < 150; ++i) {
       Example e;

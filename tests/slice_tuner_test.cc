@@ -22,7 +22,7 @@ struct Fixture {
         preset.generator.GenerateDataset({100, 100, 100, 100}, &rng);
     source = std::make_unique<SyntheticPool>(
         &preset.generator, std::make_unique<TableCost>(preset.costs),
-        rng());
+        rng.ForkSeed(0));
   }
 
   SliceTunerOptions Options() const {
