@@ -1,0 +1,99 @@
+// Simulation-subsystem benchmark: runs the canonical scenario grid through
+// four acquisition methods, reports wall time per scenario x method cell,
+// and writes BENCH_sim.json (total/mean/max cell time) plus a per-cell CSV.
+//
+//   ./bench_sim_scenarios [--threads=N] [--concurrent=N]
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+#include "sim/simulator.h"
+
+int main(int argc, char** argv) {
+  using namespace slicetuner;
+  const int threads = bench::ParseThreadsFlag(argc, argv, 1);
+  const int concurrent =
+      bench::ParseIntFlag(argc, argv, "--concurrent=", 0);
+  std::printf("=== Scenario simulation: wall time per grid cell ===\n");
+  std::printf("curve threads: %d, concurrent cells: %d\n\n", threads,
+              concurrent);
+
+  const std::vector<sim::ScenarioSpec> scenarios = sim::CanonicalScenarios();
+  const std::vector<sim::SimMethod> methods = {
+      sim::SimMethod::kOneShot, sim::SimMethod::kModerate,
+      sim::SimMethod::kUniform, sim::SimMethod::kWaterFilling};
+
+  sim::SimGridOptions options;
+  options.cell.num_threads = threads;
+  options.max_concurrent_cells = concurrent;
+
+  Stopwatch total;
+  const auto cells = sim::SimulateGrid(scenarios, methods, options);
+  ST_CHECK_OK(cells.status());
+  const double total_seconds = total.ElapsedSeconds();
+
+  CsvWriter csv;
+  ST_CHECK_OK(csv.Open(bench::ResultsDir() + "/sim_scenarios.csv"));
+  ST_CHECK_OK(csv.WriteRow({"scenario", "method", "rounds", "acquired",
+                            "final_loss", "final_avg_eer", "wall_seconds"}));
+
+  TablePrinter table({"Cell", "Rounds", "Acquired", "Final loss", "Avg EER",
+                      "Wall (s)"});
+  double max_cell = 0.0;
+  double sum_cells = 0.0;
+  int failures = 0;
+  for (const sim::SimCellResult& cell : *cells) {
+    if (!cell.status.ok()) {
+      ++failures;
+      std::fprintf(stderr, "[failed] %s: %s\n", cell.name.c_str(),
+                   cell.status.ToString().c_str());
+      continue;
+    }
+    max_cell = std::max(max_cell, cell.wall_seconds);
+    sum_cells += cell.wall_seconds;
+    const sim::SimTrace& trace = cell.trace;
+    table.AddRow({cell.name, StrFormat("%zu", trace.rounds.size()),
+                  StrFormat("%lld", trace.total_acquired),
+                  FormatDouble(trace.final_loss, 3),
+                  FormatDouble(trace.final_avg_eer, 3),
+                  FormatDouble(cell.wall_seconds, 3)});
+    ST_CHECK_OK(csv.WriteRow(
+        {trace.scenario, trace.method, StrFormat("%zu", trace.rounds.size()),
+         StrFormat("%lld", trace.total_acquired),
+         FormatDouble(trace.final_loss, 5),
+         FormatDouble(trace.final_avg_eer, 5),
+         FormatDouble(cell.wall_seconds, 5)}));
+  }
+  table.Print(std::cout);
+  ST_CHECK_OK(csv.Close());
+
+  const size_t cell_count = cells->size();
+  std::printf("\n%zu cells, %d failed; grid wall %.3fs, mean cell %.3fs, "
+              "max cell %.3fs\n",
+              cell_count, failures, total_seconds,
+              cell_count > 0 ? sum_cells / static_cast<double>(cell_count)
+                             : 0.0,
+              max_cell);
+
+  ST_CHECK_OK(bench::WriteBenchJson(
+      bench::ResultsDir() + "/BENCH_sim.json",
+      {{"bench", "\"sim_scenarios\""},
+       {"scenarios", StrFormat("%zu", scenarios.size())},
+       {"methods", StrFormat("%zu", methods.size())},
+       {"cells", StrFormat("%zu", cell_count)},
+       {"failures", StrFormat("%d", failures)},
+       {"curve_threads", StrFormat("%d", threads)},
+       {"concurrent_cells", StrFormat("%d", concurrent)},
+       {"grid_wall_seconds", FormatDouble(total_seconds, 4)},
+       {"mean_cell_seconds",
+        FormatDouble(cell_count > 0
+                         ? sum_cells / static_cast<double>(cell_count)
+                         : 0.0,
+                     4)},
+       {"max_cell_seconds", FormatDouble(max_cell, 4)}}));
+  std::printf("Wrote results/sim_scenarios.csv and results/BENCH_sim.json\n");
+  return failures == 0 ? 0 : 1;
+}

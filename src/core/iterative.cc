@@ -204,8 +204,19 @@ Result<IterativeResult> RunIterative(Dataset* train, const Dataset& validation,
     }
     remaining -= spent;
     result.budget_spent += spent;
-    t_limit = IncreaseLimit(t_limit, options);
     imbalance = ImbalanceRatio(PositiveSizes(sizes));
+    if (options.on_iteration) {
+      IterationEvent event;
+      event.iteration = result.iterations;
+      event.acquired = num;
+      event.curves = estimation.slices;
+      event.spent = spent;
+      event.remaining = remaining;
+      event.t_limit = t_limit;
+      event.imbalance = imbalance;
+      options.on_iteration(event);
+    }
+    t_limit = IncreaseLimit(t_limit, options);
     ++result.iterations;
   }
   return result;

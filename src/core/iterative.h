@@ -6,6 +6,7 @@
 #ifndef SLICETUNER_CORE_ITERATIVE_H_
 #define SLICETUNER_CORE_ITERATIVE_H_
 
+#include <functional>
 #include <vector>
 
 #include "common/result.h"
@@ -29,6 +30,26 @@ enum class IterationStrategy {
 
 const char* StrategyName(IterationStrategy strategy);
 
+/// Snapshot of one completed Algorithm-1 iteration, streamed to
+/// IterativeOptions::on_iteration. The simulation subsystem uses this to
+/// record per-iteration allocations and curve parameters into its traces;
+/// any monitoring layer can subscribe the same way.
+struct IterationEvent {
+  /// 0-based index of the completed iteration.
+  int iteration = 0;
+  /// Examples acquired this iteration (after the T cap and budget trim).
+  std::vector<long long> acquired;
+  /// Curves the iteration planned from.
+  std::vector<SliceCurveEstimate> curves;
+  /// Budget spent by this iteration / remaining afterwards.
+  double spent = 0.0;
+  double remaining = 0.0;
+  /// Imbalance-ratio change limit T in force during the iteration.
+  double t_limit = 0.0;
+  /// Imbalance ratio after the acquisition.
+  double imbalance = 0.0;
+};
+
 struct IterativeOptions {
   IterationStrategy strategy = IterationStrategy::kModerate;
   /// Initial imbalance-ratio change limit T (Algorithm 1 line 2).
@@ -48,6 +69,10 @@ struct IterativeOptions {
   /// slices whose data changed in the last acquisition round are re-fit
   /// (see engine/curve_engine.h). nullptr = stateless estimation.
   engine::CurveEstimationEngine* curve_engine = nullptr;
+  /// Observer invoked after every completed iteration (on the calling
+  /// thread, before the next iteration starts). Purely observational: it
+  /// must not mutate the train/source being iterated on.
+  std::function<void(const IterationEvent&)> on_iteration;
 };
 
 struct IterativeResult {

@@ -72,6 +72,19 @@ std::vector<double> Influence(const std::vector<double>& losses_before,
   return out;
 }
 
+Result<SliceMetrics> TrainAndEvaluate(const Dataset& train,
+                                      const Dataset& validation,
+                                      int num_slices,
+                                      const ModelSpec& model_spec,
+                                      TrainerOptions trainer, uint64_t seed) {
+  Rng rng(seed);
+  Model model = BuildModel(model_spec, &rng);
+  trainer.seed = rng();
+  ST_RETURN_NOT_OK(
+      Train(&model, train.FeatureMatrix(), train.Labels(), trainer).status());
+  return EvaluatePerSlice(&model, validation, num_slices);
+}
+
 double ImbalanceRatioOf(const std::vector<size_t>& sizes) {
   double mx = 0.0;
   double mn = HUGE_VAL;

@@ -10,6 +10,7 @@
 #include "common/result.h"
 #include "data/dataset.h"
 #include "nn/model.h"
+#include "nn/trainer.h"
 
 namespace slicetuner {
 
@@ -25,6 +26,17 @@ struct SliceMetrics {
 /// (slices with no validation rows get loss 0 and are excluded from EER).
 Result<SliceMetrics> EvaluatePerSlice(Model* model, const Dataset& validation,
                                       int num_slices);
+
+/// The evaluation protocol of Section 6.1 in one step: trains a fresh model
+/// on `train` (weight init and trainer seed both derived from `seed`) and
+/// evaluates it per slice on `validation`. SliceTuner::Evaluate and the
+/// simulator's bandit path both delegate here, so every method's metrics
+/// are produced by the identical procedure.
+Result<SliceMetrics> TrainAndEvaluate(const Dataset& train,
+                                      const Dataset& validation,
+                                      int num_slices,
+                                      const ModelSpec& model_spec,
+                                      TrainerOptions trainer, uint64_t seed);
 
 /// avg_i |loss_i - overall| over slices with validation data.
 double AverageEer(const std::vector<double>& slice_losses,

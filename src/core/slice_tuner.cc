@@ -107,14 +107,8 @@ Result<IterativeResult> SliceTuner::AcquireBaseline(DataSource* source,
 }
 
 Result<SliceMetrics> SliceTuner::Evaluate(uint64_t seed) const {
-  Rng rng(seed);
-  Model model = BuildModel(options_.model_spec, &rng);
-  TrainerOptions trainer = options_.trainer;
-  trainer.seed = rng();
-  ST_RETURN_NOT_OK(
-      Train(&model, train_.FeatureMatrix(), train_.Labels(), trainer)
-          .status());
-  return EvaluatePerSlice(&model, validation_, num_slices_);
+  return TrainAndEvaluate(train_, validation_, num_slices_,
+                          options_.model_spec, options_.trainer, seed);
 }
 
 }  // namespace slicetuner

@@ -18,7 +18,8 @@ enum PresetStream : uint64_t {
   kCensusStream = 3,
 };
 
-// Draws a random direction of the given norm.
+}  // namespace
+
 std::vector<double> RandomCentroid(Rng* rng, size_t dim, double scale) {
   std::vector<double> v(dim);
   double norm = 0.0;
@@ -37,8 +38,6 @@ std::vector<double> AddVec(const std::vector<double>& a,
   for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + beta * b[i];
   return out;
 }
-
-}  // namespace
 
 SyntheticGenerator::SyntheticGenerator(size_t dim, int num_classes,
                                        std::vector<SliceModel> slices)

@@ -34,6 +34,16 @@ struct SliceModel {
   double label_noise = 0.0;
 };
 
+/// Draws a uniformly random direction of norm `scale` (dim Gaussian draws,
+/// normalized with a 1e-12 floor). Shared by the preset worlds, the sim
+/// subsystem's scenario compiler, and its mean-shift drift injector so all
+/// three sample directions identically.
+std::vector<double> RandomCentroid(Rng* rng, size_t dim, double scale);
+
+/// a + beta * b, element-wise.
+std::vector<double> AddVec(const std::vector<double>& a,
+                           const std::vector<double>& b, double beta);
+
 /// Generates examples for any slice on demand (an infinite data source).
 class SyntheticGenerator {
  public:
@@ -53,6 +63,13 @@ class SyntheticGenerator {
 
   const SliceModel& slice_model(int slice) const {
     return slices_[static_cast<size_t>(slice)];
+  }
+
+  /// Mutable access for scripted distribution changes (sim drift injectors).
+  /// Future draws from `slice` follow the mutated model; rows generated
+  /// before the mutation are unaffected.
+  SliceModel* mutable_slice_model(int slice) {
+    return &slices_[static_cast<size_t>(slice)];
   }
 
  private:

@@ -18,6 +18,8 @@ const char* SessionStateName(SessionState state) {
       return "succeeded";
     case SessionState::kFailed:
       return "failed";
+    case SessionState::kCancelled:
+      return "cancelled";
   }
   return "?";
 }
@@ -25,11 +27,20 @@ const char* SessionStateName(SessionState state) {
 ExperimentRunner::ExperimentRunner(Options options)
     : options_(std::move(options)) {}
 
-size_t ExperimentRunner::Submit(SessionSpec spec) {
-  const size_t id = specs_.size();
-  specs_.push_back(std::move(spec));
-  Emit(SessionEvent{id, specs_.back().name, SessionState::kQueued, 0.0, ""});
+size_t ExperimentRunner::SubmitJob(Job job) {
+  const size_t id = jobs_.size();
+  jobs_.push_back(std::move(job));
+  Emit(SessionEvent{id, jobs_.back().name, SessionState::kQueued, 0.0, ""});
   return id;
+}
+
+size_t ExperimentRunner::Submit(SessionSpec spec) {
+  Job job;
+  job.name = std::move(spec.name);
+  job.run = [config = std::move(spec.config), method = spec.method]() {
+    return RunMethod(config, method);
+  };
+  return SubmitJob(std::move(job));
 }
 
 size_t ExperimentRunner::Submit(std::string name, ExperimentConfig config,
@@ -41,6 +52,17 @@ size_t ExperimentRunner::Submit(std::string name, ExperimentConfig config,
   return Submit(std::move(spec));
 }
 
+size_t ExperimentRunner::SubmitTask(std::string name,
+                                    std::function<Status()> fn) {
+  Job job;
+  job.name = std::move(name);
+  job.run = [fn = std::move(fn)]() -> Result<MethodOutcome> {
+    ST_RETURN_NOT_OK(fn());
+    return MethodOutcome{};
+  };
+  return SubmitJob(std::move(job));
+}
+
 void ExperimentRunner::Emit(SessionEvent event) {
   if (!options_.on_event) return;
   std::lock_guard<std::mutex> lock(emit_mu_);
@@ -48,42 +70,57 @@ void ExperimentRunner::Emit(SessionEvent event) {
 }
 
 std::vector<SessionResult> ExperimentRunner::RunAll() {
-  std::vector<SessionResult> results(specs_.size());
+  std::vector<SessionResult> results(jobs_.size());
+  std::vector<char> resolved(jobs_.size(), 0);
 
   // One independent TaskGraph task per session (a future session-chaining
   // API would express cross-session dependencies here). Session failures
   // are reported in-band through SessionResult, so every task returns OK
-  // and the graph never cancels siblings.
+  // and the graph only cancels siblings when cancel_on_failure asks for it.
   const size_t cap =
       options_.max_concurrent_sessions > 0
           ? static_cast<size_t>(options_.max_concurrent_sessions)
           : 0;
   TaskGraph graph(/*root_seed=*/0, /*pool=*/nullptr, cap);
-  for (size_t id = 0; id < specs_.size(); ++id) {
-    graph.Add(specs_[id].name, [this, &results, id](TaskContext&) {
-      const SessionSpec& spec = specs_[id];
+  for (size_t id = 0; id < jobs_.size(); ++id) {
+    graph.Add(jobs_[id].name,
+              [this, &results, &resolved, &graph, id](TaskContext&) {
+      const Job& job = jobs_[id];
       Stopwatch timer;
-      Emit(SessionEvent{id, spec.name, SessionState::kRunning, 0.0, ""});
+      Emit(SessionEvent{id, job.name, SessionState::kRunning, 0.0, ""});
 
       SessionResult& result = results[id];
-      result.name = spec.name;
-      Result<MethodOutcome> outcome = RunMethod(spec.config, spec.method);
+      result.name = job.name;
+      Result<MethodOutcome> outcome = job.run();
       result.wall_seconds = timer.ElapsedSeconds();
+      resolved[id] = 1;
       if (outcome.ok()) {
         result.outcome = *outcome;
         result.status = Status::OK();
-        Emit(SessionEvent{id, spec.name, SessionState::kSucceeded,
+        Emit(SessionEvent{id, job.name, SessionState::kSucceeded,
                           result.wall_seconds, ""});
       } else {
         result.status = outcome.status();
-        Emit(SessionEvent{id, spec.name, SessionState::kFailed,
+        Emit(SessionEvent{id, job.name, SessionState::kFailed,
                           result.wall_seconds, outcome.status().ToString()});
+        if (options_.cancel_on_failure) graph.Cancel();
       }
       return Status::OK();
     });
   }
   const Status status = graph.Run();
-  (void)status;  // all tasks return OK; Run only fails on re-entry
+  (void)status;  // session failures are in-band; Run only fails on cancel
+
+  // Sessions skipped by a cancellation never ran their body: resolve them
+  // in-band so callers see a terminal state for every submission.
+  for (size_t id = 0; id < jobs_.size(); ++id) {
+    if (resolved[id]) continue;
+    results[id].name = jobs_[id].name;
+    results[id].status =
+        Status::Cancelled("session cancelled before it started");
+    Emit(SessionEvent{id, jobs_[id].name, SessionState::kCancelled, 0.0,
+                      results[id].status.ToString()});
+  }
 
   return results;
 }

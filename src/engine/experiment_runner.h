@@ -9,6 +9,13 @@
 // state transitions (queued -> running -> succeeded/failed) to an optional
 // observer as they happen.
 //
+// Sessions need not be paper experiments: SubmitTask() queues any
+// Status-returning callable under the same scheduling, streaming, and
+// cancellation machinery (the simulation subsystem fans scenario x method
+// grids out this way). With cancel_on_failure set, the first failed session
+// cancels every session that has not started yet; those resolve as
+// kCancelled.
+//
 // Determinism: each session's outcome depends only on its own config (seed
 // included), never on scheduling, so a sweep run with 1 or N concurrent
 // sessions produces identical numbers. Sessions nest freely on the pool:
@@ -36,7 +43,15 @@ struct SessionSpec {
   Method method = Method::kModerate;
 };
 
-enum class SessionState { kQueued, kRunning, kSucceeded, kFailed };
+enum class SessionState {
+  kQueued,
+  kRunning,
+  kSucceeded,
+  kFailed,
+  /// Never started: an earlier session failed under cancel_on_failure (or
+  /// the whole run was cancelled).
+  kCancelled,
+};
 
 const char* SessionStateName(SessionState state);
 
@@ -55,7 +70,7 @@ struct SessionEvent {
 struct SessionResult {
   std::string name;
   Status status;
-  MethodOutcome outcome;  // valid when status.ok()
+  MethodOutcome outcome;  // valid when status.ok() and the session was typed
   double wall_seconds = 0.0;
 };
 
@@ -66,6 +81,9 @@ class ExperimentRunner {
     int max_concurrent_sessions = 0;
     /// Observer for streamed SessionEvents; invocations are serialized.
     std::function<void(const SessionEvent&)> on_event;
+    /// When true, the first failed session cancels every queued session
+    /// that has not started yet (their results resolve as Cancelled).
+    bool cancel_on_failure = false;
   };
 
   ExperimentRunner() : ExperimentRunner(Options()) {}
@@ -75,7 +93,12 @@ class ExperimentRunner {
   size_t Submit(SessionSpec spec);
   size_t Submit(std::string name, ExperimentConfig config, Method method);
 
-  size_t num_sessions() const { return specs_.size(); }
+  /// Queues an arbitrary unit of work as a session. The callable runs on a
+  /// pool lane exactly like a typed session; its SessionResult carries the
+  /// returned Status and a default MethodOutcome.
+  size_t SubmitTask(std::string name, std::function<Status()> fn);
+
+  size_t num_sessions() const { return jobs_.size(); }
 
   /// Runs every queued session and blocks until all finish. Results are in
   /// submission order; per-session failures are reported in-band (the run
@@ -85,10 +108,17 @@ class ExperimentRunner {
   std::vector<SessionResult> RunAll();
 
  private:
+  /// Internal unified form of typed sessions and generic tasks.
+  struct Job {
+    std::string name;
+    std::function<Result<MethodOutcome>()> run;
+  };
+
+  size_t SubmitJob(Job job);
   void Emit(SessionEvent event);
 
   Options options_;
-  std::vector<SessionSpec> specs_;
+  std::vector<Job> jobs_;
   std::mutex emit_mu_;
 };
 

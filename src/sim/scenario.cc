@@ -1,0 +1,288 @@
+#include "sim/scenario.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace slicetuner {
+namespace sim {
+
+const char* DriftKindName(DriftKind kind) {
+  switch (kind) {
+    case DriftKind::kMeanShift:
+      return "mean-shift";
+    case DriftKind::kSigmaScale:
+      return "sigma-scale";
+    case DriftKind::kLabelNoise:
+      return "label-noise";
+  }
+  return "?";
+}
+
+Status ScenarioSpec::Validate() const {
+  if (name.empty()) {
+    return Status::InvalidArgument("ScenarioSpec: name must not be empty");
+  }
+  if (num_slices <= 0) {
+    return Status::InvalidArgument("ScenarioSpec: num_slices must be > 0");
+  }
+  if (dim == 0) {
+    return Status::InvalidArgument("ScenarioSpec: dim must be > 0");
+  }
+  const size_t n = static_cast<size_t>(num_slices);
+  if (slice_margins.size() != n || slice_label_noise.size() != n ||
+      initial_sizes.size() != n || costs.size() != n) {
+    return Status::InvalidArgument(StrFormat(
+        "ScenarioSpec '%s': per-slice fields must all have %d entries "
+        "(margins %zu, noise %zu, sizes %zu, costs %zu)",
+        name.c_str(), num_slices, slice_margins.size(),
+        slice_label_noise.size(), initial_sizes.size(), costs.size()));
+  }
+  if (!acquisition_label_noise.empty() &&
+      acquisition_label_noise.size() != n) {
+    return Status::InvalidArgument(StrFormat(
+        "ScenarioSpec '%s': acquisition_label_noise has %zu entries for %d "
+        "slices",
+        name.c_str(), acquisition_label_noise.size(), num_slices));
+  }
+  for (double noise : slice_label_noise) {
+    if (noise < 0.0 || noise > 1.0) {
+      return Status::InvalidArgument(
+          "ScenarioSpec: slice_label_noise rates must lie in [0, 1]");
+    }
+  }
+  for (double noise : acquisition_label_noise) {
+    if (noise < 0.0 || noise > 1.0) {
+      return Status::InvalidArgument(
+          "ScenarioSpec: acquisition_label_noise rates must lie in [0, 1]");
+    }
+  }
+  for (double margin : slice_margins) {
+    if (margin <= 0.0) {
+      return Status::InvalidArgument(
+          "ScenarioSpec: slice_margins must be positive");
+    }
+  }
+  for (double cost : costs) {
+    if (cost <= 0.0) {
+      return Status::InvalidArgument("ScenarioSpec: costs must be positive");
+    }
+  }
+  if (budget_schedule.empty()) {
+    return Status::InvalidArgument(
+        "ScenarioSpec: budget_schedule must have at least one round");
+  }
+  for (double budget : budget_schedule) {
+    if (budget < 0.0) {
+      return Status::InvalidArgument(
+          "ScenarioSpec: per-round budgets must be non-negative");
+    }
+  }
+  for (const DriftEvent& event : drift) {
+    if (event.round < 0 || event.round >= rounds()) {
+      return Status::OutOfRange(StrFormat(
+          "ScenarioSpec '%s': drift event round %d outside [0, %d)",
+          name.c_str(), event.round, rounds()));
+    }
+    if (event.slice < -1 || event.slice >= num_slices) {
+      return Status::OutOfRange(StrFormat(
+          "ScenarioSpec '%s': drift event slice %d outside [-1, %d)",
+          name.c_str(), event.slice, num_slices));
+    }
+    if (event.kind == DriftKind::kLabelNoise &&
+        (event.magnitude < 0.0 || event.magnitude > 1.0)) {
+      return Status::InvalidArgument(
+          "ScenarioSpec: label-noise drift magnitude must lie in [0, 1]");
+    }
+    if (event.kind == DriftKind::kSigmaScale && event.magnitude <= 0.0) {
+      return Status::InvalidArgument(
+          "ScenarioSpec: sigma-scale drift magnitude must be positive");
+    }
+  }
+  if (val_per_slice == 0) {
+    return Status::InvalidArgument(
+        "ScenarioSpec: val_per_slice must be > 0");
+  }
+  if (lambda < 0.0) {
+    return Status::InvalidArgument("ScenarioSpec: lambda must be >= 0");
+  }
+  if (max_iterations_per_round <= 0) {
+    return Status::InvalidArgument(
+        "ScenarioSpec: max_iterations_per_round must be > 0");
+  }
+  if (curve_points < 2 || curve_draws < 1 || trainer_epochs < 1) {
+    return Status::InvalidArgument(
+        "ScenarioSpec: curve_points >= 2, curve_draws >= 1, and "
+        "trainer_epochs >= 1 required");
+  }
+  return Status::OK();
+}
+
+double ScenarioSpec::total_budget() const {
+  double total = 0.0;
+  for (double budget : budget_schedule) total += budget;
+  return total;
+}
+
+SyntheticGenerator ScenarioSpec::BuildGenerator() const {
+  // Same construction as the census-like preset: one shared boundary
+  // direction, per-slice centroids, and +-margin class components. All
+  // randomness forks from the scenario seed, so the world is a pure
+  // function of the spec.
+  Rng rng = Rng(seed).Fork(/*index=*/7);
+  const std::vector<double> boundary = RandomCentroid(&rng, dim, 1.0);
+
+  std::vector<SliceModel> slices(static_cast<size_t>(num_slices));
+  for (int s = 0; s < num_slices; ++s) {
+    Rng slice_rng = rng.Fork(static_cast<uint64_t>(s));
+    const std::vector<double> centroid =
+        RandomCentroid(&slice_rng, dim, 0.5);
+    const double margin = slice_margins[static_cast<size_t>(s)];
+
+    GaussianComponent neg;
+    neg.mean = AddVec(centroid, boundary, -margin);
+    neg.sigma = 1.0;
+    neg.label = 0;
+    neg.weight = 0.5;
+    GaussianComponent pos;
+    pos.mean = AddVec(centroid, boundary, margin);
+    pos.sigma = 1.0;
+    pos.label = 1;
+    pos.weight = 0.5;
+
+    SliceModel& model = slices[static_cast<size_t>(s)];
+    model.components = {neg, pos};
+    model.label_noise = slice_label_noise[static_cast<size_t>(s)];
+  }
+  return SyntheticGenerator(dim, /*num_classes=*/2, std::move(slices));
+}
+
+ModelSpec ScenarioSpec::BuildModelSpec() const {
+  // Logistic regression (no hidden layers): milliseconds per training, and
+  // the paper's own choice for the census dataset.
+  ModelSpec spec;
+  spec.input_dim = dim;
+  spec.num_classes = 2;
+  return spec;
+}
+
+TrainerOptions ScenarioSpec::BuildTrainer() const {
+  TrainerOptions trainer;
+  trainer.epochs = trainer_epochs;
+  trainer.batch_size = 32;
+  trainer.learning_rate = 0.05;
+  return trainer;
+}
+
+LearningCurveOptions ScenarioSpec::BuildCurveOptions(int num_threads) const {
+  LearningCurveOptions options;
+  options.num_points = curve_points;
+  options.num_curve_draws = curve_draws;
+  options.exhaustive = exhaustive_curves;
+  options.num_threads = num_threads;
+  options.seed = Rng(seed).ForkSeed(/*index=*/11);
+  return options;
+}
+
+std::vector<ScenarioSpec> CanonicalScenarios() {
+  std::vector<ScenarioSpec> scenarios;
+
+  // 1. Balanced world: equal sizes, equal costs, flat budget schedule.
+  {
+    ScenarioSpec s;
+    s.name = "balanced";
+    s.slice_margins = {0.8, 0.65, 0.5, 0.4};
+    s.slice_label_noise = {0.04, 0.06, 0.08, 0.10};
+    s.initial_sizes = {60, 60, 60, 60};
+    s.costs = {1.0, 1.0, 1.0, 1.0};
+    s.budget_schedule = {80.0, 80.0};
+    s.seed = 21;
+    scenarios.push_back(std::move(s));
+  }
+
+  // 2. Skewed start: exponentially decaying initial sizes — the minority
+  // slices are data-starved, the regime Slice Tuner targets.
+  {
+    ScenarioSpec s;
+    s.name = "skewed";
+    s.slice_margins = {0.8, 0.65, 0.5, 0.4};
+    s.slice_label_noise = {0.04, 0.06, 0.08, 0.10};
+    s.initial_sizes = {120, 60, 30, 15};
+    s.costs = {1.0, 1.0, 1.0, 1.0};
+    s.budget_schedule = {80.0, 80.0};
+    s.seed = 22;
+    scenarios.push_back(std::move(s));
+  }
+
+  // 3. Costly minority: the hardest slices are also the most expensive to
+  // collect (Table 1's AMT regime), stressing the cost-aware allocation.
+  {
+    ScenarioSpec s;
+    s.name = "costly-minority";
+    s.slice_margins = {0.8, 0.6, 0.45, 0.4};
+    s.slice_label_noise = {0.04, 0.06, 0.08, 0.10};
+    s.initial_sizes = {100, 70, 40, 25};
+    s.costs = {1.0, 1.2, 1.8, 2.4};
+    s.budget_schedule = {100.0, 100.0};
+    s.seed = 23;
+    scenarios.push_back(std::move(s));
+  }
+
+  // 4. Mean-shift drift: slice 2's distribution moves between rounds, so
+  // curves fitted on round-0 data mispredict round-1 acquisitions.
+  {
+    ScenarioSpec s;
+    s.name = "drift-mean";
+    s.slice_margins = {0.8, 0.65, 0.5, 0.4};
+    s.slice_label_noise = {0.04, 0.06, 0.08, 0.10};
+    s.initial_sizes = {80, 60, 40, 40};
+    s.costs = {1.0, 1.0, 1.0, 1.0};
+    s.budget_schedule = {70.0, 70.0, 70.0};
+    s.drift = {{/*round=*/1, /*slice=*/2, DriftKind::kMeanShift, 0.8}};
+    s.seed = 24;
+    scenarios.push_back(std::move(s));
+  }
+
+  // 5. Noise drift + injection: slice 1's floor rises mid-session and every
+  // acquired batch carries extra collection-time label mistakes.
+  {
+    ScenarioSpec s;
+    s.name = "label-noise";
+    s.slice_margins = {0.8, 0.65, 0.5, 0.4};
+    s.slice_label_noise = {0.04, 0.05, 0.08, 0.10};
+    s.initial_sizes = {70, 70, 50, 40};
+    s.costs = {1.0, 1.0, 1.0, 1.0};
+    s.budget_schedule = {80.0, 80.0};
+    s.drift = {{/*round=*/1, /*slice=*/1, DriftKind::kLabelNoise, 0.25}};
+    s.acquisition_label_noise = {0.05, 0.05, 0.10, 0.10};
+    s.seed = 25;
+    scenarios.push_back(std::move(s));
+  }
+
+  // 6. Budget burst: a trickle round, then a flood, then a trickle — with a
+  // sigma-scale drift hitting every slice before the flood.
+  {
+    ScenarioSpec s;
+    s.name = "budget-burst";
+    s.slice_margins = {0.75, 0.6, 0.5, 0.42};
+    s.slice_label_noise = {0.04, 0.06, 0.08, 0.10};
+    s.initial_sizes = {90, 55, 35, 25};
+    s.costs = {1.0, 1.0, 1.4, 1.4};
+    s.budget_schedule = {30.0, 160.0, 30.0};
+    s.drift = {{/*round=*/1, /*slice=*/-1, DriftKind::kSigmaScale, 1.25}};
+    s.seed = 26;
+    scenarios.push_back(std::move(s));
+  }
+
+  return scenarios;
+}
+
+Result<ScenarioSpec> CanonicalScenarioByName(const std::string& name) {
+  for (ScenarioSpec& spec : CanonicalScenarios()) {
+    if (spec.name == name) return std::move(spec);
+  }
+  return Status::NotFound("unknown canonical scenario: " + name);
+}
+
+}  // namespace sim
+}  // namespace slicetuner

@@ -1,0 +1,117 @@
+// ScenarioSpec: a declarative description of one multi-round acquisition
+// scenario — slice count and skew, per-slice separability and noise floors
+// (which shape the learning curves), per-slice costs, a budget schedule over
+// rounds, scripted distribution drift, and label-noise injection into
+// acquired batches. The simulator (sim/simulator.h) compiles a spec into a
+// concrete data world and drives any acquisition method through it; the
+// canonical scenario library below is the regression surface of
+// tests/sim_test.cc.
+
+#ifndef SLICETUNER_SIM_SCENARIO_H_
+#define SLICETUNER_SIM_SCENARIO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/learning_curve.h"
+#include "data/synthetic.h"
+#include "nn/model.h"
+#include "nn/trainer.h"
+
+namespace slicetuner {
+namespace sim {
+
+/// How a DriftEvent changes the target slice's generative model.
+enum class DriftKind {
+  /// Translate every mixture component's mean by `magnitude` along a
+  /// deterministic random direction (covariate shift).
+  kMeanShift,
+  /// Multiply every component's sigma by `magnitude` (spread change).
+  kSigmaScale,
+  /// Set the slice's generator label-noise rate to `magnitude` (floor
+  /// change: the slice's irreducible loss moves).
+  kLabelNoise,
+};
+
+const char* DriftKindName(DriftKind kind);
+
+/// One scripted change to the data distribution, applied at the start of
+/// `round` (before that round's acquisition) by ScriptedSource::BeginRound.
+/// Only data generated after the event follows the new distribution —
+/// already-acquired rows keep their provenance, exactly like real drift.
+struct DriftEvent {
+  int round = 0;
+  /// Target slice; -1 applies the event to every slice.
+  int slice = 0;
+  DriftKind kind = DriftKind::kMeanShift;
+  double magnitude = 0.0;
+};
+
+/// A full scenario. The generative world is a census-like family (binary
+/// label, one shared linear boundary) whose per-slice margin and noise floor
+/// control the learning curve's level and floor — small enough to simulate
+/// quickly, expressive enough to script skew, drift, and noise.
+struct ScenarioSpec {
+  std::string name;
+  int num_slices = 4;
+  size_t dim = 10;
+
+  /// Per-slice class separability (larger = easier slice, lower curve).
+  std::vector<double> slice_margins;
+  /// Per-slice generator label-noise rate (irreducible-loss floor).
+  std::vector<double> slice_label_noise;
+  /// Initial training rows per slice (the skew).
+  std::vector<size_t> initial_sizes;
+  size_t val_per_slice = 40;
+  /// Per-example acquisition cost per slice.
+  std::vector<double> costs;
+
+  /// Budget per acquisition round; its length is the number of rounds.
+  std::vector<double> budget_schedule;
+  /// Scripted distribution changes over the session.
+  std::vector<DriftEvent> drift;
+  /// Extra label-noise injected into *acquired* batches per slice (worker
+  /// mistakes at collection time), on top of the generator's own noise.
+  /// Empty = no injection.
+  std::vector<double> acquisition_label_noise;
+
+  double lambda = 1.0;
+  long long min_slice_size = 0;
+  /// Algorithm-1 iteration cap per round for the iterative methods.
+  int max_iterations_per_round = 3;
+  uint64_t seed = 1;
+
+  /// Curve-estimation and trainer knobs (kept small: scenario cells are
+  /// regression tests, not paper-scale experiments).
+  int curve_points = 3;
+  int curve_draws = 1;
+  bool exhaustive_curves = false;
+  int trainer_epochs = 8;
+
+  /// Checks arity and range of every field.
+  Status Validate() const;
+
+  int rounds() const { return static_cast<int>(budget_schedule.size()); }
+  double total_budget() const;
+
+  /// Compiles the declarative slice descriptions into a generator. The
+  /// world depends only on (spec fields, seed): two calls agree exactly.
+  SyntheticGenerator BuildGenerator() const;
+  ModelSpec BuildModelSpec() const;
+  TrainerOptions BuildTrainer() const;
+  LearningCurveOptions BuildCurveOptions(int num_threads) const;
+};
+
+/// The canonical scenario library used by the golden-trace regression suite
+/// (>= 6 scenarios covering skew, cost heterogeneity, drift of every kind,
+/// label-noise injection, and bursty budget schedules).
+std::vector<ScenarioSpec> CanonicalScenarios();
+
+/// Lookup into CanonicalScenarios() by name.
+Result<ScenarioSpec> CanonicalScenarioByName(const std::string& name);
+
+}  // namespace sim
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_SIM_SCENARIO_H_

@@ -1,0 +1,61 @@
+// ScriptedSource: the DataSource a simulation run acquires from. Wraps a
+// ScenarioSpec's compiled generator, applies the spec's scripted drift
+// events at round boundaries (mutating the generative models going forward,
+// never rows already delivered), and injects collection-time label noise
+// into acquired batches. Everything draws from streams forked off the
+// scenario seed, so a source is a pure function of (spec, call sequence).
+
+#ifndef SLICETUNER_SIM_SCRIPTED_SOURCE_H_
+#define SLICETUNER_SIM_SCRIPTED_SOURCE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "data/acquisition.h"
+#include "sim/scenario.h"
+
+namespace slicetuner {
+namespace sim {
+
+class ScriptedSource : public DataSource {
+ public:
+  /// `spec` must already be validated; it is copied.
+  explicit ScriptedSource(ScenarioSpec spec);
+
+  /// Advances the session to `round`: applies every drift event scheduled
+  /// after the previously visited round up to and including `round` (so
+  /// visiting rounds in order applies each event exactly once, and calling
+  /// BeginRound twice for the same round never double-applies drift), and
+  /// re-anchors the acquisition stream to the round. Returns the number of
+  /// events applied.
+  int BeginRound(int round);
+
+  // DataSource:
+  Dataset Acquire(int slice, size_t count) override;
+  const CostFunction& cost() const override { return *cost_; }
+
+  /// The initial training data / fixed validation set of the scenario
+  /// (drawn from dedicated seed streams: independent of acquisition order).
+  Dataset GenerateInitial() const;
+  Dataset GenerateValidation() const;
+
+  const SyntheticGenerator& generator() const { return generator_; }
+  const ScenarioSpec& spec() const { return spec_; }
+  /// Drift events applied so far across all rounds.
+  int drift_events_applied() const { return drift_events_applied_; }
+
+ private:
+  ScenarioSpec spec_;
+  SyntheticGenerator generator_;  // mutated in place by drift events
+  std::unique_ptr<CostFunction> cost_;
+  Rng root_;
+  Rng acquire_rng_;  // re-forked per round by BeginRound
+  int current_round_ = -1;  // last round passed to BeginRound
+  int drift_events_applied_ = 0;
+};
+
+}  // namespace sim
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_SIM_SCRIPTED_SOURCE_H_

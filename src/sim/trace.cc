@@ -1,0 +1,370 @@
+#include "sim/trace.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace slicetuner {
+namespace sim {
+
+namespace {
+
+// %.12g keeps the format readable while exceeding the comparator tolerances
+// by orders of magnitude; serialization of identical doubles is identical,
+// so thread-count determinism checks can compare serialized traces.
+std::string Num(double value) { return StrFormat("%.12g", value); }
+
+std::string JoinLongs(const std::vector<long long>& values) {
+  std::vector<std::string> parts;
+  parts.reserve(values.size());
+  for (long long v : values) parts.push_back(StrFormat("%lld", v));
+  return parts.empty() ? "-" : Join(parts, " ");
+}
+
+std::string JoinDoubles(const std::vector<double>& values) {
+  std::vector<std::string> parts;
+  parts.reserve(values.size());
+  for (double v : values) parts.push_back(Num(v));
+  return parts.empty() ? "-" : Join(parts, " ");
+}
+
+// --- parsing -------------------------------------------------------------
+
+struct LineReader {
+  std::vector<std::string> lines;
+  size_t next = 0;
+
+  explicit LineReader(const std::string& text) {
+    for (const std::string& raw : Split(text, '\n')) {
+      const std::string line = Strip(raw);
+      if (!line.empty()) lines.push_back(line);
+    }
+  }
+
+  bool Done() const { return next >= lines.size(); }
+
+  /// Consumes the next line, which must start with `key`, and returns the
+  /// remainder after the key.
+  Result<std::string> Take(const std::string& key) {
+    if (Done()) {
+      return Status::InvalidArgument("trace ended early, expected '" + key +
+                                     "'");
+    }
+    const std::string& line = lines[next];
+    if (!StartsWith(line, key) ||
+        (line.size() > key.size() && line[key.size()] != ' ')) {
+      return Status::InvalidArgument("expected '" + key + "', got '" + line +
+                                     "'");
+    }
+    ++next;
+    return Strip(line.substr(key.size()));
+  }
+};
+
+Result<long long> ParseLong(const std::string& text) {
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || text.empty() || errno == ERANGE) {
+    return Status::InvalidArgument("trace: bad integer '" + text + "'");
+  }
+  return value;
+}
+
+Result<double> ParseDouble(const std::string& text) {
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == nullptr || *end != '\0' || text.empty() || errno == ERANGE) {
+    return Status::InvalidArgument("trace: bad number '" + text + "'");
+  }
+  return value;
+}
+
+Result<uint64_t> ParseUnsigned(const std::string& text) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || text.empty() || errno == ERANGE ||
+      text[0] == '-') {
+    return Status::InvalidArgument("trace: bad unsigned integer '" + text +
+                                   "'");
+  }
+  return static_cast<uint64_t>(value);
+}
+
+/// Take(key) + parse in one step for single-valued fields.
+Result<long long> ParseField(LineReader* reader, const std::string& key) {
+  ST_ASSIGN_OR_RETURN(const std::string text, reader->Take(key));
+  return ParseLong(text);
+}
+
+Result<double> ParseDoubleField(LineReader* reader, const std::string& key) {
+  ST_ASSIGN_OR_RETURN(const std::string text, reader->Take(key));
+  return ParseDouble(text);
+}
+
+Result<std::vector<long long>> ParseLongs(const std::string& text) {
+  std::vector<long long> out;
+  if (text == "-") return out;
+  for (const std::string& token : Split(text, ' ')) {
+    if (token.empty()) continue;
+    ST_ASSIGN_OR_RETURN(const long long value, ParseLong(token));
+    out.push_back(value);
+  }
+  return out;
+}
+
+Result<std::vector<double>> ParseDoubles(const std::string& text) {
+  std::vector<double> out;
+  if (text == "-") return out;
+  for (const std::string& token : Split(text, ' ')) {
+    if (token.empty()) continue;
+    ST_ASSIGN_OR_RETURN(const double value, ParseDouble(token));
+    out.push_back(value);
+  }
+  return out;
+}
+
+// --- comparison ----------------------------------------------------------
+
+bool Close(double x, double y, const TraceTolerance& tol) {
+  if (x == y) return true;  // covers exact zero-tolerance equality
+  const double scale = std::max(std::fabs(x), std::fabs(y));
+  return std::fabs(x - y) <= tol.abs_tolerance + tol.rel_tolerance * scale;
+}
+
+class DiffReport {
+ public:
+  void Mismatch(const std::string& where, const std::string& expected,
+                const std::string& actual) {
+    out_ << "  " << where << ": expected " << expected << ", got " << actual
+         << "\n";
+  }
+
+  void CheckLong(const std::string& where, long long expected,
+                 long long actual) {
+    if (expected != actual) {
+      Mismatch(where, StrFormat("%lld", expected), StrFormat("%lld", actual));
+    }
+  }
+
+  void CheckDouble(const std::string& where, double expected, double actual,
+                   const TraceTolerance& tol) {
+    if (!Close(expected, actual, tol)) {
+      Mismatch(where, Num(expected), Num(actual));
+    }
+  }
+
+  void CheckString(const std::string& where, const std::string& expected,
+                   const std::string& actual) {
+    if (expected != actual) Mismatch(where, expected, actual);
+  }
+
+  std::string Render() const {
+    const std::string body = out_.str();
+    if (body.empty()) return "";
+    return "trace mismatch:\n" + body;
+  }
+
+ private:
+  std::ostringstream out_;
+};
+
+template <typename T, typename Check>
+void CheckVector(DiffReport* report, const std::string& where,
+                 const std::vector<T>& expected, const std::vector<T>& actual,
+                 const Check& check) {
+  if (expected.size() != actual.size()) {
+    report->Mismatch(where + ".size", StrFormat("%zu", expected.size()),
+                     StrFormat("%zu", actual.size()));
+    return;
+  }
+  for (size_t i = 0; i < expected.size(); ++i) {
+    check(where + StrFormat("[%zu]", i), expected[i], actual[i]);
+  }
+}
+
+}  // namespace
+
+std::string SimTrace::Serialize() const {
+  std::ostringstream out;
+  out << "trace_version 1\n";
+  out << "scenario " << scenario << "\n";
+  out << "method " << method << "\n";
+  out << "num_slices " << num_slices << "\n";
+  out << "seed " << seed << "\n";
+  out << "rounds " << rounds.size() << "\n";
+  for (const RoundTrace& round : rounds) {
+    out << "round " << round.round << "\n";
+    out << "  budget " << Num(round.budget) << "\n";
+    out << "  spent " << Num(round.spent) << "\n";
+    out << "  drift_events " << round.drift_events << "\n";
+    out << "  acquired " << JoinLongs(round.acquired) << "\n";
+    out << "  sizes " << JoinLongs(round.sizes) << "\n";
+    out << "  curve_b " << JoinDoubles(round.curve_b) << "\n";
+    out << "  curve_a " << JoinDoubles(round.curve_a) << "\n";
+    out << "  loss " << Num(round.loss) << "\n";
+    out << "  avg_eer " << Num(round.avg_eer) << "\n";
+    out << "  max_eer " << Num(round.max_eer) << "\n";
+    out << "  iterations " << round.iterations << "\n";
+    out << "  trainings " << round.model_trainings << "\n";
+  }
+  out << "total_acquired " << total_acquired << "\n";
+  out << "total_spent " << Num(total_spent) << "\n";
+  out << "total_trainings " << total_trainings << "\n";
+  out << "final_loss " << Num(final_loss) << "\n";
+  out << "final_avg_eer " << Num(final_avg_eer) << "\n";
+  out << "final_max_eer " << Num(final_max_eer) << "\n";
+  return out.str();
+}
+
+Result<SimTrace> SimTrace::Deserialize(const std::string& text) {
+  LineReader reader(text);
+  SimTrace trace;
+
+  ST_ASSIGN_OR_RETURN(const std::string version, reader.Take("trace_version"));
+  if (version != "1") {
+    return Status::InvalidArgument("unsupported trace_version '" + version +
+                                   "'");
+  }
+  ST_ASSIGN_OR_RETURN(trace.scenario, reader.Take("scenario"));
+  ST_ASSIGN_OR_RETURN(trace.method, reader.Take("method"));
+  ST_ASSIGN_OR_RETURN(const long long num_slices, ParseField(&reader,
+                                                             "num_slices"));
+  trace.num_slices = static_cast<int>(num_slices);
+  {
+    ST_ASSIGN_OR_RETURN(const std::string f, reader.Take("seed"));
+    ST_ASSIGN_OR_RETURN(trace.seed, ParseUnsigned(f));
+  }
+  ST_ASSIGN_OR_RETURN(const long long num_rounds, ParseField(&reader,
+                                                             "rounds"));
+
+  for (long long r = 0; r < num_rounds; ++r) {
+    RoundTrace round;
+    ST_ASSIGN_OR_RETURN(const long long index, ParseField(&reader, "round"));
+    round.round = static_cast<int>(index);
+    ST_ASSIGN_OR_RETURN(round.budget, ParseDoubleField(&reader, "budget"));
+    ST_ASSIGN_OR_RETURN(round.spent, ParseDoubleField(&reader, "spent"));
+    {
+      ST_ASSIGN_OR_RETURN(const long long v,
+                          ParseField(&reader, "drift_events"));
+      round.drift_events = static_cast<int>(v);
+    }
+    {
+      ST_ASSIGN_OR_RETURN(const std::string f, reader.Take("acquired"));
+      ST_ASSIGN_OR_RETURN(round.acquired, ParseLongs(f));
+    }
+    {
+      ST_ASSIGN_OR_RETURN(const std::string f, reader.Take("sizes"));
+      ST_ASSIGN_OR_RETURN(round.sizes, ParseLongs(f));
+    }
+    {
+      ST_ASSIGN_OR_RETURN(const std::string f, reader.Take("curve_b"));
+      ST_ASSIGN_OR_RETURN(round.curve_b, ParseDoubles(f));
+    }
+    {
+      ST_ASSIGN_OR_RETURN(const std::string f, reader.Take("curve_a"));
+      ST_ASSIGN_OR_RETURN(round.curve_a, ParseDoubles(f));
+    }
+    ST_ASSIGN_OR_RETURN(round.loss, ParseDoubleField(&reader, "loss"));
+    ST_ASSIGN_OR_RETURN(round.avg_eer, ParseDoubleField(&reader, "avg_eer"));
+    ST_ASSIGN_OR_RETURN(round.max_eer, ParseDoubleField(&reader, "max_eer"));
+    {
+      ST_ASSIGN_OR_RETURN(const long long v,
+                          ParseField(&reader, "iterations"));
+      round.iterations = static_cast<int>(v);
+    }
+    {
+      ST_ASSIGN_OR_RETURN(const long long v, ParseField(&reader,
+                                                        "trainings"));
+      round.model_trainings = static_cast<int>(v);
+    }
+    trace.rounds.push_back(std::move(round));
+  }
+
+  ST_ASSIGN_OR_RETURN(trace.total_acquired,
+                      ParseField(&reader, "total_acquired"));
+  ST_ASSIGN_OR_RETURN(trace.total_spent,
+                      ParseDoubleField(&reader, "total_spent"));
+  {
+    ST_ASSIGN_OR_RETURN(const long long v,
+                        ParseField(&reader, "total_trainings"));
+    trace.total_trainings = static_cast<int>(v);
+  }
+  ST_ASSIGN_OR_RETURN(trace.final_loss,
+                      ParseDoubleField(&reader, "final_loss"));
+  ST_ASSIGN_OR_RETURN(trace.final_avg_eer,
+                      ParseDoubleField(&reader, "final_avg_eer"));
+  ST_ASSIGN_OR_RETURN(trace.final_max_eer,
+                      ParseDoubleField(&reader, "final_max_eer"));
+  if (!reader.Done()) {
+    return Status::InvalidArgument("trailing content after trace");
+  }
+  return trace;
+}
+
+std::string DiffTraces(const SimTrace& expected, const SimTrace& actual,
+                       const TraceTolerance& tolerance) {
+  DiffReport report;
+  report.CheckString("scenario", expected.scenario, actual.scenario);
+  report.CheckString("method", expected.method, actual.method);
+  report.CheckLong("num_slices", expected.num_slices, actual.num_slices);
+  report.CheckLong("seed", static_cast<long long>(expected.seed),
+                   static_cast<long long>(actual.seed));
+  if (expected.rounds.size() != actual.rounds.size()) {
+    report.Mismatch("rounds", StrFormat("%zu", expected.rounds.size()),
+                    StrFormat("%zu", actual.rounds.size()));
+    return report.Render();
+  }
+  for (size_t r = 0; r < expected.rounds.size(); ++r) {
+    const RoundTrace& e = expected.rounds[r];
+    const RoundTrace& a = actual.rounds[r];
+    const std::string where = StrFormat("round[%zu].", r);
+    report.CheckLong(where + "round", e.round, a.round);
+    report.CheckDouble(where + "budget", e.budget, a.budget, tolerance);
+    report.CheckDouble(where + "spent", e.spent, a.spent, tolerance);
+    report.CheckLong(where + "drift_events", e.drift_events, a.drift_events);
+    CheckVector(&report, where + "acquired", e.acquired, a.acquired,
+                [&](const std::string& w, long long x, long long y) {
+                  report.CheckLong(w, x, y);
+                });
+    CheckVector(&report, where + "sizes", e.sizes, a.sizes,
+                [&](const std::string& w, long long x, long long y) {
+                  report.CheckLong(w, x, y);
+                });
+    CheckVector(&report, where + "curve_b", e.curve_b, a.curve_b,
+                [&](const std::string& w, double x, double y) {
+                  report.CheckDouble(w, x, y, tolerance);
+                });
+    CheckVector(&report, where + "curve_a", e.curve_a, a.curve_a,
+                [&](const std::string& w, double x, double y) {
+                  report.CheckDouble(w, x, y, tolerance);
+                });
+    report.CheckDouble(where + "loss", e.loss, a.loss, tolerance);
+    report.CheckDouble(where + "avg_eer", e.avg_eer, a.avg_eer, tolerance);
+    report.CheckDouble(where + "max_eer", e.max_eer, a.max_eer, tolerance);
+    report.CheckLong(where + "iterations", e.iterations, a.iterations);
+    report.CheckLong(where + "trainings", e.model_trainings,
+                     a.model_trainings);
+  }
+  report.CheckLong("total_acquired", expected.total_acquired,
+                   actual.total_acquired);
+  report.CheckDouble("total_spent", expected.total_spent, actual.total_spent,
+                     tolerance);
+  report.CheckLong("total_trainings", expected.total_trainings,
+                   actual.total_trainings);
+  report.CheckDouble("final_loss", expected.final_loss, actual.final_loss,
+                     tolerance);
+  report.CheckDouble("final_avg_eer", expected.final_avg_eer,
+                     actual.final_avg_eer, tolerance);
+  report.CheckDouble("final_max_eer", expected.final_max_eer,
+                     actual.final_max_eer, tolerance);
+  return report.Render();
+}
+
+}  // namespace sim
+}  // namespace slicetuner

@@ -1,0 +1,83 @@
+// SimTrace: the structured record a simulation run emits — one RoundTrace
+// per acquisition round (allocations, slice sizes, fitted curve parameters,
+// loss/unfairness metrics, budget accounting) plus session totals. Traces
+// serialize to a stable line-oriented text format that is snapshotted as a
+// golden file; DiffTraces is the tolerance-aware comparator that turns the
+// snapshots into end-to-end regression tests.
+
+#ifndef SLICETUNER_SIM_TRACE_H_
+#define SLICETUNER_SIM_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace slicetuner {
+namespace sim {
+
+/// Everything recorded about one acquisition round.
+struct RoundTrace {
+  int round = 0;
+  /// Budget granted to / spent by the round.
+  double budget = 0.0;
+  double spent = 0.0;
+  /// Drift events applied at the round boundary.
+  int drift_events = 0;
+  /// Examples acquired per slice this round.
+  std::vector<long long> acquired;
+  /// Training-slice sizes after the round.
+  std::vector<long long> sizes;
+  /// Fitted power-law parameters per slice (empty for methods that never
+  /// estimate curves — baselines and the bandit).
+  std::vector<double> curve_b;
+  std::vector<double> curve_a;
+  /// End-of-round evaluation on the fixed validation set.
+  double loss = 0.0;
+  double avg_eer = 0.0;
+  double max_eer = 0.0;
+  /// Inner iterations / model trainings the method used this round.
+  int iterations = 0;
+  int model_trainings = 0;
+};
+
+struct SimTrace {
+  std::string scenario;
+  std::string method;
+  int num_slices = 0;
+  uint64_t seed = 0;
+  std::vector<RoundTrace> rounds;
+  /// Session totals.
+  long long total_acquired = 0;
+  double total_spent = 0.0;
+  int total_trainings = 0;
+  double final_loss = 0.0;
+  double final_avg_eer = 0.0;
+  double final_max_eer = 0.0;
+
+  /// Stable text form (the golden-file format). Deterministic: equal traces
+  /// serialize to byte-identical strings.
+  std::string Serialize() const;
+
+  /// Inverse of Serialize. Errors on malformed input.
+  static Result<SimTrace> Deserialize(const std::string& text);
+};
+
+/// Numeric slack for DiffTraces: values x, y agree when
+/// |x - y| <= abs_tolerance + rel_tolerance * max(|x|, |y|). Integer fields
+/// (allocations, sizes, counters) must always match exactly.
+struct TraceTolerance {
+  double abs_tolerance = 0.0;
+  double rel_tolerance = 0.0;
+};
+
+/// Compares two traces field by field. Returns "" when they agree within
+/// the tolerance, otherwise a human-readable report of every divergence
+/// (field, round, slice, expected vs actual).
+std::string DiffTraces(const SimTrace& expected, const SimTrace& actual,
+                       const TraceTolerance& tolerance);
+
+}  // namespace sim
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_SIM_TRACE_H_

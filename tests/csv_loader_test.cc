@@ -138,6 +138,65 @@ TEST(CsvLoaderTest, HeaderOnlyFails) {
   std::remove(path.c_str());
 }
 
+TEST(CsvLoaderTest, RaggedRowFailsStrictAndIsSkippedLenient) {
+  const std::string path = WriteTemp("ragged.csv",
+                                     "x,y,label\n"
+                                     "1.0,2.0,1\n"
+                                     "3.0,0\n"
+                                     "4.0,5.0,0\n");
+  EXPECT_EQ(LoadCsvDataset(path, CsvLoadOptions()).status().code(),
+            StatusCode::kInvalidArgument);
+  CsvLoadOptions lenient;
+  lenient.strict = false;
+  const auto data = LoadCsvDataset(path, lenient);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->size(), 2u);
+  EXPECT_EQ(data->dim(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvLoaderTest, EmptySliceFieldRejectedNotCrashed) {
+  const std::string path = WriteTemp("emptyslice.csv",
+                                     "x,label,slice\n"
+                                     "1.0,1,\n");
+  CsvLoadOptions options;
+  options.slice_column = "slice";
+  EXPECT_EQ(LoadCsvDataset(path, options).status().code(),
+            StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(CsvLoaderTest, FractionalLabelOrSliceRejected) {
+  const std::string path = WriteTemp("fractional.csv",
+                                     "x,label,slice\n"
+                                     "1.0,0.5,0\n");
+  CsvLoadOptions options;
+  options.slice_column = "slice";
+  EXPECT_EQ(LoadCsvDataset(path, options).status().code(),
+            StatusCode::kInvalidArgument);
+
+  const std::string path2 = WriteTemp("fracslice.csv",
+                                      "x,label,slice\n"
+                                      "1.0,1,1.5\n");
+  EXPECT_EQ(LoadCsvDataset(path2, options).status().code(),
+            StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+  std::remove(path2.c_str());
+}
+
+TEST(CsvLoaderTest, AllRowsInvalidInLenientModeYieldsEmptyError) {
+  // Lenient mode skips every bad row; the resulting empty dataset must be
+  // reported as an error, not returned silently.
+  const std::string path = WriteTemp("allbad.csv",
+                                     "x,label\n"
+                                     "oops,1\n"
+                                     "nope,0\n");
+  CsvLoadOptions options;
+  options.strict = false;
+  EXPECT_FALSE(LoadCsvDataset(path, options).ok());
+  std::remove(path.c_str());
+}
+
 TEST(CsvLoaderTest, SaveLoadRoundTrip) {
   Dataset original(3);
   for (int i = 0; i < 5; ++i) {

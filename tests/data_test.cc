@@ -58,6 +58,30 @@ TEST(DatasetTest, EmptyDatasetAdoptsFirstDim) {
   EXPECT_EQ(d.dim(), 3u);
 }
 
+TEST(DatasetTest, MergeDimMismatchFailsCleanly) {
+  Dataset a(2);
+  Example e;
+  e.features = {1.0, 2.0};
+  ASSERT_TRUE(a.Append(e).ok());
+  Dataset b(3);
+  Example f;
+  f.features = {1.0, 2.0, 3.0};
+  ASSERT_TRUE(b.Append(f).ok());
+  EXPECT_EQ(a.Merge(b).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(a.size(), 1u);  // failed merge leaves the dataset untouched
+}
+
+TEST(DatasetTest, MergeIntoEmptyAdoptsDim) {
+  Dataset a;
+  Dataset b(3);
+  Example e;
+  e.features = {1.0, 2.0, 3.0};
+  ASSERT_TRUE(b.Append(e).ok());
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_EQ(a.dim(), 3u);
+  EXPECT_EQ(a.size(), 1u);
+}
+
 TEST(DatasetTest, ExampleAtRoundTrips) {
   const Dataset d = MakeToy();
   const Example e = d.ExampleAt(4);

@@ -301,6 +301,75 @@ TEST(CurveEngineTest, AcquisitionInvalidatesOnlyTouchedSlices) {
   }
 }
 
+// Replaces slice 2's rows with draws from a drifted model (rows REPLACED,
+// not appended — real distribution drift, the sim subsystem's injector).
+Dataset DriftSlice2(CurveFixture* f, double sigma_factor) {
+  SliceModel* model = f->preset.generator.mutable_slice_model(2);
+  for (auto& component : model->components) component.sigma *= sigma_factor;
+  Dataset drifted(f->train.dim());
+  for (size_t i = 0; i < f->train.size(); ++i) {
+    if (f->train.slice(i) == 2) continue;
+    EXPECT_TRUE(drifted.Append(f->train.ExampleAt(i)).ok());
+  }
+  Rng rng(321);
+  EXPECT_TRUE(
+      drifted.Merge(f->preset.generator.GenerateDataset({0, 0, 100, 0}, &rng))
+          .ok());
+  return drifted;
+}
+
+TEST(CurveEngineTest, DriftRefitsOnlyStaleSlicesAndMatchesColdRunBitForBit) {
+  // Exhaustive mode: after slice 2 drifts mid-session, only that slice is
+  // re-trained; its refreshed curve must equal what a cold-cache engine
+  // fits on the same post-drift data, bit for bit, and the unchanged
+  // slices keep their cached fits.
+  CurveFixture f;
+  CurveEstimationEngine warm;
+  const auto options = f.FastOptions(/*exhaustive=*/true);
+  const auto before = f.Estimate(&warm, options);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->model_trainings, 4 * 4);
+
+  f.train = DriftSlice2(&f, /*sigma_factor=*/1.5);
+
+  const auto after = f.Estimate(&warm, options);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->model_trainings, 4);  // K trainings: the stale slice only
+  EXPECT_EQ(warm.stats().partial_refits, 1u);
+
+  CurveEstimationEngine cold;
+  const auto cold_run = f.Estimate(&cold, options);
+  ASSERT_TRUE(cold_run.ok());
+  EXPECT_EQ(cold_run->model_trainings, 4 * 4);
+  ExpectSameCurve(after->slices[2], cold_run->slices[2]);
+  for (int s : {0, 1, 3}) {
+    ExpectSameCurve(after->slices[static_cast<size_t>(s)],
+                    before->slices[static_cast<size_t>(s)]);
+  }
+}
+
+TEST(CurveEngineTest, EfficientModeDriftRefreshMatchesColdRunBitForBit) {
+  // Efficient (amortized) mode: one stale slice forces a full K-training
+  // re-run, so the refreshed result must be indistinguishable from a
+  // cold-cache engine on the drifted data — every slice, bit for bit.
+  CurveFixture f;
+  CurveEstimationEngine warm;
+  const auto options = f.FastOptions(/*exhaustive=*/false);
+  ASSERT_TRUE(f.Estimate(&warm, options).ok());
+
+  f.train = DriftSlice2(&f, /*sigma_factor=*/2.0);
+
+  const auto warm_run = f.Estimate(&warm, options);
+  CurveEstimationEngine cold;
+  const auto cold_run = f.Estimate(&cold, options);
+  ASSERT_TRUE(warm_run.ok());
+  ASSERT_TRUE(cold_run.ok());
+  EXPECT_EQ(warm_run->model_trainings, cold_run->model_trainings);
+  for (size_t s = 0; s < warm_run->slices.size(); ++s) {
+    ExpectSameCurve(warm_run->slices[s], cold_run->slices[s]);
+  }
+}
+
 TEST(CurveEngineTest, EstimationIsIdenticalAtAnyThreadCount) {
   CurveFixture f;
   for (const bool exhaustive : {false, true}) {

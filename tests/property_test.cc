@@ -81,6 +81,38 @@ TEST_P(PgdKktAgreementTest, ObjectivesAgreeAtLambdaZero) {
 INSTANTIATE_TEST_SUITE_P(Seeds, PgdKktAgreementTest,
                          testing::Range(uint64_t{200}, uint64_t{220}));
 
+// --------------------------------------- KKT (water-filling) feasibility
+
+class KktFeasibilityTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(KktFeasibilityTest, AllocationsAreNonNegativeAndSumToBudget) {
+  const AllocationProblem p = RandomProblem(GetParam(), 7, 0.0);
+  const auto r = SolveAllocationKkt(p);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->examples.size(), p.curves.size());
+  for (double d : r->examples) EXPECT_GE(d, -1e-9);
+  EXPECT_NEAR(Spend(r->examples, p.costs), p.budget,
+              1e-6 * p.budget + 1e-6);
+}
+
+TEST_P(KktFeasibilityTest, AllocationIsMonotoneInCurveLevel) {
+  // Raising one slice's curve level b (a uniformly steeper marginal loss
+  // reduction) must never shrink that slice's optimal allocation: its
+  // marginal value rose relative to every other slice.
+  AllocationProblem p = RandomProblem(GetParam(), 5, 0.0);
+  const auto base = SolveAllocationKkt(p);
+  ASSERT_TRUE(base.ok());
+  const size_t target = GetParam() % p.curves.size();
+  p.curves[target].b *= 2.0;
+  const auto boosted = SolveAllocationKkt(p);
+  ASSERT_TRUE(boosted.ok());
+  EXPECT_GE(boosted->examples[target],
+            base->examples[target] - 1e-6 * (1.0 + base->examples[target]));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KktFeasibilityTest,
+                         testing::Range(uint64_t{700}, uint64_t{725}));
+
 // -------------------------------------------------- projection properties
 
 class ProjectionPropertyTest : public testing::TestWithParam<uint64_t> {};
@@ -134,6 +166,40 @@ TEST_P(ChangeRatioPropertyTest, ScaledPlanHitsTargetRatio) {
   std::vector<double> scaled(n);
   for (int i = 0; i < n; ++i) scaled[i] = sizes[i] + *x * plan[i];
   EXPECT_NEAR(ImbalanceRatio(scaled), target, 1e-4 * target);
+}
+
+TEST_P(ChangeRatioPropertyTest, ScalingIsMonotoneInTargetRatio) {
+  // For a plan that strictly raises the imbalance ratio, a more permissive
+  // target (closer to the uncapped ratio) must never require scaling the
+  // plan back harder.
+  Rng rng(GetParam() + 10000);
+  const int n = 4;
+  std::vector<double> sizes(n);
+  for (int i = 0; i < n; ++i) sizes[i] = rng.Uniform(20.0, 200.0);
+  // All acquisition goes to the largest slice: IR strictly increases in x.
+  size_t largest = 0;
+  for (int i = 1; i < n; ++i) {
+    if (sizes[static_cast<size_t>(i)] > sizes[largest]) {
+      largest = static_cast<size_t>(i);
+    }
+  }
+  std::vector<double> plan(n, 0.0);
+  plan[largest] = rng.Uniform(100.0, 400.0);
+
+  const double r0 = ImbalanceRatio(sizes);
+  std::vector<double> after(n);
+  for (int i = 0; i < n; ++i) after[i] = sizes[i] + plan[i];
+  const double r1 = ImbalanceRatio(after);
+  ASSERT_GT(r1, r0);
+
+  double previous = 0.0;
+  for (double f : {0.25, 0.5, 0.75}) {
+    const double target = r0 + f * (r1 - r0);
+    const auto x = GetChangeRatio(sizes, plan, target);
+    ASSERT_TRUE(x.ok());
+    EXPECT_GE(*x, previous - 1e-9);
+    previous = *x;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChangeRatioPropertyTest,

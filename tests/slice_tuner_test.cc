@@ -58,6 +58,43 @@ TEST(SliceTunerTest, CreateValidatesInputs) {
   EXPECT_FALSE(SliceTuner::Create(f.train, f.validation, 4, bad).ok());
 }
 
+TEST(SliceTunerTest, EmptySliceIsHandledCleanlyNotCrashed) {
+  // A declared slice with zero training rows (e.g. a CSV that never
+  // mentions slice id 1) must flow through creation, curve estimation, and
+  // evaluation with clean statuses — the empty slice's curve is simply
+  // flagged unreliable.
+  Fixture f;
+  Rng rng(44);
+  Dataset sparse =
+      f.preset.generator.GenerateDataset({120, 0, 120, 120}, &rng);
+  auto tuner = SliceTuner::Create(sparse, f.validation, 4, f.Options());
+  ASSERT_TRUE(tuner.ok()) << tuner.status();
+  EXPECT_EQ(tuner->SliceSizes()[1], 0u);
+
+  const auto curves = tuner->EstimateCurves();
+  ASSERT_TRUE(curves.ok()) << curves.status();
+  EXPECT_FALSE(curves->slices[1].reliable);
+  EXPECT_TRUE(curves->slices[0].reliable);
+
+  const auto metrics = tuner->Evaluate(/*seed=*/7);
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  EXPECT_GT(metrics->overall_loss, 0.0);
+}
+
+TEST(SliceTunerTest, NegativeSliceIdIsRejected) {
+  Fixture f;
+  Dataset train = f.train;
+  Example bad;
+  bad.features.assign(train.dim(), 0.0);
+  bad.label = 0;
+  bad.slice = -1;
+  ASSERT_TRUE(train.Append(bad).ok());
+  EXPECT_EQ(SliceTuner::Create(train, f.validation, 4, f.Options())
+                .status()
+                .code(),
+            StatusCode::kOutOfRange);
+}
+
 TEST(SliceTunerTest, SliceSizesReflectTrainData) {
   Fixture f;
   auto tuner = SliceTuner::Create(f.train, f.validation, 4, f.Options());
