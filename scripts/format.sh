@@ -1,0 +1,16 @@
+#!/bin/sh
+# Reformats every tracked C++ file with the repo's .clang-format, using the
+# same pinned clang-format major as CI's format job (falling back to an
+# unpinned binary with a warning, since output differs across majors).
+# CI runs the same tool with --dry-run -Werror; run this before pushing if
+# the format job complains.
+set -eu
+cd "$(dirname "$0")/.."
+if command -v clang-format-15 >/dev/null 2>&1; then
+  FMT=clang-format-15
+else
+  FMT=clang-format
+  echo "warning: clang-format-15 not found; using $($FMT --version)" >&2
+fi
+git ls-files '*.cc' '*.h' | xargs "$FMT" -i
+git diff --stat

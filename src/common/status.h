@@ -26,7 +26,8 @@ enum class StatusCode {
   kCancelled = 10,
 };
 
-/// Returns a human-readable name for a status code ("OK", "InvalidArgument"...).
+/// Returns a human-readable name for a status code ("OK",
+/// "InvalidArgument"...).
 const char* StatusCodeToString(StatusCode code);
 
 /// A success-or-error value. Cheap to copy in the OK case (no allocation).

@@ -251,9 +251,11 @@ TEST(ScriptedSourceTest, DriftEventsMutateOnlyTheTargetSliceGoingForward) {
   ScriptedSource source(spec);
 
   EXPECT_EQ(source.BeginRound(0), 0);
-  const double sigma_before = source.generator().slice_model(2).components[0].sigma;
+  const double sigma_before =
+      source.generator().slice_model(2).components[0].sigma;
   EXPECT_EQ(source.BeginRound(1), 1);
-  const double sigma_after = source.generator().slice_model(2).components[0].sigma;
+  const double sigma_after =
+      source.generator().slice_model(2).components[0].sigma;
   EXPECT_DOUBLE_EQ(sigma_after, 3.0 * sigma_before);
   // Untouched slice keeps its spread.
   EXPECT_DOUBLE_EQ(source.generator().slice_model(1).components[0].sigma,
