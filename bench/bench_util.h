@@ -21,10 +21,40 @@
 namespace slicetuner {
 namespace bench {
 
-/// Output directory for CSV series (created on demand).
+/// mkdir -p: creates `path` and any missing parents. Returns an error when a
+/// component cannot be created or exists as a non-directory.
+inline Status MkDirRecursive(const std::string& path) {
+  std::string prefix;
+  prefix.reserve(path.size());
+  for (size_t i = 0; i <= path.size(); ++i) {
+    if (i < path.size() && path[i] != '/') {
+      prefix.push_back(path[i]);
+      continue;
+    }
+    if (!prefix.empty() && prefix != ".") {
+      struct ::stat st;
+      if (::stat(prefix.c_str(), &st) == 0) {
+        if (!S_ISDIR(st.st_mode)) {
+          return Status::AlreadyExists("MkDirRecursive: not a directory: " +
+                                       prefix);
+        }
+      } else if (::mkdir(prefix.c_str(), 0755) != 0) {
+        return Status::Internal("MkDirRecursive: cannot create " + prefix);
+      }
+    }
+    if (i < path.size()) prefix.push_back('/');
+  }
+  return Status::OK();
+}
+
+/// Output directory for bench CSV/JSON series, created on demand
+/// (overridable via SLICETUNER_RESULTS_DIR). A directory that cannot be
+/// created aborts the bench: CI must never "pass" a run that silently wrote
+/// nothing.
 inline std::string ResultsDir() {
-  const std::string dir = "results";
-  ::mkdir(dir.c_str(), 0755);
+  const char* env = std::getenv("SLICETUNER_RESULTS_DIR");
+  const std::string dir = (env != nullptr && env[0] != '\0') ? env : "results";
+  ST_CHECK_OK(MkDirRecursive(dir));
   return dir;
 }
 

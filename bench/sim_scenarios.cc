@@ -6,6 +6,7 @@
 
 #include <cstdio>
 #include <iostream>
+#include <thread>
 
 #include "bench/bench_util.h"
 #include "common/stopwatch.h"
@@ -81,6 +82,8 @@ int main(int argc, char** argv) {
   ST_CHECK_OK(bench::WriteBenchJson(
       bench::ResultsDir() + "/BENCH_sim.json",
       {{"bench", "\"sim_scenarios\""},
+       {"hardware_cores",
+        StrFormat("%u", std::thread::hardware_concurrency())},
        {"scenarios", StrFormat("%zu", scenarios.size())},
        {"methods", StrFormat("%zu", methods.size())},
        {"cells", StrFormat("%zu", cell_count)},

@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Benchmark-regression gate: compare fresh BENCH_*.json against baselines.
+
+Every bench binary writes a flat one-object JSON summary (BENCH_engine.json,
+BENCH_sim.json, BENCH_tensor.json) under results/. This script compares each
+fresh summary against the checked-in baseline of the same name and fails
+(exit 1) when the run regressed:
+
+  *_seconds keys  wall times, lower is better: fail when the fresh value
+                  exceeds baseline * (1 + tolerance).
+  *_speedup keys  ratios, higher is better (and machine-independent, since
+                  both sides of the ratio ran on the same machine): fail when
+                  the fresh value drops below baseline * (1 - tolerance).
+  boolean keys    correctness flags (identical_parameters,
+                  kernels_bit_identical): fail on true -> false.
+  other keys      informational only.
+
+Usage:
+  scripts/check_bench.py --results-dir build/results
+  scripts/check_bench.py --results-dir build/results --tolerance 0.5
+  scripts/check_bench.py --results-dir build/results --update   # refresh
+
+The default tolerance is 0.30: a >30% wall-time regression fails the gate.
+When the fresh run self-reports a different hardware_cores than the
+baseline (clearly a different machine class), wall keys are reported but
+only the machine-independent ratio and boolean keys gate. Baselines live in
+bench/baselines/ and are refreshed deliberately with --update (which
+refuses to bake in a run with false correctness flags); commit the diff
+with a justification.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+
+WALL_SUFFIX = "_seconds"
+SPEEDUP_SUFFIX = "_speedup"
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def classify(key, value):
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, (int, float)):
+        if key.endswith(WALL_SUFFIX):
+            return "wall"
+        if key.endswith(SPEEDUP_SUFFIX):
+            return "speedup"
+    return "info"
+
+
+def same_machine_class(baseline, fresh):
+    """Wall times — and speedup ratios whose denominator is a threaded run —
+    are only comparable between like machines. The summaries self-report
+    hardware_cores; when the counts differ the run is clearly on different
+    hardware, so those keys are reported but do not gate (only correctness
+    booleans still do)."""
+    base_cores = baseline.get("hardware_cores")
+    fresh_cores = fresh.get("hardware_cores")
+    if base_cores is None or fresh_cores is None:
+        return True
+    return base_cores == fresh_cores
+
+
+def compare_file(name, baseline, fresh, tolerance):
+    """Returns a list of (severity, message); severity is FAIL or note."""
+    rows = []
+    gate_perf = same_machine_class(baseline, fresh)
+    if not gate_perf:
+        rows.append(("note",
+                     f"{name}: hardware_cores differs from baseline "
+                     f"({baseline.get('hardware_cores')} vs "
+                     f"{fresh.get('hardware_cores')}); wall-time and "
+                     "speedup keys reported but not gated on this run"))
+    for key, base_value in baseline.items():
+        if key not in fresh:
+            rows.append(("FAIL", f"{name}: key '{key}' missing from fresh run"))
+            continue
+        fresh_value = fresh[key]
+        kind = classify(key, base_value)
+        if kind == "bool":
+            if base_value and not fresh_value:
+                rows.append(("FAIL", f"{name}: {key} degraded true -> false"))
+            continue
+        if kind == "wall":
+            limit = base_value * (1.0 + tolerance)
+            if fresh_value > limit:
+                rows.append(
+                    ("FAIL" if gate_perf else "note",
+                     f"{name}: {key} regressed {base_value:.4f}s -> "
+                     f"{fresh_value:.4f}s (limit {limit:.4f}s, "
+                     f"+{100.0 * (fresh_value / base_value - 1.0):.0f}%)"))
+            elif base_value > 0 and fresh_value < base_value * (1.0 - tolerance):
+                rows.append(
+                    ("note",
+                     f"{name}: {key} improved {base_value:.4f}s -> "
+                     f"{fresh_value:.4f}s; consider refreshing the baseline"))
+            continue
+        if kind == "speedup":
+            floor = base_value * (1.0 - tolerance)
+            if fresh_value < floor:
+                rows.append(
+                    ("FAIL" if gate_perf else "note",
+                     f"{name}: {key} regressed {base_value:.2f}x -> "
+                     f"{fresh_value:.2f}x (floor {floor:.2f}x)"))
+            continue
+    return rows
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline-dir", default="bench/baselines")
+    parser.add_argument("--results-dir", default="build/results")
+    parser.add_argument("--tolerance", type=float,
+                        default=float(os.environ.get(
+                            "SLICETUNER_BENCH_TOLERANCE", "0.30")))
+    parser.add_argument("--update", action="store_true",
+                        help="copy fresh results over the baselines")
+    parser.add_argument("files", nargs="*",
+                        help="baseline filenames to check (default: all)")
+    args = parser.parse_args()
+
+    names = args.files or sorted(
+        f for f in os.listdir(args.baseline_dir)
+        if f.startswith("BENCH_") and f.endswith(".json"))
+    if not names:
+        print(f"no BENCH_*.json baselines under {args.baseline_dir}",
+              file=sys.stderr)
+        return 1
+
+    failures = 0
+    for name in names:
+        baseline_path = os.path.join(args.baseline_dir, name)
+        fresh_path = os.path.join(args.results_dir, name)
+        if not os.path.exists(fresh_path):
+            print(f"FAIL {name}: fresh result {fresh_path} not found "
+                  "(bench did not run or crashed)")
+            failures += 1
+            continue
+        if args.update:
+            fresh = load(fresh_path)
+            bad_bools = [k for k, v in fresh.items()
+                         if isinstance(v, bool) and not v]
+            if bad_bools:
+                print(f"FAIL {name}: refusing to bake a failing run into the "
+                      f"baseline (false correctness flags: "
+                      f"{', '.join(bad_bools)})")
+                failures += 1
+                continue
+            shutil.copyfile(fresh_path, baseline_path)
+            print(f"updated {baseline_path} from {fresh_path}")
+            continue
+        rows = compare_file(name, load(baseline_path), load(fresh_path),
+                            args.tolerance)
+        file_failures = [m for sev, m in rows if sev == "FAIL"]
+        for sev, message in rows:
+            print(f"{'FAIL' if sev == 'FAIL' else 'note'} {message}")
+        if file_failures:
+            failures += len(file_failures)
+        else:
+            print(f"ok   {name}: within {100 * args.tolerance:.0f}% of baseline")
+
+    if failures:
+        print(f"\nbenchmark gate FAILED: {failures} regression(s) "
+              f"(tolerance {100 * args.tolerance:.0f}%)")
+        return 1
+    if not args.update:
+        print("\nbenchmark gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,4 +1,4 @@
-#include "engine/parallel_for.h"
+#include "common/parallel_for.h"
 
 #include <atomic>
 #include <condition_variable>
@@ -7,9 +7,17 @@
 #include <mutex>
 
 namespace slicetuner {
-namespace engine {
 
 namespace {
+
+// Incremented for the duration of every iteration a thread runs (caller and
+// helpers alike); read by ParallelForDepth().
+thread_local int g_parallel_for_depth = 0;
+
+struct DepthScope {
+  DepthScope() { ++g_parallel_for_depth; }
+  ~DepthScope() { --g_parallel_for_depth; }
+};
 
 // Shared between the caller and its helper tasks. Held by shared_ptr so a
 // helper that is dequeued *after* the caller returned (its work already
@@ -32,6 +40,7 @@ struct LoopState {
 // indices, and let every lane drain to completion so the caller can rethrow
 // only after no helper still touches fn's captures.
 void DrainLoop(LoopState* state) {
+  DepthScope depth;
   for (;;) {
     const size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
     if (i >= state->n) break;
@@ -50,6 +59,8 @@ void DrainLoop(LoopState* state) {
 
 }  // namespace
 
+int ParallelForDepth() { return g_parallel_for_depth; }
+
 size_t EffectiveThreads(size_t n, const ParallelOptions& options) {
   if (n <= 1) return 1;
   if (options.num_threads == 1) return 1;
@@ -66,6 +77,10 @@ void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
   if (n == 0) return;
   const size_t lanes = EffectiveThreads(n, options);
   if (lanes <= 1) {
+    // Deliberately no DepthScope: a serial loop occupies no pool worker, so
+    // code it calls (e.g. the blocked GEMM kernels) should stay free to
+    // fan out across the idle pool. Only actual multi-lane loops mark the
+    // thread as inside a parallel region.
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
@@ -108,5 +123,4 @@ void ParallelForSeeded(uint64_t root_seed, size_t n,
       options);
 }
 
-}  // namespace engine
 }  // namespace slicetuner

@@ -5,7 +5,7 @@
 #include "common/math_util.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
-#include "engine/parallel_for.h"
+#include "common/parallel_for.h"
 
 namespace slicetuner {
 
@@ -152,9 +152,9 @@ Result<MethodOutcome> RunMethod(const ExperimentConfig& config,
     return Status::OK();
   };
 
-  engine::ParallelOptions parallel_options;
+  ParallelOptions parallel_options;
   parallel_options.num_threads = config.num_threads;
-  engine::ParallelForSeeded(
+  ParallelForSeeded(
       config.seed, trials.size(),
       [&](size_t trial, Rng& rng) {
         trials[trial].status = run_trial(trial, rng);

@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel_for.h"
 #include "common/stopwatch.h"
 #include "core/metrics.h"
-#include "engine/parallel_for.h"
 
 namespace slicetuner {
 
@@ -115,7 +115,12 @@ Result<CurveEstimationResult> EstimateLearningCurves(
   const Rng master(options.seed);
   const std::vector<char> mask = EstimationMask(num_slices, options);
 
-  engine::ParallelOptions parallel_options;
+  // Inter-slice fan-out: the training grid fans out across the shared pool.
+  // Each training's tensor kernels would also fan out (intra-op row
+  // blocking), but they see ParallelForDepth() > 0 inside these lanes and
+  // stay serial — the two levels share one ThreadPool budget instead of
+  // multiplying thread counts.
+  ParallelOptions parallel_options;
   parallel_options.num_threads = options.parallel ? options.num_threads : 1;
 
   CurveEstimationResult result;
@@ -126,7 +131,7 @@ Result<CurveEstimationResult> EstimateLearningCurves(
     // Efficient (Section 4.2): one model per subset fraction, all slices
     // subsampled together; every model yields one point for every slice.
     std::vector<MeasuredRun> runs(k);
-    engine::ParallelFor(
+    ParallelFor(
         k,
         [&](size_t i) {
           Rng rng = master.Fork(i);
@@ -166,7 +171,7 @@ Result<CurveEstimationResult> EstimateLearningCurves(
       }
     }
     std::vector<MeasuredRun> runs(jobs.size());
-    engine::ParallelFor(
+    ParallelFor(
         jobs.size(),
         [&](size_t j) {
           const Job& job = jobs[j];

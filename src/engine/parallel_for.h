@@ -1,51 +1,21 @@
-// Deterministic, nestable parallel-for on top of ThreadPool.
-//
-// Unlike ThreadPool::ParallelFor, the calling thread participates in the
-// loop and only waits for helper tasks that actually *started*, so the
-// construct is safe to nest (a pool worker blocked inside a ParallelFor can
-// never deadlock the pool: the caller alone is guaranteed to drain the
-// iteration space even if no helper ever gets a worker).
-//
-// Determinism contract: the seeded variant hands iteration i an Rng derived
-// as Rng(root_seed).Fork(i). Child streams depend only on (root_seed, i) —
-// never on which thread runs the iteration or in which order — so results
-// written into per-index slots are bit-identical at 1, 2, or N threads.
+// Compatibility shim: the deterministic parallel-for moved down to
+// common/parallel_for.h so the tensor kernels (a layer *below* the engine)
+// can thread over the same shared pool. Engine code keeps addressing it as
+// engine::ParallelFor; new code should include common/parallel_for.h.
 
 #ifndef SLICETUNER_ENGINE_PARALLEL_FOR_H_
 #define SLICETUNER_ENGINE_PARALLEL_FOR_H_
 
-#include <cstddef>
-#include <functional>
-
-#include "common/random.h"
-#include "common/thread_pool.h"
+#include "common/parallel_for.h"
 
 namespace slicetuner {
 namespace engine {
 
-/// Execution knobs shared by the engine entry points.
-struct ParallelOptions {
-  /// 1 = run serially on the calling thread (the byte-for-byte fallback);
-  /// 0 (or any value < 1 other than 1) = use every worker of the pool;
-  /// N > 1 = at most N concurrent lanes.
-  int num_threads = 0;
-  /// Pool to borrow helpers from; nullptr = DefaultThreadPool().
-  ThreadPool* pool = nullptr;
-};
-
-/// Runs fn(i) for i in [0, n). fn must be safe to invoke concurrently for
-/// distinct i unless num_threads == 1.
-void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
-                 const ParallelOptions& options = {});
-
-/// Runs fn(i, rng_i) for i in [0, n) where rng_i = Rng(root_seed).Fork(i).
-void ParallelForSeeded(uint64_t root_seed, size_t n,
-                       const std::function<void(size_t, Rng&)>& fn,
-                       const ParallelOptions& options = {});
-
-/// Resolves `options` to the effective lane count for `n` iterations
-/// (>= 1; 1 means the serial path).
-size_t EffectiveThreads(size_t n, const ParallelOptions& options);
+using slicetuner::EffectiveThreads;
+using slicetuner::ParallelFor;
+using slicetuner::ParallelForDepth;
+using slicetuner::ParallelForSeeded;
+using slicetuner::ParallelOptions;
 
 }  // namespace engine
 }  // namespace slicetuner

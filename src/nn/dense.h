@@ -1,4 +1,7 @@
-// Fully connected (dense) layer: y = x W + b.
+// Fully connected (dense) layer: y = act(x W + b), with the bias add fused
+// into the GEMM epilogue and an optional ReLU fused into the layer so the
+// hidden stack needs no separate activation layers (and none of their
+// full-matrix input copies).
 
 #ifndef SLICETUNER_NN_DENSE_H_
 #define SLICETUNER_NN_DENSE_H_
@@ -17,11 +20,18 @@ enum class Init {
   kHe,      // Kaiming normal (good for ReLU)
 };
 
+/// Activation fused into the dense layer's forward/backward.
+enum class DenseActivation {
+  kNone,  // affine output (e.g. the logits head)
+  kRelu,  // y = max(0, x W + b)
+};
+
 /// Dense layer with weights (in_dim x out_dim) and bias (1 x out_dim).
 class DenseLayer : public Layer {
  public:
   DenseLayer(size_t in_dim, size_t out_dim, Rng* rng,
-             Init init = Init::kGlorot);
+             Init init = Init::kGlorot,
+             DenseActivation activation = DenseActivation::kNone);
 
   void Forward(const Matrix& x, Matrix* y) override;
   void Backward(const Matrix& grad_y, Matrix* grad_x) override;
@@ -37,14 +47,18 @@ class DenseLayer : public Layer {
   size_t out_dim() const { return weights_.cols(); }
   const Matrix& weights() const { return weights_; }
   const Matrix& bias() const { return bias_; }
+  DenseActivation activation() const { return activation_; }
 
  private:
   Init init_;
+  DenseActivation activation_;
   Matrix weights_;
   Matrix bias_;
   Matrix grad_weights_;
   Matrix grad_bias_;
   Matrix input_;  // cached Forward input for the backward pass
+  Matrix pre_;    // pre-activation x W + b (kRelu only): the backward mask
+  Matrix grad_pre_;  // scratch: dL/d(pre) under kRelu
 };
 
 }  // namespace slicetuner

@@ -1,7 +1,6 @@
 #include "nn/model.h"
 
 #include "common/string_util.h"
-#include "nn/activation.h"
 #include "nn/dense.h"
 #include "nn/dropout.h"
 #include "nn/residual.h"
@@ -106,8 +105,12 @@ Model BuildModel(const ModelSpec& spec, Rng* rng) {
   Model model;
   size_t dim = spec.input_dim;
   for (size_t width : spec.hidden) {
-    model.Add(std::make_unique<DenseLayer>(dim, width, rng, Init::kHe));
-    model.Add(std::make_unique<ReluLayer>());
+    // Hidden stack uses the fused Dense+ReLU layer: one layer (and one
+    // GEMM-with-epilogue) where the unfused stack had Dense -> ReLU plus
+    // two full-matrix copies. Weight draws are in the same order as the
+    // unfused stack, so models built from the same seed are identical.
+    model.Add(std::make_unique<DenseLayer>(dim, width, rng, Init::kHe,
+                                           DenseActivation::kRelu));
     if (spec.dropout > 0.0) {
       model.Add(std::make_unique<DropoutLayer>(spec.dropout, (*rng)()));
     }

@@ -5,30 +5,19 @@
 namespace slicetuner {
 
 ResidualBlock::ResidualBlock(size_t dim, size_t hidden_dim, Rng* rng)
-    : fc1_(dim, hidden_dim, rng, Init::kHe),
+    : fc1_(dim, hidden_dim, rng, Init::kHe, DenseActivation::kRelu),
       fc2_(hidden_dim, dim, rng, Init::kGlorot) {}
 
 void ResidualBlock::Forward(const Matrix& x, Matrix* y) {
-  fc1_.Forward(x, &hidden_pre_);
-  hidden_post_ = hidden_pre_;
-  double* h = hidden_post_.data();
-  for (size_t i = 0; i < hidden_post_.size(); ++i) {
-    if (h[i] < 0.0) h[i] = 0.0;
-  }
-  fc2_.Forward(hidden_post_, y);
+  fc1_.Forward(x, &hidden_);
+  fc2_.Forward(hidden_, y);
   *y += x;  // skip connection
 }
 
 void ResidualBlock::Backward(const Matrix& grad_y, Matrix* grad_x) {
-  // Branch path: through fc2, ReLU, fc1.
-  Matrix grad_hidden_post;
-  fc2_.Backward(grad_y, &grad_hidden_post);
-  const double* pre = hidden_pre_.data();
-  double* g = grad_hidden_post.data();
-  for (size_t i = 0; i < grad_hidden_post.size(); ++i) {
-    if (pre[i] <= 0.0) g[i] = 0.0;
-  }
-  fc1_.Backward(grad_hidden_post, grad_x);
+  // Branch path: fc2, then fc1 (whose fused ReLU applies its own mask).
+  fc2_.Backward(grad_y, &grad_hidden_);
+  fc1_.Backward(grad_hidden_, grad_x);
   // Skip path adds the incoming gradient.
   *grad_x += grad_y;
 }

@@ -29,11 +29,10 @@ class ResidualBlock : public Layer {
   std::unique_ptr<Layer> Clone() const override;
 
  private:
-  DenseLayer fc1_;
+  DenseLayer fc1_;      // fused Dense+ReLU (keeps its own pre-ReLU mask)
   DenseLayer fc2_;
-  Matrix hidden_pre_;   // x W1 + b1 (pre-ReLU), cached for backward
-  Matrix hidden_post_;  // ReLU output
-  Matrix scratch_;
+  Matrix hidden_;       // branch activation ReLU(x W1 + b1)
+  Matrix grad_hidden_;  // scratch: dL/d(hidden)
 };
 
 }  // namespace slicetuner

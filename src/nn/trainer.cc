@@ -37,22 +37,34 @@ Result<TrainLog> Train(Model* model, const Matrix& features,
   double lr = options.learning_rate;
   TrainLog log;
   log.epoch_losses.reserve(static_cast<size_t>(options.epochs));
-  std::vector<size_t> batch_indices;
+
+  // Matrix-at-a-time batching: the whole epoch is gathered once into a
+  // permuted feature matrix, and every minibatch is then a contiguous row
+  // range sliced out with one block copy. All buffers persist across
+  // batches and epochs, so the steady state allocates nothing. The batch
+  // composition (one Permutation draw per epoch, rows [start, end) of it)
+  // is exactly that of the per-batch-gather trainer, so training
+  // trajectories are bit-identical to it.
+  Matrix epoch_x;
+  std::vector<int> epoch_labels(n);
+  Matrix batch_x;   // full-size batches
+  Matrix tail_x;    // the (possibly smaller) last batch of an epoch
   std::vector<int> batch_labels;
 
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
     const std::vector<size_t> perm = rng.Permutation(n);
+    features.GatherRowsInto(perm, &epoch_x);
+    for (size_t i = 0; i < n; ++i) epoch_labels[i] = labels[perm[i]];
     double epoch_loss = 0.0;
     size_t batches = 0;
     for (size_t start = 0; start < n; start += options.batch_size) {
       const size_t end = std::min(n, start + options.batch_size);
-      batch_indices.assign(perm.begin() + static_cast<ptrdiff_t>(start),
-                           perm.begin() + static_cast<ptrdiff_t>(end));
-      const Matrix batch_x = features.GatherRows(batch_indices);
-      batch_labels.clear();
-      batch_labels.reserve(batch_indices.size());
-      for (size_t idx : batch_indices) batch_labels.push_back(labels[idx]);
-      epoch_loss += model->ForwardBackward(batch_x, batch_labels);
+      Matrix* bx = (end - start == options.batch_size) ? &batch_x : &tail_x;
+      epoch_x.CopyRowRangeInto(start, end, bx);
+      batch_labels.assign(
+          epoch_labels.begin() + static_cast<ptrdiff_t>(start),
+          epoch_labels.begin() + static_cast<ptrdiff_t>(end));
+      epoch_loss += model->ForwardBackward(*bx, batch_labels);
       if (options.clip_norm > 0.0) {
         double norm_sq = 0.0;
         for (Matrix* g : grads) {

@@ -62,10 +62,24 @@ Matrix Matrix::RowCopy(size_t r) const {
 
 Matrix Matrix::GatherRows(const std::vector<size_t>& indices) const {
   Matrix out(indices.size(), cols_);
-  for (size_t i = 0; i < indices.size(); ++i) {
-    std::copy(row(indices[i]), row(indices[i]) + cols_, out.row(i));
-  }
+  GatherRowsInto(indices, &out);
   return out;
+}
+
+void Matrix::GatherRowsInto(const std::vector<size_t>& indices,
+                            Matrix* out) const {
+  if (out->rows() != indices.size() || out->cols() != cols_) {
+    *out = Matrix(indices.size(), cols_);
+  }
+  for (size_t i = 0; i < indices.size(); ++i) {
+    std::copy(row(indices[i]), row(indices[i]) + cols_, out->row(i));
+  }
+}
+
+void Matrix::CopyRowRangeInto(size_t begin, size_t end, Matrix* out) const {
+  const size_t n = end - begin;
+  if (out->rows() != n || out->cols() != cols_) *out = Matrix(n, cols_);
+  std::copy(row(begin), row(begin) + n * cols_, out->data());
 }
 
 double Matrix::Norm() const {

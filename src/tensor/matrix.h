@@ -70,6 +70,15 @@ class Matrix {
   /// Extracts the rows listed in `indices` (in order) into a new matrix.
   Matrix GatherRows(const std::vector<size_t>& indices) const;
 
+  /// GatherRows into a caller-owned matrix, reusing its storage when the
+  /// shape already matches. The allocation-free path of the batched trainer.
+  void GatherRowsInto(const std::vector<size_t>& indices, Matrix* out) const;
+
+  /// Copies the contiguous row range [begin, end) into `out` (resized only
+  /// on shape mismatch). One memcpy-shaped pass: how the trainer slices
+  /// minibatches out of an epoch-permuted feature matrix.
+  void CopyRowRangeInto(size_t begin, size_t end, Matrix* out) const;
+
   /// Frobenius norm.
   double Norm() const;
 

@@ -1,5 +1,24 @@
 // Free-function kernels on Matrix: matmul, softmax, reductions. These are the
-// hot loops of model training; they favor simple cache-friendly forms.
+// hot loops of model training.
+//
+// The matmul family runs a cache-blocked, register-tiled kernel that can fan
+// row blocks out across the shared ThreadPool (common/parallel_for.h). Every
+// kernel keeps a fixed per-element accumulation order — k strictly ascending
+// with a single accumulator chain — so results are bit-identical to the kept
+// naive reference kernels and identical at any thread count. Intra-op
+// threading engages only above a flop threshold and only when the calling
+// thread is not already inside an engine-level ParallelFor lane, so nested
+// use (curve estimation fanning out trainings whose GEMMs would otherwise
+// also fan out) cannot oversubscribe the pool.
+//
+// Exception to bit-identity: the naive kernels skip multiplications by an
+// exactly-zero left operand, while the blocked kernels perform them. On
+// finite inputs the two can therefore differ only in the *sign* of an
+// exactly-zero output entry (-0.0 vs +0.0), which no downstream consumer
+// (exp, log, comparisons, formatting of nonzero values) can observe. If the
+// right operand holds inf/NaN opposite an exact zero (e.g. a diverged
+// training), the blocked kernels propagate NaN (0 * inf) where the naive
+// skip would not — the numerically honest behavior.
 
 #ifndef SLICETUNER_TENSOR_OPS_H_
 #define SLICETUNER_TENSOR_OPS_H_
@@ -8,9 +27,21 @@
 
 namespace slicetuner {
 
+/// Process-wide lane budget for the blocked matmul kernels: 1 = never thread
+/// intra-op, 0 = up to every pool worker (default), N > 1 = at most N lanes.
+/// Thread-safe; typically set once at startup (benches: --threads=N).
+void SetTensorOpThreads(int num_threads);
+int GetTensorOpThreads();
+
 /// out = a * b. Shapes must agree (a: m x k, b: k x n, out: m x n); `out` is
 /// resized as needed. `out` must not alias a or b.
 void MatMul(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// out = a * b + bias (bias: 1 x n row broadcast over all m rows). The bias
+/// add happens in the GEMM epilogue while the output block is cache-hot;
+/// bit-identical to MatMul followed by AddRowBroadcast.
+void MatMulBias(const Matrix& a, const Matrix& b, const Matrix& bias,
+                Matrix* out);
 
 /// out = a * b^T (a: m x k, b: n x k, out: m x n). Cache-friendly for the
 /// backward pass.
@@ -18,6 +49,12 @@ void MatMulTransposedB(const Matrix& a, const Matrix& b, Matrix* out);
 
 /// out = a^T * b (a: k x m, b: k x n, out: m x n).
 void MatMulTransposedA(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// Reference implementations: the simple scalar kernels the blocked versions
+/// are validated against (tests/micro bench). Single-threaded.
+void MatMulNaive(const Matrix& a, const Matrix& b, Matrix* out);
+void MatMulTransposedBNaive(const Matrix& a, const Matrix& b, Matrix* out);
+void MatMulTransposedANaive(const Matrix& a, const Matrix& b, Matrix* out);
 
 /// Adds a 1 x n bias row to every row of `m` (in place).
 void AddRowBroadcast(Matrix* m, const Matrix& bias);

@@ -5,6 +5,7 @@
 
 #include <cmath>
 
+#include "common/math_util.h"
 #include "common/random.h"
 #include "nn/activation.h"
 #include "nn/dense.h"
@@ -295,6 +296,40 @@ TEST(LossTest, LogLossAndAccuracyHelpers) {
   EXPECT_EQ(Accuracy(probs, {1, 0}), 0.0);
 }
 
+TEST(LossTest, FusedForwardBackwardMatchesUnfusedSequence) {
+  // The fused softmax–cross-entropy must agree bit for bit with the
+  // unfused sequence it replaced: copy logits, SoftmaxRows, NLL loop, then
+  // (probs - onehot) / batch in three separate passes.
+  Rng rng(30);
+  Matrix logits(17, 5);
+  logits.FillNormal(&rng, 2.0);
+  std::vector<int> labels(logits.rows());
+  for (size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = static_cast<int>(rng.UniformInt(uint64_t{5}));
+  }
+
+  Matrix ref_probs = logits;
+  SoftmaxRows(&ref_probs);
+  double ref_loss = 0.0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    ref_loss -= SafeLog(ref_probs(i, static_cast<size_t>(labels[i])));
+  }
+  ref_loss /= static_cast<double>(labels.size());
+  Matrix ref_grad = ref_probs;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    ref_grad(i, static_cast<size_t>(labels[i])) -= 1.0;
+  }
+  ref_grad *= 1.0 / static_cast<double>(labels.size());
+
+  SoftmaxCrossEntropy loss;
+  const double fused_loss = loss.Forward(logits, labels);
+  Matrix fused_grad;
+  loss.Backward(&fused_grad);
+  EXPECT_EQ(fused_loss, ref_loss);
+  EXPECT_TRUE(loss.probabilities() == ref_probs);
+  EXPECT_TRUE(fused_grad == ref_grad);
+}
+
 TEST(LossTest, EmptyLabelsAreZero) {
   Matrix probs(0, 2);
   EXPECT_EQ(LogLoss(probs, {}), 0.0);
@@ -374,14 +409,15 @@ TEST(ModelTest, BuildLogisticRegression) {
 TEST(ModelTest, BuildMlpLayerCount) {
   Rng rng(16);
   Model m = BuildModel(ModelSpec{8, 3, {16, 8}, 0, 32}, &rng);
-  // Dense+ReLU, Dense+ReLU, Dense head.
-  EXPECT_EQ(m.num_layers(), 5u);
+  // Fused DenseReLU, fused DenseReLU, Dense head.
+  EXPECT_EQ(m.num_layers(), 3u);
+  EXPECT_NE(m.ToString().find("DenseReLU"), std::string::npos);
 }
 
 TEST(ModelTest, BuildResidualModel) {
   Rng rng(17);
   Model m = BuildModel(ModelSpec{8, 3, {16}, 2, 8}, &rng);
-  EXPECT_EQ(m.num_layers(), 5u);  // Dense, ReLU, Res, Res, head
+  EXPECT_EQ(m.num_layers(), 4u);  // fused DenseReLU, Res, Res, head
   EXPECT_NE(m.ToString().find("Residual"), std::string::npos);
 }
 
@@ -482,6 +518,44 @@ TEST(TrainerTest, DeterministicGivenSeed) {
   m1.Predict(x, &p1);
   m2.Predict(x, &p2);
   EXPECT_LT(MaxAbsDiff(p1, p2), 1e-12);
+}
+
+TEST(TrainerTest, BitIdenticalTrajectoryAcrossTensorThreads) {
+  // Same seed, same data, different intra-op lane counts: the blocked
+  // kernels' fixed accumulation order must make the whole training
+  // trajectory — not just the final loss — bit-identical. The model is
+  // sized so its GEMMs clear the intra-op parallel threshold.
+  Rng data_rng(31);
+  const size_t n = 600;
+  Matrix x(n, 128);
+  x.FillNormal(&data_rng, 1.0);
+  std::vector<int> labels(n);
+  for (size_t i = 0; i < n; ++i) labels[i] = static_cast<int>(i % 2);
+  TrainerOptions opts;
+  opts.epochs = 3;
+  opts.batch_size = 300;
+  opts.seed = 99;
+
+  Rng r1(60), r4(60);
+  Model m1 = BuildModel(ModelSpec{128, 2, {128}, 0, 32}, &r1);
+  Model m4 = BuildModel(ModelSpec{128, 2, {128}, 0, 32}, &r4);
+  SetTensorOpThreads(1);
+  const auto log1 = Train(&m1, x, labels, opts);
+  SetTensorOpThreads(4);
+  const auto log4 = Train(&m4, x, labels, opts);
+  SetTensorOpThreads(0);
+  ASSERT_TRUE(log1.ok());
+  ASSERT_TRUE(log4.ok());
+  ASSERT_EQ(log1->epoch_losses.size(), log4->epoch_losses.size());
+  for (size_t e = 0; e < log1->epoch_losses.size(); ++e) {
+    EXPECT_EQ(log1->epoch_losses[e], log4->epoch_losses[e]) << "epoch " << e;
+  }
+  const auto p1 = m1.Params();
+  const auto p4 = m4.Params();
+  ASSERT_EQ(p1.size(), p4.size());
+  for (size_t i = 0; i < p1.size(); ++i) {
+    EXPECT_TRUE(*p1[i] == *p4[i]) << "param tensor " << i;
+  }
 }
 
 TEST(TrainerTest, RejectsShapeMismatch) {

@@ -257,6 +257,139 @@ TEST(OpsTest, MaxAbsDiff) {
   EXPECT_EQ(MaxAbsDiff(a, a), 0.0);
 }
 
+// ----------------------------------------------- blocked kernels vs naive
+
+// The blocked kernels promise bit-identical results to the naive reference
+// (up to the sign of exactly-zero entries, which both MaxAbsDiff and
+// operator== treat as equal). Exercised across odd, non-square, tiny, and
+// large shapes and at 1 vs 4 intra-op threads.
+
+struct GemmShape {
+  size_t m, k, n;
+};
+
+const GemmShape kShapes[] = {
+    {1, 1, 1},    {2, 3, 2},     {3, 5, 7},    {17, 1, 9},
+    {1, 128, 1},  {100, 1, 100}, {64, 64, 64}, {65, 33, 47},
+    {31, 257, 5}, {130, 70, 90}, {5, 513, 129}};
+
+void FillSigned(Matrix* m, Rng* rng) { m->FillNormal(rng, 1.0); }
+
+TEST(BlockedKernelTest, MatMulMatchesNaiveAcrossShapes) {
+  Rng rng(101);
+  for (const GemmShape& s : kShapes) {
+    Matrix a(s.m, s.k), b(s.k, s.n);
+    FillSigned(&a, &rng);
+    FillSigned(&b, &rng);
+    Matrix ref, got;
+    MatMulNaive(a, b, &ref);
+    MatMul(a, b, &got);
+    EXPECT_EQ(MaxAbsDiff(ref, got), 0.0)
+        << "shape " << s.m << "x" << s.k << "x" << s.n;
+  }
+}
+
+TEST(BlockedKernelTest, MatMulTransposedBMatchesNaiveAcrossShapes) {
+  Rng rng(102);
+  for (const GemmShape& s : kShapes) {
+    Matrix a(s.m, s.k), b(s.n, s.k);
+    FillSigned(&a, &rng);
+    FillSigned(&b, &rng);
+    Matrix ref, got;
+    MatMulTransposedBNaive(a, b, &ref);
+    MatMulTransposedB(a, b, &got);
+    EXPECT_EQ(MaxAbsDiff(ref, got), 0.0)
+        << "shape " << s.m << "x" << s.k << "x" << s.n;
+  }
+}
+
+TEST(BlockedKernelTest, MatMulTransposedAMatchesNaiveAcrossShapes) {
+  Rng rng(103);
+  for (const GemmShape& s : kShapes) {
+    Matrix a(s.k, s.m), b(s.k, s.n);
+    FillSigned(&a, &rng);
+    FillSigned(&b, &rng);
+    Matrix ref, got;
+    MatMulTransposedANaive(a, b, &ref);
+    MatMulTransposedA(a, b, &got);
+    EXPECT_EQ(MaxAbsDiff(ref, got), 0.0)
+        << "shape " << s.m << "x" << s.k << "x" << s.n;
+  }
+}
+
+TEST(BlockedKernelTest, MatchesNaiveOnReluSparseInput) {
+  // Exact zeros in the left operand take the naive kernel's skip branch;
+  // the blocked kernel must still agree (zero signs aside).
+  Rng rng(104);
+  Matrix a(70, 65), b(65, 33);
+  a.FillNormal(&rng, 1.0);
+  b.FillNormal(&rng, 1.0);
+  double* p = a.data();
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (p[i] < 0.0) p[i] = 0.0;  // ReLU-style sparsity
+  }
+  Matrix ref, got;
+  MatMulNaive(a, b, &ref);
+  MatMul(a, b, &got);
+  EXPECT_EQ(MaxAbsDiff(ref, got), 0.0);
+  // a^T * b2 reduces over a's 70 rows; b2 must share that row count.
+  Matrix b2(70, 33);
+  b2.FillNormal(&rng, 1.0);
+  MatMulTransposedANaive(a, b2, &ref);
+  MatMulTransposedA(a, b2, &got);
+  EXPECT_EQ(MaxAbsDiff(ref, got), 0.0);
+}
+
+TEST(BlockedKernelTest, BitIdenticalAcrossThreadCounts) {
+  // Above the parallel threshold so the threaded path actually engages.
+  Rng rng(105);
+  Matrix a(256, 192), b(192, 256);
+  FillSigned(&a, &rng);
+  FillSigned(&b, &rng);
+  Matrix one, four;
+  SetTensorOpThreads(1);
+  MatMul(a, b, &one);
+  SetTensorOpThreads(4);
+  MatMul(a, b, &four);
+  EXPECT_TRUE(one == four);
+  Matrix tb1, tb4;
+  SetTensorOpThreads(1);
+  MatMulTransposedB(a, b.Transposed(), &tb1);
+  SetTensorOpThreads(4);
+  MatMulTransposedB(a, b.Transposed(), &tb4);
+  EXPECT_TRUE(tb1 == tb4);
+  Matrix ta1, ta4;
+  SetTensorOpThreads(1);
+  MatMulTransposedA(a, b, &ta1);
+  SetTensorOpThreads(4);
+  MatMulTransposedA(a, b, &ta4);
+  EXPECT_TRUE(ta1 == ta4);
+  SetTensorOpThreads(0);
+}
+
+TEST(BlockedKernelTest, FusedBiasMatchesUnfusedSequence) {
+  Rng rng(106);
+  for (const GemmShape& s : kShapes) {
+    Matrix a(s.m, s.k), b(s.k, s.n), bias(1, s.n);
+    FillSigned(&a, &rng);
+    FillSigned(&b, &rng);
+    FillSigned(&bias, &rng);
+    Matrix unfused, fused;
+    MatMul(a, b, &unfused);
+    AddRowBroadcast(&unfused, bias);
+    MatMulBias(a, b, bias, &fused);
+    EXPECT_TRUE(unfused == fused)
+        << "shape " << s.m << "x" << s.k << "x" << s.n;
+  }
+}
+
+TEST(BlockedKernelTest, ThreadSettingRoundTrips) {
+  SetTensorOpThreads(3);
+  EXPECT_EQ(GetTensorOpThreads(), 3);
+  SetTensorOpThreads(0);
+  EXPECT_EQ(GetTensorOpThreads(), 0);
+}
+
 // Associativity sanity on random matrices: (AB)C == A(BC).
 TEST(OpsTest, MatMulAssociativity) {
   Rng rng(8);
