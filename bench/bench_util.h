@@ -5,15 +5,15 @@
 #ifndef SLICETUNER_BENCH_BENCH_UTIL_H_
 #define SLICETUNER_BENCH_BENCH_UTIL_H_
 
-#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
-#include <sys/stat.h>
 #include <utility>
 #include <vector>
 
 #include "common/csv.h"
+#include "common/fs_util.h"
+#include "common/json.h"
 #include "common/status.h"
 #include "common/string_util.h"
 #include "core/experiment.h"
@@ -21,42 +21,11 @@
 namespace slicetuner {
 namespace bench {
 
-/// mkdir -p: creates `path` and any missing parents. Returns an error when a
-/// component cannot be created or exists as a non-directory.
-inline Status MkDirRecursive(const std::string& path) {
-  std::string prefix;
-  prefix.reserve(path.size());
-  for (size_t i = 0; i <= path.size(); ++i) {
-    if (i < path.size() && path[i] != '/') {
-      prefix.push_back(path[i]);
-      continue;
-    }
-    if (!prefix.empty() && prefix != ".") {
-      struct ::stat st;
-      if (::stat(prefix.c_str(), &st) == 0) {
-        if (!S_ISDIR(st.st_mode)) {
-          return Status::AlreadyExists("MkDirRecursive: not a directory: " +
-                                       prefix);
-        }
-      } else if (::mkdir(prefix.c_str(), 0755) != 0) {
-        return Status::Internal("MkDirRecursive: cannot create " + prefix);
-      }
-    }
-    if (i < path.size()) prefix.push_back('/');
-  }
-  return Status::OK();
-}
-
-/// Output directory for bench CSV/JSON series, created on demand
-/// (overridable via SLICETUNER_RESULTS_DIR). A directory that cannot be
-/// created aborts the bench: CI must never "pass" a run that silently wrote
-/// nothing.
-inline std::string ResultsDir() {
-  const char* env = std::getenv("SLICETUNER_RESULTS_DIR");
-  const std::string dir = (env != nullptr && env[0] != '\0') ? env : "results";
-  ST_CHECK_OK(MkDirRecursive(dir));
-  return dir;
-}
+// MkDirRecursive and the SLICETUNER_RESULTS_DIR convention now live in
+// common/fs_util.h, shared with the serving tools; re-exported here so the
+// bench drivers keep reading naturally.
+using ::slicetuner::MkDirRecursive;
+using ::slicetuner::ResultsDir;
 
 /// "0.302" / "0.134 / 0.319" cells used across the method tables.
 inline std::string LossCell(const MethodOutcome& o) {
@@ -113,28 +82,30 @@ inline int ParseThreadsFlag(int argc, char** argv, int default_threads = 0) {
   return ParseIntFlag(argc, argv, "--threads=", default_threads);
 }
 
-/// Writes a flat one-object JSON summary (BENCH_*.json convention). Values
-/// are emitted verbatim, so pass numbers pre-formatted ("12.5") and quote
-/// strings yourself ("\"serial\"").
+/// Writes a BENCH_*.json summary document (pretty-printed, trailing
+/// newline — the layout scripts/check_bench.py diffs against baselines).
+inline Status WriteBenchJson(const std::string& path,
+                             const json::Value& summary) {
+  return WriteStringToFile(path, summary.Dump(/*indent=*/2) + "\n");
+}
+
+/// Legacy pair form: each value must be a valid JSON scalar literal
+/// ("12.5", "true", "\"serial\""), validated through the common JSON parser
+/// instead of being emitted verbatim.
 inline Status WriteBenchJson(
     const std::string& path,
     const std::vector<std::pair<std::string, std::string>>& fields) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    return Status::NotFound("WriteBenchJson: cannot open " + path);
+  json::Value summary = json::Value::Object();
+  for (const auto& field : fields) {
+    Result<json::Value> value = json::Value::Parse(field.second);
+    if (!value.ok()) {
+      return Status::InvalidArgument("WriteBenchJson: field '" + field.first +
+                                     "' is not a JSON scalar: " +
+                                     value.status().message());
+    }
+    summary.Set(field.first, std::move(*value));
   }
-  std::fprintf(f, "{\n");
-  for (size_t i = 0; i < fields.size(); ++i) {
-    std::fprintf(f, "  \"%s\": %s%s\n", fields[i].first.c_str(),
-                 fields[i].second.c_str(),
-                 i + 1 < fields.size() ? "," : "");
-  }
-  std::fprintf(f, "}\n");
-  const bool write_error = std::ferror(f) != 0;
-  if (std::fclose(f) != 0 || write_error) {
-    return Status::Internal("WriteBenchJson: write failed for " + path);
-  }
-  return Status::OK();
+  return WriteBenchJson(path, summary);
 }
 
 }  // namespace bench

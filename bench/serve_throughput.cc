@@ -1,0 +1,190 @@
+// Serve throughput benchmark: sustained submit -> done throughput of the
+// tuning service over its real TCP protocol, unbatched (admission batch 1,
+// sequential sessions) vs micro-batched (batch 8, one engine fan-out per
+// batch). Also probes that admission control actually sheds load under a
+// burst. Writes BENCH_serve.json (gated against bench/baselines/ by
+// scripts/check_bench.py: the speedup ratio and the correctness booleans).
+//
+// Usage: bench_serve_throughput [--jobs=16] [--rows=40] [--threads=0]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "serve/client.h"
+#include "serve/server.h"
+
+namespace slicetuner {
+namespace {
+
+serve::Request SubmitRequest(const std::string& session, uint64_t seed,
+                             long long rows) {
+  serve::Request request;
+  request.type = serve::RequestType::kSubmitJob;
+  request.job.session = session;
+  request.job.num_slices = 4;
+  request.job.rows_per_slice = rows;
+  request.job.budget = 60.0;
+  request.job.rounds = 1;
+  request.job.method = "moderate";
+  request.job.seed = seed;
+  request.session = session;
+  return request;
+}
+
+serve::Request SessionRequest(serve::RequestType type,
+                              const std::string& session) {
+  serve::Request request;
+  request.type = type;
+  request.session = session;
+  return request;
+}
+
+/// Submits `jobs` sessions and polls them all to completion; returns wall
+/// seconds, or a negative value when anything failed.
+double RunWave(int port, const std::string& prefix, int jobs, long long rows,
+               bool* all_succeeded) {
+  auto connection = serve::ClientConnection::Connect(port);
+  ST_CHECK_OK(connection.status());
+  Stopwatch timer;
+  for (int j = 0; j < jobs; ++j) {
+    const std::string session = prefix + std::to_string(j);
+    for (;;) {
+      auto response = connection->Call(
+          SubmitRequest(session, static_cast<uint64_t>(j + 1), rows));
+      ST_CHECK_OK(response.status());
+      if (serve::IsOkResponse(*response)) break;
+      // Shed: honor the retry-after hint and resubmit.
+      const long long backoff = response->GetInt("retry_after_ms", 20);
+      if (response->GetInt("retry_after_ms", 0) == 0) {
+        std::fprintf(stderr, "unexpected rejection: %s\n",
+                     response->Dump().c_str());
+        *all_succeeded = false;
+        return -1.0;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+    }
+  }
+  for (int j = 0; j < jobs; ++j) {
+    const std::string session = prefix + std::to_string(j);
+    for (;;) {
+      auto response = connection->Call(
+          SessionRequest(serve::RequestType::kPoll, session));
+      ST_CHECK_OK(response.status());
+      const std::string state = response->GetString("state");
+      if (state == "done") break;
+      if (state == "failed" || state == "cancelled") {
+        std::fprintf(stderr, "session %s ended %s: %s\n", session.c_str(),
+                     state.c_str(), response->Dump().c_str());
+        *all_succeeded = false;
+        return -1.0;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  return timer.ElapsedSeconds();
+}
+
+double MeasureServer(size_t max_batch, int max_concurrent, int jobs,
+                     long long rows, bool* all_succeeded) {
+  serve::ServerOptions options;
+  options.admission.max_batch = max_batch;
+  options.admission.max_queue_depth = static_cast<size_t>(jobs) + 4;
+  options.max_concurrent_sessions = max_concurrent;
+  serve::TuningServer server(options);
+  ST_CHECK_OK(server.Start());
+  const double wall = RunWave(server.port(),
+                              max_batch > 1 ? "batched-" : "serial-", jobs,
+                              rows, all_succeeded);
+  server.RequestShutdown();
+  server.Wait();
+  return wall;
+}
+
+/// A burst against a depth-1 queue while a slow job runs must shed at least
+/// one submission with a retry-after hint.
+bool ProbeLoadShedding() {
+  serve::ServerOptions options;
+  options.admission.max_queue_depth = 1;
+  options.admission.max_batch = 1;
+  options.admission.retry_after_ms = 25;
+  serve::TuningServer server(options);
+  ST_CHECK_OK(server.Start());
+  auto connection = serve::ClientConnection::Connect(server.port());
+  ST_CHECK_OK(connection.status());
+
+  bool shed_seen = false;
+  for (int j = 0; j < 6; ++j) {
+    auto response = connection->Call(SubmitRequest(
+        "burst-" + std::to_string(j), static_cast<uint64_t>(j + 1),
+        /*rows=*/200));
+    ST_CHECK_OK(response.status());
+    if (!serve::IsOkResponse(*response) &&
+        response->GetInt("retry_after_ms", 0) > 0) {
+      shed_seen = true;
+    }
+  }
+  for (int j = 0; j < 6; ++j) {
+    (void)connection->Call(SessionRequest(serve::RequestType::kCancel,
+                                          "burst-" + std::to_string(j)));
+  }
+  server.RequestShutdown();
+  server.Wait();
+  return shed_seen;
+}
+
+}  // namespace
+}  // namespace slicetuner
+
+int main(int argc, char** argv) {
+  using namespace slicetuner;
+  const int jobs = std::max(2, bench::ParseIntFlag(argc, argv, "--jobs=", 12));
+  const long long rows = bench::ParseIntFlag(argc, argv, "--rows=", 160);
+  const int threads = bench::ParseThreadsFlag(argc, argv, /*default=*/0);
+  const unsigned cores = std::thread::hardware_concurrency();
+
+  std::printf("=== Serve throughput: %d tuning jobs over TCP, "
+              "unbatched vs micro-batched ===\n", jobs);
+
+  bool all_succeeded = true;
+  const double serial_wall = MeasureServer(/*max_batch=*/1,
+                                           /*max_concurrent=*/1, jobs, rows,
+                                           &all_succeeded);
+  const double batched_wall = MeasureServer(/*max_batch=*/8, threads, jobs,
+                                            rows, &all_succeeded);
+  const bool shedding_works = ProbeLoadShedding();
+
+  const bool valid = all_succeeded && serial_wall > 0.0 && batched_wall > 0.0;
+  const double speedup = valid ? serial_wall / batched_wall : 0.0;
+  const double throughput = valid ? jobs / batched_wall : 0.0;
+
+  std::printf("unbatched : %.3fs (%d jobs, batch 1, 1 session lane)\n",
+              serial_wall, jobs);
+  std::printf("batched   : %.3fs (batch 8), speedup %.2fx, "
+              "%.1f jobs/s sustained\n",
+              batched_wall, speedup, throughput);
+  std::printf("admission : load shedding %s\n",
+              shedding_works ? "verified" : "NOT OBSERVED (BUG)");
+
+  const std::string json_path = bench::ResultsDir() + "/BENCH_serve.json";
+  json::Value summary = json::Value::Object();
+  summary.Set("bench", "serve_throughput");
+  summary.Set("jobs", jobs);
+  summary.Set("rows_per_slice", rows);
+  summary.Set("hardware_cores", static_cast<long long>(cores));
+  summary.Set("threads", threads);
+  summary.Set("unbatched_wall_seconds", serial_wall);
+  summary.Set("batched_wall_seconds", batched_wall);
+  summary.Set("batched_submit_speedup", speedup);
+  summary.Set("throughput_jobs_per_sec", throughput);
+  summary.Set("all_jobs_succeeded", all_succeeded);
+  summary.Set("load_shedding_works", shedding_works);
+  ST_CHECK_OK(bench::WriteBenchJson(json_path, summary));
+  std::printf("Summary written to %s\n", json_path.c_str());
+  return (valid && shedding_works) ? 0 : 1;
+}

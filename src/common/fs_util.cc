@@ -1,0 +1,73 @@
+#include "common/fs_util.h"
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace slicetuner {
+
+Status MkDirRecursive(const std::string& path) {
+  std::string prefix;
+  prefix.reserve(path.size());
+  for (size_t i = 0; i <= path.size(); ++i) {
+    if (i < path.size() && path[i] != '/') {
+      prefix.push_back(path[i]);
+      continue;
+    }
+    if (!prefix.empty() && prefix != ".") {
+      struct ::stat st;
+      if (::stat(prefix.c_str(), &st) == 0) {
+        if (!S_ISDIR(st.st_mode)) {
+          return Status::AlreadyExists("MkDirRecursive: not a directory: " +
+                                       prefix);
+        }
+      } else if (::mkdir(prefix.c_str(), 0755) != 0) {
+        return Status::Internal("MkDirRecursive: cannot create " + prefix);
+      }
+    }
+    if (i < path.size()) prefix.push_back('/');
+  }
+  return Status::OK();
+}
+
+std::string ResultsDir() {
+  const char* env = std::getenv("SLICETUNER_RESULTS_DIR");
+  const std::string dir = (env != nullptr && env[0] != '\0') ? env : "results";
+  ST_CHECK_OK(MkDirRecursive(dir));
+  return dir;
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("ReadFileToString: cannot open " + path);
+  }
+  std::string content;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.append(buf, n);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    return Status::Internal("ReadFileToString: read failed for " + path);
+  }
+  return content;
+}
+
+Status WriteStringToFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::NotFound("WriteStringToFile: cannot open " + path);
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool write_error = std::ferror(f) != 0 || written != content.size();
+  if (std::fclose(f) != 0 || write_error) {
+    return Status::Internal("WriteStringToFile: write failed for " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace slicetuner

@@ -1,0 +1,34 @@
+// Small filesystem helpers shared by the benchmark harnesses and the serving
+// tools: recursive directory creation and the SLICETUNER_RESULTS_DIR
+// convention for where JSON/CSV artifacts land.
+
+#ifndef SLICETUNER_COMMON_FS_UTIL_H_
+#define SLICETUNER_COMMON_FS_UTIL_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace slicetuner {
+
+/// mkdir -p: creates `path` and any missing parents. Returns an error when a
+/// component cannot be created or exists as a non-directory.
+Status MkDirRecursive(const std::string& path);
+
+/// Output directory for bench/serve CSV and JSON artifacts, created on
+/// demand. Defaults to "results" and is overridable via the
+/// SLICETUNER_RESULTS_DIR environment variable. A directory that cannot be
+/// created aborts the process: CI must never "pass" a run that silently
+/// wrote nothing.
+std::string ResultsDir();
+
+/// Reads a whole file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes `content` to `path` (truncating), failing on any write error.
+Status WriteStringToFile(const std::string& path, const std::string& content);
+
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_COMMON_FS_UTIL_H_

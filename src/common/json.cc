@@ -1,0 +1,552 @@
+#include "common/json.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace slicetuner {
+namespace json {
+
+namespace {
+
+// Nesting bound for the recursive-descent parser and the writer.
+constexpr int kMaxDepth = 64;
+
+}  // namespace
+
+Result<long long> ParseInt64(const std::string& text) {
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || text.empty() || errno == ERANGE) {
+    return Status::InvalidArgument("bad integer '" + text + "'");
+  }
+  return value;
+}
+
+Result<uint64_t> ParseUint64(const std::string& text) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || text.empty() || errno == ERANGE ||
+      text[0] == '-') {
+    return Status::InvalidArgument("bad unsigned integer '" + text + "'");
+  }
+  return static_cast<uint64_t>(value);
+}
+
+Result<double> ParseFloat64(const std::string& text) {
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == nullptr || *end != '\0' || text.empty() || errno == ERANGE) {
+    return Status::InvalidArgument("bad number '" + text + "'");
+  }
+  return value;
+}
+
+std::string FormatFloat64(double value) {
+  if (!std::isfinite(value)) return "null";
+  // Shortest of %.15g / %.16g / %.17g that survives a strtod round trip.
+  char buf[40];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  std::string out = buf;
+  // Keep doubles parseable as doubles: a whole value like 40 would reparse
+  // as an integer and break the parse(serialize(x)) == x contract.
+  if (out.find_first_of(".eE") == std::string::npos) out += ".0";
+  return out;
+}
+
+std::string EscapeString(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+long long Value::int_value() const {
+  if (type_ == Type::kInt) return int_;
+  if (type_ == Type::kDouble) {
+    // Saturate instead of static_cast: out-of-range and NaN casts are UB,
+    // and doubles here can come straight off the wire.
+    if (std::isnan(double_)) return 0;
+    constexpr double kMax = 9223372036854774784.0;  // largest ll-exact double
+    if (double_ >= kMax) return 9223372036854775807LL;
+    if (double_ <= -kMax) return -9223372036854775807LL - 1;
+    return static_cast<long long>(double_);
+  }
+  return 0;
+}
+
+double Value::number_value() const {
+  if (type_ == Type::kInt) return static_cast<double>(int_);
+  if (type_ == Type::kDouble) return double_;
+  return 0.0;
+}
+
+const std::string& Value::string_value() const {
+  static const std::string kEmpty;
+  return type_ == Type::kString ? string_ : kEmpty;
+}
+
+void Value::Set(const std::string& key, Value value) {
+  if (type_ != Type::kObject) {
+    *this = Object();
+  }
+  for (auto& member : members_) {
+    if (member.first == key) {
+      member.second = std::move(value);
+      return;
+    }
+  }
+  members_.emplace_back(key, std::move(value));
+}
+
+const Value* Value::Find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& member : members_) {
+    if (member.first == key) return &member.second;
+  }
+  return nullptr;
+}
+
+std::string Value::GetString(const std::string& key,
+                             const std::string& fallback) const {
+  const Value* v = Find(key);
+  return (v != nullptr && v->is_string()) ? v->string_ : fallback;
+}
+
+long long Value::GetInt(const std::string& key, long long fallback) const {
+  const Value* v = Find(key);
+  return (v != nullptr && v->is_number()) ? v->int_value() : fallback;
+}
+
+double Value::GetDouble(const std::string& key, double fallback) const {
+  const Value* v = Find(key);
+  return (v != nullptr && v->is_number()) ? v->number_value() : fallback;
+}
+
+bool Value::GetBool(const std::string& key, bool fallback) const {
+  const Value* v = Find(key);
+  return (v != nullptr && v->is_bool()) ? v->bool_ : fallback;
+}
+
+bool Value::operator==(const Value& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::kNull:
+      return true;
+    case Type::kBool:
+      return bool_ == other.bool_;
+    case Type::kInt:
+      return int_ == other.int_;
+    case Type::kDouble:
+      // Bitwise-style equality via ==; NaN never round-trips anyway.
+      return double_ == other.double_;
+    case Type::kString:
+      return string_ == other.string_;
+    case Type::kArray:
+      return items_ == other.items_;
+    case Type::kObject:
+      return members_ == other.members_;
+  }
+  return false;
+}
+
+void Value::DumpTo(std::string* out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      return;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Type::kInt:
+      *out += StrFormat("%lld", int_);
+      return;
+    case Type::kDouble:
+      *out += FormatFloat64(double_);
+      return;
+    case Type::kString:
+      *out += EscapeString(string_);
+      return;
+    case Type::kArray: {
+      *out += '[';
+      for (size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) *out += indent > 0 ? ", " : ",";
+        items_[i].DumpTo(out, indent, depth + 1);
+      }
+      *out += ']';
+      return;
+    }
+    case Type::kObject: {
+      if (indent == 0 || depth >= kMaxDepth) {
+        *out += '{';
+        for (size_t i = 0; i < members_.size(); ++i) {
+          if (i > 0) *out += ',';
+          *out += EscapeString(members_[i].first);
+          *out += ':';
+          members_[i].second.DumpTo(out, 0, depth + 1);
+        }
+        *out += '}';
+        return;
+      }
+      if (members_.empty()) {
+        *out += "{}";
+        return;
+      }
+      const std::string pad((depth + 1) * indent, ' ');
+      *out += "{\n";
+      for (size_t i = 0; i < members_.size(); ++i) {
+        *out += pad;
+        *out += EscapeString(members_[i].first);
+        *out += ": ";
+        members_[i].second.DumpTo(out, indent, depth + 1);
+        if (i + 1 < members_.size()) *out += ',';
+        *out += '\n';
+      }
+      out->append(static_cast<size_t>(depth * indent), ' ');
+      *out += '}';
+      return;
+    }
+  }
+}
+
+std::string Value::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+// --- parser ----------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<Value> ParseDocument() {
+    Value value;
+    ST_RETURN_NOT_OK(ParseValue(&value, 0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing content after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Fail(const std::string& why) const {
+    return Status::InvalidArgument(
+        StrFormat("json: %s at offset %zu", why.c_str(), pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(const char* literal) {
+    const size_t len = std::strlen(literal);
+    if (text_.compare(pos_, len, literal) != 0) {
+      return Fail(StrFormat("expected '%s'", literal));
+    }
+    pos_ += len;
+    return Status::OK();
+  }
+
+  Status ParseValue(Value* out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case 'n':
+        ST_RETURN_NOT_OK(Expect("null"));
+        *out = Value();
+        return Status::OK();
+      case 't':
+        ST_RETURN_NOT_OK(Expect("true"));
+        *out = Value(true);
+        return Status::OK();
+      case 'f':
+        ST_RETURN_NOT_OK(Expect("false"));
+        *out = Value(false);
+        return Status::OK();
+      case '"': {
+        std::string s;
+        ST_RETURN_NOT_OK(ParseString(&s));
+        *out = Value(std::move(s));
+        return Status::OK();
+      }
+      case '[':
+        return ParseArray(out, depth);
+      case '{':
+        return ParseObject(out, depth);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseArray(Value* out, int depth) {
+    ++pos_;  // '['
+    *out = Value::Array();
+    SkipWhitespace();
+    if (Consume(']')) return Status::OK();
+    for (;;) {
+      Value item;
+      ST_RETURN_NOT_OK(ParseValue(&item, depth + 1));
+      out->Append(std::move(item));
+      SkipWhitespace();
+      if (Consume(']')) return Status::OK();
+      if (!Consume(',')) return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseObject(Value* out, int depth) {
+    ++pos_;  // '{'
+    *out = Value::Object();
+    SkipWhitespace();
+    if (Consume('}')) return Status::OK();
+    for (;;) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key");
+      }
+      std::string key;
+      ST_RETURN_NOT_OK(ParseString(&key));
+      SkipWhitespace();
+      if (!Consume(':')) return Fail("expected ':' after object key");
+      Value value;
+      ST_RETURN_NOT_OK(ParseValue(&value, depth + 1));
+      out->Set(key, std::move(value));
+      SkipWhitespace();
+      if (Consume('}')) return Status::OK();
+      if (!Consume(',')) return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<size_t>(i)];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value += static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value += static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value += static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Fail("bad \\u escape digit");
+      }
+    }
+    pos_ += 4;
+    *out = value;
+    return Status::OK();
+  }
+
+  static void AppendUtf8(std::string* out, uint32_t cp) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (pos_ >= text_.size()) return Fail("truncated escape");
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          uint32_t cp = 0;
+          ST_RETURN_NOT_OK(ParseHex4(&cp));
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: must pair with a low surrogate.
+            if (text_.compare(pos_, 2, "\\u") != 0) {
+              return Fail("unpaired surrogate in \\u escape");
+            }
+            pos_ += 2;
+            uint32_t low = 0;
+            ST_RETURN_NOT_OK(ParseHex4(&low));
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Fail("bad low surrogate in \\u escape");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Fail("unpaired low surrogate in \\u escape");
+          }
+          AppendUtf8(out, cp);
+          break;
+        }
+        default:
+          return Fail("unknown escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  Status ParseNumber(Value* out) {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+      return Fail("expected a value");
+    }
+    bool integral = true;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      integral = false;
+      ++pos_;
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Fail("digit expected after decimal point");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Fail("digit expected in exponent");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    if (integral) {
+      const Result<long long> as_int = ParseInt64(token);
+      if (as_int.ok()) {
+        *out = Value(*as_int);
+        return Status::OK();
+      }
+      // Out of int64 range: fall through to double.
+    }
+    const Result<double> as_double = ParseFloat64(token);
+    if (!as_double.ok()) return Fail("bad number '" + token + "'");
+    *out = Value(*as_double);
+    return Status::OK();
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Value> Value::Parse(const std::string& text) {
+  Parser parser(text);
+  return parser.ParseDocument();
+}
+
+}  // namespace json
+}  // namespace slicetuner

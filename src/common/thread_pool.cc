@@ -37,6 +37,16 @@ void ThreadPool::WaitIdle() {
   idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
 }
 
+size_t ThreadPool::PendingCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+size_t ThreadPool::InFlightCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
   if (n == 1 || workers_.size() == 1) {

@@ -33,6 +33,14 @@ class ThreadPool {
   /// Blocks until the queue is empty and no task is running.
   void WaitIdle();
 
+  /// Tasks submitted but not yet picked up by a worker (the queue depth).
+  /// A point-in-time snapshot: the real backlog signal admission control
+  /// sheds load on (serve/admission.h).
+  size_t PendingCount() const;
+
+  /// Tasks currently executing on a worker.
+  size_t InFlightCount() const;
+
   size_t num_threads() const { return workers_.size(); }
 
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
@@ -44,7 +52,7 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable task_ready_;
   std::condition_variable idle_;
   size_t in_flight_ = 0;

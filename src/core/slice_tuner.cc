@@ -106,6 +106,24 @@ Result<IterativeResult> SliceTuner::AcquireBaseline(DataSource* source,
   return result;
 }
 
+Status SliceTuner::AppendTrainingData(const Dataset& rows) {
+  if (rows.empty()) return Status::OK();
+  if (rows.dim() != train_.dim()) {
+    return Status::InvalidArgument(
+        StrFormat("AppendTrainingData: row dim %zu != train dim %zu",
+                  rows.dim(), train_.dim()));
+  }
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (rows.slice(i) < 0 || rows.slice(i) >= num_slices_) {
+      return Status::OutOfRange(
+          StrFormat("AppendTrainingData: row %zu has slice id %d outside "
+                    "[0, %d)",
+                    i, rows.slice(i), num_slices_));
+    }
+  }
+  return train_.Merge(rows);
+}
+
 Result<SliceMetrics> SliceTuner::Evaluate(uint64_t seed) const {
   return TrainAndEvaluate(train_, validation_, num_slices_,
                           options_.model_spec, options_.trainer, seed);

@@ -63,6 +63,13 @@ class SliceTuner {
   Result<IterativeResult> AcquireBaseline(DataSource* source, double budget,
                                           BaselineKind kind);
 
+  /// Merges externally-acquired rows into the training data (dims must
+  /// match, slice ids within range). The curve cache keys on slice content,
+  /// so the next EstimateCurves re-fits only the slices `rows` touched —
+  /// the incremental-maintenance path long-lived serving sessions ride when
+  /// a client resubmits with appended data (src/serve/).
+  Status AppendTrainingData(const Dataset& rows);
+
   /// Trains a fresh model on the current training data and evaluates the
   /// per-slice losses and unfairness on the validation set.
   Result<SliceMetrics> Evaluate(uint64_t seed) const;

@@ -28,10 +28,22 @@ ExperimentRunner::ExperimentRunner(Options options)
     : options_(std::move(options)) {}
 
 size_t ExperimentRunner::SubmitJob(Job job) {
-  const size_t id = jobs_.size();
-  jobs_.push_back(std::move(job));
-  Emit(SessionEvent{id, jobs_.back().name, SessionState::kQueued, 0.0, ""});
+  size_t id;
+  std::string name;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    id = jobs_.size();
+    name = job.name;
+    jobs_.push_back(std::move(job));
+    pending_.fetch_add(1, std::memory_order_relaxed);
+  }
+  Emit(SessionEvent{id, name, SessionState::kQueued, 0.0, ""});
   return id;
+}
+
+size_t ExperimentRunner::num_sessions() const {
+  std::lock_guard<std::mutex> lock(jobs_mu_);
+  return jobs_.size();
 }
 
 size_t ExperimentRunner::Submit(SessionSpec spec) {
@@ -70,8 +82,20 @@ void ExperimentRunner::Emit(SessionEvent event) {
 }
 
 std::vector<SessionResult> ExperimentRunner::RunAll() {
-  std::vector<SessionResult> results(jobs_.size());
-  std::vector<char> resolved(jobs_.size(), 0);
+  // Snapshot the queue: sessions submitted while this run is in flight are
+  // deferred to the next RunAll (see the header contract). The copy also
+  // keeps job bodies stable if the jobs_ vector reallocates under a
+  // concurrent Submit.
+  std::vector<Job> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    snapshot = jobs_;
+    // Re-arm every queued session (a re-run resolves all of them again).
+    pending_.store(jobs_.size(), std::memory_order_relaxed);
+  }
+
+  std::vector<SessionResult> results(snapshot.size());
+  std::vector<char> resolved(snapshot.size(), 0);
 
   // One independent TaskGraph task per session (a future session-chaining
   // API would express cross-session dependencies here). Session failures
@@ -82,10 +106,11 @@ std::vector<SessionResult> ExperimentRunner::RunAll() {
           ? static_cast<size_t>(options_.max_concurrent_sessions)
           : 0;
   TaskGraph graph(/*root_seed=*/0, /*pool=*/nullptr, cap);
-  for (size_t id = 0; id < jobs_.size(); ++id) {
-    graph.Add(jobs_[id].name,
-              [this, &results, &resolved, &graph, id](TaskContext&) {
-      const Job& job = jobs_[id];
+  for (size_t id = 0; id < snapshot.size(); ++id) {
+    graph.Add(snapshot[id].name,
+              [this, &snapshot, &results, &resolved, &graph, id](
+                  TaskContext&) {
+      const Job& job = snapshot[id];
       Stopwatch timer;
       Emit(SessionEvent{id, job.name, SessionState::kRunning, 0.0, ""});
 
@@ -94,6 +119,7 @@ std::vector<SessionResult> ExperimentRunner::RunAll() {
       Result<MethodOutcome> outcome = job.run();
       result.wall_seconds = timer.ElapsedSeconds();
       resolved[id] = 1;
+      pending_.fetch_sub(1, std::memory_order_relaxed);
       if (outcome.ok()) {
         result.outcome = *outcome;
         result.status = Status::OK();
@@ -113,12 +139,13 @@ std::vector<SessionResult> ExperimentRunner::RunAll() {
 
   // Sessions skipped by a cancellation never ran their body: resolve them
   // in-band so callers see a terminal state for every submission.
-  for (size_t id = 0; id < jobs_.size(); ++id) {
+  for (size_t id = 0; id < snapshot.size(); ++id) {
     if (resolved[id]) continue;
-    results[id].name = jobs_[id].name;
+    results[id].name = snapshot[id].name;
     results[id].status =
         Status::Cancelled("session cancelled before it started");
-    Emit(SessionEvent{id, jobs_[id].name, SessionState::kCancelled, 0.0,
+    pending_.fetch_sub(1, std::memory_order_relaxed);
+    Emit(SessionEvent{id, snapshot[id].name, SessionState::kCancelled, 0.0,
                       results[id].status.ToString()});
   }
 

@@ -25,6 +25,8 @@
 #ifndef SLICETUNER_ENGINE_EXPERIMENT_RUNNER_H_
 #define SLICETUNER_ENGINE_EXPERIMENT_RUNNER_H_
 
+#include <atomic>
+#include <cstddef>
 #include <functional>
 #include <mutex>
 #include <string>
@@ -98,13 +100,29 @@ class ExperimentRunner {
   /// returned Status and a default MethodOutcome.
   size_t SubmitTask(std::string name, std::function<Status()> fn);
 
-  size_t num_sessions() const { return jobs_.size(); }
+  size_t num_sessions() const;
+
+  /// Sessions awaiting resolution: queued sessions plus, while RunAll is in
+  /// flight, the sessions of that run that have not reached a terminal
+  /// state. Safe to read from any thread — the queue-depth signal admission
+  /// control (serve/admission.h) sheds load on.
+  size_t pending_sessions() const {
+    return pending_.load(std::memory_order_relaxed);
+  }
 
   /// Runs every queued session and blocks until all finish. Results are in
   /// submission order; per-session failures are reported in-band (the run
   /// itself only fails fast on internal errors). The queue stays intact, so
   /// RunAll() can be called again (e.g. after tweaking nothing, to measure
   /// variance across identical re-runs — results will be identical).
+  ///
+  /// Submission is thread-safe, including concurrently with RunAll: the run
+  /// snapshots the queue at entry, so a session submitted while a run is in
+  /// flight is NOT picked up by that run — it stays queued for the next
+  /// RunAll (whose results then cover every session submitted so far).
+  /// cancel_on_failure only cancels sessions that have not started; a
+  /// session already running when a sibling fails always runs to completion
+  /// and reports its own result.
   std::vector<SessionResult> RunAll();
 
  private:
@@ -119,7 +137,9 @@ class ExperimentRunner {
 
   Options options_;
   std::vector<Job> jobs_;
+  mutable std::mutex jobs_mu_;
   std::mutex emit_mu_;
+  std::atomic<size_t> pending_{0};
 };
 
 }  // namespace engine

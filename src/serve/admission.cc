@@ -1,0 +1,87 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace slicetuner {
+namespace serve {
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(std::move(options)) {
+  if (options_.max_queue_depth == 0) options_.max_queue_depth = 1;
+  if (options_.max_batch == 0) options_.max_batch = 1;
+}
+
+Status AdmissionController::Admit(uint64_t session_id) {
+  // Probe outside the lock: the probe may itself take the pool lock.
+  size_t backlog = 0;
+  if (options_.max_executor_backlog > 0 && options_.backlog_probe) {
+    backlog = options_.backlog_probe();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) {
+      return Status::FailedPrecondition("server is shutting down");
+    }
+    if (queue_.size() >= options_.max_queue_depth) {
+      ++stats_.shed_queue_full;
+      return Status::ResourceExhausted(StrFormat(
+          "admission queue full (%zu/%zu)", queue_.size(),
+          options_.max_queue_depth));
+    }
+    if (options_.max_executor_backlog > 0 &&
+        backlog > options_.max_executor_backlog) {
+      ++stats_.shed_backlog;
+      return Status::ResourceExhausted(StrFormat(
+          "executor backlog %zu exceeds %zu", backlog,
+          options_.max_executor_backlog));
+    }
+    queue_.push_back(session_id);
+    ++stats_.admitted;
+    stats_.max_depth_seen = std::max(stats_.max_depth_seen, queue_.size());
+  }
+  work_cv_.notify_one();
+  return Status::OK();
+}
+
+std::vector<uint64_t> AdmissionController::NextBatch() {
+  std::unique_lock<std::mutex> lock(mu_);
+  work_cv_.wait(lock, [this] { return stopped_ || !queue_.empty(); });
+  std::vector<uint64_t> batch;
+  const size_t take = std::min(queue_.size(), options_.max_batch);
+  batch.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    batch.push_back(queue_.front());
+    queue_.pop_front();
+  }
+  if (!batch.empty()) ++stats_.batches;
+  return batch;
+}
+
+void AdmissionController::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopped_ = true;
+  }
+  work_cv_.notify_all();
+}
+
+bool AdmissionController::stopped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stopped_;
+}
+
+size_t AdmissionController::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+AdmissionStats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace serve
+}  // namespace slicetuner

@@ -1,0 +1,88 @@
+// Admission control for the tuning service: a bounded FIFO of session ids
+// with load shedding and micro-batching.
+//
+//  * Shedding — Admit() rejects with ResourceExhausted (and a retry-after
+//    hint the protocol layer forwards to clients) when the queue is at
+//    max_queue_depth, or when the executor backlog probe — wired to
+//    ThreadPool::PendingCount() by the server — reports the pool already
+//    saturated. Rejecting at the door keeps latency bounded instead of
+//    letting the queue grow without limit.
+//
+//  * Micro-batching — NextBatch() blocks until work arrives, then drains up
+//    to max_batch compatible sessions at once. The dispatcher fans the
+//    whole batch out through one ExperimentRunner::RunAll, so concurrent
+//    curve-estimation jobs share one engine fan-out instead of serializing
+//    per-request (every serve job is estimation-compatible: same engine,
+//    independent sessions).
+
+#ifndef SLICETUNER_SERVE_ADMISSION_H_
+#define SLICETUNER_SERVE_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+
+namespace slicetuner {
+namespace serve {
+
+struct AdmissionOptions {
+  /// Queue slots before Admit sheds load.
+  size_t max_queue_depth = 16;
+  /// Sessions drained per NextBatch (one engine fan-out).
+  size_t max_batch = 8;
+  /// Retry hint attached to shed rejections.
+  int retry_after_ms = 50;
+  /// When > 0, Admit also sheds while backlog_probe() exceeds this bound.
+  size_t max_executor_backlog = 0;
+  /// Executor saturation signal (e.g. the shared pool's PendingCount).
+  std::function<size_t()> backlog_probe;
+};
+
+struct AdmissionStats {
+  size_t admitted = 0;
+  size_t shed_queue_full = 0;
+  size_t shed_backlog = 0;
+  size_t batches = 0;
+  size_t max_depth_seen = 0;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options = {});
+
+  /// Enqueues a session id, or sheds: ResourceExhausted with the configured
+  /// retry-after encoded for the caller via retry_after_ms().
+  Status Admit(uint64_t session_id);
+
+  /// Blocks until at least one session is queued (returning up to
+  /// max_batch of them, FIFO) or Stop() was called (returning what is left,
+  /// possibly empty).
+  std::vector<uint64_t> NextBatch();
+
+  /// Unblocks NextBatch; subsequent Admit calls fail FailedPrecondition.
+  void Stop();
+  bool stopped() const;
+
+  size_t depth() const;
+  int retry_after_ms() const { return options_.retry_after_ms; }
+  AdmissionStats stats() const;
+
+ private:
+  AdmissionOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<uint64_t> queue_;
+  AdmissionStats stats_;
+  bool stopped_ = false;
+};
+
+}  // namespace serve
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_SERVE_ADMISSION_H_

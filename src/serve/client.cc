@@ -1,0 +1,122 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace slicetuner {
+namespace serve {
+
+ClientConnection::~ClientConnection() { Close(); }
+
+ClientConnection::ClientConnection(ClientConnection&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+ClientConnection& ClientConnection::operator=(
+    ClientConnection&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void ClientConnection::Close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+Result<ClientConnection> ClientConnection::Connect(int port, int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal("socket() failed");
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return Status::Internal(
+        "connect() to 127.0.0.1:" + std::to_string(port) +
+        " failed: " + std::strerror(errno));
+  }
+  timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+  ClientConnection conn;
+  conn.fd_ = fd;
+  return conn;
+}
+
+Status ClientConnection::SendLine(const std::string& line) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  std::string payload = line;
+  payload += '\n';
+  size_t sent = 0;
+  while (sent < payload.size()) {
+    const ssize_t n = ::send(fd_, payload.data() + sent,
+                             payload.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return Status::Internal("send() failed");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<std::string> ClientConnection::ReadLine(int timeout_ms) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  for (;;) {
+    const size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return line;
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready == 0) {
+      return Status::ResourceExhausted("timed out waiting for a line");
+    }
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal("poll() failed");
+    }
+    char buf[4096];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) return Status::Internal("connection closed by server");
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return Status::Internal("recv() failed");
+    }
+    buffer_.append(buf, static_cast<size_t>(n));
+  }
+}
+
+Result<json::Value> ClientConnection::ReadJson(int timeout_ms) {
+  ST_ASSIGN_OR_RETURN(const std::string line, ReadLine(timeout_ms));
+  return json::Value::Parse(line);
+}
+
+Result<json::Value> ClientConnection::Call(const Request& request,
+                                           int timeout_ms) {
+  ST_RETURN_NOT_OK(SendLine(request.Serialize()));
+  return ReadJson(timeout_ms);
+}
+
+}  // namespace serve
+}  // namespace slicetuner

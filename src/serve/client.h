@@ -1,0 +1,54 @@
+// Blocking line-delimited JSON client for the tuning service. Shared by the
+// slicetuner_client CLI, the serve throughput bench, and the in-process
+// server tests so none of them hand-roll socket framing.
+
+#ifndef SLICETUNER_SERVE_CLIENT_H_
+#define SLICETUNER_SERVE_CLIENT_H_
+
+#include <string>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "serve/protocol.h"
+
+namespace slicetuner {
+namespace serve {
+
+class ClientConnection {
+ public:
+  ClientConnection() = default;
+  ~ClientConnection();
+
+  ClientConnection(ClientConnection&& other) noexcept;
+  ClientConnection& operator=(ClientConnection&& other) noexcept;
+  ClientConnection(const ClientConnection&) = delete;
+  ClientConnection& operator=(const ClientConnection&) = delete;
+
+  /// Connects to 127.0.0.1:port.
+  static Result<ClientConnection> Connect(int port, int timeout_ms = 5000);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Sends one line (newline appended).
+  Status SendLine(const std::string& line);
+
+  /// Reads the next newline-terminated line (without the newline), waiting
+  /// up to timeout_ms.
+  Result<std::string> ReadLine(int timeout_ms = 10000);
+
+  /// Sends `request` and reads exactly one response object.
+  Result<json::Value> Call(const Request& request, int timeout_ms = 10000);
+
+  /// Reads the next frame/response as JSON.
+  Result<json::Value> ReadJson(int timeout_ms = 10000);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace serve
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_SERVE_CLIENT_H_

@@ -1,0 +1,203 @@
+#include "serve/protocol.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace slicetuner {
+namespace serve {
+
+const char* RequestTypeName(RequestType type) {
+  switch (type) {
+    case RequestType::kSubmitJob:
+      return "submit_job";
+    case RequestType::kPoll:
+      return "poll";
+    case RequestType::kStream:
+      return "stream";
+    case RequestType::kCancel:
+      return "cancel";
+    case RequestType::kStats:
+      return "stats";
+    case RequestType::kShutdown:
+      return "shutdown";
+  }
+  return "?";
+}
+
+Status JobSpec::Validate() const {
+  if (session.empty()) {
+    return Status::InvalidArgument("submit_job: session must not be empty");
+  }
+  if (num_slices < 0 || num_slices > kMaxNumSlices) {
+    return Status::InvalidArgument(
+        "submit_job: num_slices must lie in [1, 64] (or be omitted)");
+  }
+  if (rows_per_slice < 8 || rows_per_slice > 100000) {
+    return Status::InvalidArgument(
+        "submit_job: rows_per_slice must lie in [8, 100000]");
+  }
+  if (append_rows < 0) {
+    return Status::InvalidArgument("submit_job: append_rows must be >= 0");
+  }
+  // append_slice's upper bound depends on the resolved slice count (a
+  // resumed session inherits it), so the range check happens at resolution
+  // (SessionManager::Register / TuningSession::Resume).
+  if (append_slice < 0) {
+    return Status::OutOfRange("submit_job: append_slice must be >= 0");
+  }
+  if (budget <= 0.0) {
+    return Status::InvalidArgument("submit_job: budget must be positive");
+  }
+  if (rounds < 1 || rounds > 1000) {
+    return Status::InvalidArgument(
+        "submit_job: rounds must lie in [1, 1000]");
+  }
+  if (method != "moderate" && method != "uniform" &&
+      method != "water_filling" && method != "proportional") {
+    return Status::InvalidArgument(
+        "submit_job: method must be moderate | uniform | water_filling | "
+        "proportional, got '" +
+        method + "'");
+  }
+  return Status::OK();
+}
+
+json::Value JobSpec::ToJson() const {
+  json::Value out = json::Value::Object();
+  out.Set("session", session);
+  out.Set("num_slices", num_slices);
+  out.Set("rows_per_slice", rows_per_slice);
+  out.Set("append_rows", append_rows);
+  out.Set("append_slice", append_slice);
+  out.Set("budget", budget);
+  out.Set("rounds", rounds);
+  out.Set("method", method);
+  out.Set("seed", static_cast<long long>(seed));
+  return out;
+}
+
+Result<JobSpec> JobSpec::FromJson(const json::Value& value) {
+  JobSpec spec;
+  spec.session = value.GetString("session");
+  spec.num_slices =
+      static_cast<int>(value.GetInt("num_slices", spec.num_slices));
+  spec.rows_per_slice = value.GetInt("rows_per_slice", spec.rows_per_slice);
+  spec.append_rows = value.GetInt("append_rows", spec.append_rows);
+  spec.append_slice =
+      static_cast<int>(value.GetInt("append_slice", spec.append_slice));
+  spec.budget = value.GetDouble("budget", spec.budget);
+  spec.rounds = static_cast<int>(value.GetInt("rounds", spec.rounds));
+  spec.method = value.GetString("method", spec.method);
+  spec.seed = static_cast<uint64_t>(
+      value.GetInt("seed", static_cast<long long>(spec.seed)));
+  ST_RETURN_NOT_OK(spec.Validate());
+  return spec;
+}
+
+json::Value Request::ToJson() const {
+  json::Value out;
+  if (type == RequestType::kSubmitJob) {
+    out = job.ToJson();
+  } else {
+    out = json::Value::Object();
+    if (!session.empty()) out.Set("session", session);
+  }
+  json::Value typed = json::Value::Object();
+  typed.Set("type", RequestTypeName(type));
+  for (const auto& member : out.members()) {
+    typed.Set(member.first, member.second);
+  }
+  return typed;
+}
+
+std::string Request::Serialize() const { return ToJson().Dump(); }
+
+Result<Request> Request::FromJson(const json::Value& value) {
+  if (!value.is_object()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+  const std::string type = value.GetString("type");
+  Request request;
+  if (type == "submit_job") {
+    request.type = RequestType::kSubmitJob;
+    ST_ASSIGN_OR_RETURN(request.job, JobSpec::FromJson(value));
+    request.session = request.job.session;
+    return request;
+  }
+  if (type == "poll" || type == "stream" || type == "cancel") {
+    if (type == "poll") {
+      request.type = RequestType::kPoll;
+    } else if (type == "stream") {
+      request.type = RequestType::kStream;
+    } else {
+      request.type = RequestType::kCancel;
+    }
+    request.session = value.GetString("session");
+    if (request.session.empty()) {
+      return Status::InvalidArgument("'" + type +
+                                     "' requires a non-empty session");
+    }
+    return request;
+  }
+  if (type == "stats") {
+    request.type = RequestType::kStats;
+    return request;
+  }
+  if (type == "shutdown") {
+    request.type = RequestType::kShutdown;
+    return request;
+  }
+  return Status::InvalidArgument(
+      type.empty() ? std::string("request is missing 'type'")
+                   : "unknown request type '" + type + "'");
+}
+
+Result<Request> Request::Parse(const std::string& line) {
+  ST_ASSIGN_OR_RETURN(const json::Value value, json::Value::Parse(line));
+  return FromJson(value);
+}
+
+json::Value OkResponse() {
+  json::Value out = json::Value::Object();
+  out.Set("ok", true);
+  return out;
+}
+
+json::Value ErrorResponse(const Status& status, int retry_after_ms) {
+  json::Value out = json::Value::Object();
+  out.Set("ok", false);
+  out.Set("error", status.message());
+  out.Set("code", StatusCodeToString(status.code()));
+  if (retry_after_ms > 0) out.Set("retry_after_ms", retry_after_ms);
+  return out;
+}
+
+bool IsOkResponse(const json::Value& response) {
+  return response.GetBool("ok", false);
+}
+
+json::Value ProgressFrame(const std::string& session, size_t seq,
+                          const json::Value& payload) {
+  json::Value out = json::Value::Object();
+  out.Set("frame", "progress");
+  out.Set("session", session);
+  out.Set("seq", seq);
+  for (const auto& member : payload.members()) {
+    out.Set(member.first, member.second);
+  }
+  return out;
+}
+
+json::Value DoneFrame(const std::string& session, const std::string& state,
+                      const Status& status) {
+  json::Value out = json::Value::Object();
+  out.Set("frame", "done");
+  out.Set("session", session);
+  out.Set("state", state);
+  if (!status.ok()) out.Set("error", status.ToString());
+  return out;
+}
+
+}  // namespace serve
+}  // namespace slicetuner

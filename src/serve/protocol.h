@@ -1,0 +1,118 @@
+// Wire protocol of the tuning service: line-delimited JSON over a local TCP
+// socket. Every request is one JSON object on one line; every response is
+// one JSON object on one line. A `stream` request additionally makes the
+// server push progress frames (one JSON object per completed acquisition
+// round) on the same connection until the session reaches a terminal state,
+// closed out by a `done` frame.
+//
+// Requests:
+//   {"type":"submit_job","session":"s1","num_slices":4,"rows_per_slice":60,
+//    "budget":120.0,"rounds":2,"method":"moderate","seed":7}
+//   {"type":"submit_job","session":"s1","append_rows":40,"append_slice":2}
+//       resubmission of a finished session: appends rows to one slice and
+//       re-runs, riding the curve cache's partial refit instead of a cold
+//       estimation (the FO+MOD-style incremental-maintenance path).
+//   {"type":"poll","session":"s1"}       one-shot session snapshot
+//   {"type":"stream","session":"s1"}     subscribe to progress frames
+//   {"type":"cancel","session":"s1"}     cancel a queued/running session
+//   {"type":"stats"}                     server-wide counters
+//   {"type":"shutdown"}                  graceful shutdown
+//
+// Responses: {"ok":true, ...} on success; on failure
+//   {"ok":false,"error":"...","code":"ResourceExhausted","retry_after_ms":50}
+// where retry_after_ms > 0 marks a load-shed rejection the client should
+// back off and retry.
+
+#ifndef SLICETUNER_SERVE_PROTOCOL_H_
+#define SLICETUNER_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/json.h"
+#include "common/result.h"
+
+namespace slicetuner {
+namespace serve {
+
+enum class RequestType {
+  kSubmitJob,
+  kPoll,
+  kStream,
+  kCancel,
+  kStats,
+  kShutdown,
+};
+
+const char* RequestTypeName(RequestType type);
+
+/// What a submit_job carries: the declarative description of one tuning job
+/// on a (new or resumed) session. The server compiles it into a synthetic
+/// data world (sim::ScenarioSpec) and runs `rounds` estimate -> optimize ->
+/// acquire rounds.
+struct JobSpec {
+  /// Client-chosen session key. Resubmitting a finished session's key
+  /// resumes it (same tuner, warm curve cache).
+  std::string session;
+  /// 0 = unspecified: new sessions get kDefaultNumSlices, resumed sessions
+  /// inherit their existing slice count (so the documented append-only
+  /// resubmission never has to restate it). Explicit values must match on
+  /// resume.
+  int num_slices = 0;
+  static constexpr int kDefaultNumSlices = 4;
+  static constexpr int kMaxNumSlices = 64;
+  /// Initial training rows per slice (cold sessions only).
+  long long rows_per_slice = 60;
+  /// Resumption: rows appended to `append_slice` before the job runs. When
+  /// > 0 on a session that already holds data, only the touched slice goes
+  /// stale, so estimation partially refits instead of re-running cold.
+  long long append_rows = 0;
+  int append_slice = 0;
+  /// Total acquisition budget, split evenly across rounds.
+  double budget = 120.0;
+  int rounds = 2;
+  /// "moderate" (curve-based one-shot plan per round) or a baseline:
+  /// "uniform" | "water_filling" | "proportional".
+  std::string method = "moderate";
+  uint64_t seed = 1;
+
+  Status Validate() const;
+  json::Value ToJson() const;
+  static Result<JobSpec> FromJson(const json::Value& value);
+};
+
+struct Request {
+  RequestType type = RequestType::kStats;
+  /// Target session for poll/stream/cancel.
+  std::string session;
+  /// Payload for submit_job.
+  JobSpec job;
+
+  json::Value ToJson() const;
+  /// One-line wire form (no trailing newline).
+  std::string Serialize() const;
+  static Result<Request> FromJson(const json::Value& value);
+  static Result<Request> Parse(const std::string& line);
+};
+
+/// {"ok":true} — extend with Set() before sending.
+json::Value OkResponse();
+
+/// {"ok":false,"error":...,"code":...[,"retry_after_ms":N]}.
+json::Value ErrorResponse(const Status& status, int retry_after_ms = 0);
+
+bool IsOkResponse(const json::Value& response);
+
+/// Progress frame wrapping `payload` (a RoundTraceToJson-style object):
+/// {"frame":"progress","session":...,"seq":N, ...payload}.
+json::Value ProgressFrame(const std::string& session, size_t seq,
+                          const json::Value& payload);
+
+/// Terminal frame: {"frame":"done","session":...,"state":...,"error":...}.
+json::Value DoneFrame(const std::string& session, const std::string& state,
+                      const Status& status);
+
+}  // namespace serve
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_SERVE_PROTOCOL_H_

@@ -1,0 +1,372 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/thread_pool.h"
+#include "engine/experiment_runner.h"
+
+namespace slicetuner {
+namespace serve {
+
+namespace {
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::Internal("fcntl(O_NONBLOCK) failed");
+  }
+  return Status::OK();
+}
+
+// Default executor-saturation signal: the shared pool's queue depth.
+AdmissionOptions WithDefaultProbe(AdmissionOptions admission) {
+  if (!admission.backlog_probe) {
+    admission.backlog_probe = [] {
+      return DefaultThreadPool().PendingCount();
+    };
+  }
+  return admission;
+}
+
+}  // namespace
+
+TuningServer::TuningServer(ServerOptions options)
+    : options_(std::move(options)),
+      admission_(WithDefaultProbe(options_.admission)) {}
+
+TuningServer::~TuningServer() {
+  RequestShutdown();
+  Wait();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+Status TuningServer::Start() {
+  if (started_.exchange(true)) {
+    return Status::FailedPrecondition("server already started");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::Internal("socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Status::Internal(std::string("bind() failed: ") +
+                            std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 16) < 0) {
+    return Status::Internal("listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    return Status::Internal("getsockname() failed");
+  }
+  port_ = ntohs(addr.sin_port);
+  ST_RETURN_NOT_OK(SetNonBlocking(listen_fd_));
+
+  poll_thread_ = std::thread([this] { PollLoop(); });
+  dispatch_thread_ = std::thread([this] { DispatchLoop(); });
+  return Status::OK();
+}
+
+void TuningServer::Wait() {
+  if (poll_thread_.joinable()) poll_thread_.join();
+  if (dispatch_thread_.joinable()) dispatch_thread_.join();
+}
+
+void TuningServer::RequestShutdown() {
+  if (shutdown_requested_.exchange(true)) return;
+  admission_.Stop();
+}
+
+json::Value TuningServer::StatsJson() const {
+  const AdmissionStats admission = admission_.stats();
+  json::Value out = OkResponse();
+  out.Set("requests_handled",
+          requests_handled_.load(std::memory_order_relaxed));
+  out.Set("frames_streamed", frames_streamed_.load(std::memory_order_relaxed));
+  json::Value admission_json = json::Value::Object();
+  admission_json.Set("admitted", admission.admitted);
+  admission_json.Set("shed_queue_full", admission.shed_queue_full);
+  admission_json.Set("shed_backlog", admission.shed_backlog);
+  admission_json.Set("batches", admission.batches);
+  admission_json.Set("max_depth_seen", admission.max_depth_seen);
+  admission_json.Set("queue_depth", admission_.depth());
+  out.Set("admission", std::move(admission_json));
+  out.Set("sessions", sessions_.StatsJson());
+  json::Value pool = json::Value::Object();
+  pool.Set("threads", DefaultThreadPool().num_threads());
+  pool.Set("pending", DefaultThreadPool().PendingCount());
+  pool.Set("in_flight", DefaultThreadPool().InFlightCount());
+  out.Set("pool", std::move(pool));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Dispatcher: admission batches -> one engine fan-out per batch.
+// ---------------------------------------------------------------------------
+
+void TuningServer::DispatchLoop() {
+  for (;;) {
+    const std::vector<uint64_t> batch = admission_.NextBatch();
+    if (batch.empty()) {
+      if (admission_.stopped()) return;
+      continue;
+    }
+    engine::ExperimentRunner::Options runner_options;
+    runner_options.max_concurrent_sessions = options_.max_concurrent_sessions;
+    engine::ExperimentRunner runner(runner_options);
+    for (const uint64_t id : batch) {
+      TuningSession* session = sessions_.FindById(id);
+      if (session == nullptr) continue;
+      runner.SubmitTask(session->name(),
+                        [session] { return session->RunJob(); });
+    }
+    // RunAll resolves every submitted session (cancel_on_failure is off, so
+    // nothing is skipped); a session must not be touched again afterwards —
+    // the poll thread may already have resumed and re-admitted it.
+    for (const engine::SessionResult& result : runner.RunAll()) {
+      sessions_.RecordOutcome(result.status);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Poll loop: accept, frame lines, answer requests, flush streams.
+// ---------------------------------------------------------------------------
+
+void TuningServer::PollLoop() {
+  while (true) {
+    // Exit once shutdown is requested and the dispatcher has drained: all
+    // streams can then be closed out with final frames.
+    if (shutdown_requested_.load(std::memory_order_relaxed) &&
+        sessions_.active_count() == 0) {
+      FlushStreams();
+      for (Connection& conn : connections_) {
+        FlushOutput(&conn);
+        if (conn.fd >= 0) ::close(conn.fd);
+        conn.fd = -1;
+      }
+      return;
+    }
+
+    std::vector<pollfd> fds;
+    std::vector<Connection*> polled;  // fds[i + 1] belongs to polled[i]
+    fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    for (Connection& conn : connections_) {
+      if (conn.fd < 0) continue;
+      short events = POLLIN;
+      if (!conn.output.empty()) events |= POLLOUT;
+      fds.push_back(pollfd{conn.fd, events, 0});
+      polled.push_back(&conn);
+    }
+    ::poll(fds.data(), fds.size(), options_.poll_interval_ms);
+
+    // Accept new connections (unless shutting down).
+    if ((fds[0].revents & POLLIN) != 0 &&
+        !shutdown_requested_.load(std::memory_order_relaxed)) {
+      for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;
+        if (connections_.size() >=
+            static_cast<size_t>(options_.max_connections)) {
+          ::close(fd);
+          continue;
+        }
+        if (!SetNonBlocking(fd).ok()) {
+          ::close(fd);
+          continue;
+        }
+        Connection conn;
+        conn.fd = fd;
+        connections_.push_back(std::move(conn));
+      }
+    }
+
+    // Read the connections poll() flagged and process complete lines.
+    for (size_t i = 0; i < polled.size(); ++i) {
+      Connection& conn = *polled[i];
+      if (conn.fd < 0) continue;
+      if ((fds[i + 1].revents & (POLLIN | POLLERR | POLLHUP)) == 0) continue;
+      char buf[4096];
+      for (;;) {
+        const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+        if (n > 0) {
+          conn.input.append(buf, static_cast<size_t>(n));
+          continue;
+        }
+        if (n == 0) {
+          conn.closed = true;  // peer closed; flush what we owe, then drop
+        }
+        break;  // n < 0: EAGAIN or error — either way stop reading
+      }
+      size_t newline;
+      while ((newline = conn.input.find('\n')) != std::string::npos) {
+        const std::string line = conn.input.substr(0, newline);
+        conn.input.erase(0, newline + 1);
+        if (!line.empty()) HandleLine(&conn, line);
+      }
+    }
+
+    FlushStreams();
+    for (Connection& conn : connections_) FlushOutput(&conn);
+
+    // Drop closed connections with nothing left to send.
+    for (Connection& conn : connections_) {
+      if (conn.fd >= 0 && conn.closed && conn.output.empty() &&
+          conn.streaming == nullptr) {
+        ::close(conn.fd);
+        conn.fd = -1;
+      }
+    }
+    connections_.erase(
+        std::remove_if(connections_.begin(), connections_.end(),
+                       [](const Connection& c) { return c.fd < 0; }),
+        connections_.end());
+  }
+}
+
+void TuningServer::HandleLine(Connection* conn, const std::string& line) {
+  requests_handled_.fetch_add(1, std::memory_order_relaxed);
+  const Result<Request> request = Request::Parse(line);
+  if (!request.ok()) {
+    SendJson(conn, ErrorResponse(request.status()));
+    return;
+  }
+  SendJson(conn, HandleRequest(conn, *request));
+}
+
+json::Value TuningServer::HandleRequest(Connection* conn,
+                                        const Request& request) {
+  switch (request.type) {
+    case RequestType::kSubmitJob: {
+      if (shutdown_requested_.load(std::memory_order_relaxed)) {
+        return ErrorResponse(
+            Status::FailedPrecondition("server is shutting down"));
+      }
+      const Result<TuningSession*> session =
+          sessions_.Register(request.job);
+      if (!session.ok()) return ErrorResponse(session.status());
+      const Status admitted = admission_.Admit((*session)->id());
+      if (!admitted.ok()) {
+        // The session was registered but not queued: resolve it so a
+        // retried submit can re-arm it.
+        (*session)->RequestCancel();
+        (void)(*session)->RunJob();
+        int retry = 0;
+        if (admitted.code() == StatusCode::kResourceExhausted) {
+          retry = admission_.retry_after_ms();
+        }
+        return ErrorResponse(admitted, retry);
+      }
+      json::Value response = OkResponse();
+      response.Set("session", (*session)->name());
+      response.Set("state", SessionPhaseName((*session)->phase()));
+      response.Set("queue_depth", admission_.depth());
+      return response;
+    }
+    case RequestType::kPoll: {
+      TuningSession* session = sessions_.Find(request.session);
+      if (session == nullptr) {
+        return ErrorResponse(
+            Status::NotFound("unknown session '" + request.session + "'"));
+      }
+      json::Value response = OkResponse();
+      const json::Value snapshot = session->Snapshot();
+      for (const auto& member : snapshot.members()) {
+        response.Set(member.first, member.second);
+      }
+      return response;
+    }
+    case RequestType::kStream: {
+      TuningSession* session = sessions_.Find(request.session);
+      if (session == nullptr) {
+        return ErrorResponse(
+            Status::NotFound("unknown session '" + request.session + "'"));
+      }
+      conn->streaming = session;
+      conn->frame_cursor = 0;
+      json::Value response = OkResponse();
+      response.Set("session", session->name());
+      response.Set("streaming", true);
+      return response;
+    }
+    case RequestType::kCancel: {
+      const Status status = sessions_.Cancel(request.session);
+      if (!status.ok()) return ErrorResponse(status);
+      json::Value response = OkResponse();
+      response.Set("session", request.session);
+      response.Set("cancelling", true);
+      return response;
+    }
+    case RequestType::kStats:
+      return StatsJson();
+    case RequestType::kShutdown: {
+      RequestShutdown();
+      json::Value response = OkResponse();
+      response.Set("shutting_down", true);
+      return response;
+    }
+  }
+  return ErrorResponse(Status::Internal("unhandled request type"));
+}
+
+void TuningServer::FlushStreams() {
+  for (Connection& conn : connections_) {
+    if (conn.fd < 0 || conn.streaming == nullptr) continue;
+    TuningSession* session = conn.streaming;
+    const size_t available = session->FrameCount();
+    while (conn.frame_cursor < available) {
+      SendJson(&conn, session->FrameAt(conn.frame_cursor));
+      ++conn.frame_cursor;
+      frames_streamed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (session->Terminal() && conn.frame_cursor >= session->FrameCount()) {
+      SendJson(&conn, DoneFrame(session->name(),
+                                SessionPhaseName(session->phase()),
+                                session->last_status()));
+      conn.streaming = nullptr;
+    }
+  }
+}
+
+void TuningServer::SendJson(Connection* conn, const json::Value& value) {
+  conn->output += value.Dump();
+  conn->output += '\n';
+}
+
+void TuningServer::FlushOutput(Connection* conn) {
+  while (conn->fd >= 0 && !conn->output.empty()) {
+    const ssize_t n = ::send(conn->fd, conn->output.data(),
+                             conn->output.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->output.erase(0, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    // Hard error (peer gone): drop the connection.
+    ::close(conn->fd);
+    conn->fd = -1;
+    conn->streaming = nullptr;
+    return;
+  }
+}
+
+}  // namespace serve
+}  // namespace slicetuner

@@ -1,0 +1,106 @@
+// TuningServer: the long-running service wrapping the whole stack. A
+// poll-loop acceptor thread owns the TCP side (127.0.0.1 only, line-delimited
+// JSON, src/serve/protocol.h); a dispatcher thread drains the admission
+// queue in micro-batches and fans each batch out through one
+// engine::ExperimentRunner::RunAll over the shared thread pool. Progress
+// frames appended by running sessions are flushed to `stream` subscribers on
+// every poll tick, so clients watch allocations converge live.
+//
+// Graceful shutdown (shutdown request or RequestShutdown()): the acceptor
+// stops admitting, the admission queue unblocks the dispatcher, the batch in
+// flight runs to completion (queued-but-unstarted sessions resolve
+// cancelled), streams are closed out with done frames, and Wait() returns.
+
+#ifndef SLICETUNER_SERVE_SERVER_H_
+#define SLICETUNER_SERVE_SERVER_H_
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "serve/admission.h"
+#include "serve/protocol.h"
+#include "serve/session_manager.h"
+
+namespace slicetuner {
+namespace serve {
+
+struct ServerOptions {
+  /// Port to bind on 127.0.0.1; 0 picks an ephemeral port (read it back
+  /// with port()).
+  int port = 0;
+  /// Concurrent sessions per batched fan-out: 0 = one per pool lane.
+  int max_concurrent_sessions = 0;
+  AdmissionOptions admission;
+  /// Stream-flush cadence of the poll loop.
+  int poll_interval_ms = 20;
+  int max_connections = 64;
+};
+
+class TuningServer {
+ public:
+  explicit TuningServer(ServerOptions options = ServerOptions());
+  ~TuningServer();
+
+  TuningServer(const TuningServer&) = delete;
+  TuningServer& operator=(const TuningServer&) = delete;
+
+  /// Binds, listens, and launches the acceptor + dispatcher threads.
+  Status Start();
+
+  /// The bound port (valid after Start).
+  int port() const { return port_; }
+
+  /// Blocks until the server has shut down (via a shutdown request or
+  /// RequestShutdown) and both threads have exited.
+  void Wait();
+
+  /// Programmatic graceful shutdown; idempotent.
+  void RequestShutdown();
+
+  SessionManager& sessions() { return sessions_; }
+  const AdmissionController& admission() const { return admission_; }
+
+  /// Server-wide counters (the stats response payload).
+  json::Value StatsJson() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::string input;          // bytes read, not yet framed
+    std::string output;         // bytes queued, not yet written
+    TuningSession* streaming = nullptr;  // non-null: subscribed session
+    size_t frame_cursor = 0;
+    bool closed = false;
+  };
+
+  void PollLoop();
+  void DispatchLoop();
+  void HandleLine(Connection* conn, const std::string& line);
+  json::Value HandleRequest(Connection* conn, const Request& request);
+  void FlushStreams();
+  void SendJson(Connection* conn, const json::Value& value);
+  void FlushOutput(Connection* conn);
+
+  ServerOptions options_;
+  SessionManager sessions_;
+  AdmissionController admission_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> shutdown_requested_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<size_t> requests_handled_{0};
+  std::atomic<size_t> frames_streamed_{0};
+  std::thread poll_thread_;
+  std::thread dispatch_thread_;
+  std::vector<Connection> connections_;  // poll thread only
+};
+
+}  // namespace serve
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_SERVE_SERVER_H_

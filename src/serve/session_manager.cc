@@ -1,0 +1,481 @@
+#include "serve/session_manager.h"
+
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "core/baselines.h"
+#include "core/one_shot.h"
+#include "sim/scenario.h"
+#include "sim/trace.h"
+
+namespace slicetuner {
+namespace serve {
+
+namespace {
+
+// Compiles a JobSpec into the scenario the session's data world is built
+// from. Margins and noise floors vary deterministically across slices so
+// curves differ and the optimizer has real trade-offs to make.
+sim::ScenarioSpec ScenarioFromJob(const JobSpec& job) {
+  sim::ScenarioSpec spec;
+  spec.name = "serve/" + job.session;
+  spec.num_slices = job.num_slices;
+  spec.dim = 8;
+  const size_t n = static_cast<size_t>(job.num_slices);
+  spec.slice_margins.resize(n);
+  spec.slice_label_noise.resize(n);
+  spec.initial_sizes.assign(n, static_cast<size_t>(job.rows_per_slice));
+  spec.costs.assign(n, 1.0);
+  for (size_t s = 0; s < n; ++s) {
+    spec.slice_margins[s] = 0.7 + 0.25 * static_cast<double>(s % 4);
+    spec.slice_label_noise[s] = 0.04 + 0.02 * static_cast<double>(s % 3);
+  }
+  spec.val_per_slice = 40;
+  spec.budget_schedule.assign(static_cast<size_t>(job.rounds),
+                              job.budget / job.rounds);
+  spec.lambda = 1.0;
+  spec.seed = job.seed;
+  // Small exhaustive estimation: per-slice trainings are what make the
+  // curve cache's partial refit observable (K trainings per stale slice
+  // instead of K x |S|).
+  spec.curve_points = 3;
+  spec.curve_draws = 1;
+  spec.exhaustive_curves = true;
+  spec.trainer_epochs = 8;
+  return spec;
+}
+
+Result<BaselineKind> BaselineFromMethod(const std::string& method) {
+  if (method == "uniform") return BaselineKind::kUniform;
+  if (method == "water_filling") return BaselineKind::kWaterFilling;
+  if (method == "proportional") return BaselineKind::kProportional;
+  return Status::InvalidArgument("not a baseline method: '" + method + "'");
+}
+
+}  // namespace
+
+const char* SessionPhaseName(SessionPhase phase) {
+  switch (phase) {
+    case SessionPhase::kQueued:
+      return "queued";
+    case SessionPhase::kRunning:
+      return "running";
+    case SessionPhase::kDone:
+      return "done";
+    case SessionPhase::kCancelled:
+      return "cancelled";
+    case SessionPhase::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+TuningSession::TuningSession(uint64_t id, JobSpec job)
+    : id_(id), name_(job.session), pending_job_(std::move(job)) {}
+
+void TuningSession::RequestCancel() {
+  cancel_requested_.store(true, std::memory_order_relaxed);
+}
+
+SessionPhase TuningSession::phase() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return phase_;
+}
+
+bool TuningSession::Terminal() const {
+  const SessionPhase p = phase();
+  return p == SessionPhase::kDone || p == SessionPhase::kCancelled ||
+         p == SessionPhase::kFailed;
+}
+
+bool TuningSession::WaitTerminal(int timeout_ms) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return phase_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                            [this] {
+                              return phase_ == SessionPhase::kDone ||
+                                     phase_ == SessionPhase::kCancelled ||
+                                     phase_ == SessionPhase::kFailed;
+                            });
+}
+
+size_t TuningSession::FrameCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return frames_.size();
+}
+
+json::Value TuningSession::FrameAt(size_t index) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index >= frames_.size()) return json::Value();
+  return frames_[index];
+}
+
+Status TuningSession::last_status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_status_;
+}
+
+long long TuningSession::last_job_trainings() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_job_trainings_;
+}
+
+double TuningSession::last_job_wall_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_job_wall_seconds_;
+}
+
+json::Value TuningSession::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  json::Value out = json::Value::Object();
+  out.Set("session", name_);
+  out.Set("state", SessionPhaseName(phase_));
+  out.Set("jobs_run", jobs_run_);
+  out.Set("rounds_completed", rounds_completed_);
+  out.Set("frames", frames_.size());
+  out.Set("rows", rows_);
+  out.Set("model_trainings", total_trainings_);
+  out.Set("last_job_trainings", last_job_trainings_);
+  out.Set("last_job_wall_seconds", last_job_wall_seconds_);
+  if (!last_status_.ok()) out.Set("error", last_status_.ToString());
+  if (!final_curve_b_.empty()) {
+    json::Value curves = json::Value::Object();
+    json::Value b = json::Value::Array();
+    json::Value a = json::Value::Array();
+    for (const double v : final_curve_b_) b.Append(v);
+    for (const double v : final_curve_a_) a.Append(v);
+    curves.Set("b", std::move(b));
+    curves.Set("a", std::move(a));
+    out.Set("curves", std::move(curves));
+  }
+  if (has_cache_stats_) {
+    json::Value cache = json::Value::Object();
+    cache.Set("estimate_calls", cache_stats_.estimate_calls);
+    cache.Set("served_from_cache", cache_stats_.served_from_cache);
+    cache.Set("full_runs", cache_stats_.full_runs);
+    cache.Set("partial_refits", cache_stats_.partial_refits);
+    cache.Set("slices_refit", cache_stats_.slices_refit);
+    cache.Set("slices_reused", cache_stats_.slices_reused);
+    cache.Set("trainings_saved", cache_stats_.trainings_saved);
+    out.Set("curve_cache", std::move(cache));
+  }
+  return out;
+}
+
+void TuningSession::AppendFrame(json::Value frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  frames_.push_back(std::move(frame));
+}
+
+Status TuningSession::Resume(JobSpec job) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (phase_ == SessionPhase::kQueued || phase_ == SessionPhase::kRunning) {
+    return Status::AlreadyExists("session '" + name_ + "' is busy (" +
+                                 SessionPhaseName(phase_) + ")");
+  }
+  // An omitted slice count inherits the session's; an explicit one must
+  // match (the data world is fixed at creation).
+  const int existing =
+      tuner_ != nullptr ? tuner_->num_slices() : pending_job_.num_slices;
+  if (job.num_slices == 0) {
+    job.num_slices = existing;
+  } else if (job.num_slices != existing) {
+    return Status::InvalidArgument(StrFormat(
+        "session '%s' holds %d slices; resubmission asks for %d",
+        name_.c_str(), existing, job.num_slices));
+  }
+  if (job.append_slice >= job.num_slices) {
+    return Status::OutOfRange(
+        StrFormat("submit_job: append_slice %d outside [0, %d)",
+                  job.append_slice, job.num_slices));
+  }
+  pending_job_ = std::move(job);
+  cancel_requested_.store(false, std::memory_order_relaxed);
+  phase_ = SessionPhase::kQueued;
+  return Status::OK();
+}
+
+Status TuningSession::RunJob() {
+  JobSpec job;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (phase_ != SessionPhase::kQueued) {
+      return Status::FailedPrecondition(
+          "RunJob on session '" + name_ + "' in state " +
+          SessionPhaseName(phase_));
+    }
+    if (cancel_requested_.load(std::memory_order_relaxed)) {
+      phase_ = SessionPhase::kCancelled;
+      last_status_ = Status::Cancelled("cancelled before start");
+      phase_cv_.notify_all();
+      return last_status_;
+    }
+    phase_ = SessionPhase::kRunning;
+    job = pending_job_;
+  }
+
+  Stopwatch timer;
+  const long long trainings_before = [this] {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_trainings_;
+  }();
+  const Status status = ExecuteJob(job);
+  const double wall = timer.ElapsedSeconds();
+  // Snapshot the engine counters while no estimation is running (tuner_ is
+  // only touched from this thread); polls then read the copy without
+  // touching the engine lock.
+  engine::CurveEngineStats cache_stats;
+  const bool has_cache_stats = tuner_ != nullptr;
+  if (has_cache_stats) cache_stats = tuner_->curve_engine().stats();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (has_cache_stats) {
+    cache_stats_ = cache_stats;
+    has_cache_stats_ = true;
+  }
+  ++jobs_run_;
+  last_job_wall_seconds_ = wall;
+  last_job_trainings_ = total_trainings_ - trainings_before;
+  last_status_ = status;
+  if (status.ok()) {
+    phase_ = SessionPhase::kDone;
+  } else if (status.code() == StatusCode::kCancelled) {
+    phase_ = SessionPhase::kCancelled;
+  } else {
+    phase_ = SessionPhase::kFailed;
+  }
+  phase_cv_.notify_all();
+  return status;
+}
+
+Status TuningSession::ExecuteJob(const JobSpec& job) {
+  if (tuner_ == nullptr) {
+    const sim::ScenarioSpec spec = ScenarioFromJob(job);
+    ST_RETURN_NOT_OK(spec.Validate());
+    auto source = std::make_unique<sim::ScriptedSource>(spec);
+
+    SliceTunerOptions options;
+    options.model_spec = spec.BuildModelSpec();
+    options.trainer = spec.BuildTrainer();
+    options.curve_options = spec.BuildCurveOptions(/*num_threads=*/1);
+    options.lambda = spec.lambda;
+    options.cache_curves = true;
+    ST_ASSIGN_OR_RETURN(
+        SliceTuner tuner,
+        SliceTuner::Create(source->GenerateInitial(),
+                           source->GenerateValidation(), job.num_slices,
+                           std::move(options)));
+    auto owned = std::make_unique<SliceTuner>(std::move(tuner));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      source_ = std::move(source);
+      tuner_ = std::move(owned);
+      rows_ = static_cast<long long>(tuner_->train().size());
+    }
+  } else if (job.append_rows > 0) {
+    // Incremental update: new rows for one slice arrive with the
+    // resubmission. Only that slice's content hash changes, so the next
+    // estimation partially refits instead of running cold.
+    source_->BeginRound(next_round_index_);
+    const Dataset batch = source_->Acquire(
+        job.append_slice, static_cast<size_t>(job.append_rows));
+    ST_RETURN_NOT_OK(tuner_->AppendTrainingData(batch));
+    std::lock_guard<std::mutex> lock(mu_);
+    rows_ = static_cast<long long>(tuner_->train().size());
+  }
+  return RunRounds(job);
+}
+
+Status TuningSession::RunRounds(const JobSpec& job) {
+  const double round_budget = job.budget / job.rounds;
+  const std::vector<double> costs =
+      CostVector(source_->cost(), job.num_slices);
+  const bool curve_based = job.method == "moderate";
+
+  for (int r = 0; r < job.rounds; ++r) {
+    if (cancel_requested_.load(std::memory_order_relaxed)) {
+      return Status::Cancelled(StrFormat(
+          "session '%s' cancelled after %d of %d rounds", name_.c_str(), r,
+          job.rounds));
+    }
+    source_->BeginRound(next_round_index_);
+
+    sim::RoundTrace round;
+    round.round = next_round_index_;
+    round.budget = round_budget;
+
+    std::vector<long long> allocation;
+    if (curve_based) {
+      ST_ASSIGN_OR_RETURN(const CurveEstimationResult curves,
+                          tuner_->EstimateCurves());
+      round.model_trainings = curves.model_trainings;
+      round.curve_b.reserve(curves.slices.size());
+      round.curve_a.reserve(curves.slices.size());
+      for (const SliceCurveEstimate& slice : curves.slices) {
+        round.curve_b.push_back(slice.curve.b);
+        round.curve_a.push_back(slice.curve.a);
+      }
+      ST_ASSIGN_OR_RETURN(
+          const OneShotPlan plan,
+          PlanOneShotWithCurves(curves.slices, tuner_->SliceSizes(), costs,
+                                round_budget, tuner_->options().lambda));
+      allocation = plan.examples;
+    } else {
+      ST_ASSIGN_OR_RETURN(const BaselineKind kind,
+                          BaselineFromMethod(job.method));
+      ST_ASSIGN_OR_RETURN(
+          allocation,
+          BaselineAllocation(kind, tuner_->SliceSizes(), costs,
+                             round_budget));
+    }
+
+    for (size_t s = 0; s < allocation.size(); ++s) {
+      if (allocation[s] <= 0) continue;
+      const Dataset batch = source_->Acquire(
+          static_cast<int>(s), static_cast<size_t>(allocation[s]));
+      ST_RETURN_NOT_OK(tuner_->AppendTrainingData(batch));
+      round.spent += static_cast<double>(allocation[s]) * costs[s];
+    }
+    round.acquired = std::move(allocation);
+    const std::vector<size_t> sizes = tuner_->SliceSizes();
+    round.sizes.reserve(sizes.size());
+    for (const size_t size : sizes) {
+      round.sizes.push_back(static_cast<long long>(size));
+    }
+
+    json::Value frame;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++rounds_completed_;
+      total_trainings_ += round.model_trainings;
+      rows_ = static_cast<long long>(tuner_->train().size());
+      frame = ProgressFrame(name_, frames_.size(),
+                            sim::RoundTraceToJson(round));
+      frames_.push_back(frame);
+    }
+    ++next_round_index_;
+  }
+
+  // Closing estimate on the final data. Besides giving the client curves
+  // that reflect everything acquired, this brings the curve cache up to
+  // date with the session's resting state — so a resubmission that appends
+  // rows to one slice finds every *other* slice already cached and rides
+  // the engine's partial refit instead of a cold estimation.
+  if (curve_based) {
+    ST_ASSIGN_OR_RETURN(const CurveEstimationResult curves,
+                        tuner_->EstimateCurves());
+    std::lock_guard<std::mutex> lock(mu_);
+    total_trainings_ += curves.model_trainings;
+    final_curve_b_.clear();
+    final_curve_a_.clear();
+    for (const SliceCurveEstimate& slice : curves.slices) {
+      final_curve_b_.push_back(slice.curve.b);
+      final_curve_a_.push_back(slice.curve.a);
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// SessionManager
+// ---------------------------------------------------------------------------
+
+Result<TuningSession*> SessionManager::Register(const JobSpec& job) {
+  ST_RETURN_NOT_OK(job.Validate());
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& session : sessions_) {
+    if (session->name() != job.session) continue;
+    ST_RETURN_NOT_OK(session->Resume(job));
+    ++stats_.resumed;
+    return session.get();
+  }
+  JobSpec resolved = job;
+  if (resolved.num_slices == 0) {
+    resolved.num_slices = JobSpec::kDefaultNumSlices;
+  }
+  if (resolved.append_slice >= resolved.num_slices) {
+    return Status::OutOfRange(
+        StrFormat("submit_job: append_slice %d outside [0, %d)",
+                  resolved.append_slice, resolved.num_slices));
+  }
+  sessions_.push_back(std::make_unique<TuningSession>(next_id_++, resolved));
+  ++stats_.created;
+  return sessions_.back().get();
+}
+
+TuningSession* SessionManager::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& session : sessions_) {
+    if (session->name() == name) return session.get();
+  }
+  return nullptr;
+}
+
+TuningSession* SessionManager::FindById(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& session : sessions_) {
+    if (session->id() == id) return session.get();
+  }
+  return nullptr;
+}
+
+Status SessionManager::Cancel(const std::string& name) {
+  TuningSession* session = Find(name);
+  if (session == nullptr) {
+    return Status::NotFound("unknown session '" + name + "'");
+  }
+  if (session->Terminal()) {
+    return Status::FailedPrecondition(
+        "session '" + name + "' already finished (" +
+        SessionPhaseName(session->phase()) + ")");
+  }
+  session->RequestCancel();
+  return Status::OK();
+}
+
+size_t SessionManager::active_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t active = 0;
+  for (const auto& session : sessions_) {
+    const SessionPhase p = session->phase();
+    if (p == SessionPhase::kQueued || p == SessionPhase::kRunning) ++active;
+  }
+  return active;
+}
+
+size_t SessionManager::session_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+void SessionManager::RecordOutcome(const Status& status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (status.ok()) {
+    ++stats_.completed;
+  } else if (status.code() == StatusCode::kCancelled) {
+    ++stats_.cancelled;
+  } else {
+    ++stats_.failed;
+  }
+}
+
+SessionManagerStats SessionManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+json::Value SessionManager::StatsJson() const {
+  const SessionManagerStats s = stats();
+  json::Value out = json::Value::Object();
+  out.Set("sessions", session_count());
+  out.Set("active", active_count());
+  out.Set("created", s.created);
+  out.Set("resumed", s.resumed);
+  out.Set("completed", s.completed);
+  out.Set("cancelled", s.cancelled);
+  out.Set("failed", s.failed);
+  return out;
+}
+
+}  // namespace serve
+}  // namespace slicetuner

@@ -1,0 +1,178 @@
+// Session lifecycle for the tuning service. A TuningSession owns a
+// long-lived SliceTuner whose curve-estimation engine persists across jobs:
+// the first submit runs cold, but a resubmission that appends rows to one
+// slice re-enters estimation with every other slice's curve still cached —
+// the engine's partial refit — so maintaining a session is incremental in
+// the size of the change, not the size of the data (the FO+MOD-style
+// maintenance-under-updates contract of the ROADMAP).
+//
+// Threading: the server's poll loop reads snapshots/frames and requests
+// cancellation while the dispatcher thread executes RunJob on an engine
+// lane; all session state is guarded by one per-session mutex (the tuner
+// itself is only touched by RunJob, which the phase machine keeps
+// single-flight).
+
+#ifndef SLICETUNER_SERVE_SESSION_MANAGER_H_
+#define SLICETUNER_SERVE_SESSION_MANAGER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "core/slice_tuner.h"
+#include "serve/protocol.h"
+#include "sim/scripted_source.h"
+
+namespace slicetuner {
+namespace serve {
+
+/// queued -> running -> done | cancelled | failed; terminal sessions can be
+/// resumed (back to queued) by a follow-up submit_job with the same key.
+enum class SessionPhase {
+  kQueued,
+  kRunning,
+  kDone,
+  kCancelled,
+  kFailed,
+};
+
+const char* SessionPhaseName(SessionPhase phase);
+
+class TuningSession {
+ public:
+  TuningSession(uint64_t id, JobSpec job);
+
+  uint64_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  /// Executes the pending job: builds the data world on first run (or
+  /// appends the resubmission's rows), then runs `rounds` estimate ->
+  /// optimize -> acquire rounds, appending one progress frame per round.
+  /// Cancellation is honored at round boundaries. Returns the job's status
+  /// and moves the phase to done/cancelled/failed.
+  Status RunJob();
+
+  /// Flags the session for cancellation: a queued session resolves
+  /// cancelled without running; a running one stops at the next round
+  /// boundary.
+  void RequestCancel();
+  bool cancel_requested() const {
+    return cancel_requested_.load(std::memory_order_relaxed);
+  }
+
+  /// Re-arms a terminal session with a follow-up job (phase back to
+  /// queued). Fails while the session is queued or running.
+  Status Resume(JobSpec job);
+
+  SessionPhase phase() const;
+  bool Terminal() const;
+  /// Blocks until the session reaches a terminal phase (false on timeout).
+  bool WaitTerminal(int timeout_ms) const;
+
+  /// Number of progress frames emitted so far (monotone within a job;
+  /// frames survive until the next job re-arms the session).
+  size_t FrameCount() const;
+  json::Value FrameAt(size_t index) const;
+
+  /// Poll payload: phase, per-job counters, and the curve engine's cache
+  /// statistics (partial_refits / served_from_cache expose the incremental
+  /// path to clients and tests).
+  json::Value Snapshot() const;
+
+  /// Terminal status of the last job (OK while none finished).
+  Status last_status() const;
+  /// Model trainings performed by the last completed job.
+  long long last_job_trainings() const;
+  /// Wall seconds of the last completed job.
+  double last_job_wall_seconds() const;
+
+ private:
+  Status ExecuteJob(const JobSpec& job);
+  Status RunRounds(const JobSpec& job);
+  void Finish(const Status& status);
+  void AppendFrame(json::Value frame);
+
+  const uint64_t id_;
+  const std::string name_;
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable phase_cv_;
+  SessionPhase phase_ = SessionPhase::kQueued;
+  JobSpec pending_job_;
+  Status last_status_;
+  std::vector<json::Value> frames_;
+  std::atomic<bool> cancel_requested_{false};
+
+  // Long-lived tuning state (only RunJob touches these; single-flight by
+  // phase machine).
+  std::unique_ptr<SliceTuner> tuner_;
+  std::unique_ptr<sim::ScriptedSource> source_;
+  int next_round_index_ = 0;  // monotone across jobs: keeps draws fresh
+
+  // Counters (guarded by mu_).
+  int jobs_run_ = 0;
+  int rounds_completed_ = 0;
+  long long total_trainings_ = 0;
+  long long last_job_trainings_ = 0;
+  double last_job_wall_seconds_ = 0.0;
+  long long rows_ = 0;
+  // Curves fitted on the session's resting data by the job's closing
+  // estimate (surfaced through Snapshot).
+  std::vector<double> final_curve_b_;
+  std::vector<double> final_curve_a_;
+  // Copy of the curve engine's counters taken at job boundaries. Snapshot
+  // reads this instead of engine.stats() so a poll never waits on the
+  // engine lock a running estimation holds.
+  engine::CurveEngineStats cache_stats_;
+  bool has_cache_stats_ = false;
+};
+
+struct SessionManagerStats {
+  size_t created = 0;
+  size_t resumed = 0;
+  size_t completed = 0;
+  size_t failed = 0;
+  size_t cancelled = 0;
+};
+
+class SessionManager {
+ public:
+  /// Registers a submit_job: creates a fresh session, or resumes a terminal
+  /// one when the key is already known. Fails with AlreadyExists when the
+  /// session is still queued/running. The returned pointer stays valid for
+  /// the manager's lifetime.
+  Result<TuningSession*> Register(const JobSpec& job);
+
+  /// nullptr when unknown.
+  TuningSession* Find(const std::string& name) const;
+  TuningSession* FindById(uint64_t id) const;
+
+  Status Cancel(const std::string& name);
+
+  /// Sessions currently queued or running.
+  size_t active_count() const;
+  size_t session_count() const;
+
+  /// Records a session's terminal outcome (called by the dispatcher).
+  void RecordOutcome(const Status& status);
+
+  SessionManagerStats stats() const;
+  json::Value StatsJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<TuningSession>> sessions_;
+  uint64_t next_id_ = 1;
+  SessionManagerStats stats_;
+};
+
+}  // namespace serve
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_SERVE_SESSION_MANAGER_H_

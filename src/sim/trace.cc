@@ -1,10 +1,10 @@
 #include "sim/trace.h"
 
-#include <cerrno>
 #include <cmath>
-#include <cstdlib>
 #include <sstream>
+#include <utility>
 
+#include "common/json.h"
 #include "common/string_util.h"
 
 namespace slicetuner {
@@ -64,36 +64,19 @@ struct LineReader {
   }
 };
 
+// The scalar lexers are the JSON layer's (strict whole-string parsing with
+// overflow detection); the trace format shares them instead of hand-rolling
+// its own.
 Result<long long> ParseLong(const std::string& text) {
-  char* end = nullptr;
-  errno = 0;
-  const long long value = std::strtoll(text.c_str(), &end, 10);
-  if (end == nullptr || *end != '\0' || text.empty() || errno == ERANGE) {
-    return Status::InvalidArgument("trace: bad integer '" + text + "'");
-  }
-  return value;
+  return json::ParseInt64(text);
 }
 
 Result<double> ParseDouble(const std::string& text) {
-  char* end = nullptr;
-  errno = 0;
-  const double value = std::strtod(text.c_str(), &end);
-  if (end == nullptr || *end != '\0' || text.empty() || errno == ERANGE) {
-    return Status::InvalidArgument("trace: bad number '" + text + "'");
-  }
-  return value;
+  return json::ParseFloat64(text);
 }
 
 Result<uint64_t> ParseUnsigned(const std::string& text) {
-  char* end = nullptr;
-  errno = 0;
-  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
-  if (end == nullptr || *end != '\0' || text.empty() || errno == ERANGE ||
-      text[0] == '-') {
-    return Status::InvalidArgument("trace: bad unsigned integer '" + text +
-                                   "'");
-  }
-  return static_cast<uint64_t>(value);
+  return json::ParseUint64(text);
 }
 
 /// Take(key) + parse in one step for single-valued fields.
@@ -305,6 +288,54 @@ Result<SimTrace> SimTrace::Deserialize(const std::string& text) {
     return Status::InvalidArgument("trailing content after trace");
   }
   return trace;
+}
+
+json::Value RoundTraceToJson(const RoundTrace& round) {
+  auto longs = [](const std::vector<long long>& values) {
+    json::Value array = json::Value::Array();
+    for (const long long v : values) array.Append(v);
+    return array;
+  };
+  auto doubles = [](const std::vector<double>& values) {
+    json::Value array = json::Value::Array();
+    for (const double v : values) array.Append(v);
+    return array;
+  };
+  json::Value out = json::Value::Object();
+  out.Set("round", round.round);
+  out.Set("budget", round.budget);
+  out.Set("spent", round.spent);
+  out.Set("drift_events", round.drift_events);
+  out.Set("acquired", longs(round.acquired));
+  out.Set("sizes", longs(round.sizes));
+  out.Set("curve_b", doubles(round.curve_b));
+  out.Set("curve_a", doubles(round.curve_a));
+  out.Set("loss", round.loss);
+  out.Set("avg_eer", round.avg_eer);
+  out.Set("max_eer", round.max_eer);
+  out.Set("iterations", round.iterations);
+  out.Set("trainings", round.model_trainings);
+  return out;
+}
+
+json::Value SimTrace::ToJson() const {
+  json::Value out = json::Value::Object();
+  out.Set("scenario", scenario);
+  out.Set("method", method);
+  out.Set("num_slices", num_slices);
+  out.Set("seed", static_cast<long long>(seed));
+  json::Value round_array = json::Value::Array();
+  for (const RoundTrace& round : rounds) {
+    round_array.Append(RoundTraceToJson(round));
+  }
+  out.Set("rounds", std::move(round_array));
+  out.Set("total_acquired", total_acquired);
+  out.Set("total_spent", total_spent);
+  out.Set("total_trainings", total_trainings);
+  out.Set("final_loss", final_loss);
+  out.Set("final_avg_eer", final_avg_eer);
+  out.Set("final_max_eer", final_max_eer);
+  return out;
 }
 
 std::string DiffTraces(const SimTrace& expected, const SimTrace& actual,

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "common/result.h"
 
 namespace slicetuner {
@@ -61,7 +62,16 @@ struct SimTrace {
 
   /// Inverse of Serialize. Errors on malformed input.
   static Result<SimTrace> Deserialize(const std::string& text);
+
+  /// JSON view of the whole trace (rounds as an array of RoundTraceToJson
+  /// objects). The serving subsystem streams these; the golden-file format
+  /// stays the line-oriented Serialize above.
+  json::Value ToJson() const;
 };
+
+/// JSON view of one round (the per-round progress frame payload of the
+/// serve protocol).
+json::Value RoundTraceToJson(const RoundTrace& round);
 
 /// Numeric slack for DiffTraces: values x, y agree when
 /// |x - y| <= abs_tolerance + rel_tolerance * max(|x|, |y|). Integer fields

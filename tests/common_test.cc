@@ -6,9 +6,13 @@
 #include <cmath>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <fstream>
+#include <mutex>
 #include <set>
+#include <thread>
 
 #include "common/csv.h"
 #include "common/math_util.h"
@@ -540,6 +544,47 @@ TEST(ThreadPoolTest, DefaultPoolIsUsable) {
   DefaultThreadPool().ParallelFor(8, [&](size_t) { counter.fetch_add(1); });
   EXPECT_EQ(counter.load(), 8);
   EXPECT_GE(DefaultThreadPool().num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, PendingCountTracksBacklogUnderConcurrentSubmits) {
+  // 2 workers, every task gated: once both workers hold a task, everything
+  // else must sit in the queue — the backlog signal admission control sheds
+  // on. Submissions come from 4 threads concurrently.
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  constexpr int kTasks = 12;
+  constexpr int kSubmitters = 4;
+
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < kTasks / kSubmitters; ++i) {
+        pool.Submit([&] {
+          std::unique_lock<std::mutex> lock(mu);
+          cv.wait(lock, [&] { return release; });
+        });
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+
+  // Both workers eventually block inside a task; the rest stay pending.
+  for (int spin = 0; spin < 2000 && pool.InFlightCount() < 2; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(pool.InFlightCount(), 2u);
+  EXPECT_EQ(pool.PendingCount(), static_cast<size_t>(kTasks) - 2);
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  pool.WaitIdle();
+  EXPECT_EQ(pool.PendingCount(), 0u);
+  EXPECT_EQ(pool.InFlightCount(), 0u);
 }
 
 // --------------------------------------------------------------- Stopwatch

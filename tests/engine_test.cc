@@ -6,8 +6,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <mutex>
 #include <stdexcept>
+#include <thread>
 
 #include "core/experiment.h"
 #include "data/synthetic.h"
@@ -516,6 +518,122 @@ TEST(ExperimentRunnerTest, RunsConcurrentSessionsAndStreamsProgress) {
     EXPECT_EQ(states[1], SessionState::kRunning);
     EXPECT_EQ(states[2], SessionState::kSucceeded);
   }
+}
+
+TEST(ExperimentRunnerTest, SubmitRacingRunAllDefersToTheNextRun) {
+  // Pinned semantics: a session submitted while RunAll is in flight is NOT
+  // picked up by that run — it stays queued and the next RunAll covers it.
+  ExperimentRunner runner;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool first_running = false;
+  bool late_submitted = false;
+  runner.SubmitTask("first", [&] {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      first_running = true;
+    }
+    cv.notify_all();
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return late_submitted; });
+    return Status::OK();
+  });
+
+  std::vector<SessionResult> first_results;
+  std::thread run_thread([&] { first_results = runner.RunAll(); });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return first_running; });
+  }
+  // The in-flight run is mid-session; this submission must defer.
+  std::atomic<int> late_runs{0};
+  runner.SubmitTask("late", [&] {
+    ++late_runs;
+    return Status::OK();
+  });
+  EXPECT_EQ(runner.num_sessions(), 2u);
+  EXPECT_EQ(runner.pending_sessions(), 2u);  // 1 running + 1 queued
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    late_submitted = true;
+  }
+  cv.notify_all();
+  run_thread.join();
+
+  ASSERT_EQ(first_results.size(), 1u);
+  EXPECT_TRUE(first_results[0].status.ok());
+  EXPECT_EQ(late_runs.load(), 0);
+  EXPECT_EQ(runner.pending_sessions(), 1u);  // the deferred session
+
+  const std::vector<SessionResult> second_results = runner.RunAll();
+  ASSERT_EQ(second_results.size(), 2u);
+  EXPECT_TRUE(second_results[1].status.ok());
+  EXPECT_EQ(late_runs.load(), 1);
+  EXPECT_EQ(runner.pending_sessions(), 0u);
+}
+
+TEST(ExperimentRunnerTest, CancelOnFailureSparesSessionsAlreadyRunning) {
+  // Pinned semantics: when a session fails under cancel_on_failure, only
+  // sessions that have not started are cancelled; a session already running
+  // completes and reports its own result.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool second_running = false;
+  bool failure_emitted = false;
+
+  ExperimentRunner::Options options;
+  options.max_concurrent_sessions = 2;
+  options.cancel_on_failure = true;
+  options.on_event = [&](const SessionEvent& event) {
+    if (event.state == SessionState::kFailed) {
+      std::lock_guard<std::mutex> lock(mu);
+      failure_emitted = true;
+      cv.notify_all();
+    }
+  };
+  ExperimentRunner runner(options);
+  runner.SubmitTask("doomed", [&]() -> Status {
+    // Fail only once the survivor is demonstrably mid-flight.
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return second_running; });
+    return Status::Internal("boom");
+  });
+  runner.SubmitTask("survivor", [&] {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      second_running = true;
+    }
+    cv.notify_all();
+    // Outlive the failure so cancellation arrives while running.
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return failure_emitted; });
+    return Status::OK();
+  });
+  std::atomic<bool> third_ran{false};
+  runner.SubmitTask("never-started", [&] {
+    third_ran = true;
+    return Status::OK();
+  });
+
+  const std::vector<SessionResult> results = runner.RunAll();
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].status.code(), StatusCode::kInternal);
+  EXPECT_TRUE(results[1].status.ok()) << results[1].status;
+  EXPECT_EQ(results[2].status.code(), StatusCode::kCancelled);
+  EXPECT_FALSE(third_ran.load());
+}
+
+TEST(ExperimentRunnerTest, PendingSessionsTracksQueueDepth) {
+  ExperimentRunner runner;
+  EXPECT_EQ(runner.pending_sessions(), 0u);
+  runner.SubmitTask("a", [] { return Status::OK(); });
+  runner.SubmitTask("b", [] { return Status::OK(); });
+  EXPECT_EQ(runner.pending_sessions(), 2u);
+  (void)runner.RunAll();
+  EXPECT_EQ(runner.pending_sessions(), 0u);
+  // A re-run re-arms the intact queue and drains it again.
+  (void)runner.RunAll();
+  EXPECT_EQ(runner.pending_sessions(), 0u);
 }
 
 TEST(ExperimentRunnerTest, ConcurrencyDoesNotChangeOutcomes) {

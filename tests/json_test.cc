@@ -1,0 +1,243 @@
+// Tests for the common JSON layer: scalar lexers, writer/parser round trips
+// (including a seeded fuzz-style property test over nested documents with
+// escapes), pretty-printing, and strict rejection of malformed input.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/random.h"
+
+namespace slicetuner {
+namespace json {
+namespace {
+
+TEST(JsonScalarTest, ParseInt64) {
+  EXPECT_EQ(*ParseInt64("0"), 0);
+  EXPECT_EQ(*ParseInt64("-42"), -42);
+  EXPECT_EQ(*ParseInt64("9223372036854775807"), 9223372036854775807LL);
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("12x").ok());
+  EXPECT_FALSE(ParseInt64("9223372036854775808").ok());  // overflow
+}
+
+TEST(JsonScalarTest, ParseUint64) {
+  EXPECT_EQ(*ParseUint64("18446744073709551615"), ~uint64_t{0});
+  EXPECT_FALSE(ParseUint64("-1").ok());
+  EXPECT_FALSE(ParseUint64("18446744073709551616").ok());
+}
+
+TEST(JsonScalarTest, ParseFloat64) {
+  EXPECT_DOUBLE_EQ(*ParseFloat64("0.25"), 0.25);
+  EXPECT_DOUBLE_EQ(*ParseFloat64("-1e-3"), -1e-3);
+  EXPECT_FALSE(ParseFloat64("1.2.3").ok());
+  EXPECT_FALSE(ParseFloat64("").ok());
+}
+
+TEST(JsonScalarTest, FormatFloat64RoundTripsExactly) {
+  const std::vector<double> values = {0.0,   -0.0,   1.0,
+                                      0.1,   1e300,  1e-300,
+                                      3.14159265358979, 0.30000000000000004};
+  for (const double v : values) {
+    EXPECT_EQ(*ParseFloat64(FormatFloat64(v)), v) << FormatFloat64(v);
+  }
+}
+
+TEST(JsonValueTest, ScalarRoundTrips) {
+  for (const char* text :
+       {"null", "true", "false", "0", "-7", "123456789", "0.5", "-1.25",
+        "\"\"", "\"hello\"", "\"line\\nbreak\"", "\"quote\\\"inside\""}) {
+    const Result<Value> parsed = Value::Parse(text);
+    ASSERT_TRUE(parsed.ok()) << text << ": " << parsed.status();
+    EXPECT_EQ(parsed->Dump(), text);
+  }
+}
+
+TEST(JsonValueTest, IntAndDoubleStayDistinct) {
+  const Result<Value> as_int = Value::Parse("5");
+  const Result<Value> as_double = Value::Parse("5.0");
+  ASSERT_TRUE(as_int.ok());
+  ASSERT_TRUE(as_double.ok());
+  EXPECT_TRUE(as_int->is_int());
+  EXPECT_FALSE(as_double->is_int());
+  EXPECT_TRUE(as_double->is_number());
+  EXPECT_FALSE(*as_int == *as_double);
+  // A whole-valued double keeps a decimal point so it reparses as a double.
+  EXPECT_EQ(as_double->Dump(), "5.0");
+}
+
+TEST(JsonValueTest, HugeIntegerFallsBackToDouble) {
+  const Result<Value> parsed = Value::Parse("123456789012345678901234567890");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->is_int());
+  EXPECT_TRUE(parsed->is_number());
+}
+
+TEST(JsonValueTest, IntValueSaturatesOutOfRangeDoubles) {
+  // Wire input can carry any double; the cast must saturate, not overflow
+  // (static_cast of an out-of-range double is UB).
+  EXPECT_EQ(Value(1e300).int_value(), 9223372036854775807LL);
+  EXPECT_EQ(Value(-1e300).int_value(), -9223372036854775807LL - 1);
+  EXPECT_EQ(Value(2.5).int_value(), 2);
+  const Result<Value> huge =
+      Value::Parse("{\"rows\":1e300,\"neg\":-1e300}");
+  ASSERT_TRUE(huge.ok());
+  EXPECT_EQ(huge->GetInt("rows"), 9223372036854775807LL);
+  EXPECT_EQ(huge->GetInt("neg"), -9223372036854775807LL - 1);
+}
+
+TEST(JsonValueTest, ObjectKeepsInsertionOrderAndOverwrites) {
+  Value object = Value::Object();
+  object.Set("z", 1);
+  object.Set("a", 2);
+  object.Set("z", 3);
+  EXPECT_EQ(object.Dump(), "{\"z\":3,\"a\":2}");
+  EXPECT_EQ(object.GetInt("z"), 3);
+  EXPECT_EQ(object.Find("missing"), nullptr);
+}
+
+TEST(JsonValueTest, EscapeHandling) {
+  const std::string text = "tab\there \"quoted\" back\\slash\nnewline";
+  Value value(text);
+  const Result<Value> reparsed = Value::Parse(value.Dump());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->string_value(), text);
+}
+
+TEST(JsonValueTest, UnicodeEscapes) {
+  const Result<Value> bmp = Value::Parse("\"\\u00e9\\u20ac\"");
+  ASSERT_TRUE(bmp.ok());
+  EXPECT_EQ(bmp->string_value(), "\xc3\xa9\xe2\x82\xac");  // e-acute, euro
+  const Result<Value> astral = Value::Parse("\"\\ud83d\\ude00\"");
+  ASSERT_TRUE(astral.ok());
+  EXPECT_EQ(astral->string_value(), "\xf0\x9f\x98\x80");  // U+1F600
+  EXPECT_FALSE(Value::Parse("\"\\ud83d\"").ok());  // unpaired surrogate
+  EXPECT_FALSE(Value::Parse("\"\\ude00\"").ok());  // lone low surrogate
+}
+
+TEST(JsonValueTest, RejectsMalformedInput) {
+  for (const char* text :
+       {"", "{", "}", "[1,", "{\"a\":}", "{\"a\" 1}", "{a:1}", "01x",
+        "\"unterminated", "truex", "[1 2]", "{\"a\":1}extra", "nul",
+        "1.2.3", "- 1", "\"bad\\escape\"", "[1,]2"}) {
+    EXPECT_FALSE(Value::Parse(text).ok()) << text;
+  }
+}
+
+TEST(JsonValueTest, DepthLimitStopsHostileNesting) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(Value::Parse(deep).ok());
+}
+
+TEST(JsonValueTest, PrettyPrintMatchesBenchLayout) {
+  Value summary = Value::Object();
+  summary.Set("bench", "demo");
+  summary.Set("speedup", 2.5);
+  summary.Set("ok", true);
+  Value sizes = Value::Array();
+  sizes.Append(1);
+  sizes.Append(2);
+  summary.Set("sizes", sizes);
+  EXPECT_EQ(summary.Dump(2),
+            "{\n"
+            "  \"bench\": \"demo\",\n"
+            "  \"speedup\": 2.5,\n"
+            "  \"ok\": true,\n"
+            "  \"sizes\": [1, 2]\n"
+            "}");
+  // Pretty output parses back to the same document.
+  const Result<Value> reparsed = Value::Parse(summary.Dump(2));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_TRUE(*reparsed == summary);
+}
+
+// ---------------------------------------------------------------------------
+// Property test: parse(serialize(x)) == x over random nested documents.
+// ---------------------------------------------------------------------------
+
+std::string RandomString(Rng* rng) {
+  static const char kAlphabet[] =
+      "ab\"\\/\b\f\n\r\txyz {}[]:,0e";
+  const size_t len = static_cast<size_t>(rng->UniformInt(uint64_t{12}));
+  std::string out;
+  for (size_t i = 0; i < len; ++i) {
+    const size_t pick = static_cast<size_t>(
+        rng->UniformInt(uint64_t{sizeof(kAlphabet)}));  // incl. one past end
+    if (pick >= sizeof(kAlphabet) - 1) {
+      out += "\xc3\xa9";  // a multi-byte UTF-8 character (e-acute)
+    } else {
+      out += kAlphabet[pick];
+    }
+  }
+  // Occasionally prepend a raw control character (must be \u-escaped).
+  if (rng->Bernoulli(0.2)) out.insert(out.begin(), '\x01');
+  return out;
+}
+
+Value RandomValue(Rng* rng, int depth) {
+  const uint64_t kind =
+      rng->UniformInt(depth >= 4 ? uint64_t{5} : uint64_t{7});
+  switch (kind) {
+    case 0:
+      return Value();
+    case 1:
+      return Value(rng->Bernoulli(0.5));
+    case 2:
+      return Value(static_cast<long long>(
+          rng->UniformInt(int64_t{-1000000}, int64_t{1000000})));
+    case 3: {
+      // Mix of tame and extreme magnitudes.
+      const double mantissa = rng->Uniform(-2.0, 2.0);
+      const int exponent =
+          static_cast<int>(rng->UniformInt(int64_t{-30}, int64_t{30}));
+      return Value(mantissa * std::pow(10.0, exponent));
+    }
+    case 4:
+      return Value(RandomString(rng));
+    case 5: {
+      Value array = Value::Array();
+      const uint64_t n = rng->UniformInt(uint64_t{4});
+      for (uint64_t i = 0; i < n; ++i) {
+        array.Append(RandomValue(rng, depth + 1));
+      }
+      return array;
+    }
+    default: {
+      Value object = Value::Object();
+      const uint64_t n = rng->UniformInt(uint64_t{4});
+      for (uint64_t i = 0; i < n; ++i) {
+        object.Set(RandomString(rng) + std::to_string(i),
+                   RandomValue(rng, depth + 1));
+      }
+      return object;
+    }
+  }
+}
+
+TEST(JsonPropertyTest, ParseSerializeRoundTripsRandomDocuments) {
+  Rng rng(20260727);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Value value = RandomValue(&rng, 0);
+    for (const int indent : {0, 2}) {
+      const std::string dumped = value.Dump(indent);
+      const Result<Value> reparsed = Value::Parse(dumped);
+      ASSERT_TRUE(reparsed.ok())
+          << "trial " << trial << ": " << reparsed.status() << "\n"
+          << dumped;
+      ASSERT_TRUE(*reparsed == value)
+          << "trial " << trial << " diverged:\n"
+          << dumped << "\nvs\n"
+          << reparsed->Dump(indent);
+      // Serialization is a fixed point: dump(parse(dump(x))) == dump(x).
+      EXPECT_EQ(reparsed->Dump(indent), dumped);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace json
+}  // namespace slicetuner

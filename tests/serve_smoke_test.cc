@@ -1,0 +1,163 @@
+// Server smoke test: spawns the real slicetuner_serve binary on an
+// ephemeral port and drives it with the real slicetuner_client CLI —
+// submit a job, stream its progress (>= 2 frames), cancel a second job,
+// check stats, and shut down gracefully, asserting clean exits throughout.
+// This is the end-to-end contract of the serving subsystem exercised the
+// way an operator would.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/string_util.h"
+
+namespace slicetuner {
+namespace {
+
+#ifndef SLICETUNER_SERVE_BIN
+#define SLICETUNER_SERVE_BIN "./slicetuner_serve"
+#endif
+#ifndef SLICETUNER_CLIENT_BIN
+#define SLICETUNER_CLIENT_BIN "./slicetuner_client"
+#endif
+
+struct CommandResult {
+  int exit_code = -1;
+  std::vector<std::string> lines;
+};
+
+CommandResult RunCommand(const std::string& command) {
+  CommandResult result;
+  std::FILE* pipe = ::popen((command + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buf[4096];
+  std::string current;
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) {
+    current += buf;
+    size_t newline;
+    while ((newline = current.find('\n')) != std::string::npos) {
+      result.lines.push_back(current.substr(0, newline));
+      current.erase(0, newline + 1);
+    }
+  }
+  if (!current.empty()) result.lines.push_back(current);
+  const int status = ::pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+/// The last line of a client invocation that parses as JSON.
+json::Value LastJson(const CommandResult& result) {
+  for (auto it = result.lines.rbegin(); it != result.lines.rend(); ++it) {
+    const Result<json::Value> parsed = json::Value::Parse(*it);
+    if (parsed.ok()) return *parsed;
+  }
+  return json::Value();
+}
+
+std::string JoinLines(const CommandResult& result) {
+  std::string all;
+  for (const std::string& line : result.lines) {
+    all += line;
+    all += '\n';
+  }
+  return all;
+}
+
+TEST(ServeSmokeTest, SubmitStreamCancelShutdownViaRealBinaries) {
+  // Launch the server on an ephemeral port and read the port back off its
+  // banner line.
+  std::FILE* server = ::popen(
+      (std::string(SLICETUNER_SERVE_BIN) +
+       " --port=0 --max-queue=8 --max-batch=4 2>&1")
+          .c_str(),
+      "r");
+  ASSERT_NE(server, nullptr);
+
+  int port = 0;
+  char buf[4096];
+  while (std::fgets(buf, sizeof(buf), server) != nullptr) {
+    const std::string line = buf;
+    const size_t marker = line.find("listening on 127.0.0.1:");
+    if (marker != std::string::npos) {
+      port = std::atoi(line.c_str() + marker +
+                       std::strlen("listening on 127.0.0.1:"));
+      break;
+    }
+  }
+  ASSERT_GT(port, 0) << "server never printed its listen banner";
+
+  const std::string client =
+      std::string(SLICETUNER_CLIENT_BIN) + " --port=" + std::to_string(port);
+
+  // 1. Submit a 2-round tuning job.
+  const CommandResult submitted = RunCommand(
+      client + " submit --session=s1 --rows=40 --budget=40 --rounds=2");
+  EXPECT_EQ(submitted.exit_code, 0) << JoinLines(submitted);
+  EXPECT_TRUE(LastJson(submitted).GetBool("ok")) << JoinLines(submitted);
+
+  // 2. Stream it to completion: at least 2 progress frames, then done.
+  const CommandResult streamed = RunCommand(client + " stream --session=s1");
+  EXPECT_EQ(streamed.exit_code, 0) << JoinLines(streamed);
+  int progress_frames = 0;
+  std::string final_state;
+  for (const std::string& line : streamed.lines) {
+    const Result<json::Value> frame = json::Value::Parse(line);
+    if (!frame.ok()) continue;
+    const std::string kind = frame->GetString("frame");
+    if (kind == "progress") ++progress_frames;
+    if (kind == "done") final_state = frame->GetString("state");
+  }
+  EXPECT_GE(progress_frames, 2) << JoinLines(streamed);
+  EXPECT_EQ(final_state, "done") << JoinLines(streamed);
+
+  // 3. Submit a long job and cancel it; it must resolve cancelled.
+  const CommandResult long_job = RunCommand(
+      client + " submit --session=s2 --rows=40 --budget=400 --rounds=400");
+  EXPECT_EQ(long_job.exit_code, 0) << JoinLines(long_job);
+  const CommandResult cancelled =
+      RunCommand(client + " cancel --session=s2");
+  EXPECT_EQ(cancelled.exit_code, 0) << JoinLines(cancelled);
+  std::string s2_state;
+  for (int attempt = 0; attempt < 600; ++attempt) {
+    const CommandResult polled = RunCommand(client + " poll --session=s2");
+    s2_state = LastJson(polled).GetString("state");
+    if (s2_state == "cancelled" || s2_state == "done" ||
+        s2_state == "failed") {
+      break;
+    }
+  }
+  EXPECT_EQ(s2_state, "cancelled");
+
+  // 4. Stats must acknowledge and report both sessions.
+  const CommandResult stats = RunCommand(client + " stats");
+  EXPECT_EQ(stats.exit_code, 0) << JoinLines(stats);
+  const json::Value stats_json = LastJson(stats);
+  EXPECT_TRUE(stats_json.GetBool("ok"));
+  const json::Value* sessions = stats_json.Find("sessions");
+  ASSERT_NE(sessions, nullptr) << JoinLines(stats);
+  EXPECT_EQ(sessions->GetInt("sessions"), 2);
+
+  // 5. Graceful shutdown: the client is acknowledged and the server
+  // process exits 0 after writing its stats summary.
+  const CommandResult shutdown = RunCommand(client + " shutdown");
+  EXPECT_EQ(shutdown.exit_code, 0) << JoinLines(shutdown);
+
+  std::string server_tail;
+  while (std::fgets(buf, sizeof(buf), server) != nullptr) {
+    server_tail += buf;
+  }
+  const int server_status = ::pclose(server);
+  EXPECT_TRUE(WIFEXITED(server_status));
+  EXPECT_EQ(WEXITSTATUS(server_status), 0) << server_tail;
+  EXPECT_NE(server_tail.find("shut down cleanly"), std::string::npos)
+      << server_tail;
+}
+
+}  // namespace
+}  // namespace slicetuner

@@ -13,6 +13,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <dirent.h>
 #include <fstream>
 #include <sstream>
 #include <sys/stat.h>
@@ -354,6 +355,45 @@ TEST(TraceTest, SerializeDeserializeRoundTrips) {
   ASSERT_TRUE(parsed.ok()) << parsed.status();
   EXPECT_EQ(DiffTraces(trace, *parsed, TraceTolerance{}), "");
   EXPECT_EQ(parsed->Serialize(), trace.Serialize());
+}
+
+TEST(TraceTest, GoldenFilesReserializeBitIdentical) {
+  // The trace scalar lexers now come from the common JSON layer: every
+  // checked-in golden must still parse and re-serialize to the exact same
+  // bytes (the golden format is a frozen contract).
+  ::DIR* dir = ::opendir(SLICETUNER_GOLDEN_DIR);
+  ASSERT_NE(dir, nullptr) << "cannot open " << SLICETUNER_GOLDEN_DIR;
+  int checked = 0;
+  while (const dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name.size() < 6 || name.substr(name.size() - 6) != ".trace") continue;
+    const std::string path = std::string(SLICETUNER_GOLDEN_DIR) + "/" + name;
+    const Result<std::string> text = ReadFile(path);
+    ASSERT_TRUE(text.ok()) << text.status();
+    const Result<SimTrace> parsed = SimTrace::Deserialize(*text);
+    ASSERT_TRUE(parsed.ok()) << name << ": " << parsed.status();
+    EXPECT_EQ(parsed->Serialize(), *text) << name;
+    ++checked;
+  }
+  ::closedir(dir);
+  EXPECT_GE(checked, 20) << "golden directory looks unexpectedly empty";
+}
+
+TEST(TraceTest, JsonViewMirrorsTheTrace) {
+  const SimTrace trace = MakeSampleTrace();
+  const json::Value view = trace.ToJson();
+  EXPECT_EQ(view.GetString("scenario"), trace.scenario);
+  EXPECT_EQ(view.GetInt("num_slices"), trace.num_slices);
+  const json::Value* rounds = view.Find("rounds");
+  ASSERT_NE(rounds, nullptr);
+  ASSERT_EQ(rounds->size(), trace.rounds.size());
+  const json::Value& round = rounds->at(0);
+  EXPECT_EQ(round.GetInt("trainings"), trace.rounds[0].model_trainings);
+  EXPECT_DOUBLE_EQ(round.GetDouble("loss"), trace.rounds[0].loss);
+  // The JSON wire form survives a parse round trip.
+  const Result<json::Value> reparsed = json::Value::Parse(view.Dump());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_TRUE(*reparsed == view);
 }
 
 TEST(TraceTest, EmptyCurveListsRoundTrip) {

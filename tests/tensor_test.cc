@@ -358,11 +358,14 @@ TEST(BlockedKernelTest, BitIdenticalAcrossThreadCounts) {
   SetTensorOpThreads(4);
   MatMulTransposedB(a, b.Transposed(), &tb4);
   EXPECT_TRUE(tb1 == tb4);
+  // MatMulTransposedA contracts over rows: both operands need a.rows()
+  // rows (the previous b operand had 192 and read past the end).
+  const Matrix bt = b.Transposed();
   Matrix ta1, ta4;
   SetTensorOpThreads(1);
-  MatMulTransposedA(a, b, &ta1);
+  MatMulTransposedA(a, bt, &ta1);
   SetTensorOpThreads(4);
-  MatMulTransposedA(a, b, &ta4);
+  MatMulTransposedA(a, bt, &ta4);
   EXPECT_TRUE(ta1 == ta4);
   SetTensorOpThreads(0);
 }

@@ -1,0 +1,129 @@
+// slicetuner_client: command-line client for the tuning service.
+//
+// Usage:
+//   slicetuner_client --port=N submit --session=s1 [--slices=4] [--rows=60]
+//                     [--budget=120] [--rounds=2] [--method=moderate]
+//                     [--seed=1] [--append=0] [--append-slice=0]
+//   slicetuner_client --port=N poll --session=s1
+//   slicetuner_client --port=N stream --session=s1   # prints frames to done
+//   slicetuner_client --port=N cancel --session=s1
+//   slicetuner_client --port=N stats
+//   slicetuner_client --port=N shutdown
+//
+// Every server line is echoed to stdout. Exit code 0 iff the request was
+// acknowledged ok (and, for stream, the session finished with a done frame).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+
+namespace {
+
+std::string ParseStringFlag(int argc, char** argv, const char* prefix,
+                            const std::string& fallback) {
+  const size_t len = std::strlen(prefix);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix, len) == 0) {
+      return std::string(argv[i] + len);
+    }
+  }
+  return fallback;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: slicetuner_client --port=N "
+               "(submit|poll|stream|cancel|stats|shutdown) "
+               "[--session=NAME] [flags]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace slicetuner;
+
+  const int port = bench::ParseIntFlag(argc, argv, "--port=", 0);
+  if (port <= 0) return Usage();
+
+  std::string command;
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] != '-') {
+      command = argv[i];
+      break;
+    }
+  }
+  if (command.empty()) return Usage();
+
+  serve::Request request;
+  request.session = ParseStringFlag(argc, argv, "--session=", "");
+  if (command == "submit") {
+    request.type = serve::RequestType::kSubmitJob;
+    request.job.session = request.session;
+    // 0 = unspecified: the server defaults new sessions to 4 slices and
+    // lets resumed sessions inherit their existing count.
+    request.job.num_slices = bench::ParseIntFlag(argc, argv, "--slices=", 0);
+    request.job.rows_per_slice =
+        bench::ParseIntFlag(argc, argv, "--rows=", 60);
+    request.job.budget =
+        static_cast<double>(bench::ParseIntFlag(argc, argv, "--budget=", 120));
+    request.job.rounds = bench::ParseIntFlag(argc, argv, "--rounds=", 2);
+    request.job.method =
+        ParseStringFlag(argc, argv, "--method=", "moderate");
+    request.job.seed = static_cast<uint64_t>(
+        bench::ParseIntFlag(argc, argv, "--seed=", 1));
+    request.job.append_rows = bench::ParseIntFlag(argc, argv, "--append=", 0);
+    request.job.append_slice =
+        bench::ParseIntFlag(argc, argv, "--append-slice=", 0);
+  } else if (command == "poll") {
+    request.type = serve::RequestType::kPoll;
+  } else if (command == "stream") {
+    request.type = serve::RequestType::kStream;
+  } else if (command == "cancel") {
+    request.type = serve::RequestType::kCancel;
+  } else if (command == "stats") {
+    request.type = serve::RequestType::kStats;
+  } else if (command == "shutdown") {
+    request.type = serve::RequestType::kShutdown;
+  } else {
+    return Usage();
+  }
+
+  auto connection = serve::ClientConnection::Connect(port);
+  if (!connection.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 connection.status().ToString().c_str());
+    return 1;
+  }
+
+  const int timeout_ms = bench::ParseIntFlag(argc, argv, "--timeout-ms=",
+                                             /*default=*/60000);
+  auto response = connection->Call(request, timeout_ms);
+  if (!response.ok()) {
+    std::fprintf(stderr, "error: %s\n", response.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", response->Dump().c_str());
+  if (!serve::IsOkResponse(*response)) return 1;
+
+  if (request.type != serve::RequestType::kStream) return 0;
+
+  // Stream mode: print frames until the done frame arrives.
+  for (;;) {
+    auto frame = connection->ReadJson(timeout_ms);
+    if (!frame.ok()) {
+      std::fprintf(stderr, "error: %s\n", frame.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", frame->Dump().c_str());
+    std::fflush(stdout);
+    if (frame->GetString("frame") == "done") {
+      const std::string state = frame->GetString("state");
+      return (state == "done" || state == "cancelled") ? 0 : 1;
+    }
+  }
+}

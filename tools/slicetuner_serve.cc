@@ -1,0 +1,51 @@
+// slicetuner_serve: the tuning service daemon. Binds 127.0.0.1:<port>,
+// serves the line-delimited JSON protocol (src/serve/protocol.h), and on
+// graceful shutdown writes a serve_stats.json summary into the results
+// directory (SLICETUNER_RESULTS_DIR honored, like every bench).
+//
+// Usage:
+//   slicetuner_serve [--port=0] [--threads=N] [--max-queue=16]
+//                    [--max-batch=8] [--retry-after-ms=50]
+//                    [--max-backlog=0]
+//
+// Prints "slicetuner_serve listening on 127.0.0.1:<port>" once ready (the
+// smoke test and scripts read the ephemeral port off this line).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/fs_util.h"
+#include "serve/server.h"
+
+int main(int argc, char** argv) {
+  using namespace slicetuner;
+
+  serve::ServerOptions options;
+  options.port = bench::ParseIntFlag(argc, argv, "--port=", 0);
+  options.max_concurrent_sessions =
+      bench::ParseThreadsFlag(argc, argv, /*default=*/0);
+  options.admission.max_queue_depth = static_cast<size_t>(
+      bench::ParseIntFlag(argc, argv, "--max-queue=", 16));
+  options.admission.max_batch = static_cast<size_t>(
+      bench::ParseIntFlag(argc, argv, "--max-batch=", 8));
+  options.admission.retry_after_ms =
+      bench::ParseIntFlag(argc, argv, "--retry-after-ms=", 50);
+  options.admission.max_executor_backlog = static_cast<size_t>(
+      bench::ParseIntFlag(argc, argv, "--max-backlog=", 0));
+
+  serve::TuningServer server(options);
+  ST_CHECK_OK(server.Start());
+  std::printf("slicetuner_serve listening on 127.0.0.1:%d\n", server.port());
+  std::printf("queue depth %zu, batch %zu, retry-after %d ms\n",
+              options.admission.max_queue_depth, options.admission.max_batch,
+              options.admission.retry_after_ms);
+  std::fflush(stdout);
+
+  server.Wait();
+
+  const std::string stats_path = ResultsDir() + "/serve_stats.json";
+  ST_CHECK_OK(
+      WriteStringToFile(stats_path, server.StatsJson().Dump(2) + "\n"));
+  std::printf("shut down cleanly; stats written to %s\n", stats_path.c_str());
+  return 0;
+}
