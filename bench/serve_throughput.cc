@@ -60,8 +60,8 @@ double RunWave(int port, const std::string& prefix, int jobs, long long rows,
       ST_CHECK_OK(response.status());
       if (serve::IsOkResponse(*response)) break;
       // Shed: honor the retry-after hint and resubmit.
-      const long long backoff = response->GetInt("retry_after_ms", 20);
-      if (response->GetInt("retry_after_ms", 0) == 0) {
+      const long long backoff = response->GetInt("retry_after_ms", 0);
+      if (backoff == 0) {
         std::fprintf(stderr, "unexpected rejection: %s\n",
                      response->Dump().c_str());
         *all_succeeded = false;

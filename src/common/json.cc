@@ -495,6 +495,11 @@ class Parser {
     if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
       return Fail("expected a value");
     }
+    // RFC 8259: the integer part is either a single 0 or starts 1-9.
+    if (text_[pos_] == '0' && pos_ + 1 < text_.size() &&
+        text_[pos_ + 1] >= '0' && text_[pos_ + 1] <= '9') {
+      return Fail("leading zeros are not allowed");
+    }
     bool integral = true;
     while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
       ++pos_;

@@ -37,8 +37,9 @@ Status JobSpec::Validate() const {
     return Status::InvalidArgument(
         "submit_job: rows_per_slice must lie in [8, 100000]");
   }
-  if (append_rows < 0) {
-    return Status::InvalidArgument("submit_job: append_rows must be >= 0");
+  if (append_rows < 0 || append_rows > kMaxAppendRows) {
+    return Status::InvalidArgument(
+        "submit_job: append_rows must lie in [0, 1000000]");
   }
   // append_slice's upper bound depends on the resolved slice count (a
   // resumed session inherits it), so the range check happens at resolution
@@ -46,8 +47,9 @@ Status JobSpec::Validate() const {
   if (append_slice < 0) {
     return Status::OutOfRange("submit_job: append_slice must be >= 0");
   }
-  if (budget <= 0.0) {
-    return Status::InvalidArgument("submit_job: budget must be positive");
+  // !(> 0) rather than (<= 0) so NaN is rejected too.
+  if (!(budget > 0.0) || budget > kMaxBudget) {
+    return Status::InvalidArgument("submit_job: budget must lie in (0, 1e7]");
   }
   if (rounds < 1 || rounds > 1000) {
     return Status::InvalidArgument(

@@ -67,9 +67,13 @@ struct JobSpec {
   /// > 0 on a session that already holds data, only the touched slice goes
   /// stale, so estimation partially refits instead of re-running cold.
   long long append_rows = 0;
+  static constexpr long long kMaxAppendRows = 1000000;
   int append_slice = 0;
-  /// Total acquisition budget, split evenly across rounds.
+  /// Total acquisition budget, split evenly across rounds. Bounded: at unit
+  /// cost a budget of B materializes ~B rows, so an unbounded value would
+  /// let one request demand arbitrary data generation.
   double budget = 120.0;
+  static constexpr double kMaxBudget = 1.0e7;
   int rounds = 2;
   /// "moderate" (curve-based one-shot plan per round) or a baseline:
   /// "uniform" | "water_filling" | "proportional".

@@ -129,12 +129,18 @@ void TuningServer::DispatchLoop() {
       if (admission_.stopped()) return;
       continue;
     }
+    // Batches drained after a shutdown request are queued-but-unstarted
+    // work: cancel them up front so RunJob resolves each one cancelled
+    // without running, honoring the graceful-shutdown contract (server.h).
+    const bool cancel_batch =
+        shutdown_requested_.load(std::memory_order_relaxed);
     engine::ExperimentRunner::Options runner_options;
     runner_options.max_concurrent_sessions = options_.max_concurrent_sessions;
     engine::ExperimentRunner runner(runner_options);
     for (const uint64_t id : batch) {
       TuningSession* session = sessions_.FindById(id);
       if (session == nullptr) continue;
+      if (cancel_batch) session->RequestCancel();
       runner.SubmitTask(session->name(),
                         [session] { return session->RunJob(); });
     }
@@ -166,15 +172,20 @@ void TuningServer::PollLoop() {
       return;
     }
 
+    // `polled` holds indices, not Connection pointers: the accept loop below
+    // push_backs into connections_, and a reallocation would dangle any
+    // pointer taken here (indices survive growth; erasure happens after the
+    // read loop).
     std::vector<pollfd> fds;
-    std::vector<Connection*> polled;  // fds[i + 1] belongs to polled[i]
+    std::vector<size_t> polled;  // fds[i + 1] belongs to connections_[polled[i]]
     fds.push_back(pollfd{listen_fd_, POLLIN, 0});
-    for (Connection& conn : connections_) {
+    for (size_t c = 0; c < connections_.size(); ++c) {
+      const Connection& conn = connections_[c];
       if (conn.fd < 0) continue;
       short events = POLLIN;
       if (!conn.output.empty()) events |= POLLOUT;
       fds.push_back(pollfd{conn.fd, events, 0});
-      polled.push_back(&conn);
+      polled.push_back(c);
     }
     ::poll(fds.data(), fds.size(), options_.poll_interval_ms);
 
@@ -201,8 +212,8 @@ void TuningServer::PollLoop() {
 
     // Read the connections poll() flagged and process complete lines.
     for (size_t i = 0; i < polled.size(); ++i) {
-      Connection& conn = *polled[i];
-      if (conn.fd < 0) continue;
+      Connection& conn = connections_[polled[i]];
+      if (conn.fd < 0 || conn.closed) continue;
       if ((fds[i + 1].revents & (POLLIN | POLLERR | POLLHUP)) == 0) continue;
       char buf[4096];
       for (;;) {
@@ -217,10 +228,19 @@ void TuningServer::PollLoop() {
         break;  // n < 0: EAGAIN or error — either way stop reading
       }
       size_t newline;
-      while ((newline = conn.input.find('\n')) != std::string::npos) {
+      while (!conn.closed &&
+             (newline = conn.input.find('\n')) != std::string::npos) {
+        if (newline > options_.max_request_bytes) {
+          RejectOversizedInput(&conn);
+          break;
+        }
         const std::string line = conn.input.substr(0, newline);
         conn.input.erase(0, newline + 1);
         if (!line.empty()) HandleLine(&conn, line);
+      }
+      // A partial line may never complete; bound what we buffer for it.
+      if (!conn.closed && conn.input.size() > options_.max_request_bytes) {
+        RejectOversizedInput(&conn);
       }
     }
 
@@ -242,6 +262,14 @@ void TuningServer::PollLoop() {
   }
 }
 
+void TuningServer::RejectOversizedInput(Connection* conn) {
+  SendJson(conn, ErrorResponse(Status::InvalidArgument(
+                     "request line exceeds max_request_bytes")));
+  conn->input.clear();
+  conn->streaming = nullptr;
+  conn->closed = true;  // dropped once the error response flushes
+}
+
 void TuningServer::HandleLine(Connection* conn, const std::string& line) {
   requests_handled_.fetch_add(1, std::memory_order_relaxed);
   const Result<Request> request = Request::Parse(line);
@@ -260,15 +288,22 @@ json::Value TuningServer::HandleRequest(Connection* conn,
         return ErrorResponse(
             Status::FailedPrecondition("server is shutting down"));
       }
+      bool created = false;
       const Result<TuningSession*> session =
-          sessions_.Register(request.job);
+          sessions_.Register(request.job, &created);
       if (!session.ok()) return ErrorResponse(session.status());
       const Status admitted = admission_.Admit((*session)->id());
       if (!admitted.ok()) {
-        // The session was registered but not queued: resolve it so a
-        // retried submit can re-arm it.
-        (*session)->RequestCancel();
-        (void)(*session)->RunJob();
+        if (created) {
+          // Never admitted, so nothing else references it: drop it outright
+          // or shed traffic with fresh names grows the registry forever.
+          sessions_.Drop((*session)->id());
+        } else {
+          // A resumed session pre-existed; resolve it cancelled so a
+          // retried submit can re-arm it.
+          (*session)->RequestCancel();
+          (void)(*session)->RunJob();
+        }
         int retry = 0;
         if (admitted.code() == StatusCode::kResourceExhausted) {
           retry = admission_.retry_after_ms();

@@ -38,6 +38,10 @@ struct ServerOptions {
   /// Stream-flush cadence of the poll loop.
   int poll_interval_ms = 20;
   int max_connections = 64;
+  /// Longest accepted request line; a connection whose (complete or
+  /// still-unterminated) line exceeds this is answered with InvalidArgument
+  /// and dropped, bounding per-connection buffering.
+  size_t max_request_bytes = 1 << 20;
 };
 
 class TuningServer {
@@ -79,6 +83,7 @@ class TuningServer {
 
   void PollLoop();
   void DispatchLoop();
+  void RejectOversizedInput(Connection* conn);
   void HandleLine(Connection* conn, const std::string& line);
   json::Value HandleRequest(Connection* conn, const Request& request);
   void FlushStreams();

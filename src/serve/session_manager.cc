@@ -279,6 +279,11 @@ Status TuningSession::ExecuteJob(const JobSpec& job) {
     source_->BeginRound(next_round_index_);
     const Dataset batch = source_->Acquire(
         job.append_slice, static_cast<size_t>(job.append_rows));
+    // The append consumed this round index's acquisition stream; advance so
+    // the job's first round draws fresh examples instead of replaying the
+    // exact draws that produced the appended rows (BeginRound re-seeds as a
+    // pure function of (seed, round)).
+    ++next_round_index_;
     ST_RETURN_NOT_OK(tuner_->AppendTrainingData(batch));
     std::lock_guard<std::mutex> lock(mu_);
     rows_ = static_cast<long long>(tuner_->train().size());
@@ -380,7 +385,9 @@ Status TuningSession::RunRounds(const JobSpec& job) {
 // SessionManager
 // ---------------------------------------------------------------------------
 
-Result<TuningSession*> SessionManager::Register(const JobSpec& job) {
+Result<TuningSession*> SessionManager::Register(const JobSpec& job,
+                                                bool* created) {
+  if (created != nullptr) *created = false;
   ST_RETURN_NOT_OK(job.Validate());
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& session : sessions_) {
@@ -400,7 +407,18 @@ Result<TuningSession*> SessionManager::Register(const JobSpec& job) {
   }
   sessions_.push_back(std::make_unique<TuningSession>(next_id_++, resolved));
   ++stats_.created;
+  if (created != nullptr) *created = true;
   return sessions_.back().get();
+}
+
+void SessionManager::Drop(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+    if ((*it)->id() != id) continue;
+    --stats_.created;  // the session never became visible to clients
+    sessions_.erase(it);
+    return;
+  }
 }
 
 TuningSession* SessionManager::Find(const std::string& name) const {

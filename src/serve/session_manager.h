@@ -146,8 +146,17 @@ class SessionManager {
   /// Registers a submit_job: creates a fresh session, or resumes a terminal
   /// one when the key is already known. Fails with AlreadyExists when the
   /// session is still queued/running. The returned pointer stays valid for
-  /// the manager's lifetime.
-  Result<TuningSession*> Register(const JobSpec& job);
+  /// the manager's lifetime — except a freshly `created` session the caller
+  /// immediately hands back to Drop(). `created` (optional) reports whether
+  /// the call created the session rather than resuming one.
+  Result<TuningSession*> Register(const JobSpec& job,
+                                  bool* created = nullptr);
+
+  /// Erases a session that Register just created but that was never
+  /// admitted (so no other thread or connection can reference it). Keeps
+  /// shed submissions with fresh session names from growing the registry
+  /// without bound. No-op for unknown ids.
+  void Drop(uint64_t id);
 
   /// nullptr when unknown.
   TuningSession* Find(const std::string& name) const;

@@ -122,8 +122,14 @@ TEST(JsonValueTest, RejectsMalformedInput) {
   for (const char* text :
        {"", "{", "}", "[1,", "{\"a\":}", "{\"a\" 1}", "{a:1}", "01x",
         "\"unterminated", "truex", "[1 2]", "{\"a\":1}extra", "nul",
-        "1.2.3", "- 1", "\"bad\\escape\"", "[1,]2"}) {
+        "1.2.3", "- 1", "\"bad\\escape\"", "[1,]2",
+        // RFC 8259 forbids leading zeros.
+        "007", "-00.5", "01", "[0123]"}) {
     EXPECT_FALSE(Value::Parse(text).ok()) << text;
+  }
+  // ...but a lone zero integer part stays valid in every position.
+  for (const char* text : {"0", "-0", "0.5", "-0.5", "0e3"}) {
+    EXPECT_TRUE(Value::Parse(text).ok()) << text;
   }
 }
 

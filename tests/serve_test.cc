@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
@@ -86,6 +87,13 @@ TEST(ProtocolTest, RejectsInvalidRequests) {
                    .ok());
   EXPECT_FALSE(Request::Parse("{\"type\":\"submit_job\",\"session\":\"x\","
                               "\"append_slice\":-1}")
+                   .ok());
+  // One request must not be able to demand unbounded data generation.
+  EXPECT_FALSE(Request::Parse("{\"type\":\"submit_job\",\"session\":\"x\","
+                              "\"append_rows\":1000000000000}")
+                   .ok());
+  EXPECT_FALSE(Request::Parse("{\"type\":\"submit_job\",\"session\":\"x\","
+                              "\"budget\":1e12}")
                    .ok());
   // append_slice's upper bound is checked at resolution time (the session
   // may inherit its slice count), not at parse time.
@@ -257,6 +265,12 @@ TEST(SessionTest, ResubmitWithAppendedRowsRidesPartialRefit) {
   // wall-clock win.
   EXPECT_LT(warm_trainings, cold_trainings);
   EXPECT_GT(cold_wall, 0.0);
+
+  // The append consumes its own acquisition-round index (the cold 1-round
+  // job used round 0, the append round 1), so the resumed job's round is 2
+  // and its acquisitions cannot replay the appended rows' draws.
+  ASSERT_EQ((*resumed)->FrameCount(), 2u);
+  EXPECT_EQ((*resumed)->FrameAt(1).GetInt("round"), 2);
 
   const json::Value snapshot = (*resumed)->Snapshot();
   const json::Value* cache = snapshot.Find("curve_cache");
@@ -439,6 +453,10 @@ TEST(TuningServerTest, ShedsLoadWithRetryAfterWhenQueueIsFull) {
   }
   EXPECT_GE(shed, 1);
   EXPECT_GE(server.admission().stats().shed_queue_full, 1u);
+  // Shed submissions with fresh session names must not grow the registry:
+  // only the admitted ones keep a session object.
+  EXPECT_EQ(server.sessions().session_count(), static_cast<size_t>(6 - shed));
+  EXPECT_EQ(server.sessions().stats().created, static_cast<size_t>(6 - shed));
 
   for (int j = 0; j < 6; ++j) {
     (void)connection->Call(SessionRequest(RequestType::kCancel,
@@ -446,6 +464,68 @@ TEST(TuningServerTest, ShedsLoadWithRetryAfterWhenQueueIsFull) {
   }
   server.RequestShutdown();
   server.Wait();
+}
+
+TEST(TuningServerTest, OversizedRequestLineIsRejectedAndDropped) {
+  ServerOptions options;
+  options.max_request_bytes = 512;
+  TuningServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  auto connection = ClientConnection::Connect(server.port());
+  ASSERT_TRUE(connection.ok());
+
+  // A line over the cap is answered with an error, and the connection is
+  // dropped instead of buffering without bound.
+  ASSERT_TRUE(connection->SendLine(std::string(2048, 'x')).ok());
+  auto response = connection->ReadJson();
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_FALSE(IsOkResponse(*response));
+  EXPECT_EQ(response->GetString("code"), "InvalidArgument")
+      << response->Dump();
+  EXPECT_FALSE(connection->ReadLine(/*timeout_ms=*/10000).ok());
+
+  server.RequestShutdown();
+  server.Wait();
+}
+
+TEST(TuningServerTest, ShutdownCancelsQueuedSessions) {
+  // The graceful-shutdown contract (server.h): the batch in flight runs to
+  // completion, but sessions still queued when shutdown is requested must
+  // resolve cancelled without running.
+  TuningServer server;
+  ASSERT_TRUE(server.Start().ok());
+  auto connection = ClientConnection::Connect(server.port());
+  ASSERT_TRUE(connection.ok());
+
+  // Occupy the dispatcher with a long-running batch before queueing more.
+  auto submitted = connection->Call(SubmitRequest(SmallJob("runner", 500)));
+  ASSERT_TRUE(submitted.ok());
+  ASSERT_TRUE(IsOkResponse(*submitted)) << submitted->Dump();
+  TuningSession* runner = server.sessions().Find("runner");
+  ASSERT_NE(runner, nullptr);
+  for (int i = 0; i < 60000 && runner->phase() != SessionPhase::kRunning;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(runner->phase(), SessionPhase::kRunning);
+
+  for (const char* name : {"q1", "q2"}) {
+    auto queued = connection->Call(SubmitRequest(SmallJob(name, 2)));
+    ASSERT_TRUE(queued.ok());
+    ASSERT_TRUE(IsOkResponse(*queued)) << queued->Dump();
+  }
+
+  server.RequestShutdown();
+  // Unblock the in-flight batch so shutdown completes promptly.
+  ASSERT_TRUE(server.sessions().Cancel("runner").ok());
+  server.Wait();
+
+  for (const char* name : {"q1", "q2"}) {
+    TuningSession* session = server.sessions().Find(name);
+    ASSERT_NE(session, nullptr);
+    EXPECT_EQ(session->phase(), SessionPhase::kCancelled) << name;
+    EXPECT_EQ(session->FrameCount(), 0u) << name << " ran a round";
+  }
 }
 
 }  // namespace
