@@ -75,6 +75,18 @@ inline int ParseIntFlag(int argc, char** argv, const char* prefix,
   return default_value;
 }
 
+/// Parses a string `--<flag>=value` argument (e.g. "--state-dir=").
+inline std::string ParseStringFlag(int argc, char** argv, const char* prefix,
+                                   const std::string& default_value) {
+  const size_t len = std::strlen(prefix);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix, len) == 0) {
+      return std::string(argv[i] + len);
+    }
+  }
+  return default_value;
+}
+
 /// Parses `--threads=N` from the command line: the engine lane count the
 /// bench opts into (1 = serial, 0 = every core; see engine/parallel_for.h).
 /// Results are identical at any setting — only wall time changes.

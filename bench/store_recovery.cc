@@ -1,0 +1,158 @@
+// Store recovery benchmark: what a warm restart buys. One durable session
+// runs a cold tuning job and checkpoints; the bench then measures
+//
+//   cold_refit_seconds    rebuilding the session state by re-running the
+//                         job from scratch (what a stateless daemon pays
+//                         after every restart: full model re-training), vs
+//   warm_replay_seconds   store recovery (snapshot + journal replay: data
+//                         re-derived, curve cache installed, zero model
+//                         trainings).
+//
+// Writes BENCH_store.json (gated against bench/baselines/ by
+// scripts/check_bench.py: the warm_vs_cold_replay_speedup ratio and the
+// correctness booleans).
+//
+// Usage: bench_store_recovery [--rows=240] [--repeats=3]
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "serve/session_manager.h"
+#include "store/store.h"
+
+namespace slicetuner {
+namespace {
+
+serve::JobSpec ColdJob(long long rows) {
+  serve::JobSpec job;
+  job.session = "bench";
+  job.num_slices = 4;
+  job.rows_per_slice = rows;
+  job.budget = 40.0;
+  job.rounds = 1;
+  job.method = "moderate";
+  job.seed = 7;
+  return job;
+}
+
+serve::TuningSession* MustRun(serve::SessionManager* manager,
+                              const serve::JobSpec& job) {
+  Result<serve::TuningSession*> session = manager->Register(job);
+  ST_CHECK_OK(session.status());
+  ST_CHECK_OK((*session)->RunJob());
+  return *session;
+}
+
+}  // namespace
+}  // namespace slicetuner
+
+int main(int argc, char** argv) {
+  using namespace slicetuner;
+
+  const long long rows = bench::ParseIntFlag(argc, argv, "--rows=", 240);
+  const int repeats =
+      std::max(1, bench::ParseIntFlag(argc, argv, "--repeats=", 3));
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  const std::string state_dir = ResultsDir() + "/store_recovery_state";
+  // Fresh state dir: leftover generations from an earlier run would skew
+  // the replay measurement.
+  if (const Result<std::vector<std::string>> leftovers =
+          ListDirFiles(state_dir);
+      leftovers.ok()) {
+    for (const std::string& file : *leftovers) {
+      ST_CHECK_OK(RemoveFile(state_dir + "/" + file));
+    }
+  }
+
+  // Seed the durable state: one cold job, checkpointed.
+  long long cold_trainings = 0;
+  {
+    Result<std::unique_ptr<store::DurableStore>> store =
+        store::DurableStore::Open(state_dir);
+    ST_CHECK_OK(store.status());
+    serve::SessionManager manager;
+    manager.AttachStore(store->get());
+    serve::TuningSession* session =
+        MustRun(&manager, ColdJob(rows));
+    cold_trainings = session->last_job_trainings();
+    ST_CHECK_OK((*store)->WriteSnapshot(manager.DurableSnapshot()));
+  }
+
+  // Cold refit: a stateless daemon re-runs the job from scratch on every
+  // restart (model trainings included). Best of N.
+  double cold_seconds = 0.0;
+  for (int r = 0; r < repeats; ++r) {
+    serve::SessionManager fresh;
+    Stopwatch timer;
+    MustRun(&fresh, ColdJob(rows));
+    const double wall = timer.ElapsedSeconds();
+    cold_seconds = r == 0 ? wall : std::min(cold_seconds, wall);
+  }
+
+  // Warm replay: recover the same resting state from the store — data
+  // re-derived deterministically, curve cache installed hash-validated,
+  // zero model trainings. Best of N.
+  double warm_seconds = 0.0;
+  size_t warm_slices = 0;
+  bool replay_matches = true;
+  for (int r = 0; r < repeats; ++r) {
+    Result<std::unique_ptr<store::DurableStore>> store =
+        store::DurableStore::Open(state_dir);
+    ST_CHECK_OK(store.status());
+    serve::SessionManager recovered;
+    Stopwatch timer;
+    Result<serve::RestoreReport> report = recovered.RestoreFromState(
+        (*store)->recovered(), store->get(), /*skip_existing=*/false);
+    const double wall = timer.ElapsedSeconds();
+    ST_CHECK_OK(report.status());
+    warm_seconds = r == 0 ? wall : std::min(warm_seconds, wall);
+    warm_slices = report->warm_slices;
+    serve::TuningSession* restored = recovered.Find("bench");
+    replay_matches =
+        replay_matches && restored != nullptr &&
+        restored->phase() == serve::SessionPhase::kDone &&
+        restored->last_job_trainings() == cold_trainings;
+  }
+
+  const double speedup = warm_seconds > 0.0 ? cold_seconds / warm_seconds
+                                            : 0.0;
+  std::printf("store recovery (rows_per_slice=%lld, best of %d):\n", rows,
+              repeats);
+  std::printf("  cold refit   %.4f s  (%lld model trainings)\n",
+              cold_seconds, cold_trainings);
+  std::printf("  warm replay  %.4f s  (0 model trainings, %zu warm slices)\n",
+              warm_seconds, warm_slices);
+  std::printf("  speedup      %.1fx\n", speedup);
+
+  json::Value summary = json::Value::Object();
+  summary.Set("bench", "store_recovery");
+  summary.Set("rows_per_slice", rows);
+  summary.Set("repeats", repeats);
+  summary.Set("hardware_cores", static_cast<long long>(cores));
+  summary.Set("cold_refit_seconds", cold_seconds);
+  summary.Set("warm_replay_seconds", warm_seconds);
+  summary.Set("warm_vs_cold_replay_speedup", speedup);
+  summary.Set("warm_slices", warm_slices);
+  summary.Set("replay_state_matches", replay_matches);
+  summary.Set("warm_replay_beats_cold_refit", warm_seconds < cold_seconds);
+  const std::string path = ResultsDir() + "/BENCH_store.json";
+  ST_CHECK_OK(bench::WriteBenchJson(path, summary));
+  std::printf("wrote %s\n", path.c_str());
+
+  // A recovery that fails to reproduce the resting state, or that is not
+  // actually cheaper than re-running the job, is a broken store: fail the
+  // bench (and with it, CI) loudly.
+  if (!replay_matches || !(warm_seconds < cold_seconds)) {
+    std::fprintf(stderr,
+                 "FAIL: warm replay must reproduce the session state and "
+                 "beat the cold refit\n");
+    return 1;
+  }
+  return 0;
+}

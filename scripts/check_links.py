@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the docs tree: broken intra-repo links fail.
+
+Scans the given markdown files (default: README.md and docs/*.md) for inline
+links and images `[text](target)` and checks every *intra-repo* target:
+
+  * relative file links must point at an existing file or directory
+    (resolved against the linking file's directory; optional #fragment and
+    :line suffixes are stripped);
+  * `#fragment` self-links must match a heading in the same file
+    (GitHub-style slugs: lowercase, punctuation dropped, spaces -> dashes);
+  * `http(s)://`, `mailto:` and other absolute-scheme links are skipped —
+    CI must not depend on external availability.
+
+Exit status: 0 when every link resolves, 1 otherwise (one line per broken
+link). Used by the `docs` job in .github/workflows/ci.yml; run locally as
+
+  python3 scripts/check_links.py
+"""
+
+import argparse
+import glob
+import os
+import re
+import sys
+
+# Inline links/images, tolerating one level of nested brackets in the text
+# ([![badge](img)](target)). Reference-style links are not used in this repo.
+LINK_RE = re.compile(r"!?\[(?:[^\[\]]|\[[^\]]*\])*\]\(([^()\s]+(?:\([^)]*\))?)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^\s*(```|~~~)")
+SCHEME_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def github_slug(heading):
+    """GitHub's anchor slug: strip punctuation, lowercase, spaces to dashes."""
+    text = re.sub(r"[`*_~]", "", heading.strip())
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return re.sub(r" ", "-", text.lower())
+
+
+def markdown_links(path):
+    """Yields (line_number, target) for every inline link outside code fences."""
+    in_fence = False
+    with open(path, "r", encoding="utf-8") as f:
+        for number, line in enumerate(f, start=1):
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in LINK_RE.finditer(line):
+                yield number, match.group(1)
+
+
+def heading_slugs(path):
+    slugs = set()
+    in_fence = False
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            match = HEADING_RE.match(line)
+            if match:
+                slugs.add(github_slug(match.group(1)))
+    return slugs
+
+
+def check_file(path, repo_root):
+    errors = []
+    for number, target in markdown_links(path):
+        if SCHEME_RE.match(target):
+            continue  # external: not this gate's business
+        target, _, fragment = target.partition("#")
+        if not target:
+            if fragment and github_slug(fragment) not in heading_slugs(path):
+                errors.append(f"{path}:{number}: no heading for anchor "
+                              f"'#{fragment}'")
+            continue
+        target = target.split(":")[0]  # tolerate file.cc:123 line links
+        if target.startswith("/"):
+            resolved = os.path.join(repo_root, target.lstrip("/"))
+        else:
+            resolved = os.path.join(os.path.dirname(path), target)
+        if not os.path.exists(resolved):
+            errors.append(f"{path}:{number}: broken link '{target}' "
+                          f"(resolved {os.path.normpath(resolved)})")
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="*",
+                        help="markdown files (default: README.md docs/*.md)")
+    args = parser.parse_args()
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    files = args.files or (
+        [os.path.join(repo_root, "README.md")] +
+        sorted(glob.glob(os.path.join(repo_root, "docs", "*.md"))))
+
+    missing = [f for f in files if not os.path.exists(f)]
+    for f in missing:
+        print(f"FAIL {f}: file not found")
+    errors = []
+    checked = 0
+    for path in files:
+        if path in missing:
+            continue
+        errors.extend(check_file(path, repo_root))
+        checked += 1
+    for error in errors:
+        print(f"FAIL {error}")
+    if errors or missing:
+        print(f"\nlink check FAILED: {len(errors) + len(missing)} problem(s) "
+              f"across {checked} file(s)")
+        return 1
+    print(f"link check passed: {checked} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,9 +1,14 @@
 #include "common/fs_util.h"
 
+#include <dirent.h>
+#include <fcntl.h>
 #include <sys/stat.h>
+#include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace slicetuner {
 
@@ -68,6 +73,112 @@ Status WriteStringToFile(const std::string& path, const std::string& content) {
     return Status::Internal("WriteStringToFile: write failed for " + path);
   }
   return Status::OK();
+}
+
+namespace {
+
+const uint32_t* Crc32Table() {
+  static const uint32_t* table = [] {
+    static uint32_t entries[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      entries[i] = c;
+    }
+    return entries;
+  }();
+  return table;
+}
+
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+// fsync on a directory makes a completed rename durable. Some filesystems
+// refuse to fsync directories; that is a durability (not correctness) gap,
+// so failures here are swallowed.
+void BestEffortSyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
+  const uint32_t* table = Crc32Table();
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    c = table[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+uint32_t Crc32(const std::string& data, uint32_t seed) {
+  return Crc32(data.data(), data.size(), seed);
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::NotFound("WriteFileAtomic: cannot open " + tmp);
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  bool failed = std::ferror(f) != 0 || written != content.size();
+  failed = std::fflush(f) != 0 || failed;
+  if (!failed) failed = ::fsync(::fileno(f)) != 0;
+  if (std::fclose(f) != 0 || failed) {
+    std::remove(tmp.c_str());
+    return Status::Internal("WriteFileAtomic: write failed for " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("WriteFileAtomic: rename to " + path + " failed");
+  }
+  BestEffortSyncDir(ParentDir(path));
+  return Status::OK();
+}
+
+Status SyncFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::NotFound("SyncFile: cannot open " + path);
+  const bool failed = ::fsync(fd) != 0;
+  ::close(fd);
+  if (failed) return Status::Internal("SyncFile: fsync failed for " + path);
+  return Status::OK();
+}
+
+Status RemoveFile(const std::string& path) {
+  if (std::remove(path.c_str()) != 0) {
+    return Status::NotFound("RemoveFile: cannot remove " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> ListDirFiles(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    return Status::NotFound("ListDirFiles: cannot open " + dir);
+  }
+  std::vector<std::string> names;
+  while (dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    struct ::stat st;
+    if (::stat((dir + "/" + name).c_str(), &st) != 0) continue;
+    if (S_ISREG(st.st_mode)) names.push_back(name);
+  }
+  ::closedir(d);
+  std::sort(names.begin(), names.end());
+  return names;
 }
 
 }  // namespace slicetuner

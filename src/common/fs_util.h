@@ -1,11 +1,16 @@
-// Small filesystem helpers shared by the benchmark harnesses and the serving
-// tools: recursive directory creation and the SLICETUNER_RESULTS_DIR
-// convention for where JSON/CSV artifacts land.
+// Small filesystem helpers shared by the benchmark harnesses, the serving
+// tools, and the durable-state store (src/store/): recursive directory
+// creation, the SLICETUNER_RESULTS_DIR convention for where JSON/CSV
+// artifacts land, CRC32 framing checksums, and crash-safe atomic file
+// replacement.
 
 #ifndef SLICETUNER_COMMON_FS_UTIL_H_
 #define SLICETUNER_COMMON_FS_UTIL_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
@@ -28,6 +33,29 @@ Result<std::string> ReadFileToString(const std::string& path);
 
 /// Writes `content` to `path` (truncating), failing on any write error.
 Status WriteStringToFile(const std::string& path, const std::string& content);
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of `size` bytes at `data`,
+/// continuing from `seed` (pass a previous return value to checksum in
+/// chunks; 0 starts a fresh checksum). This is the integrity check framing
+/// every journal record and snapshot payload in src/store/.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+uint32_t Crc32(const std::string& data, uint32_t seed = 0);
+
+/// Crash-safe file replacement: writes `content` to `path + ".tmp"`, fsyncs
+/// it, renames it over `path`, and fsyncs the parent directory. A reader
+/// (or a post-crash recovery) sees either the old file or the complete new
+/// one, never a torn mix — the invariant snapshot writes depend on
+/// (docs/STATE.md).
+Status WriteFileAtomic(const std::string& path, const std::string& content);
+
+/// Flushes a file's contents to stable storage (open + fsync + close).
+Status SyncFile(const std::string& path);
+
+/// Deletes a file; missing files are an error (NotFound).
+Status RemoveFile(const std::string& path);
+
+/// Names (not paths) of the regular files directly under `dir`, sorted.
+Result<std::vector<std::string>> ListDirFiles(const std::string& dir);
 
 }  // namespace slicetuner
 

@@ -8,6 +8,37 @@
 
 namespace slicetuner {
 
+json::Value CurvePointsToJson(const std::vector<CurvePoint>& points) {
+  json::Value out = json::Value::Array();
+  for (const CurvePoint& p : points) {
+    json::Value pair = json::Value::Array();
+    pair.Append(p.size);
+    pair.Append(p.loss);
+    out.Append(std::move(pair));
+  }
+  return out;
+}
+
+Result<std::vector<CurvePoint>> CurvePointsFromJson(const json::Value& value) {
+  if (!value.is_array()) {
+    return Status::InvalidArgument("CurvePointsFromJson: expected an array");
+  }
+  std::vector<CurvePoint> points;
+  points.reserve(value.size());
+  for (const json::Value& item : value.items()) {
+    if (!item.is_array() || item.size() != 2 || !item.at(0).is_number() ||
+        !item.at(1).is_number()) {
+      return Status::InvalidArgument(
+          "CurvePointsFromJson: each point must be [size, loss]");
+    }
+    CurvePoint p;
+    p.size = item.at(0).number_value();
+    p.loss = item.at(1).number_value();
+    points.push_back(p);
+  }
+  return points;
+}
+
 Result<PowerLawCurve> FitPowerLaw(const std::vector<CurvePoint>& points,
                                   bool size_weighted) {
   std::vector<double> xs, ys, ws;

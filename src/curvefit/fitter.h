@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "common/json.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "curvefit/power_law.h"
@@ -19,6 +20,12 @@ struct CurvePoint {
   double size = 0.0;
   double loss = 0.0;
 };
+
+/// JSON forms used by the durable store's curve-cache snapshots: a point is
+/// the two-element array [size, loss], a point list an array of those.
+/// Doubles round-trip bit-exactly.
+json::Value CurvePointsToJson(const std::vector<CurvePoint>& points);
+Result<std::vector<CurvePoint>> CurvePointsFromJson(const json::Value& value);
 
 struct FitOptions {
   /// Weight each point proportionally to its subset size (losses measured on

@@ -26,4 +26,26 @@ std::string PowerLawCurve::ToString() const {
   return StrFormat("y = %.3fx^-%.3f", b, a);
 }
 
+json::Value PowerLawCurveToJson(const PowerLawCurve& curve) {
+  json::Value out = json::Value::Object();
+  out.Set("b", curve.b);
+  out.Set("a", curve.a);
+  return out;
+}
+
+Result<PowerLawCurve> PowerLawCurveFromJson(const json::Value& value) {
+  if (!value.is_object() || !value.Has("b") || !value.Has("a")) {
+    return Status::InvalidArgument(
+        "PowerLawCurveFromJson: expected {\"b\":...,\"a\":...}");
+  }
+  PowerLawCurve curve;
+  curve.b = value.GetDouble("b");
+  curve.a = value.GetDouble("a");
+  if (!std::isfinite(curve.b) || !std::isfinite(curve.a)) {
+    return Status::InvalidArgument(
+        "PowerLawCurveFromJson: non-finite parameters");
+  }
+  return curve;
+}
+
 }  // namespace slicetuner

@@ -6,6 +6,9 @@
 
 #include <string>
 
+#include "common/json.h"
+#include "common/result.h"
+
 namespace slicetuner {
 
 /// y = b * x^(-a). Valid when b > 0 and a >= 0 (a == 0 means a flat,
@@ -26,6 +29,12 @@ struct PowerLawCurve {
 
   std::string ToString() const;  // "y = 2.894x^-0.204"
 };
+
+/// JSON form {"b":...,"a":...}. Doubles survive the round trip bit-exactly
+/// (common/json.h shortest-representation formatting), which the durable
+/// store's warm-restart equivalence guarantee depends on (docs/STATE.md).
+json::Value PowerLawCurveToJson(const PowerLawCurve& curve);
+Result<PowerLawCurve> PowerLawCurveFromJson(const json::Value& value);
 
 }  // namespace slicetuner
 

@@ -4,6 +4,8 @@
 #include <cstring>
 
 #include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "curvefit/fitter.h"
 
 namespace slicetuner {
 namespace engine {
@@ -35,6 +37,33 @@ long long UncachedTrainings(int num_slices,
                             const LearningCurveOptions& options) {
   const long long k = std::max(options.num_points, 2);
   return options.exhaustive ? k * num_slices : k;
+}
+
+// uint64 values (hashes, fingerprints) cross the JSON boundary as 16-digit
+// hex strings: readable in snapshot files and immune to int64 sign games.
+std::string HexU64(uint64_t value) {
+  return StrFormat("%016llx", static_cast<unsigned long long>(value));
+}
+
+Result<uint64_t> ParseHexU64(const std::string& text) {
+  if (text.size() != 16) {
+    return Status::InvalidArgument("expected 16 hex digits, got '" + text +
+                                   "'");
+  }
+  uint64_t value = 0;
+  for (const char c : text) {
+    uint64_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<uint64_t>(c - 'a' + 10);
+    } else {
+      return Status::InvalidArgument("expected 16 hex digits, got '" + text +
+                                     "'");
+    }
+    value = (value << 4) | digit;
+  }
+  return value;
 }
 
 }  // namespace
@@ -212,6 +241,78 @@ Result<CurveEstimationResult> CurveEstimationEngine::Estimate(
   ++stats_.full_runs;
   stats_.slices_refit += n;
   return fresh;
+}
+
+json::Value CurveEstimationEngine::SerializeState() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  json::Value out = json::Value::Object();
+  out.Set("num_slices", cache_.size());
+  if (has_fingerprint_) out.Set("fingerprint", HexU64(fingerprint_));
+  json::Value entries = json::Value::Array();
+  for (size_t s = 0; s < cache_.size(); ++s) {
+    const Entry& e = cache_[s];
+    if (!e.valid) continue;
+    json::Value entry = json::Value::Object();
+    entry.Set("slice", s);
+    entry.Set("hash", HexU64(e.content_hash));
+    entry.Set("curve", PowerLawCurveToJson(e.estimate.curve));
+    entry.Set("points", CurvePointsToJson(e.estimate.points));
+    entry.Set("reliable", e.estimate.reliable);
+    entries.Append(std::move(entry));
+  }
+  out.Set("entries", std::move(entries));
+  return out;
+}
+
+Result<size_t> CurveEstimationEngine::RestoreState(
+    const json::Value& state, const std::vector<uint64_t>& expected_hashes) {
+  if (!state.is_object()) {
+    return Status::InvalidArgument("curve cache state must be an object");
+  }
+  const json::Value* entries = state.Find("entries");
+  if (entries == nullptr || !entries->is_array()) {
+    return Status::InvalidArgument("curve cache state has no entries array");
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.assign(expected_hashes.size(), Entry{});
+  has_fingerprint_ = false;
+  if (const json::Value* fp = state.Find("fingerprint")) {
+    ST_ASSIGN_OR_RETURN(fingerprint_, ParseHexU64(fp->string_value()));
+    has_fingerprint_ = true;
+  }
+
+  size_t installed = 0;
+  for (const json::Value& entry : entries->items()) {
+    const long long slice = entry.GetInt("slice", -1);
+    if (slice < 0 ||
+        static_cast<size_t>(slice) >= expected_hashes.size()) {
+      continue;  // slice count changed since the snapshot; skip
+    }
+    ST_ASSIGN_OR_RETURN(const uint64_t hash,
+                        ParseHexU64(entry.GetString("hash")));
+    // The self-validation at the heart of warm restarts: an entry is only
+    // trusted when it matches the data the caller reconstructed. Stale
+    // entries (rows acquired after the snapshot) just stay cold.
+    if (hash != expected_hashes[static_cast<size_t>(slice)]) continue;
+    const json::Value* curve = entry.Find("curve");
+    const json::Value* points = entry.Find("points");
+    if (curve == nullptr || points == nullptr) {
+      return Status::InvalidArgument(
+          "curve cache entry missing curve/points");
+    }
+    Entry restored;
+    restored.valid = true;
+    restored.content_hash = hash;
+    ST_ASSIGN_OR_RETURN(restored.estimate.curve,
+                        PowerLawCurveFromJson(*curve));
+    ST_ASSIGN_OR_RETURN(restored.estimate.points,
+                        CurvePointsFromJson(*points));
+    restored.estimate.reliable = entry.GetBool("reliable", true);
+    cache_[static_cast<size_t>(slice)] = std::move(restored);
+    ++installed;
+  }
+  return installed;
 }
 
 }  // namespace engine

@@ -42,6 +42,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/json.h"
 #include "common/result.h"
 #include "core/learning_curve.h"
 
@@ -104,6 +105,21 @@ class CurveEstimationEngine {
     std::lock_guard<std::mutex> lock(mu_);
     return stats_;
   }
+
+  /// Serializes the fitted-curve cache for a durable snapshot
+  /// (docs/STATE.md): the config fingerprint plus every valid entry's
+  /// content hash, curve parameters, measured points, and reliability flag.
+  /// All doubles round-trip bit-exactly. Takes the engine lock, so it is
+  /// safe (but may briefly block) while another thread estimates.
+  json::Value SerializeState() const;
+
+  /// Restores a SerializeState() document. Defensive by construction: only
+  /// entries whose stored content hash equals `expected_hashes[slice]` —
+  /// the hashes of the data the caller actually holds — are installed; any
+  /// other slice stays cold and simply re-fits on the next Estimate.
+  /// Returns the number of entries installed.
+  Result<size_t> RestoreState(const json::Value& state,
+                              const std::vector<uint64_t>& expected_hashes);
 
  private:
   struct Entry {

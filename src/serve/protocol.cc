@@ -19,6 +19,10 @@ const char* RequestTypeName(RequestType type) {
       return "cancel";
     case RequestType::kStats:
       return "stats";
+    case RequestType::kSnapshot:
+      return "snapshot";
+    case RequestType::kRestore:
+      return "restore";
     case RequestType::kShutdown:
       return "shutdown";
   }
@@ -144,6 +148,14 @@ Result<Request> Request::FromJson(const json::Value& value) {
   }
   if (type == "stats") {
     request.type = RequestType::kStats;
+    return request;
+  }
+  if (type == "snapshot") {
+    request.type = RequestType::kSnapshot;
+    return request;
+  }
+  if (type == "restore") {
+    request.type = RequestType::kRestore;
     return request;
   }
   if (type == "shutdown") {

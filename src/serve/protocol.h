@@ -16,7 +16,13 @@
 //   {"type":"stream","session":"s1"}     subscribe to progress frames
 //   {"type":"cancel","session":"s1"}     cancel a queued/running session
 //   {"type":"stats"}                     server-wide counters
+//   {"type":"snapshot"}                  checkpoint sessions to the state dir
+//   {"type":"restore"}                   re-merge state-dir sessions (admin)
 //   {"type":"shutdown"}                  graceful shutdown
+//
+// docs/PROTOCOL.md is the normative wire spec (framing, field-by-field
+// semantics, error codes, size bounds); this header is the implementation
+// summary.
 //
 // Responses: {"ok":true, ...} on success; on failure
 //   {"ok":false,"error":"...","code":"ResourceExhausted","retry_after_ms":50}
@@ -41,6 +47,8 @@ enum class RequestType {
   kStream,
   kCancel,
   kStats,
+  kSnapshot,
+  kRestore,
   kShutdown,
 };
 

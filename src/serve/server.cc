@@ -12,6 +12,7 @@
 #include <cstring>
 #include <utility>
 
+#include "common/logging.h"
 #include "common/thread_pool.h"
 #include "engine/experiment_runner.h"
 
@@ -50,9 +51,35 @@ TuningServer::~TuningServer() {
   if (listen_fd_ >= 0) ::close(listen_fd_);
 }
 
+Status TuningServer::OpenStateDir() {
+  ST_ASSIGN_OR_RETURN(store_, store::DurableStore::Open(options_.state_dir));
+  // Recovery order matters: materialize sessions from the recovered
+  // snapshot + journal tail first, then attach the store (so replay itself
+  // journals nothing), then compact — the fresh snapshot covers everything
+  // restored and the old journal chain is dropped.
+  ST_ASSIGN_OR_RETURN(
+      restore_report_,
+      sessions_.RestoreFromState(store_->recovered(), store_.get(),
+                                 /*skip_existing=*/false));
+  sessions_.AttachStore(store_.get());
+  ST_RETURN_NOT_OK(store_->Compact(sessions_.DurableSnapshot()));
+  return Status::OK();
+}
+
+void TuningServer::WriteFinalSnapshot() {
+  if (store_ == nullptr || final_snapshot_written_.exchange(true)) return;
+  const Status written = store_->WriteSnapshot(sessions_.DurableSnapshot());
+  if (!written.ok()) {
+    ST_LOG(Warning) << "shutdown snapshot failed: " << written.ToString();
+  }
+}
+
 Status TuningServer::Start() {
   if (started_.exchange(true)) {
     return Status::FailedPrecondition("server already started");
+  }
+  if (!options_.state_dir.empty()) {
+    ST_RETURN_NOT_OK(OpenStateDir());
   }
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) return Status::Internal("socket() failed");
@@ -88,6 +115,10 @@ Status TuningServer::Start() {
 void TuningServer::Wait() {
   if (poll_thread_.joinable()) poll_thread_.join();
   if (dispatch_thread_.joinable()) dispatch_thread_.join();
+  // Both loops have exited: sessions are quiescent, so the closing
+  // checkpoint captures every curve cache and the next start resumes warm
+  // without replaying the journal.
+  WriteFinalSnapshot();
 }
 
 void TuningServer::RequestShutdown() {
@@ -115,6 +146,11 @@ json::Value TuningServer::StatsJson() const {
   pool.Set("pending", DefaultThreadPool().PendingCount());
   pool.Set("in_flight", DefaultThreadPool().InFlightCount());
   out.Set("pool", std::move(pool));
+  if (store_ != nullptr) {
+    json::Value store_json = store_->StatsJson();
+    store_json.Set("startup_restore", restore_report_.ToJson());
+    out.Set("store", std::move(store_json));
+  }
   return out;
 }
 
@@ -352,6 +388,41 @@ json::Value TuningServer::HandleRequest(Connection* conn,
     }
     case RequestType::kStats:
       return StatsJson();
+    case RequestType::kSnapshot: {
+      if (store_ == nullptr) {
+        return ErrorResponse(Status::FailedPrecondition(
+            "server started without --state-dir; nothing to snapshot"));
+      }
+      const Status written =
+          store_->WriteSnapshot(sessions_.DurableSnapshot());
+      if (!written.ok()) return ErrorResponse(written);
+      json::Value response = OkResponse();
+      response.Set("snapshot", true);
+      response.Set("sessions", sessions_.session_count());
+      response.Set("journal_generation",
+                   static_cast<long long>(store_->stats().journal_generation));
+      return response;
+    }
+    case RequestType::kRestore: {
+      if (store_ == nullptr) {
+        return ErrorResponse(Status::FailedPrecondition(
+            "server started without --state-dir; nothing to restore"));
+      }
+      // Make in-flight journal records visible on disk, then re-merge any
+      // session the live registry does not already hold. Idempotent: live
+      // sessions are never overwritten.
+      const Status synced = store_->Sync();
+      if (!synced.ok()) return ErrorResponse(synced);
+      const Result<store::RecoveredState> state =
+          store::ReadStateDir(store_->dir());
+      if (!state.ok()) return ErrorResponse(state.status());
+      const Result<RestoreReport> report = sessions_.RestoreFromState(
+          *state, store_.get(), /*skip_existing=*/true);
+      if (!report.ok()) return ErrorResponse(report.status());
+      json::Value response = OkResponse();
+      response.Set("restore", report->ToJson());
+      return response;
+    }
     case RequestType::kShutdown: {
       RequestShutdown();
       json::Value response = OkResponse();

@@ -15,6 +15,7 @@
 #define SLICETUNER_SERVE_SERVER_H_
 
 #include <atomic>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -24,6 +25,7 @@
 #include "serve/admission.h"
 #include "serve/protocol.h"
 #include "serve/session_manager.h"
+#include "store/store.h"
 
 namespace slicetuner {
 namespace serve {
@@ -42,6 +44,11 @@ struct ServerOptions {
   /// still-unterminated) line exceeds this is answered with InvalidArgument
   /// and dropped, bounding per-connection buffering.
   size_t max_request_bytes = 1 << 20;
+  /// Non-empty: durable-state directory (src/store/). Start() recovers it —
+  /// sessions resume warm, with their curve caches installed — and the
+  /// server journals session lifecycles, honors the `snapshot`/`restore`
+  /// admin verbs, and checkpoints once more on graceful shutdown.
+  std::string state_dir;
 };
 
 class TuningServer {
@@ -67,6 +74,10 @@ class TuningServer {
 
   SessionManager& sessions() { return sessions_; }
   const AdmissionController& admission() const { return admission_; }
+  /// The durable store backing this server; nullptr without a state dir.
+  store::DurableStore* durable_store() { return store_.get(); }
+  /// What startup recovery did (empty report without a state dir).
+  const RestoreReport& restore_report() const { return restore_report_; }
 
   /// Server-wide counters (the stats response payload).
   json::Value StatsJson() const;
@@ -83,6 +94,8 @@ class TuningServer {
 
   void PollLoop();
   void DispatchLoop();
+  Status OpenStateDir();
+  void WriteFinalSnapshot();
   void RejectOversizedInput(Connection* conn);
   void HandleLine(Connection* conn, const std::string& line);
   json::Value HandleRequest(Connection* conn, const Request& request);
@@ -93,6 +106,9 @@ class TuningServer {
   ServerOptions options_;
   SessionManager sessions_;
   AdmissionController admission_;
+  std::unique_ptr<store::DurableStore> store_;
+  RestoreReport restore_report_;
+  std::atomic<bool> final_snapshot_written_{false};
 
   int listen_fd_ = -1;
   int port_ = 0;

@@ -1,7 +1,9 @@
 #include "serve/session_manager.h"
 
+#include <algorithm>
 #include <utility>
 
+#include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "core/baselines.h"
@@ -71,8 +73,42 @@ const char* SessionPhaseName(SessionPhase phase) {
   return "?";
 }
 
-TuningSession::TuningSession(uint64_t id, JobSpec job)
-    : id_(id), name_(job.session), pending_job_(std::move(job)) {}
+TuningSession::TuningSession(uint64_t id, JobSpec job,
+                             store::DurableStore* store)
+    : id_(id),
+      name_(job.session),
+      store_(store),
+      creation_job_(job),
+      pending_job_(std::move(job)) {
+  // No other thread can see the session yet, but LogEventLocked documents
+  // a mu_ requirement, so honor it.
+  std::lock_guard<std::mutex> lock(mu_);
+  json::Value event = json::Value::Object();
+  event.Set("event", "create");
+  event.Set("job", creation_job_.ToJson());
+  LogEventLocked(std::move(event));
+}
+
+void TuningSession::LogEventLocked(json::Value event) {
+  if (store_ == nullptr) return;
+  event.Set("session", name_);
+  event.Set("id", static_cast<long long>(id_));
+  event.Set("seq", static_cast<long long>(events_logged_++));
+  const Status appended = store_->Append(event);
+  if (!appended.ok()) {
+    // Serving keeps going on a sick disk; durability degrades, correctness
+    // of the live session does not.
+    ST_LOG(Warning) << "journal append failed for session '" << name_
+                    << "': " << appended.ToString();
+  }
+}
+
+void TuningSession::LogDropped() {
+  std::lock_guard<std::mutex> lock(mu_);
+  json::Value event = json::Value::Object();
+  event.Set("event", "drop");
+  LogEventLocked(std::move(event));
+}
 
 void TuningSession::RequestCancel() {
   cancel_requested_.store(true, std::memory_order_relaxed);
@@ -192,6 +228,10 @@ Status TuningSession::Resume(JobSpec job) {
   pending_job_ = std::move(job);
   cancel_requested_.store(false, std::memory_order_relaxed);
   phase_ = SessionPhase::kQueued;
+  json::Value event = json::Value::Object();
+  event.Set("event", "resume");
+  event.Set("job", pending_job_.ToJson());
+  LogEventLocked(std::move(event));
   return Status::OK();
 }
 
@@ -228,55 +268,100 @@ Status TuningSession::RunJob() {
   const bool has_cache_stats = tuner_ != nullptr;
   if (has_cache_stats) cache_stats = tuner_->curve_engine().stats();
 
-  std::lock_guard<std::mutex> lock(mu_);
-  if (has_cache_stats) {
-    cache_stats_ = cache_stats;
-    has_cache_stats_ = true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (has_cache_stats) {
+      cache_stats_ = cache_stats;
+      has_cache_stats_ = true;
+    }
+    ++jobs_run_;
+    last_job_wall_seconds_ = wall;
+    last_job_trainings_ = total_trainings_ - trainings_before;
+    last_status_ = status;
+    if (status.ok()) {
+      phase_ = SessionPhase::kDone;
+    } else if (status.code() == StatusCode::kCancelled) {
+      phase_ = SessionPhase::kCancelled;
+    } else {
+      phase_ = SessionPhase::kFailed;
+    }
+    json::Value event = json::Value::Object();
+    event.Set("event", "finish");
+    event.Set("phase", SessionPhaseName(phase_));
+    if (!last_status_.ok()) event.Set("error", last_status_.ToString());
+    event.Set("jobs_run", jobs_run_);
+    event.Set("rounds_completed", rounds_completed_);
+    event.Set("total_trainings", total_trainings_);
+    event.Set("last_job_trainings", last_job_trainings_);
+    event.Set("last_job_wall_seconds", last_job_wall_seconds_);
+    event.Set("rows", rows_);
+    event.Set("next_round", next_round_index_);
+    if (!final_curve_b_.empty()) {
+      json::Value b = json::Value::Array();
+      json::Value a = json::Value::Array();
+      for (const double v : final_curve_b_) b.Append(v);
+      for (const double v : final_curve_a_) a.Append(v);
+      event.Set("curve_b", std::move(b));
+      event.Set("curve_a", std::move(a));
+    }
+    LogEventLocked(std::move(event));
+    phase_cv_.notify_all();
   }
-  ++jobs_run_;
-  last_job_wall_seconds_ = wall;
-  last_job_trainings_ = total_trainings_ - trainings_before;
-  last_status_ = status;
-  if (status.ok()) {
-    phase_ = SessionPhase::kDone;
-  } else if (status.code() == StatusCode::kCancelled) {
-    phase_ = SessionPhase::kCancelled;
-  } else {
-    phase_ = SessionPhase::kFailed;
+  // Group commit: one fsync makes the whole job's records (acquires +
+  // finish) durable together.
+  if (store_ != nullptr) {
+    const Status synced = store_->Sync();
+    if (!synced.ok()) {
+      ST_LOG(Warning) << "journal sync failed for session '" << name_
+                      << "': " << synced.ToString();
+    }
   }
-  phase_cv_.notify_all();
   return status;
+}
+
+Status TuningSession::BuildWorld(const JobSpec& job) {
+  const sim::ScenarioSpec spec = ScenarioFromJob(job);
+  ST_RETURN_NOT_OK(spec.Validate());
+  auto source = std::make_unique<sim::ScriptedSource>(spec);
+
+  SliceTunerOptions options;
+  options.model_spec = spec.BuildModelSpec();
+  options.trainer = spec.BuildTrainer();
+  options.curve_options = spec.BuildCurveOptions(/*num_threads=*/1);
+  options.lambda = spec.lambda;
+  options.cache_curves = true;
+  ST_ASSIGN_OR_RETURN(
+      SliceTuner tuner,
+      SliceTuner::Create(source->GenerateInitial(),
+                         source->GenerateValidation(), job.num_slices,
+                         std::move(options)));
+  auto owned = std::make_unique<SliceTuner>(std::move(tuner));
+  std::lock_guard<std::mutex> lock(mu_);
+  source_ = std::move(source);
+  tuner_ = std::move(owned);
+  rows_ = static_cast<long long>(tuner_->train().size());
+  return Status::OK();
 }
 
 Status TuningSession::ExecuteJob(const JobSpec& job) {
   if (tuner_ == nullptr) {
-    const sim::ScenarioSpec spec = ScenarioFromJob(job);
-    ST_RETURN_NOT_OK(spec.Validate());
-    auto source = std::make_unique<sim::ScriptedSource>(spec);
-
-    SliceTunerOptions options;
-    options.model_spec = spec.BuildModelSpec();
-    options.trainer = spec.BuildTrainer();
-    options.curve_options = spec.BuildCurveOptions(/*num_threads=*/1);
-    options.lambda = spec.lambda;
-    options.cache_curves = true;
-    ST_ASSIGN_OR_RETURN(
-        SliceTuner tuner,
-        SliceTuner::Create(source->GenerateInitial(),
-                           source->GenerateValidation(), job.num_slices,
-                           std::move(options)));
-    auto owned = std::make_unique<SliceTuner>(std::move(tuner));
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      source_ = std::move(source);
-      tuner_ = std::move(owned);
-      rows_ = static_cast<long long>(tuner_->train().size());
-    }
+    ST_RETURN_NOT_OK(BuildWorld(job));
+    std::lock_guard<std::mutex> lock(mu_);
+    // The world is a pure function of the job that built it — which is the
+    // creation job, unless the session was cancelled before ever running
+    // and re-armed with different parameters. Journal the job actually
+    // used so recovery replays the right world.
+    creation_job_ = job;
+    json::Value event = json::Value::Object();
+    event.Set("event", "world");
+    event.Set("job", creation_job_.ToJson());
+    LogEventLocked(std::move(event));
   } else if (job.append_rows > 0) {
     // Incremental update: new rows for one slice arrive with the
     // resubmission. Only that slice's content hash changes, so the next
     // estimation partially refits instead of running cold.
-    source_->BeginRound(next_round_index_);
+    const int round = next_round_index_;
+    source_->BeginRound(round);
     const Dataset batch = source_->Acquire(
         job.append_slice, static_cast<size_t>(job.append_rows));
     // The append consumed this round index's acquisition stream; advance so
@@ -287,6 +372,15 @@ Status TuningSession::ExecuteJob(const JobSpec& job) {
     ST_RETURN_NOT_OK(tuner_->AppendTrainingData(batch));
     std::lock_guard<std::mutex> lock(mu_);
     rows_ = static_cast<long long>(tuner_->train().size());
+    if (store_ != nullptr) {
+      acquire_log_.push_back({round, job.append_slice, job.append_rows});
+      json::Value event = json::Value::Object();
+      event.Set("event", "acquire");
+      event.Set("round", round);
+      event.Set("slice", job.append_slice);
+      event.Set("n", job.append_rows);
+      LogEventLocked(std::move(event));
+    }
   }
   return RunRounds(job);
 }
@@ -357,6 +451,22 @@ Status TuningSession::RunRounds(const JobSpec& job) {
       frame = ProgressFrame(name_, frames_.size(),
                             sim::RoundTraceToJson(round));
       frames_.push_back(frame);
+      if (store_ != nullptr) {
+        // Journal the round's acquisitions in slice order — the order the
+        // batches consumed the round's draw stream, which recovery must
+        // replay exactly.
+        for (size_t s = 0; s < round.acquired.size(); ++s) {
+          if (round.acquired[s] <= 0) continue;
+          acquire_log_.push_back(
+              {round.round, static_cast<int>(s), round.acquired[s]});
+          json::Value event = json::Value::Object();
+          event.Set("event", "acquire");
+          event.Set("round", round.round);
+          event.Set("slice", s);
+          event.Set("n", round.acquired[s]);
+          LogEventLocked(std::move(event));
+        }
+      }
     }
     ++next_round_index_;
   }
@@ -381,6 +491,170 @@ Status TuningSession::RunRounds(const JobSpec& job) {
   return Status::OK();
 }
 
+json::Value TuningSession::DurableState() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  json::Value out = json::Value::Object();
+  out.Set("name", name_);
+  out.Set("id", static_cast<long long>(id_));
+  out.Set("seq", static_cast<long long>(events_logged_));
+  out.Set("phase", SessionPhaseName(phase_));
+  if (!last_status_.ok()) out.Set("error", last_status_.ToString());
+  out.Set("job", creation_job_.ToJson());
+  out.Set("world_built", tuner_ != nullptr);
+  out.Set("next_round", next_round_index_);
+  json::Value acquires = json::Value::Array();
+  for (const AcquireRecord& record : acquire_log_) {
+    json::Value item = json::Value::Array();
+    item.Append(record.round);
+    item.Append(record.slice);
+    item.Append(record.count);
+    acquires.Append(std::move(item));
+  }
+  out.Set("acquires", std::move(acquires));
+  json::Value counters = json::Value::Object();
+  counters.Set("jobs_run", jobs_run_);
+  counters.Set("rounds_completed", rounds_completed_);
+  counters.Set("total_trainings", total_trainings_);
+  counters.Set("last_job_trainings", last_job_trainings_);
+  counters.Set("last_job_wall_seconds", last_job_wall_seconds_);
+  counters.Set("rows", rows_);
+  out.Set("counters", std::move(counters));
+  if (!final_curve_b_.empty()) {
+    json::Value b = json::Value::Array();
+    json::Value a = json::Value::Array();
+    for (const double v : final_curve_b_) b.Append(v);
+    for (const double v : final_curve_a_) a.Append(v);
+    out.Set("curve_b", std::move(b));
+    out.Set("curve_a", std::move(a));
+  }
+  // The tuner (and its curve cache) may only be walked while no job runs.
+  // Under mu_ with a non-running phase that is guaranteed: RunJob's first
+  // transition to kRunning takes mu_, so it cannot start while we hold it.
+  if (phase_ != SessionPhase::kRunning && tuner_ != nullptr) {
+    out.Set("resting", tuner_->SerializeResting());
+  }
+  return out;
+}
+
+Result<std::unique_ptr<TuningSession>> TuningSession::Restore(
+    const json::Value& state, store::DurableStore* store,
+    size_t* warm_slices) {
+  if (warm_slices != nullptr) *warm_slices = 0;
+  if (!state.is_object()) {
+    return Status::InvalidArgument("session state must be an object");
+  }
+  const json::Value* job_json = state.Find("job");
+  if (job_json == nullptr) {
+    return Status::InvalidArgument("session state for '" +
+                                   state.GetString("name") +
+                                   "' has no job");
+  }
+  ST_ASSIGN_OR_RETURN(const JobSpec job, JobSpec::FromJson(*job_json));
+  const uint64_t id = static_cast<uint64_t>(state.GetInt("id", 0));
+  // Constructed without the store so nothing is journaled during replay;
+  // the store is attached at the end for future events.
+  auto session = std::unique_ptr<TuningSession>(
+      new TuningSession(id, job, /*store=*/nullptr));
+
+  int last_replayed_round = -1;
+  if (state.GetBool("world_built", false)) {
+    ST_RETURN_NOT_OK(session->BuildWorld(job));
+    // Replay the acquire log in order: each batch is re-derived from the
+    // deterministic source, so the training rows come back bit-identical
+    // without a single model training.
+    if (const json::Value* acquires = state.Find("acquires")) {
+      if (!acquires->is_array()) {
+        return Status::InvalidArgument("session acquires must be an array");
+      }
+      for (const json::Value& item : acquires->items()) {
+        if (!item.is_array() || item.size() != 3) {
+          return Status::InvalidArgument(
+              "acquire record must be [round, slice, n]");
+        }
+        const long long round = item.at(0).int_value();
+        const long long slice = item.at(1).int_value();
+        const long long count = item.at(2).int_value();
+        // A single round's allocation to one slice is bounded by the job
+        // budget (kMaxBudget at unit cost), not by the much smaller
+        // append_rows cap — a legitimately journaled big-budget round
+        // must replay.
+        if (round < last_replayed_round || slice < 0 ||
+            slice >= job.num_slices || count <= 0 ||
+            static_cast<double>(count) > JobSpec::kMaxBudget) {
+          return Status::InvalidArgument(StrFormat(
+              "acquire record [%lld, %lld, %lld] out of range", round,
+              slice, count));
+        }
+        // BeginRound re-anchors the round's draw stream, so it must run
+        // once per round — repeating it would replay the round's first
+        // draws instead of continuing them.
+        if (round != last_replayed_round) {
+          session->source_->BeginRound(static_cast<int>(round));
+          last_replayed_round = static_cast<int>(round);
+        }
+        const Dataset batch = session->source_->Acquire(
+            static_cast<int>(slice), static_cast<size_t>(count));
+        ST_RETURN_NOT_OK(session->tuner_->AppendTrainingData(batch));
+        session->acquire_log_.push_back({static_cast<int>(round),
+                                         static_cast<int>(slice), count});
+      }
+    }
+    session->rows_ =
+        static_cast<long long>(session->tuner_->train().size());
+    // Install the fitted-curve cache. Every entry is validated against the
+    // content hash of the rows just replayed; entries that no longer match
+    // (rows acquired after the snapshot, lost journal tail) silently stay
+    // cold and re-fit on the next estimate.
+    if (const json::Value* resting = state.Find("resting")) {
+      ST_ASSIGN_OR_RETURN(const size_t warm,
+                          session->tuner_->RestoreCurveCache(*resting));
+      if (warm_slices != nullptr) *warm_slices = warm;
+    }
+  }
+
+  if (const json::Value* counters = state.Find("counters")) {
+    session->jobs_run_ = static_cast<int>(counters->GetInt("jobs_run"));
+    session->rounds_completed_ =
+        static_cast<int>(counters->GetInt("rounds_completed"));
+    session->total_trainings_ = counters->GetInt("total_trainings");
+    session->last_job_trainings_ = counters->GetInt("last_job_trainings");
+    session->last_job_wall_seconds_ =
+        counters->GetDouble("last_job_wall_seconds");
+  }
+  session->next_round_index_ =
+      std::max(static_cast<int>(state.GetInt("next_round", 0)),
+               last_replayed_round + 1);
+  if (const json::Value* b = state.Find("curve_b")) {
+    for (const json::Value& v : b->items()) {
+      session->final_curve_b_.push_back(v.number_value());
+    }
+  }
+  if (const json::Value* a = state.Find("curve_a")) {
+    for (const json::Value& v : a->items()) {
+      session->final_curve_a_.push_back(v.number_value());
+    }
+  }
+
+  const std::string phase = state.GetString("phase");
+  const std::string error = state.GetString("error");
+  if (phase == "done") {
+    session->phase_ = SessionPhase::kDone;
+  } else if (phase == "failed") {
+    session->phase_ = SessionPhase::kFailed;
+    session->last_status_ =
+        Status::Internal(error.empty() ? "restored failed session" : error);
+  } else {
+    // cancelled — or a session that was queued/running when the state was
+    // captured: it comes back cancelled and resumable.
+    session->phase_ = SessionPhase::kCancelled;
+    session->last_status_ = Status::Cancelled(
+        error.empty() ? "interrupted by restart" : error);
+  }
+  session->events_logged_ = static_cast<uint64_t>(state.GetInt("seq", 0));
+  session->store_ = store;
+  return session;
+}
+
 // ---------------------------------------------------------------------------
 // SessionManager
 // ---------------------------------------------------------------------------
@@ -394,6 +668,7 @@ Result<TuningSession*> SessionManager::Register(const JobSpec& job,
     if (session->name() != job.session) continue;
     ST_RETURN_NOT_OK(session->Resume(job));
     ++stats_.resumed;
+    if (store_ != nullptr) (void)store_->Sync();  // resume event durable
     return session.get();
   }
   JobSpec resolved = job;
@@ -405,8 +680,10 @@ Result<TuningSession*> SessionManager::Register(const JobSpec& job,
         StrFormat("submit_job: append_slice %d outside [0, %d)",
                   resolved.append_slice, resolved.num_slices));
   }
-  sessions_.push_back(std::make_unique<TuningSession>(next_id_++, resolved));
+  sessions_.push_back(
+      std::make_unique<TuningSession>(next_id_++, resolved, store_));
   ++stats_.created;
+  if (store_ != nullptr) (void)store_->Sync();  // create event durable
   if (created != nullptr) *created = true;
   return sessions_.back().get();
 }
@@ -416,6 +693,9 @@ void SessionManager::Drop(uint64_t id) {
   for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
     if ((*it)->id() != id) continue;
     --stats_.created;  // the session never became visible to clients
+    // Recovery must not resurrect the never-admitted name.
+    (*it)->LogDropped();
+    if (store_ != nullptr) (void)store_->Sync();
     sessions_.erase(it);
     return;
   }
@@ -492,7 +772,205 @@ json::Value SessionManager::StatsJson() const {
   out.Set("completed", s.completed);
   out.Set("cancelled", s.cancelled);
   out.Set("failed", s.failed);
+  out.Set("restored", s.restored);
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Durability: snapshot + journal-tail recovery
+// ---------------------------------------------------------------------------
+
+json::Value RestoreReport::ToJson() const {
+  json::Value out = json::Value::Object();
+  out.Set("sessions_restored", sessions_restored);
+  out.Set("sessions_skipped", sessions_skipped);
+  out.Set("sessions_dropped", sessions_dropped);
+  out.Set("warm_slices", warm_slices);
+  out.Set("journal_records_applied", journal_records_applied);
+  out.Set("tail_truncated", tail_truncated);
+  return out;
+}
+
+void SessionManager::AttachStore(store::DurableStore* store) {
+  std::lock_guard<std::mutex> lock(mu_);
+  store_ = store;
+}
+
+json::Value SessionManager::DurableSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  json::Value out = json::Value::Object();
+  out.Set("format", "slicetuner-serve-state");
+  out.Set("version", 1);
+  out.Set("next_id", static_cast<long long>(next_id_));
+  json::Value sessions = json::Value::Array();
+  for (const auto& session : sessions_) {
+    sessions.Append(session->DurableState());
+  }
+  out.Set("sessions", std::move(sessions));
+  return out;
+}
+
+namespace {
+
+// Advances one merged session-state document by one journal record. The
+// state documents are DurableState()-shaped; events carry deltas
+// (acquires) or absolutes (finish counters), so applying each tail record
+// on top of the snapshot entry reproduces the pre-crash state.
+void ApplyJournalRecord(json::Value* entry, const json::Value& record) {
+  const std::string event = record.GetString("event");
+  if (event == "create") {
+    entry->Set("id", record.GetInt("id"));
+    if (const json::Value* job = record.Find("job")) {
+      entry->Set("job", *job);
+    }
+    entry->Set("phase", "queued");
+  } else if (event == "world") {
+    if (const json::Value* job = record.Find("job")) {
+      entry->Set("job", *job);
+    }
+    entry->Set("world_built", true);
+  } else if (event == "resume") {
+    entry->Set("phase", "queued");
+  } else if (event == "acquire") {
+    json::Value acquires = json::Value::Array();
+    if (const json::Value* existing = entry->Find("acquires")) {
+      acquires = *existing;
+    }
+    json::Value item = json::Value::Array();
+    item.Append(record.GetInt("round"));
+    item.Append(record.GetInt("slice"));
+    item.Append(record.GetInt("n"));
+    acquires.Append(std::move(item));
+    entry->Set("acquires", std::move(acquires));
+    entry->Set("world_built", true);
+  } else if (event == "finish") {
+    entry->Set("phase", record.GetString("phase"));
+    if (record.Has("error")) {
+      entry->Set("error", record.GetString("error"));
+    }
+    json::Value counters = json::Value::Object();
+    counters.Set("jobs_run", record.GetInt("jobs_run"));
+    counters.Set("rounds_completed", record.GetInt("rounds_completed"));
+    counters.Set("total_trainings", record.GetInt("total_trainings"));
+    counters.Set("last_job_trainings", record.GetInt("last_job_trainings"));
+    counters.Set("last_job_wall_seconds",
+                 record.GetDouble("last_job_wall_seconds"));
+    counters.Set("rows", record.GetInt("rows"));
+    entry->Set("counters", std::move(counters));
+    entry->Set("next_round", record.GetInt("next_round"));
+    if (const json::Value* b = record.Find("curve_b")) {
+      entry->Set("curve_b", *b);
+    }
+    if (const json::Value* a = record.Find("curve_a")) {
+      entry->Set("curve_a", *a);
+    }
+    entry->Set("world_built", true);
+  } else if (event == "drop") {
+    entry->Set("dropped", true);
+  }
+}
+
+}  // namespace
+
+Result<RestoreReport> SessionManager::RestoreFromState(
+    const store::RecoveredState& state, store::DurableStore* store,
+    bool skip_existing) {
+  RestoreReport report;
+  report.tail_truncated = state.tail_truncated;
+
+  // Merge base: the snapshot's session entries, in snapshot order.
+  std::vector<std::pair<std::string, json::Value>> merged;
+  auto find_merged = [&merged](const std::string& name) -> json::Value* {
+    for (auto& pair : merged) {
+      if (pair.first == name) return &pair.second;
+    }
+    return nullptr;
+  };
+  long long next_id = 1;
+  if (state.snapshot.is_object()) {
+    next_id = state.snapshot.GetInt("next_id", 1);
+    if (const json::Value* sessions = state.snapshot.Find("sessions")) {
+      for (const json::Value& entry : sessions->items()) {
+        if (!entry.is_object()) continue;
+        const std::string name = entry.GetString("name");
+        if (name.empty() || find_merged(name) != nullptr) continue;
+        merged.emplace_back(name, entry);
+      }
+    }
+  }
+
+  // Roll the journal tail forward. Each session's per-event sequence
+  // numbers say which records its snapshot entry already covers. Session
+  // names can be reused across incarnations (a shed submit is dropped,
+  // the retry recreates the name with a fresh id): a create record whose
+  // id differs from the merged entry's starts the name over, so a stale
+  // drop flag or a higher old seq cannot swallow the new session.
+  for (const json::Value& record : state.tail) {
+    const std::string name = record.GetString("session");
+    if (name.empty()) continue;
+    const long long seq = record.GetInt("seq", -1);
+    if (seq < 0) continue;
+    json::Value* entry = find_merged(name);
+    if (entry == nullptr) {
+      json::Value fresh = json::Value::Object();
+      fresh.Set("name", name);
+      fresh.Set("seq", 0);
+      merged.emplace_back(name, std::move(fresh));
+      entry = &merged.back().second;
+    } else if (record.GetString("event") == "create" &&
+               record.GetInt("id", -1) != entry->GetInt("id", -1)) {
+      json::Value fresh = json::Value::Object();
+      fresh.Set("name", name);
+      fresh.Set("seq", 0);
+      *entry = std::move(fresh);
+    }
+    if (seq < entry->GetInt("seq", 0)) continue;  // covered by the snapshot
+    ApplyJournalRecord(entry, record);
+    entry->Set("seq", seq + 1);
+    ++report.journal_records_applied;
+  }
+
+  // Materialize.
+  for (auto& pair : merged) {
+    const std::string& name = pair.first;
+    json::Value& entry = pair.second;
+    if (entry.GetBool("dropped", false)) {
+      ++report.sessions_dropped;
+      continue;
+    }
+    if (!entry.Has("job")) {
+      // The create event never became durable; there is nothing to rebuild.
+      continue;
+    }
+    if (skip_existing && Find(name) != nullptr) {
+      ++report.sessions_skipped;
+      continue;
+    }
+    size_t warm = 0;
+    Result<std::unique_ptr<TuningSession>> restored =
+        TuningSession::Restore(entry, store, &warm);
+    if (!restored.ok()) {
+      // One undecodable session must not take down recovery of the rest.
+      ST_LOG(Warning) << "could not restore session '" << name
+                      << "': " << restored.status().ToString();
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      next_id_ = std::max(
+          {next_id_, static_cast<uint64_t>(next_id), (*restored)->id() + 1});
+      sessions_.push_back(std::move(*restored));
+      ++stats_.restored;
+    }
+    ++report.sessions_restored;
+    report.warm_slices += warm;
+  }
+  // An empty recovery still adopts the snapshot's id allocator.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    next_id_ = std::max(next_id_, static_cast<uint64_t>(next_id));
+  }
+  return report;
 }
 
 }  // namespace serve

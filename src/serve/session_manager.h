@@ -11,6 +11,18 @@
 // lane; all session state is guarded by one per-session mutex (the tuner
 // itself is only touched by RunJob, which the phase machine keeps
 // single-flight).
+//
+// Durability (src/store/, docs/STATE.md): when a store::DurableStore is
+// attached, every session journals its lifecycle — create / resume /
+// acquire / finish / drop events, one fsync batch per finished job — and
+// serializes its resting state (fitted curves + curve-cache content hashes)
+// into store snapshots. Training rows are never persisted: a session's data
+// world is a pure function of its creation JobSpec and acquire sequence
+// (sim::ScriptedSource determinism), so recovery re-derives the rows and
+// validates each cached curve against their content hashes. A restored
+// session resumes warm: an append_rows resubmission partially refits only
+// the touched slices, with training counts and closing estimates identical
+// to a never-restarted session.
 
 #ifndef SLICETUNER_SERVE_SESSION_MANAGER_H_
 #define SLICETUNER_SERVE_SESSION_MANAGER_H_
@@ -28,6 +40,7 @@
 #include "core/slice_tuner.h"
 #include "serve/protocol.h"
 #include "sim/scripted_source.h"
+#include "store/store.h"
 
 namespace slicetuner {
 namespace serve {
@@ -44,9 +57,21 @@ enum class SessionPhase {
 
 const char* SessionPhaseName(SessionPhase phase);
 
+/// One appended batch of training rows: enough to re-derive the exact rows
+/// from the session's deterministic data source on recovery.
+struct AcquireRecord {
+  int round = 0;
+  int slice = 0;
+  long long count = 0;
+};
+
 class TuningSession {
  public:
-  TuningSession(uint64_t id, JobSpec job);
+  /// `store` (optional) makes the session durable: the constructor journals
+  /// the create event, and every subsequent lifecycle change appends to the
+  /// journal. `job` must already be resolved (non-zero num_slices).
+  explicit TuningSession(uint64_t id, JobSpec job,
+                         store::DurableStore* store = nullptr);
 
   uint64_t id() const { return id_; }
   const std::string& name() const { return name_; }
@@ -92,14 +117,45 @@ class TuningSession {
   /// Wall seconds of the last completed job.
   double last_job_wall_seconds() const;
 
+  /// Journals the drop event for a session Register created but admission
+  /// rejected (recovery then knows the name never became visible).
+  void LogDropped();
+
+  /// Durable form of the session for a store snapshot: creation job,
+  /// acquire log, counters, closing curves, journal sequence number, and —
+  /// when the session is at rest — the tuner's serialized curve cache
+  /// (docs/STATE.md "session object"). Progress frames are deliberately
+  /// not durable; streams do not survive a restart.
+  json::Value DurableState() const;
+
+  /// Rebuilds a session from a DurableState()-shaped document (a snapshot
+  /// entry, possibly advanced by journal replay): re-derives the training
+  /// rows from the creation job + acquire log, installs the curve cache
+  /// (each entry validated against the re-derived rows' content hashes),
+  /// and restores counters and phase. A session that was queued or running
+  /// when the state was captured comes back cancelled ("interrupted by
+  /// restart") and can be resumed by the next submit. `warm_slices` (out,
+  /// optional) reports how many slices restored with a hot curve cache.
+  static Result<std::unique_ptr<TuningSession>> Restore(
+      const json::Value& state, store::DurableStore* store,
+      size_t* warm_slices = nullptr);
+
  private:
   Status ExecuteJob(const JobSpec& job);
   Status RunRounds(const JobSpec& job);
   void Finish(const Status& status);
   void AppendFrame(json::Value frame);
+  /// Builds the session's data world from its creation job (cold path of
+  /// ExecuteJob and the recovery replay). Sets source_/tuner_/rows_.
+  Status BuildWorld(const JobSpec& job);
+  /// Appends one journal event (requires mu_ held; no-op without a store).
+  /// Adds session/id/seq envelope fields and advances the sequence number.
+  void LogEventLocked(json::Value event);
 
   const uint64_t id_;
   const std::string name_;
+  store::DurableStore* store_ = nullptr;  // not owned; may be null
+  JobSpec creation_job_;
 
   mutable std::mutex mu_;
   mutable std::condition_variable phase_cv_;
@@ -114,6 +170,10 @@ class TuningSession {
   std::unique_ptr<SliceTuner> tuner_;
   std::unique_ptr<sim::ScriptedSource> source_;
   int next_round_index_ = 0;  // monotone across jobs: keeps draws fresh
+
+  // Durability bookkeeping (guarded by mu_; only used with a store).
+  std::vector<AcquireRecord> acquire_log_;
+  uint64_t events_logged_ = 0;  // journal sequence number of the next event
 
   // Counters (guarded by mu_).
   int jobs_run_ = 0;
@@ -139,6 +199,25 @@ struct SessionManagerStats {
   size_t completed = 0;
   size_t failed = 0;
   size_t cancelled = 0;
+  size_t restored = 0;
+};
+
+/// What a recovery pass did (surfaced through the restore verb and the
+/// daemon's startup log line).
+struct RestoreReport {
+  size_t sessions_restored = 0;
+  /// Sessions skipped because a live session already owns the name (only
+  /// possible via the runtime `restore` verb; startup recovery runs on an
+  /// empty registry).
+  size_t sessions_skipped = 0;
+  /// Sessions whose journal history ends in a drop event (never admitted).
+  size_t sessions_dropped = 0;
+  /// Slices that came back with a hot curve cache across all sessions.
+  size_t warm_slices = 0;
+  size_t journal_records_applied = 0;
+  bool tail_truncated = false;
+
+  json::Value ToJson() const;
 };
 
 class SessionManager {
@@ -174,11 +253,32 @@ class SessionManager {
   SessionManagerStats stats() const;
   json::Value StatsJson() const;
 
+  /// Makes future sessions durable: every Register/Drop and session
+  /// lifecycle event journals through `store` (not owned). Attach before
+  /// serving traffic; existing sessions are not retrofitted.
+  void AttachStore(store::DurableStore* store);
+
+  /// Materializes sessions from recovered state: merges the snapshot's
+  /// session entries with the journal tail (per-session sequence numbers
+  /// decide which tail records the snapshot already covers), then rebuilds
+  /// each surviving session via TuningSession::Restore. With
+  /// `skip_existing`, names already registered are left untouched (the
+  /// runtime `restore` verb); startup recovery passes false on an empty
+  /// registry. Restored sessions journal future events through `store`.
+  Result<RestoreReport> RestoreFromState(const store::RecoveredState& state,
+                                         store::DurableStore* store,
+                                         bool skip_existing);
+
+  /// The store snapshot document covering every registered session (plus
+  /// the id allocator), ready for DurableStore::WriteSnapshot/Compact.
+  json::Value DurableSnapshot() const;
+
  private:
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<TuningSession>> sessions_;
   uint64_t next_id_ = 1;
   SessionManagerStats stats_;
+  store::DurableStore* store_ = nullptr;  // not owned; may be null
 };
 
 }  // namespace serve

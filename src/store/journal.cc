@@ -1,0 +1,217 @@
+#include "store/journal.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/fs_util.h"
+#include "common/string_util.h"
+
+namespace slicetuner {
+namespace store {
+
+namespace {
+
+constexpr size_t kCrcHexLen = 8;
+
+// "crc8hex payload": header is 8 hex digits + one space.
+constexpr size_t kHeaderLen = kCrcHexLen + 1;
+
+bool ParseCrcHex(const char* text, uint32_t* crc) {
+  uint32_t value = 0;
+  for (size_t i = 0; i < kCrcHexLen; ++i) {
+    const char c = text[i];
+    uint32_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<uint32_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+    value = (value << 4) | digit;
+  }
+  *crc = value;
+  return true;
+}
+
+std::string CrcHex(uint32_t crc) {
+  char buf[kCrcHexLen + 1];
+  std::snprintf(buf, sizeof(buf), "%08x", crc);
+  return std::string(buf, kCrcHexLen);
+}
+
+// Validates one complete "crc8hex payload" line (no newline). Returns the
+// parsed payload or an error describing the failed check.
+Result<json::Value> DecodeLine(const std::string& line) {
+  if (line.size() < kHeaderLen || line[kCrcHexLen] != ' ') {
+    return Status::InvalidArgument("journal record header malformed");
+  }
+  uint32_t expected;
+  if (!ParseCrcHex(line.data(), &expected)) {
+    return Status::InvalidArgument("journal record CRC not hex");
+  }
+  const char* payload = line.data() + kHeaderLen;
+  const size_t payload_len = line.size() - kHeaderLen;
+  const uint32_t actual = Crc32(payload, payload_len);
+  if (actual != expected) {
+    return Status::InvalidArgument(
+        StrFormat("journal record CRC mismatch (stored %08x, computed %08x)",
+                  expected, actual));
+  }
+  ST_ASSIGN_OR_RETURN(json::Value value,
+                      json::Value::Parse(std::string(payload, payload_len)));
+  if (!value.is_object()) {
+    return Status::InvalidArgument("journal record payload not an object");
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string FrameRecord(const json::Value& payload) {
+  const std::string body = payload.Dump();
+  std::string line = CrcHex(Crc32(body));
+  line += ' ';
+  line += body;
+  line += '\n';
+  return line;
+}
+
+Result<JournalReadResult> ReadJournal(const std::string& path) {
+  JournalReadResult result;
+  const Result<std::string> content = ReadFileToString(path);
+  if (!content.ok()) {
+    if (content.status().code() == StatusCode::kNotFound) return result;
+    return content.status();
+  }
+
+  // Decode newline-terminated lines in order; remember where the valid
+  // prefix ends and whether anything intact follows the first damage.
+  size_t pos = 0;
+  bool damaged = false;
+  std::string damage_detail;
+  bool intact_after_damage = false;
+  while (pos < content->size()) {
+    const size_t newline = content->find('\n', pos);
+    if (newline == std::string::npos) {
+      damaged = true;  // unterminated tail line
+      if (damage_detail.empty()) damage_detail = "unterminated final record";
+      break;
+    }
+    const std::string line = content->substr(pos, newline - pos);
+    const Result<json::Value> record = DecodeLine(line);
+    if (!record.ok()) {
+      if (!damaged) {
+        damaged = true;
+        damage_detail = record.status().message();
+      }
+      pos = newline + 1;
+      continue;
+    }
+    if (damaged) {
+      intact_after_damage = true;
+      break;
+    }
+    result.records.push_back(std::move(*record));
+    pos = newline + 1;
+    result.valid_bytes = pos;
+  }
+
+  if (intact_after_damage) {
+    return Status::Internal(
+        "journal " + path + " is corrupted mid-file (" + damage_detail +
+        " followed by intact records); refusing to recover past silent "
+        "data loss");
+  }
+  if (damaged) {
+    result.tail_truncated = true;
+    result.bytes_discarded = content->size() - result.valid_bytes;
+  }
+  return result;
+}
+
+JournalWriter::~JournalWriter() { Close(); }
+
+JournalWriter::JournalWriter(JournalWriter&& other) noexcept
+    : path_(std::move(other.path_)),
+      file_(other.file_),
+      records_appended_(other.records_appended_),
+      dirty_(other.dirty_) {
+  other.file_ = nullptr;
+  other.dirty_ = false;
+}
+
+JournalWriter& JournalWriter::operator=(JournalWriter&& other) noexcept {
+  if (this != &other) {
+    Close();
+    path_ = std::move(other.path_);
+    file_ = other.file_;
+    records_appended_ = other.records_appended_;
+    dirty_ = other.dirty_;
+    other.file_ = nullptr;
+    other.dirty_ = false;
+  }
+  return *this;
+}
+
+Result<JournalWriter> JournalWriter::Open(const std::string& path) {
+  ST_ASSIGN_OR_RETURN(const JournalReadResult existing, ReadJournal(path));
+  if (existing.tail_truncated) {
+    // Physically drop the torn tail so appends continue a valid prefix.
+    if (::truncate(path.c_str(),
+                   static_cast<off_t>(existing.valid_bytes)) != 0) {
+      return Status::Internal("JournalWriter: cannot truncate torn tail of " +
+                              path + ": " + std::strerror(errno));
+    }
+  }
+  JournalWriter writer;
+  writer.path_ = path;
+  writer.file_ = std::fopen(path.c_str(), "ab");
+  if (writer.file_ == nullptr) {
+    return Status::NotFound("JournalWriter: cannot open " + path);
+  }
+  return writer;
+}
+
+Status JournalWriter::Append(const json::Value& payload) {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("JournalWriter: append after close");
+  }
+  const std::string line = FrameRecord(payload);
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
+    return Status::Internal("JournalWriter: append to " + path_ + " failed");
+  }
+  ++records_appended_;
+  dirty_ = true;
+  return Status::OK();
+}
+
+Status JournalWriter::Sync() {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("JournalWriter: sync after close");
+  }
+  if (!dirty_) return Status::OK();
+  if (std::fflush(file_) != 0 || ::fsync(::fileno(file_)) != 0) {
+    return Status::Internal("JournalWriter: fsync of " + path_ + " failed");
+  }
+  dirty_ = false;
+  return Status::OK();
+}
+
+Status JournalWriter::Close() {
+  if (file_ == nullptr) return Status::OK();
+  const Status synced = Sync();
+  const bool close_failed = std::fclose(file_) != 0;
+  file_ = nullptr;
+  ST_RETURN_NOT_OK(synced);
+  if (close_failed) {
+    return Status::Internal("JournalWriter: close of " + path_ + " failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace store
+}  // namespace slicetuner

@@ -1,0 +1,46 @@
+// Snapshot files: the checkpoint half of the durable-state store.
+//
+// A snapshot is one JSON document with an integrity header:
+//
+//   snapshot := header LF payload
+//   header   := "SLICETUNER-SNAPSHOT" SP version SP crc8hex SP payload_bytes
+//   version  := "v" major (readers reject any major they do not speak;
+//               additive payload fields do not bump the major)
+//   crc8hex  := CRC32 of the payload bytes (8 lowercase hex digits)
+//   payload  := the JSON document, pretty-printed (human-inspectable state)
+//
+// Snapshots are always written through WriteFileAtomic (tmp + fsync +
+// rename), so a crash at any instant leaves either the previous complete
+// snapshot or the new complete snapshot — never a torn one. A header/CRC
+// failure therefore means out-of-band corruption, and reads fail rather
+// than guess (docs/STATE.md documents the recovery ladder).
+
+#ifndef SLICETUNER_STORE_SNAPSHOT_H_
+#define SLICETUNER_STORE_SNAPSHOT_H_
+
+#include <string>
+
+#include "common/json.h"
+#include "common/result.h"
+
+namespace slicetuner {
+namespace store {
+
+/// The snapshot format major this build writes and the only one it reads.
+constexpr int kSnapshotVersion = 1;
+
+/// Serializes `doc` with the integrity header. Exposed for tests.
+std::string EncodeSnapshot(const json::Value& doc);
+
+/// Atomically replaces `path` with a snapshot of `doc`.
+Status WriteSnapshotFile(const std::string& path, const json::Value& doc);
+
+/// Reads and verifies a snapshot. NotFound when the file does not exist;
+/// Internal on a bad magic/version/CRC (corruption is never silently
+/// tolerated — the journal may still allow recovery, see docs/STATE.md).
+Result<json::Value> ReadSnapshotFile(const std::string& path);
+
+}  // namespace store
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_STORE_SNAPSHOT_H_

@@ -1,0 +1,174 @@
+#include "store/store.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/fs_util.h"
+#include "common/string_util.h"
+#include "store/snapshot.h"
+
+namespace slicetuner {
+namespace store {
+
+namespace {
+
+constexpr const char kSnapshotName[] = "snapshot.st";
+
+std::string JournalPath(const std::string& dir, uint64_t generation) {
+  return dir + "/" + StrFormat("journal-%06llu.wal",
+                               static_cast<unsigned long long>(generation));
+}
+
+// journal-NNNNNN.wal -> NNNNNN; 0 when the name is not a journal file.
+uint64_t GenerationOf(const std::string& name) {
+  constexpr size_t kPrefixLen = 8;  // "journal-"
+  constexpr size_t kDigits = 6;
+  if (name.size() != kPrefixLen + kDigits + 4 ||
+      name.rfind("journal-", 0) != 0 ||
+      name.substr(kPrefixLen + kDigits) != ".wal") {
+    return 0;
+  }
+  uint64_t gen = 0;
+  for (size_t i = kPrefixLen; i < kPrefixLen + kDigits; ++i) {
+    if (name[i] < '0' || name[i] > '9') return 0;
+    gen = gen * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  return gen;
+}
+
+Result<std::vector<uint64_t>> ListGenerations(const std::string& dir) {
+  ST_ASSIGN_OR_RETURN(const std::vector<std::string> names,
+                      ListDirFiles(dir));
+  std::vector<uint64_t> generations;
+  for (const std::string& name : names) {
+    const uint64_t gen = GenerationOf(name);
+    if (gen > 0) generations.push_back(gen);
+  }
+  std::sort(generations.begin(), generations.end());
+  return generations;
+}
+
+// Shared by ReadStateDir and DurableStore::Open so Open does not have to
+// list the directory twice; `generations` receives the sorted chain.
+Result<RecoveredState> ReadStateDirImpl(const std::string& dir,
+                                        std::vector<uint64_t>* generations) {
+  RecoveredState state;
+  const Result<json::Value> snapshot =
+      ReadSnapshotFile(dir + "/" + kSnapshotName);
+  if (snapshot.ok()) {
+    state.snapshot = *snapshot;
+  } else if (snapshot.status().code() != StatusCode::kNotFound) {
+    return snapshot.status();
+  }
+
+  ST_ASSIGN_OR_RETURN(*generations, ListGenerations(dir));
+  for (size_t i = 0; i < generations->size(); ++i) {
+    const std::string path = JournalPath(dir, (*generations)[i]);
+    ST_ASSIGN_OR_RETURN(JournalReadResult read, ReadJournal(path));
+    if (read.tail_truncated && i + 1 < generations->size()) {
+      // Only the newest generation can legitimately die mid-append: older
+      // ones were rotated away after a clean Sync.
+      return Status::Internal("journal " + path +
+                              " has a torn tail but newer generations "
+                              "follow; state directory is corrupted");
+    }
+    for (json::Value& record : read.records) {
+      state.tail.push_back(std::move(record));
+    }
+    state.tail_truncated = read.tail_truncated;
+    state.bytes_discarded += read.bytes_discarded;
+  }
+  return state;
+}
+
+}  // namespace
+
+Result<RecoveredState> ReadStateDir(const std::string& dir) {
+  std::vector<uint64_t> generations;
+  return ReadStateDirImpl(dir, &generations);
+}
+
+Result<std::unique_ptr<DurableStore>> DurableStore::Open(
+    const std::string& dir) {
+  ST_RETURN_NOT_OK(MkDirRecursive(dir));
+  std::unique_ptr<DurableStore> store(new DurableStore());
+  store->dir_ = dir;
+  std::vector<uint64_t> generations;
+  ST_ASSIGN_OR_RETURN(store->recovered_, ReadStateDirImpl(dir, &generations));
+  store->generation_ = generations.empty() ? 1 : generations.back() + 1;
+  ST_ASSIGN_OR_RETURN(store->writer_,
+                      JournalWriter::Open(JournalPath(dir,
+                                                      store->generation_)));
+  store->stats_.journal_generation = store->generation_;
+  return store;
+}
+
+DurableStore::~DurableStore() { (void)writer_.Close(); }
+
+Status DurableStore::Append(const json::Value& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ST_RETURN_NOT_OK(writer_.Append(record));
+  ++stats_.records_appended;
+  return Status::OK();
+}
+
+Status DurableStore::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ST_RETURN_NOT_OK(writer_.Sync());
+  ++stats_.syncs;
+  return Status::OK();
+}
+
+Status DurableStore::WriteSnapshot(const json::Value& doc) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ST_RETURN_NOT_OK(WriteSnapshotFile(dir_ + "/" + kSnapshotName, doc));
+  ++stats_.snapshots_written;
+  // Rotate: the replaced snapshot covers (at least) everything up to some
+  // recent point; the retained generations bridge any gap.
+  ST_RETURN_NOT_OK(writer_.Close());
+  ++generation_;
+  ST_ASSIGN_OR_RETURN(writer_, JournalWriter::Open(JournalPath(dir_,
+                                                               generation_)));
+  stats_.journal_generation = generation_;
+  return Status::OK();
+}
+
+Status DurableStore::Compact(const json::Value& doc) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ST_RETURN_NOT_OK(WriteSnapshotFile(dir_ + "/" + kSnapshotName, doc));
+  ++stats_.snapshots_written;
+  ST_RETURN_NOT_OK(writer_.Close());
+  // The new snapshot is durable; every retained generation is now redundant.
+  ST_ASSIGN_OR_RETURN(const std::vector<uint64_t> generations,
+                      ListGenerations(dir_));
+  for (const uint64_t gen : generations) {
+    ST_RETURN_NOT_OK(RemoveFile(JournalPath(dir_, gen)));
+  }
+  ++generation_;
+  ST_ASSIGN_OR_RETURN(writer_, JournalWriter::Open(JournalPath(dir_,
+                                                               generation_)));
+  stats_.journal_generation = generation_;
+  return Status::OK();
+}
+
+DurableStoreStats DurableStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+json::Value DurableStore::StatsJson() const {
+  const DurableStoreStats s = stats();
+  json::Value out = json::Value::Object();
+  out.Set("dir", dir_);
+  out.Set("records_appended", s.records_appended);
+  out.Set("syncs", s.syncs);
+  out.Set("snapshots_written", s.snapshots_written);
+  out.Set("journal_generation", static_cast<long long>(s.journal_generation));
+  out.Set("recovered_records", recovered_.tail.size());
+  out.Set("recovered_snapshot", !recovered_.snapshot.is_null());
+  out.Set("tail_truncated", recovered_.tail_truncated);
+  return out;
+}
+
+}  // namespace store
+}  // namespace slicetuner

@@ -1,0 +1,118 @@
+// DurableStore: a state directory holding one snapshot plus a chain of
+// write-ahead journal generations. This is the storage engine under the
+// serving layer's warm restarts (src/serve/session_manager.h wires session
+// events through it; docs/STATE.md is the normative format spec).
+//
+// Directory layout:
+//
+//   <dir>/snapshot.st        latest checkpoint (store/snapshot.h framing,
+//                            replaced atomically)
+//   <dir>/journal-NNNNNN.wal CRC-framed record log (store/journal.h framing);
+//                            NNNNNN is the generation number
+//
+// Lifecycle and invariants:
+//
+//   * Open() recovers: read the snapshot (if any), then every journal
+//     generation in order. The recovered records are exactly the events
+//     appended since the *earliest retained* generation began; consumers
+//     skip records the snapshot already covers (the serving layer keys this
+//     off per-session event sequence numbers). A torn tail is tolerated in
+//     the newest generation only; anywhere else it is corruption.
+//   * Appends go to a generation opened fresh by Open() — recovered files
+//     are never appended to.
+//   * WriteSnapshot() checkpoints: atomically replaces snapshot.st, then
+//     rotates to a new journal generation. Old generations are retained
+//     (never deleted while the store is live), so a snapshot racing
+//     concurrent appends can lose nothing: any record the snapshot missed
+//     is still replayed from the retained chain on the next Open.
+//   * Compact() = WriteSnapshot + delete all older generations. Only safe
+//     when the caller guarantees `doc` covers every recovered and appended
+//     record — i.e. at startup, after recovery, before serving traffic.
+//
+// Thread safety: all methods are serialized on one internal mutex. Append
+// is cheap (buffered); Sync is the group-commit fsync.
+
+#ifndef SLICETUNER_STORE_STORE_H_
+#define SLICETUNER_STORE_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "store/journal.h"
+
+namespace slicetuner {
+namespace store {
+
+/// Everything recovery found in a state directory.
+struct RecoveredState {
+  /// The snapshot document; null (is_null()) when none was on disk.
+  json::Value snapshot;
+  /// Journal records appended after the retained chain began, in order.
+  std::vector<json::Value> tail;
+  /// True when a torn final record was dropped from the newest generation.
+  bool tail_truncated = false;
+  size_t bytes_discarded = 0;
+};
+
+/// Read-only recovery: what Open() would see, without becoming a writer.
+/// Usable on a directory another store instance is actively appending to
+/// (the reader simply sees a prefix; unflushed bytes look like a torn tail).
+Result<RecoveredState> ReadStateDir(const std::string& dir);
+
+struct DurableStoreStats {
+  size_t records_appended = 0;
+  size_t syncs = 0;
+  size_t snapshots_written = 0;
+  uint64_t journal_generation = 0;
+};
+
+class DurableStore {
+ public:
+  /// Recovers `dir` (created if missing) and opens a fresh journal
+  /// generation for appending. Fails on mid-file corruption or an
+  /// unreadable snapshot — never silently drops state.
+  static Result<std::unique_ptr<DurableStore>> Open(const std::string& dir);
+
+  ~DurableStore();
+
+  /// What recovery found (fixed at Open; replaying it is the caller's job).
+  const RecoveredState& recovered() const { return recovered_; }
+  const std::string& dir() const { return dir_; }
+
+  /// Appends one record to the live journal generation (buffered).
+  Status Append(const json::Value& record);
+
+  /// Group-commit: fsync everything appended so far.
+  Status Sync();
+
+  /// Checkpoint: atomically replace the snapshot, rotate to a fresh journal
+  /// generation, retain old generations.
+  Status WriteSnapshot(const json::Value& doc);
+
+  /// Checkpoint and drop history: snapshot `doc`, delete every retained
+  /// generation, restart the chain. Startup-only (see file comment).
+  Status Compact(const json::Value& doc);
+
+  DurableStoreStats stats() const;
+  json::Value StatsJson() const;
+
+ private:
+  DurableStore() = default;
+
+  std::string dir_;
+  RecoveredState recovered_;
+  mutable std::mutex mu_;
+  JournalWriter writer_;
+  uint64_t generation_ = 0;
+  DurableStoreStats stats_;
+};
+
+}  // namespace store
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_STORE_STORE_H_

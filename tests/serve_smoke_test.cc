@@ -69,28 +69,39 @@ std::string JoinLines(const CommandResult& result) {
   return all;
 }
 
-TEST(ServeSmokeTest, SubmitStreamCancelShutdownViaRealBinaries) {
-  // Launch the server on an ephemeral port and read the port back off its
-  // banner line.
-  std::FILE* server = ::popen(
-      (std::string(SLICETUNER_SERVE_BIN) +
-       " --port=0 --max-queue=8 --max-batch=4 2>&1")
-          .c_str(),
-      "r");
-  ASSERT_NE(server, nullptr);
-
-  int port = 0;
+// Launches slicetuner_serve with `extra_flags`, reads the ephemeral port
+// off the banner (plus any banner lines before it into *banner), and
+// returns the process pipe. Null on failure to launch or bind.
+std::FILE* LaunchServer(const std::string& extra_flags, int* port,
+                        std::string* banner = nullptr) {
+  std::FILE* server = ::popen((std::string(SLICETUNER_SERVE_BIN) +
+                               " --port=0 " + extra_flags + " 2>&1")
+                                  .c_str(),
+                              "r");
+  if (server == nullptr) return nullptr;
+  *port = 0;
   char buf[4096];
   while (std::fgets(buf, sizeof(buf), server) != nullptr) {
     const std::string line = buf;
+    if (banner != nullptr) *banner += line;
     const size_t marker = line.find("listening on 127.0.0.1:");
     if (marker != std::string::npos) {
-      port = std::atoi(line.c_str() + marker +
-                       std::strlen("listening on 127.0.0.1:"));
+      *port = std::atoi(line.c_str() + marker +
+                        std::strlen("listening on 127.0.0.1:"));
       break;
     }
   }
+  return server;
+}
+
+TEST(ServeSmokeTest, SubmitStreamCancelShutdownViaRealBinaries) {
+  // Launch the server on an ephemeral port and read the port back off its
+  // banner line.
+  int port = 0;
+  std::FILE* server = LaunchServer("--max-queue=8 --max-batch=4", &port);
+  ASSERT_NE(server, nullptr);
   ASSERT_GT(port, 0) << "server never printed its listen banner";
+  char buf[4096];
 
   const std::string client =
       std::string(SLICETUNER_CLIENT_BIN) + " --port=" + std::to_string(port);
@@ -157,6 +168,91 @@ TEST(ServeSmokeTest, SubmitStreamCancelShutdownViaRealBinaries) {
   EXPECT_EQ(WEXITSTATUS(server_status), 0) << server_tail;
   EXPECT_NE(server_tail.find("shut down cleanly"), std::string::npos)
       << server_tail;
+}
+
+// Warm restart across real daemon processes: run a job under --state-dir,
+// checkpoint via the snapshot verb, shut down, start a NEW process on the
+// same directory, and resubmit with appended rows. The restarted daemon
+// must know the session (jobs_run carries over) and ride the restored
+// curve cache: strictly fewer trainings than the cold job, with
+// partial_refits advancing — the warm-restart contract of docs/STATE.md
+// exercised exactly the way an operator would.
+TEST(ServeSmokeTest, WarmRestartAcrossRealProcesses) {
+  const std::string state_dir = testing::TempDir() + "/smoke_state";
+  (void)RunCommand("rm -rf " + state_dir);
+
+  // --- first daemon: cold job + checkpoint + graceful shutdown ---
+  int port = 0;
+  std::FILE* server = LaunchServer("--state-dir=" + state_dir, &port);
+  ASSERT_NE(server, nullptr);
+  ASSERT_GT(port, 0);
+  std::string client =
+      std::string(SLICETUNER_CLIENT_BIN) + " --port=" + std::to_string(port);
+
+  const CommandResult submitted = RunCommand(
+      client + " submit --session=w1 --rows=60 --budget=40 --rounds=1");
+  EXPECT_TRUE(LastJson(submitted).GetBool("ok")) << JoinLines(submitted);
+  const CommandResult streamed = RunCommand(client + " stream --session=w1");
+  EXPECT_EQ(streamed.exit_code, 0) << JoinLines(streamed);
+
+  const json::Value cold_poll =
+      LastJson(RunCommand(client + " poll --session=w1"));
+  ASSERT_EQ(cold_poll.GetString("state"), "done") << cold_poll.Dump();
+  const long long cold_trainings = cold_poll.GetInt("last_job_trainings");
+  EXPECT_GT(cold_trainings, 0);
+
+  const CommandResult snapshot = RunCommand(client + " snapshot");
+  EXPECT_EQ(snapshot.exit_code, 0) << JoinLines(snapshot);
+  EXPECT_TRUE(LastJson(snapshot).GetBool("ok")) << JoinLines(snapshot);
+
+  EXPECT_EQ(RunCommand(client + " shutdown").exit_code, 0);
+  char buf[4096];
+  while (std::fgets(buf, sizeof(buf), server) != nullptr) {
+  }
+  const int first_status = ::pclose(server);
+  ASSERT_TRUE(WIFEXITED(first_status) && WEXITSTATUS(first_status) == 0);
+
+  // --- second daemon, same state dir: the session must be back, warm ---
+  std::string banner;
+  server = LaunchServer("--state-dir=" + state_dir, &port, &banner);
+  ASSERT_NE(server, nullptr);
+  ASSERT_GT(port, 0) << banner;
+  client =
+      std::string(SLICETUNER_CLIENT_BIN) + " --port=" + std::to_string(port);
+
+  const json::Value restored_poll =
+      LastJson(RunCommand(client + " poll --session=w1"));
+  ASSERT_TRUE(restored_poll.GetBool("ok")) << restored_poll.Dump();
+  EXPECT_EQ(restored_poll.GetString("state"), "done");
+  EXPECT_EQ(restored_poll.GetInt("jobs_run"), 1);
+
+  const CommandResult resubmitted = RunCommand(
+      client + " submit --session=w1 --append=40 --append-slice=2");
+  EXPECT_TRUE(LastJson(resubmitted).GetBool("ok")) << JoinLines(resubmitted);
+  EXPECT_EQ(RunCommand(client + " stream --session=w1").exit_code, 0);
+
+  const json::Value warm_poll =
+      LastJson(RunCommand(client + " poll --session=w1"));
+  ASSERT_EQ(warm_poll.GetString("state"), "done") << warm_poll.Dump();
+  EXPECT_EQ(warm_poll.GetInt("jobs_run"), 2);
+  EXPECT_LT(warm_poll.GetInt("last_job_trainings"), cold_trainings)
+      << warm_poll.Dump();
+  const json::Value* cache = warm_poll.Find("curve_cache");
+  ASSERT_NE(cache, nullptr) << warm_poll.Dump();
+  EXPECT_GE(cache->GetInt("partial_refits"), 1) << warm_poll.Dump();
+
+  // The restore verb is acknowledged and idempotent against live sessions.
+  const json::Value restore = LastJson(RunCommand(client + " restore"));
+  EXPECT_TRUE(restore.GetBool("ok")) << restore.Dump();
+
+  EXPECT_EQ(RunCommand(client + " shutdown").exit_code, 0);
+  std::string server_tail;
+  while (std::fgets(buf, sizeof(buf), server) != nullptr) {
+    server_tail += buf;
+  }
+  const int second_status = ::pclose(server);
+  EXPECT_TRUE(WIFEXITED(second_status));
+  EXPECT_EQ(WEXITSTATUS(second_status), 0) << server_tail;
 }
 
 }  // namespace

@@ -1,0 +1,414 @@
+// Serving-level crash-recovery tests: sessions journaled and snapshotted
+// through store::DurableStore must come back warm after a restart. The
+// acceptance check of the durable-state tentpole is the equivalence suite:
+// after snapshot + journal replay, an append_rows resubmission refits only
+// the touched slices with training counts identical to the no-restart path,
+// and closing curve estimates are bit-identical to a never-restarted
+// session's.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fs_util.h"
+#include "gtest/gtest.h"
+#include "serve/session_manager.h"
+#include "store/store.h"
+
+namespace slicetuner {
+namespace serve {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/store_recovery_" + name;
+  const Result<std::vector<std::string>> files = ListDirFiles(dir);
+  if (files.ok()) {
+    for (const std::string& file : *files) {
+      (void)RemoveFile(dir + "/" + file);
+    }
+  }
+  ST_CHECK_OK(MkDirRecursive(dir));
+  return dir;
+}
+
+JobSpec ColdJob(const std::string& session) {
+  JobSpec job;
+  job.session = session;
+  job.num_slices = 4;
+  job.rows_per_slice = 60;
+  job.budget = 40.0;
+  job.rounds = 1;
+  job.method = "moderate";
+  job.seed = 5;
+  return job;
+}
+
+JobSpec AppendJob(const std::string& session) {
+  JobSpec job = ColdJob(session);
+  job.append_rows = 60;
+  job.append_slice = 2;
+  return job;
+}
+
+TuningSession* MustRegisterAndRun(SessionManager* manager,
+                                  const JobSpec& job) {
+  const Result<TuningSession*> session = manager->Register(job);
+  ST_CHECK_OK(session.status());
+  ST_CHECK_OK((*session)->RunJob());
+  return *session;
+}
+
+std::string CurvesDump(const TuningSession& session) {
+  const json::Value snapshot = session.Snapshot();
+  const json::Value* curves = snapshot.Find("curves");
+  return curves == nullptr ? std::string() : curves->Dump();
+}
+
+// Content hash of the session's resting training data (via DurableState's
+// serialized tuner state). Empty when the session has no data world yet.
+std::string DataHash(const TuningSession& session) {
+  const json::Value state = session.DurableState();
+  const json::Value* resting = state.Find("resting");
+  return resting == nullptr ? std::string()
+                            : resting->GetString("data_hash");
+}
+
+// The headline guarantee. Control: one manager runs cold job + append job
+// with no restarts. Durable: an identical cold job runs against a store,
+// the manager is torn down, a second manager recovers from disk and runs
+// the identical append job. The warm path must match the control exactly:
+// same training count (only the touched slices refit) and bit-identical
+// closing curves.
+TEST(StoreRecoveryTest, WarmRestartEquivalence) {
+  // --- control: never restarted ---
+  SessionManager control;
+  TuningSession* control_session = MustRegisterAndRun(&control, ColdJob("s"));
+  const long long control_cold_trainings =
+      control_session->last_job_trainings();
+  const std::string control_cold_hash = DataHash(*control_session);
+  MustRegisterAndRun(&control, AppendJob("s"));
+  const long long control_warm_trainings =
+      control_session->last_job_trainings();
+  const std::string control_curves = CurvesDump(*control_session);
+  const std::string control_final_hash = DataHash(*control_session);
+  ASSERT_FALSE(control_curves.empty());
+  // The append path must itself be incremental, otherwise "warm" is
+  // meaningless (mirrors serve_test's partial-refit assertion).
+  ASSERT_LT(control_warm_trainings, control_cold_trainings);
+
+  // --- durable: cold job, snapshot, restart ---
+  const std::string dir = FreshDir("equivalence");
+  long long durable_cold_trainings = 0;
+  {
+    Result<std::unique_ptr<store::DurableStore>> store =
+        store::DurableStore::Open(dir);
+    ST_CHECK_OK(store.status());
+    SessionManager manager;
+    manager.AttachStore(store->get());
+    TuningSession* session = MustRegisterAndRun(&manager, ColdJob("s"));
+    durable_cold_trainings = session->last_job_trainings();
+    ST_CHECK_OK((*store)->WriteSnapshot(manager.DurableSnapshot()));
+  }
+  EXPECT_EQ(durable_cold_trainings, control_cold_trainings);
+
+  // --- restart: recover, then run the identical append job ---
+  Result<std::unique_ptr<store::DurableStore>> reopened =
+      store::DurableStore::Open(dir);
+  ST_CHECK_OK(reopened.status());
+  SessionManager recovered;
+  const Result<RestoreReport> report = recovered.RestoreFromState(
+      (*reopened)->recovered(), reopened->get(), /*skip_existing=*/false);
+  ST_CHECK_OK(report.status());
+  EXPECT_EQ(report->sessions_restored, 1u);
+  EXPECT_EQ(report->warm_slices, 4u) << "all slices should restore hot";
+
+  TuningSession* restored = recovered.Find("s");
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->phase(), SessionPhase::kDone);
+  EXPECT_EQ(restored->last_job_trainings(), control_cold_trainings);
+  // The replay reconstructed the resting rows bit-identically.
+  EXPECT_EQ(DataHash(*restored), control_cold_hash);
+
+  ST_CHECK_OK(recovered.Register(AppendJob("s")).status());
+  ST_CHECK_OK(restored->RunJob());
+
+  // Warm-restart equivalence: training counts identical to the no-restart
+  // path (only the touched slices refit)...
+  EXPECT_EQ(restored->last_job_trainings(), control_warm_trainings);
+  // ...closing estimates bit-identical to the never-restarted session...
+  EXPECT_EQ(CurvesDump(*restored), control_curves);
+  // ...and therefore identical allocations: the post-job data agrees too.
+  EXPECT_EQ(DataHash(*restored), control_final_hash);
+
+  const json::Value snapshot = restored->Snapshot();
+  EXPECT_EQ(snapshot.GetInt("jobs_run"), 2);
+  const json::Value* cache = snapshot.Find("curve_cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_GE(cache->GetInt("partial_refits"), 1)
+      << "the restored cache must serve the untouched slices";
+  EXPECT_GT(cache->GetInt("slices_reused"), 0);
+}
+
+// Recovery with no snapshot at all: the journal tail alone (create, world,
+// acquire, finish events) must rebuild the session's data world
+// bit-identically. Without a checkpointed curve cache the next estimate
+// runs cold — strictly more trainings than the warm path (closing curves
+// are NOT compared here: a cold refit sees the untouched slices' newer
+// cross-slice context, which the warm cache deliberately reuses — the
+// engine's documented incremental-maintenance approximation).
+TEST(StoreRecoveryTest, JournalOnlyRecoveryRebuildsDataExactly) {
+  SessionManager control;
+  TuningSession* control_session = MustRegisterAndRun(&control, ColdJob("j"));
+  const std::string control_cold_hash = DataHash(*control_session);
+  MustRegisterAndRun(&control, AppendJob("j"));
+  const long long control_warm_trainings =
+      control_session->last_job_trainings();
+  ASSERT_FALSE(control_cold_hash.empty());
+
+  const std::string dir = FreshDir("journal_only");
+  long long cold_rows = 0;
+  {
+    Result<std::unique_ptr<store::DurableStore>> store =
+        store::DurableStore::Open(dir);
+    ST_CHECK_OK(store.status());
+    SessionManager manager;
+    manager.AttachStore(store->get());
+    TuningSession* session = MustRegisterAndRun(&manager, ColdJob("j"));
+    cold_rows = session->Snapshot().GetInt("rows");
+    // No WriteSnapshot: the journal (synced at job finish) is all there is.
+  }
+
+  Result<std::unique_ptr<store::DurableStore>> reopened =
+      store::DurableStore::Open(dir);
+  ST_CHECK_OK(reopened.status());
+  SessionManager recovered;
+  const Result<RestoreReport> report = recovered.RestoreFromState(
+      (*reopened)->recovered(), reopened->get(), /*skip_existing=*/false);
+  ST_CHECK_OK(report.status());
+  EXPECT_EQ(report->sessions_restored, 1u);
+  EXPECT_GT(report->journal_records_applied, 0u);
+  EXPECT_EQ(report->warm_slices, 0u) << "no snapshot, no warm cache";
+
+  TuningSession* restored = recovered.Find("j");
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->phase(), SessionPhase::kDone);
+  EXPECT_EQ(restored->Snapshot().GetInt("rows"), cold_rows);
+  // The replayed rows are bit-identical to the pre-crash session's.
+  EXPECT_EQ(DataHash(*restored), control_cold_hash);
+
+  ST_CHECK_OK(recovered.Register(AppendJob("j")).status());
+  ST_CHECK_OK(restored->RunJob());
+  // Cold cache: strictly more trainings than the warm path. (The data
+  // worlds can diverge after this job: different fitted curves give the
+  // optimizer different allocations.)
+  EXPECT_GT(restored->last_job_trainings(), control_warm_trainings);
+}
+
+// A snapshot taken mid-history plus journal records appended after it:
+// recovery applies only the uncovered tail (per-session sequence numbers),
+// ending in the same state as replaying everything.
+TEST(StoreRecoveryTest, SnapshotPlusNewerJournalTailComposes) {
+  const std::string dir = FreshDir("snapshot_plus_tail");
+  {
+    Result<std::unique_ptr<store::DurableStore>> store =
+        store::DurableStore::Open(dir);
+    ST_CHECK_OK(store.status());
+    SessionManager manager;
+    manager.AttachStore(store->get());
+    TuningSession* session = MustRegisterAndRun(&manager, ColdJob("t"));
+    ST_CHECK_OK((*store)->WriteSnapshot(manager.DurableSnapshot()));
+    // Activity after the checkpoint lives only in the journal.
+    ST_CHECK_OK(manager.Register(AppendJob("t")).status());
+    ST_CHECK_OK(session->RunJob());
+  }
+
+  Result<std::unique_ptr<store::DurableStore>> reopened =
+      store::DurableStore::Open(dir);
+  ST_CHECK_OK(reopened.status());
+  SessionManager recovered;
+  const Result<RestoreReport> report = recovered.RestoreFromState(
+      (*reopened)->recovered(), reopened->get(), /*skip_existing=*/false);
+  ST_CHECK_OK(report.status());
+  EXPECT_EQ(report->sessions_restored, 1u);
+  EXPECT_GT(report->journal_records_applied, 0u);
+
+  TuningSession* restored = recovered.Find("t");
+  ASSERT_NE(restored, nullptr);
+  const json::Value snapshot = restored->Snapshot();
+  EXPECT_EQ(snapshot.GetInt("jobs_run"), 2);
+  EXPECT_EQ(snapshot.GetString("state"), "done");
+  // Both the appended rows and the second job's acquisitions must be in the
+  // replayed data; a third (appendless) run then estimates the same world.
+  ST_CHECK_OK(recovered.Register(ColdJob("t")).status());
+  ST_CHECK_OK(restored->RunJob());
+  EXPECT_EQ(restored->phase(), SessionPhase::kDone);
+}
+
+// A session interrupted mid-flight (journaled as created, never finished)
+// restores as cancelled and stays resumable.
+TEST(StoreRecoveryTest, InterruptedSessionRestoresCancelledAndResumable) {
+  const std::string dir = FreshDir("interrupted");
+  {
+    Result<std::unique_ptr<store::DurableStore>> store =
+        store::DurableStore::Open(dir);
+    ST_CHECK_OK(store.status());
+    SessionManager manager;
+    manager.AttachStore(store->get());
+    // Registered (create journaled + synced) but the process "dies" before
+    // the dispatcher ever runs the job.
+    ST_CHECK_OK(manager.Register(ColdJob("i")).status());
+  }
+
+  Result<std::unique_ptr<store::DurableStore>> reopened =
+      store::DurableStore::Open(dir);
+  ST_CHECK_OK(reopened.status());
+  SessionManager recovered;
+  const Result<RestoreReport> report = recovered.RestoreFromState(
+      (*reopened)->recovered(), reopened->get(), /*skip_existing=*/false);
+  ST_CHECK_OK(report.status());
+  EXPECT_EQ(report->sessions_restored, 1u);
+
+  TuningSession* restored = recovered.Find("i");
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->phase(), SessionPhase::kCancelled);
+  EXPECT_EQ(restored->last_status().code(), StatusCode::kCancelled);
+
+  // The client's retry re-arms it like any cancelled session.
+  MustRegisterAndRun(&recovered, ColdJob("i"));
+  EXPECT_EQ(restored->phase(), SessionPhase::kDone);
+}
+
+// A shed submission that was dropped before admission must not resurrect.
+TEST(StoreRecoveryTest, DroppedSessionIsNotRestored) {
+  const std::string dir = FreshDir("dropped");
+  {
+    Result<std::unique_ptr<store::DurableStore>> store =
+        store::DurableStore::Open(dir);
+    ST_CHECK_OK(store.status());
+    SessionManager manager;
+    manager.AttachStore(store->get());
+    const Result<TuningSession*> session = manager.Register(ColdJob("d"));
+    ST_CHECK_OK(session.status());
+    manager.Drop((*session)->id());
+    EXPECT_EQ(manager.session_count(), 0u);
+  }
+
+  Result<std::unique_ptr<store::DurableStore>> reopened =
+      store::DurableStore::Open(dir);
+  ST_CHECK_OK(reopened.status());
+  SessionManager recovered;
+  const Result<RestoreReport> report = recovered.RestoreFromState(
+      (*reopened)->recovered(), reopened->get(), /*skip_existing=*/false);
+  ST_CHECK_OK(report.status());
+  EXPECT_EQ(report->sessions_restored, 0u);
+  EXPECT_EQ(report->sessions_dropped, 1u);
+  EXPECT_EQ(recovered.Find("d"), nullptr);
+}
+
+// A name can be dropped and then legitimately reused: the retry after a
+// shed submit recreates the session with a fresh id. Recovery must restore
+// the new incarnation — the old incarnation's drop record (and its higher
+// event sequence numbers) must not swallow it.
+TEST(StoreRecoveryTest, DroppedThenRecreatedSessionRestores) {
+  const std::string dir = FreshDir("drop_recreate");
+  {
+    Result<std::unique_ptr<store::DurableStore>> store =
+        store::DurableStore::Open(dir);
+    ST_CHECK_OK(store.status());
+    SessionManager manager;
+    manager.AttachStore(store->get());
+    const Result<TuningSession*> shed = manager.Register(ColdJob("r"));
+    ST_CHECK_OK(shed.status());
+    manager.Drop((*shed)->id());  // admission rejected the first attempt
+    MustRegisterAndRun(&manager, ColdJob("r"));  // the client's retry
+  }
+
+  Result<std::unique_ptr<store::DurableStore>> reopened =
+      store::DurableStore::Open(dir);
+  ST_CHECK_OK(reopened.status());
+  SessionManager recovered;
+  const Result<RestoreReport> report = recovered.RestoreFromState(
+      (*reopened)->recovered(), reopened->get(), /*skip_existing=*/false);
+  ST_CHECK_OK(report.status());
+  EXPECT_EQ(report->sessions_restored, 1u);
+  TuningSession* restored = recovered.Find("r");
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->phase(), SessionPhase::kDone);
+  EXPECT_EQ(restored->Snapshot().GetInt("jobs_run"), 1);
+}
+
+// Torn journal tail at the serving level: garbage appended to the newest
+// generation (a mid-write crash) must not block recovery of the sessions
+// whose records preceded it.
+TEST(StoreRecoveryTest, TornJournalTailStillRecoversSessions) {
+  const std::string dir = FreshDir("torn_tail");
+  {
+    Result<std::unique_ptr<store::DurableStore>> store =
+        store::DurableStore::Open(dir);
+    ST_CHECK_OK(store.status());
+    SessionManager manager;
+    manager.AttachStore(store->get());
+    MustRegisterAndRun(&manager, ColdJob("torn"));
+  }
+  // Simulate a crash mid-append: raw garbage lands after the last record of
+  // the newest journal generation.
+  const Result<std::vector<std::string>> files = ListDirFiles(dir);
+  ST_CHECK_OK(files.status());
+  std::string newest;
+  for (const std::string& file : *files) {
+    if (file.rfind("journal-", 0) == 0) newest = file;  // sorted ascending
+  }
+  ASSERT_FALSE(newest.empty());
+  const Result<std::string> bytes = ReadFileToString(dir + "/" + newest);
+  ST_CHECK_OK(bytes.status());
+  ST_CHECK_OK(WriteStringToFile(dir + "/" + newest,
+                                *bytes + "deadbeef {\"torn\":"));
+
+  Result<std::unique_ptr<store::DurableStore>> reopened =
+      store::DurableStore::Open(dir);
+  ST_CHECK_OK(reopened.status());
+  EXPECT_TRUE((*reopened)->recovered().tail_truncated);
+  SessionManager recovered;
+  const Result<RestoreReport> report = recovered.RestoreFromState(
+      (*reopened)->recovered(), reopened->get(), /*skip_existing=*/false);
+  ST_CHECK_OK(report.status());
+  EXPECT_TRUE(report->tail_truncated);
+  EXPECT_EQ(report->sessions_restored, 1u);
+  TuningSession* restored = recovered.Find("torn");
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->phase(), SessionPhase::kDone);
+}
+
+// The restore path must never clobber a live session: skip_existing is how
+// the server's `restore` verb re-merges.
+TEST(StoreRecoveryTest, SkipExistingLeavesLiveSessionsAlone) {
+  const std::string dir = FreshDir("skip_existing");
+  {
+    Result<std::unique_ptr<store::DurableStore>> store =
+        store::DurableStore::Open(dir);
+    ST_CHECK_OK(store.status());
+    SessionManager manager;
+    manager.AttachStore(store->get());
+    MustRegisterAndRun(&manager, ColdJob("live"));
+    MustRegisterAndRun(&manager, ColdJob("gone"));
+    ST_CHECK_OK((*store)->WriteSnapshot(manager.DurableSnapshot()));
+  }
+
+  Result<std::unique_ptr<store::DurableStore>> reopened =
+      store::DurableStore::Open(dir);
+  ST_CHECK_OK(reopened.status());
+  SessionManager recovered;
+  // "live" already exists in this registry.
+  TuningSession* live = MustRegisterAndRun(&recovered, ColdJob("live"));
+  const Result<RestoreReport> report = recovered.RestoreFromState(
+      (*reopened)->recovered(), reopened->get(), /*skip_existing=*/true);
+  ST_CHECK_OK(report.status());
+  EXPECT_EQ(report->sessions_restored, 1u);
+  EXPECT_EQ(report->sessions_skipped, 1u);
+  EXPECT_EQ(recovered.Find("live"), live) << "live session untouched";
+  EXPECT_NE(recovered.Find("gone"), nullptr);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace slicetuner

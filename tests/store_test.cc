@@ -1,0 +1,309 @@
+// Unit tests of the durable-state store (src/store/): journal framing and
+// crash-recovery invariants (kill/reopen mid-journal, torn-tail truncation,
+// CRC corruption), snapshot atomicity and versioning, and the
+// snapshot + journal-generation lifecycle of DurableStore. The serving-level
+// warm-restart equivalence lives in tests/store_recovery_test.cc.
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/fs_util.h"
+#include "gtest/gtest.h"
+#include "store/journal.h"
+#include "store/snapshot.h"
+#include "store/store.h"
+
+namespace slicetuner {
+namespace store {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/store_test_" + name;
+  // Tests re-run in place: clear any file left by a previous invocation.
+  const Result<std::vector<std::string>> files = ListDirFiles(dir);
+  if (files.ok()) {
+    for (const std::string& file : *files) {
+      (void)RemoveFile(dir + "/" + file);
+    }
+  }
+  ST_CHECK_OK(MkDirRecursive(dir));
+  return dir;
+}
+
+json::Value Record(int n) {
+  json::Value record = json::Value::Object();
+  record.Set("event", "test");
+  record.Set("n", n);
+  return record;
+}
+
+std::string ReadAll(const std::string& path) {
+  const Result<std::string> content = ReadFileToString(path);
+  ST_CHECK_OK(content.status());
+  return *content;
+}
+
+// ---------------------------------------------------------------------------
+// fs_util primitives
+// ---------------------------------------------------------------------------
+
+TEST(FsUtilTest, Crc32KnownVectorsAndChunking) {
+  // The canonical CRC-32 ("123456789" -> 0xcbf43926) pins the polynomial
+  // and bit order; the chunked form must agree with the one-shot form.
+  EXPECT_EQ(Crc32(std::string("123456789")), 0xcbf43926u);
+  EXPECT_EQ(Crc32(std::string()), 0u);
+  const uint32_t partial = Crc32(std::string("12345"));
+  EXPECT_EQ(Crc32(std::string("6789"), partial), 0xcbf43926u);
+}
+
+TEST(FsUtilTest, WriteFileAtomicReplacesAndLeavesNoTemp) {
+  const std::string dir = FreshDir("atomic");
+  const std::string path = dir + "/target.txt";
+  ST_CHECK_OK(WriteFileAtomic(path, "first"));
+  EXPECT_EQ(ReadAll(path), "first");
+  ST_CHECK_OK(WriteFileAtomic(path, "second"));
+  EXPECT_EQ(ReadAll(path), "second");
+  struct ::stat st;
+  EXPECT_NE(::stat((path + ".tmp").c_str(), &st), 0)
+      << "temp file must not survive a successful atomic write";
+}
+
+// ---------------------------------------------------------------------------
+// Journal framing + recovery
+// ---------------------------------------------------------------------------
+
+TEST(JournalTest, AppendSyncReopenReplaysInOrder) {
+  const std::string dir = FreshDir("journal_roundtrip");
+  const std::string path = dir + "/journal.wal";
+  {
+    Result<JournalWriter> writer = JournalWriter::Open(path);
+    ST_CHECK_OK(writer.status());
+    for (int n = 0; n < 5; ++n) ST_CHECK_OK(writer->Append(Record(n)));
+    ST_CHECK_OK(writer->Sync());
+  }
+  const Result<JournalReadResult> read = ReadJournal(path);
+  ST_CHECK_OK(read.status());
+  ASSERT_EQ(read->records.size(), 5u);
+  EXPECT_FALSE(read->tail_truncated);
+  for (int n = 0; n < 5; ++n) {
+    EXPECT_EQ(read->records[static_cast<size_t>(n)].GetInt("n"), n);
+  }
+}
+
+TEST(JournalTest, MissingFileIsEmptyJournal) {
+  const Result<JournalReadResult> read =
+      ReadJournal(testing::TempDir() + "/store_test_does_not_exist.wal");
+  ST_CHECK_OK(read.status());
+  EXPECT_TRUE(read->records.empty());
+  EXPECT_FALSE(read->tail_truncated);
+}
+
+// Kill/reopen mid-journal: the final record is half-written (no newline).
+TEST(JournalTest, TornTailWithoutNewlineIsTruncated) {
+  const std::string dir = FreshDir("torn_tail");
+  const std::string path = dir + "/journal.wal";
+  std::string bytes = FrameRecord(Record(1));
+  bytes += FrameRecord(Record(2));
+  const std::string torn = FrameRecord(Record(3));
+  bytes += torn.substr(0, torn.size() / 2);  // killed mid-write
+  ST_CHECK_OK(WriteStringToFile(path, bytes));
+
+  const Result<JournalReadResult> read = ReadJournal(path);
+  ST_CHECK_OK(read.status());
+  ASSERT_EQ(read->records.size(), 2u);
+  EXPECT_TRUE(read->tail_truncated);
+  EXPECT_GT(read->bytes_discarded, 0u);
+
+  // Reopening for append physically truncates the damage, and appended
+  // records follow the valid prefix.
+  {
+    Result<JournalWriter> writer = JournalWriter::Open(path);
+    ST_CHECK_OK(writer.status());
+    ST_CHECK_OK(writer->Append(Record(4)));
+    ST_CHECK_OK(writer->Sync());
+  }
+  const Result<JournalReadResult> reread = ReadJournal(path);
+  ST_CHECK_OK(reread.status());
+  ASSERT_EQ(reread->records.size(), 3u);
+  EXPECT_EQ(reread->records[2].GetInt("n"), 4);
+  EXPECT_FALSE(reread->tail_truncated);
+}
+
+// A complete final line whose CRC does not match its payload (e.g. the
+// payload bytes landed but the checksum sector did not).
+TEST(JournalTest, CorruptCrcOnTailRecordIsTruncated) {
+  const std::string dir = FreshDir("bad_tail_crc");
+  const std::string path = dir + "/journal.wal";
+  std::string bytes = FrameRecord(Record(1));
+  std::string bad = FrameRecord(Record(2));
+  bad[0] = bad[0] == '0' ? '1' : '0';  // flip a checksum digit
+  bytes += bad;
+  ST_CHECK_OK(WriteStringToFile(path, bytes));
+
+  const Result<JournalReadResult> read = ReadJournal(path);
+  ST_CHECK_OK(read.status());
+  ASSERT_EQ(read->records.size(), 1u);
+  EXPECT_EQ(read->records[0].GetInt("n"), 1);
+  EXPECT_TRUE(read->tail_truncated);
+}
+
+// A payload flip mid-file with intact records after it cannot come from a
+// crash; recovery must refuse instead of silently dropping history.
+TEST(JournalTest, MidFileCorruptionRefusesRecovery) {
+  const std::string dir = FreshDir("mid_corruption");
+  const std::string path = dir + "/journal.wal";
+  std::string middle = FrameRecord(Record(2));
+  middle[middle.size() - 3] ^= 0x01;  // flip a payload byte
+  const std::string bytes =
+      FrameRecord(Record(1)) + middle + FrameRecord(Record(3));
+  ST_CHECK_OK(WriteStringToFile(path, bytes));
+
+  const Result<JournalReadResult> read = ReadJournal(path);
+  EXPECT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kInternal);
+
+  // The writer inherits the refusal: a corrupted journal cannot be opened
+  // for append either.
+  EXPECT_FALSE(JournalWriter::Open(path).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot framing
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotTest, RoundTripsDocument) {
+  const std::string dir = FreshDir("snapshot_roundtrip");
+  const std::string path = dir + "/snapshot.st";
+  json::Value doc = json::Value::Object();
+  doc.Set("hello", "world");
+  doc.Set("pi", 3.14159265358979);
+  ST_CHECK_OK(WriteSnapshotFile(path, doc));
+  const Result<json::Value> read = ReadSnapshotFile(path);
+  ST_CHECK_OK(read.status());
+  EXPECT_EQ(*read, doc);
+}
+
+TEST(SnapshotTest, RejectsCorruptedPayloadAndBadVersion) {
+  const std::string dir = FreshDir("snapshot_bad");
+  const std::string path = dir + "/snapshot.st";
+  json::Value doc = json::Value::Object();
+  doc.Set("k", 1);
+  ST_CHECK_OK(WriteSnapshotFile(path, doc));
+
+  // Flip one payload byte: CRC check must fail.
+  std::string bytes = ReadAll(path);
+  bytes[bytes.size() - 3] ^= 0x01;
+  ST_CHECK_OK(WriteStringToFile(path, bytes));
+  EXPECT_EQ(ReadSnapshotFile(path).status().code(), StatusCode::kInternal);
+
+  // A future format major is rejected up front.
+  std::string future = EncodeSnapshot(doc);
+  const size_t v = future.find(" v1 ");
+  ASSERT_NE(v, std::string::npos);
+  future.replace(v, 4, " v9 ");
+  ST_CHECK_OK(WriteStringToFile(path, future));
+  EXPECT_EQ(ReadSnapshotFile(path).status().code(), StatusCode::kInternal);
+
+  EXPECT_EQ(ReadSnapshotFile(dir + "/missing.st").status().code(),
+            StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// DurableStore lifecycle
+// ---------------------------------------------------------------------------
+
+TEST(DurableStoreTest, RecoversAppendsAcrossReopen) {
+  const std::string dir = FreshDir("store_reopen");
+  {
+    Result<std::unique_ptr<DurableStore>> opened = DurableStore::Open(dir);
+    ST_CHECK_OK(opened.status());
+    EXPECT_TRUE((*opened)->recovered().snapshot.is_null());
+    EXPECT_TRUE((*opened)->recovered().tail.empty());
+    ST_CHECK_OK((*opened)->Append(Record(1)));
+    ST_CHECK_OK((*opened)->Append(Record(2)));
+    ST_CHECK_OK((*opened)->Sync());
+  }
+  Result<std::unique_ptr<DurableStore>> reopened = DurableStore::Open(dir);
+  ST_CHECK_OK(reopened.status());
+  ASSERT_EQ((*reopened)->recovered().tail.size(), 2u);
+  EXPECT_EQ((*reopened)->recovered().tail[1].GetInt("n"), 2);
+}
+
+TEST(DurableStoreTest, SnapshotRotatesGenerationAndRetainsJournal) {
+  const std::string dir = FreshDir("store_rotate");
+  Result<std::unique_ptr<DurableStore>> opened = DurableStore::Open(dir);
+  ST_CHECK_OK(opened.status());
+  DurableStore& store = **opened;
+  ST_CHECK_OK(store.Append(Record(1)));
+  json::Value doc = json::Value::Object();
+  doc.Set("covers", 1);
+  ST_CHECK_OK(store.WriteSnapshot(doc));
+  // Appends after the checkpoint land in the next generation...
+  ST_CHECK_OK(store.Append(Record(2)));
+  ST_CHECK_OK(store.Sync());
+
+  // ...and recovery sees the snapshot plus BOTH generations (WriteSnapshot
+  // retains history; only Compact drops it).
+  const Result<RecoveredState> state = ReadStateDir(dir);
+  ST_CHECK_OK(state.status());
+  EXPECT_EQ(state->snapshot.GetInt("covers"), 1);
+  ASSERT_EQ(state->tail.size(), 2u);
+  EXPECT_EQ(state->tail[0].GetInt("n"), 1);
+  EXPECT_EQ(state->tail[1].GetInt("n"), 2);
+}
+
+TEST(DurableStoreTest, CompactDropsHistory) {
+  const std::string dir = FreshDir("store_compact");
+  Result<std::unique_ptr<DurableStore>> opened = DurableStore::Open(dir);
+  ST_CHECK_OK(opened.status());
+  DurableStore& store = **opened;
+  ST_CHECK_OK(store.Append(Record(1)));
+  json::Value doc = json::Value::Object();
+  doc.Set("covers", 1);
+  ST_CHECK_OK(store.Compact(doc));
+  ST_CHECK_OK(store.Append(Record(2)));
+  ST_CHECK_OK(store.Sync());
+
+  const Result<RecoveredState> state = ReadStateDir(dir);
+  ST_CHECK_OK(state.status());
+  EXPECT_EQ(state->snapshot.GetInt("covers"), 1);
+  ASSERT_EQ(state->tail.size(), 1u) << "compacted records must be gone";
+  EXPECT_EQ(state->tail[0].GetInt("n"), 2);
+}
+
+TEST(DurableStoreTest, TornTailInOlderGenerationIsCorruption) {
+  const std::string dir = FreshDir("store_torn_old_gen");
+  {
+    Result<std::unique_ptr<DurableStore>> opened = DurableStore::Open(dir);
+    ST_CHECK_OK(opened.status());
+    ST_CHECK_OK((*opened)->Append(Record(1)));
+    json::Value doc = json::Value::Object();
+    ST_CHECK_OK((*opened)->WriteSnapshot(doc));  // rotates to generation 2
+    ST_CHECK_OK((*opened)->Append(Record(2)));
+    ST_CHECK_OK((*opened)->Sync());
+  }
+  // Tear the tail of the OLDER generation: rotation synced it, so damage
+  // there cannot be a crash artifact.
+  const Result<std::vector<std::string>> files = ListDirFiles(dir);
+  ST_CHECK_OK(files.status());
+  std::string oldest;
+  for (const std::string& file : *files) {
+    if (file.rfind("journal-", 0) == 0) {
+      oldest = file;
+      break;  // sorted: first journal file is the oldest generation
+    }
+  }
+  ASSERT_FALSE(oldest.empty());
+  std::string bytes = ReadAll(dir + "/" + oldest);
+  bytes.resize(bytes.size() - 2);  // chop the newline + a checksum byte
+  ST_CHECK_OK(WriteStringToFile(dir + "/" + oldest, bytes));
+
+  EXPECT_EQ(ReadStateDir(dir).status().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace store
+}  // namespace slicetuner

@@ -8,13 +8,14 @@
 //   slicetuner_client --port=N stream --session=s1   # prints frames to done
 //   slicetuner_client --port=N cancel --session=s1
 //   slicetuner_client --port=N stats
+//   slicetuner_client --port=N snapshot   # checkpoint the state dir
+//   slicetuner_client --port=N restore    # re-merge state-dir sessions
 //   slicetuner_client --port=N shutdown
 //
 // Every server line is echoed to stdout. Exit code 0 iff the request was
 // acknowledged ok (and, for stream, the session finished with a done frame).
 
 #include <cstdio>
-#include <cstring>
 #include <string>
 
 #include "bench/bench_util.h"
@@ -23,21 +24,10 @@
 
 namespace {
 
-std::string ParseStringFlag(int argc, char** argv, const char* prefix,
-                            const std::string& fallback) {
-  const size_t len = std::strlen(prefix);
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], prefix, len) == 0) {
-      return std::string(argv[i] + len);
-    }
-  }
-  return fallback;
-}
-
 int Usage() {
   std::fprintf(stderr,
                "usage: slicetuner_client --port=N "
-               "(submit|poll|stream|cancel|stats|shutdown) "
+               "(submit|poll|stream|cancel|stats|snapshot|restore|shutdown) "
                "[--session=NAME] [flags]\n");
   return 2;
 }
@@ -60,7 +50,7 @@ int main(int argc, char** argv) {
   if (command.empty()) return Usage();
 
   serve::Request request;
-  request.session = ParseStringFlag(argc, argv, "--session=", "");
+  request.session = bench::ParseStringFlag(argc, argv, "--session=", "");
   if (command == "submit") {
     request.type = serve::RequestType::kSubmitJob;
     request.job.session = request.session;
@@ -73,7 +63,7 @@ int main(int argc, char** argv) {
         static_cast<double>(bench::ParseIntFlag(argc, argv, "--budget=", 120));
     request.job.rounds = bench::ParseIntFlag(argc, argv, "--rounds=", 2);
     request.job.method =
-        ParseStringFlag(argc, argv, "--method=", "moderate");
+        bench::ParseStringFlag(argc, argv, "--method=", "moderate");
     request.job.seed = static_cast<uint64_t>(
         bench::ParseIntFlag(argc, argv, "--seed=", 1));
     request.job.append_rows = bench::ParseIntFlag(argc, argv, "--append=", 0);
@@ -87,6 +77,10 @@ int main(int argc, char** argv) {
     request.type = serve::RequestType::kCancel;
   } else if (command == "stats") {
     request.type = serve::RequestType::kStats;
+  } else if (command == "snapshot") {
+    request.type = serve::RequestType::kSnapshot;
+  } else if (command == "restore") {
+    request.type = serve::RequestType::kRestore;
   } else if (command == "shutdown") {
     request.type = serve::RequestType::kShutdown;
   } else {

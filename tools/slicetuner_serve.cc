@@ -6,12 +6,18 @@
 // Usage:
 //   slicetuner_serve [--port=0] [--threads=N] [--max-queue=16]
 //                    [--max-batch=8] [--retry-after-ms=50]
-//                    [--max-backlog=0]
+//                    [--max-backlog=0] [--state-dir=DIR]
+//
+// --state-dir makes sessions durable (src/store/, docs/STATE.md): startup
+// replays the directory's snapshot + journal tail so sessions resume warm,
+// the `snapshot`/`restore` admin verbs work, and a final checkpoint is
+// written on graceful shutdown.
 //
 // Prints "slicetuner_serve listening on 127.0.0.1:<port>" once ready (the
 // smoke test and scripts read the ephemeral port off this line).
 
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "common/fs_util.h"
@@ -32,6 +38,7 @@ int main(int argc, char** argv) {
       bench::ParseIntFlag(argc, argv, "--retry-after-ms=", 50);
   options.admission.max_executor_backlog = static_cast<size_t>(
       bench::ParseIntFlag(argc, argv, "--max-backlog=", 0));
+  options.state_dir = bench::ParseStringFlag(argc, argv, "--state-dir=", "");
 
   serve::TuningServer server(options);
   ST_CHECK_OK(server.Start());
@@ -39,6 +46,15 @@ int main(int argc, char** argv) {
   std::printf("queue depth %zu, batch %zu, retry-after %d ms\n",
               options.admission.max_queue_depth, options.admission.max_batch,
               options.admission.retry_after_ms);
+  if (!options.state_dir.empty()) {
+    const serve::RestoreReport& report = server.restore_report();
+    std::printf("state dir %s: restored %zu session(s), %zu warm slice(s), "
+                "%zu journal record(s) replayed%s\n",
+                options.state_dir.c_str(), report.sessions_restored,
+                report.warm_slices, report.journal_records_applied,
+                report.tail_truncated ? " (torn journal tail truncated)"
+                                      : "");
+  }
   std::fflush(stdout);
 
   server.Wait();
