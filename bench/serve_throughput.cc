@@ -16,6 +16,7 @@
 
 #include "bench/bench_util.h"
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
 #include "serve/client.h"
 #include "serve/server.h"
 
@@ -155,8 +156,15 @@ int main(int argc, char** argv) {
   const double serial_wall = MeasureServer(/*max_batch=*/1,
                                            /*max_concurrent=*/1, jobs, rows,
                                            &all_succeeded);
+  // Isolate the batched wave's latency distribution: the submit -> done
+  // histogram read below should describe only this wave.
+  obs::MetricsRegistry::Global().Reset();
   const double batched_wall = MeasureServer(/*max_batch=*/8, threads, jobs,
                                             rows, &all_succeeded);
+  const obs::HistogramSnapshot submit_done =
+      obs::MetricsRegistry::Global()
+          .histogram("serve_submit_to_done_ns")
+          ->Snapshot();
   const bool shedding_works = ProbeLoadShedding();
 
   const bool valid = all_succeeded && serial_wall > 0.0 && batched_wall > 0.0;
@@ -170,6 +178,10 @@ int main(int argc, char** argv) {
               batched_wall, speedup, throughput);
   std::printf("admission : load shedding %s\n",
               shedding_works ? "verified" : "NOT OBSERVED (BUG)");
+  std::printf("latency   : submit->done p50 %.1f ms, p99 %.1f ms "
+              "(%llu jobs, batched wave)\n",
+              submit_done.p50 / 1e6, submit_done.p99 / 1e6,
+              static_cast<unsigned long long>(submit_done.count));
 
   const std::string json_path = bench::ResultsDir() + "/BENCH_serve.json";
   json::Value summary = json::Value::Object();
@@ -184,6 +196,8 @@ int main(int argc, char** argv) {
   summary.Set("throughput_jobs_per_sec", throughput);
   summary.Set("all_jobs_succeeded", all_succeeded);
   summary.Set("load_shedding_works", shedding_works);
+  summary.Set("submit_done_p50_ms", submit_done.p50 / 1e6);
+  summary.Set("submit_done_p99_ms", submit_done.p99 / 1e6);
   ST_CHECK_OK(bench::WriteBenchJson(json_path, summary));
   std::printf("Summary written to %s\n", json_path.c_str());
   return (valid && shedding_works) ? 0 : 1;

@@ -1,12 +1,17 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+
+#include "common/json.h"
 
 namespace slicetuner {
 
 namespace {
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
+std::atomic<int> g_log_format{static_cast<int>(LogFormat::kText)};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -23,6 +28,23 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+std::string Lowered(const std::string& text) {
+  std::string out = text;
+  for (char& c : out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return out;
+}
+
+const char* Basename(const char* file) {
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  return base;
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
@@ -33,27 +55,94 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
 }
 
+void SetLogFormat(LogFormat format) {
+  g_log_format.store(static_cast<int>(format), std::memory_order_relaxed);
+}
+
+LogFormat GetLogFormat() {
+  return static_cast<LogFormat>(
+      g_log_format.load(std::memory_order_relaxed));
+}
+
+bool ParseLogLevelName(const std::string& name, LogLevel* level) {
+  const std::string lowered = Lowered(name);
+  if (lowered == "debug") {
+    *level = LogLevel::kDebug;
+  } else if (lowered == "info") {
+    *level = LogLevel::kInfo;
+  } else if (lowered == "warning" || lowered == "warn") {
+    *level = LogLevel::kWarning;
+  } else if (lowered == "error") {
+    *level = LogLevel::kError;
+  } else if (lowered == "none") {
+    *level = LogLevel::kNone;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void InitLoggingFromEnv() {
+  if (const char* name = std::getenv("SLICETUNER_LOG_LEVEL")) {
+    LogLevel level;
+    if (ParseLogLevelName(name, &level)) SetLogLevel(level);
+  }
+  if (const char* json = std::getenv("SLICETUNER_LOG_JSON")) {
+    const std::string lowered = Lowered(json);
+    if (lowered == "1" || lowered == "true" || lowered == "yes" ||
+        lowered == "on") {
+      SetLogFormat(LogFormat::kJson);
+    }
+  }
+}
+
 namespace internal_logging {
+
+std::string FormatLogLine(LogFormat format, LogLevel level, const char* file,
+                          int line, const std::string& message) {
+  const char* base = Basename(file);
+  char src[256];
+  std::snprintf(src, sizeof(src), "%s:%d", base, line);
+  if (format == LogFormat::kJson) {
+    const long long ts_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count();
+    std::string out = "{\"ts_ms\":";
+    char ts[32];
+    std::snprintf(ts, sizeof(ts), "%lld", ts_ms);
+    out += ts;
+    out += ",\"level\":";
+    out += json::EscapeString(LevelName(level));
+    out += ",\"src\":";
+    out += json::EscapeString(src);
+    out += ",\"msg\":";
+    out += json::EscapeString(message);
+    out += "}";
+    return out;
+  }
+  std::string out = "[";
+  out += LevelName(level);
+  out += " ";
+  out += src;
+  out += "] ";
+  out += message;
+  return out;
+}
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : enabled_(static_cast<int>(level) >=
                g_log_level.load(std::memory_order_relaxed)),
-      level_(level) {
-  if (enabled_) {
-    // Keep only the basename to reduce noise.
-    const char* base = file;
-    for (const char* p = file; *p; ++p) {
-      if (*p == '/') base = p + 1;
-    }
-    stream_ << "[" << LevelName(level_) << " " << base << ":" << line << "] ";
-  }
-}
+      level_(level),
+      file_(file),
+      line_(line) {}
 
 LogMessage::~LogMessage() {
-  if (enabled_) {
-    stream_ << "\n";
-    std::fputs(stream_.str().c_str(), stderr);
-  }
+  if (!enabled_) return;
+  const std::string line =
+      FormatLogLine(GetLogFormat(), level_, file_, line_, stream_.str()) +
+      "\n";
+  std::fputs(line.c_str(), stderr);
 }
 
 }  // namespace internal_logging

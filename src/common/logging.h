@@ -1,5 +1,8 @@
 // Minimal leveled logging to stderr. Controlled by a process-wide level so
-// benches can silence progress chatter.
+// benches can silence progress chatter. Two line formats: the classic
+// `[LEVEL file:line] msg` and a structured JSON mode for machine-parseable
+// daemon logs; both CLIs pick them up from the environment via
+// InitLoggingFromEnv (SLICETUNER_LOG_LEVEL, SLICETUNER_LOG_JSON).
 
 #ifndef SLICETUNER_COMMON_LOGGING_H_
 #define SLICETUNER_COMMON_LOGGING_H_
@@ -17,11 +20,36 @@ enum class LogLevel : int {
   kNone = 4,
 };
 
+enum class LogFormat : int {
+  kText = 0,  // [LEVEL file:line] msg
+  kJson = 1,  // {"ts_ms":...,"level":"...","src":"file:line","msg":"..."}
+};
+
 /// Sets the minimum level that is emitted (default: kWarning).
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// Sets the line format (default: kText).
+void SetLogFormat(LogFormat format);
+LogFormat GetLogFormat();
+
+/// Parses a level name ("debug" | "info" | "warning"/"warn" | "error" |
+/// "none", case-insensitive). Returns false (and leaves *level untouched)
+/// on anything else.
+bool ParseLogLevelName(const std::string& name, LogLevel* level);
+
+/// Applies SLICETUNER_LOG_LEVEL (a ParseLogLevelName name; unknown values
+/// are ignored so a typo cannot silence a daemon) and SLICETUNER_LOG_JSON
+/// ("1" | "true" | "yes" | "on" switches to LogFormat::kJson). Called by
+/// both CLIs before anything logs.
+void InitLoggingFromEnv();
+
 namespace internal_logging {
+
+/// Renders one finished log line (without the trailing newline) in the
+/// given format. Exposed for tests; LogMessage uses it.
+std::string FormatLogLine(LogFormat format, LogLevel level, const char* file,
+                          int line, const std::string& message);
 
 /// Stream-style log sink; writes one line to stderr on destruction.
 class LogMessage {
@@ -41,6 +69,8 @@ class LogMessage {
  private:
   bool enabled_;
   LogLevel level_;
+  const char* file_;
+  int line_;
   std::ostringstream stream_;
 };
 

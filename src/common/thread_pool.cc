@@ -1,8 +1,31 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <utility>
+
+#include "obs/metrics.h"
 
 namespace slicetuner {
+
+namespace {
+
+// Pool utilization metrics (docs/OBSERVABILITY.md, "Thread pool").
+// Resolved once; recording is lock-free.
+struct PoolMetrics {
+  obs::Counter* tasks =
+      obs::MetricsRegistry::Global().counter("pool_tasks_total");
+  obs::Histogram* queue_wait =
+      obs::MetricsRegistry::Global().histogram("pool_queue_wait_ns");
+  obs::Histogram* run =
+      obs::MetricsRegistry::Global().histogram("pool_run_ns");
+};
+
+PoolMetrics& Metrics() {
+  static PoolMetrics& metrics = *new PoolMetrics();
+  return metrics;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
@@ -27,7 +50,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push(std::move(task));
+    queue_.push(QueuedTask{std::move(task), obs::MonotonicNanos()});
   }
   task_ready_.notify_one();
 }
@@ -78,7 +101,7 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       task_ready_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
@@ -87,7 +110,12 @@ void ThreadPool::WorkerLoop() {
       queue_.pop();
       ++in_flight_;
     }
-    task();
+    Metrics().tasks->Add();
+    Metrics().queue_wait->Record(obs::MonotonicNanos() - task.enqueued_ns);
+    {
+      obs::ScopedTimer run_timer(Metrics().run);
+      task.fn();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       --in_flight_;

@@ -7,6 +7,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -48,10 +49,17 @@ class ThreadPool {
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
  private:
+  // Each queued task remembers when it was submitted so the worker can
+  // attribute queue-wait time (pool_queue_wait_ns in src/obs/).
+  struct QueuedTask {
+    std::function<void()> fn;
+    uint64_t enqueued_ns = 0;
+  };
+
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<QueuedTask> queue_;
   mutable std::mutex mu_;
   std::condition_variable task_ready_;
   std::condition_variable idle_;

@@ -6,11 +6,51 @@
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "curvefit/fitter.h"
+#include "obs/metrics.h"
 
 namespace slicetuner {
 namespace engine {
 
 namespace {
+
+// Process-wide mirrors of the per-engine CurveEngineStats, so the curve
+// cache's behavior is visible through the `metrics` verb without walking
+// sessions (docs/OBSERVABILITY.md, "Engine").
+struct EngineMetrics {
+  obs::Counter* estimate_calls =
+      obs::MetricsRegistry::Global().counter("engine_estimate_calls_total");
+  obs::Counter* served_from_cache = obs::MetricsRegistry::Global().counter(
+      "engine_cache_served_total");
+  obs::Counter* partial_refits = obs::MetricsRegistry::Global().counter(
+      "engine_cache_partial_refits_total");
+  obs::Counter* full_runs =
+      obs::MetricsRegistry::Global().counter("engine_cache_full_runs_total");
+  obs::Counter* slices_refit =
+      obs::MetricsRegistry::Global().counter("engine_slices_refit_total");
+  obs::Counter* slices_reused =
+      obs::MetricsRegistry::Global().counter("engine_slices_reused_total");
+  obs::Counter* trainings_saved = obs::MetricsRegistry::Global().counter(
+      "engine_trainings_saved_total");
+  obs::Gauge* cache_hit_ratio =
+      obs::MetricsRegistry::Global().gauge("engine_cache_hit_ratio");
+  obs::Histogram* estimate_ns =
+      obs::MetricsRegistry::Global().histogram("engine_estimate_ns");
+
+  // Cache hit ratio = slices served warm / slices considered, across the
+  // process lifetime.
+  void UpdateHitRatio() {
+    const double reused = static_cast<double>(slices_reused->Value());
+    const double refit = static_cast<double>(slices_refit->Value());
+    if (reused + refit > 0.0) {
+      cache_hit_ratio->Set(reused / (reused + refit));
+    }
+  }
+};
+
+EngineMetrics& Metrics() {
+  static EngineMetrics& metrics = *new EngineMetrics();
+  return metrics;
+}
 
 constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
 constexpr uint64_t kFnvPrime = 0x100000001b3ull;
@@ -152,17 +192,20 @@ Result<CurveEstimationResult> CurveEstimationEngine::Estimate(
     const Dataset& train, const Dataset& validation, int num_slices,
     const ModelSpec& model_spec, const TrainerOptions& trainer,
     const LearningCurveOptions& options) {
+  obs::ScopedTimer estimate_timer(Metrics().estimate_ns);
   LearningCurveOptions effective = options;
   if (options_.num_threads != 0) effective.num_threads = options_.num_threads;
 
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.estimate_calls;
+  Metrics().estimate_calls->Add();
 
   // A caller-supplied slice filter is honored as-is, bypassing the cache:
   // a partial result must neither be served from nor written into it.
   if (!options_.enable_cache || num_slices <= 0 ||
       !options.slices_to_estimate.empty()) {
     ++stats_.full_runs;
+    Metrics().full_runs->Add();
     return EstimateLearningCurves(train, validation, num_slices, model_spec,
                                   trainer, effective);
   }
@@ -197,6 +240,11 @@ Result<CurveEstimationResult> CurveEstimationEngine::Estimate(
     ++stats_.served_from_cache;
     stats_.slices_reused += n;
     stats_.trainings_saved += UncachedTrainings(num_slices, options);
+    Metrics().served_from_cache->Add();
+    Metrics().slices_reused->Add(n);
+    Metrics().trainings_saved->Add(
+        static_cast<uint64_t>(UncachedTrainings(num_slices, options)));
+    Metrics().UpdateHitRatio();
     return cached;
   }
 
@@ -223,8 +271,16 @@ Result<CurveEstimationResult> CurveEstimationEngine::Estimate(
     ++stats_.partial_refits;
     stats_.slices_refit += stale.size();
     stats_.slices_reused += n - stale.size();
-    stats_.trainings_saved +=
+    const long long saved =
         UncachedTrainings(num_slices, options) - fresh.model_trainings;
+    stats_.trainings_saved += saved;
+    Metrics().partial_refits->Add();
+    Metrics().slices_refit->Add(stale.size());
+    Metrics().slices_reused->Add(n - stale.size());
+    if (saved > 0) {
+      Metrics().trainings_saved->Add(static_cast<uint64_t>(saved));
+    }
+    Metrics().UpdateHitRatio();
     return fresh;
   }
 
@@ -240,6 +296,9 @@ Result<CurveEstimationResult> CurveEstimationEngine::Estimate(
   }
   ++stats_.full_runs;
   stats_.slices_refit += n;
+  Metrics().full_runs->Add();
+  Metrics().slices_refit->Add(n);
+  Metrics().UpdateHitRatio();
   return fresh;
 }
 

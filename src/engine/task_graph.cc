@@ -6,10 +6,19 @@
 #include <memory>
 #include <string>
 
+#include "obs/metrics.h"
+
 namespace slicetuner {
 namespace engine {
 
 namespace {
+
+// Ready-to-execute scheduler wait (docs/OBSERVABILITY.md, "Engine").
+obs::Histogram* TaskWaitHistogram() {
+  static obs::Histogram* histogram =
+      obs::MetricsRegistry::Global().histogram("engine_task_wait_ns");
+  return histogram;
+}
 
 // Per-Run() handshake between the caller and its helper tasks. Allocated as
 // a shared_ptr so a helper dequeued after Run() returned (the graph already
@@ -143,6 +152,7 @@ void TaskGraph::Execute(TaskId id) {
       if (cancel_requested_.load(std::memory_order_acquire)) {
         SkipLocked(dep);
       } else {
+        child.ready_ns = obs::MonotonicNanos();
         ready_.push_back(dep);
       }
     }
@@ -162,6 +172,8 @@ void TaskGraph::WorkLoop(bool is_caller) {
       id = ready_.front();
       ready_.pop_front();
       tasks_[id].state = TaskState::kRunning;
+      TaskWaitHistogram()->Record(obs::MonotonicNanos() -
+                                  tasks_[id].ready_ns);
     }
     Execute(id);
     (void)is_caller;
@@ -186,6 +198,7 @@ Status TaskGraph::Run() {
       if (cancel_requested_.load(std::memory_order_acquire)) {
         SkipLocked(id);
       } else {
+        task.ready_ns = obs::MonotonicNanos();
         ready_.push_back(id);
       }
     }

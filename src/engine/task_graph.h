@@ -19,6 +19,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -106,6 +107,9 @@ class TaskGraph {
     TaskFn fn;
     std::vector<TaskId> dependents;
     size_t unmet_deps = 0;
+    // When the task entered ready_ (deps met); the gap to execution start
+    // is the scheduler wait recorded as engine_task_wait_ns (src/obs/).
+    uint64_t ready_ns = 0;
     TaskState state = TaskState::kPending;
     std::promise<Status> promise;
     std::shared_future<Status> future;

@@ -1,0 +1,29 @@
+#include "obs/span.h"
+
+namespace slicetuner {
+namespace obs {
+
+void Span::RecordStage(const std::string& stage, uint64_t ns) {
+  for (auto& entry : stages_) {
+    if (entry.first == stage) {
+      entry.second += ns;
+      return;
+    }
+  }
+  stages_.emplace_back(stage, ns);
+}
+
+json::Value Span::ToJson() const {
+  json::Value out = json::Value::Object();
+  out.Set("name", name_);
+  out.Set("total_ms", static_cast<double>(ElapsedNanos()) / 1e6);
+  json::Value stages = json::Value::Object();
+  for (const auto& entry : stages_) {
+    stages.Set(entry.first + "_ms", static_cast<double>(entry.second) / 1e6);
+  }
+  out.Set("stages", std::move(stages));
+  return out;
+}
+
+}  // namespace obs
+}  // namespace slicetuner

@@ -1,0 +1,80 @@
+// Span: attributes one operation's wall time to named stages. A session's
+// tuning round opens a span, times its estimate/plan/acquire stages with
+// RAII StageTimers, and attaches the summary JSON to the round's streamed
+// `progress` frame — so a client watching a stream sees where each round's
+// time went (docs/OBSERVABILITY.md, "Spans").
+//
+// Spans are deliberately not thread-safe: one span belongs to the single
+// thread running the operation it describes. Cross-thread aggregates are
+// the registry's job (the same stages also feed process-wide histograms).
+
+#ifndef SLICETUNER_OBS_SPAN_H_
+#define SLICETUNER_OBS_SPAN_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+#include "obs/metrics.h"
+
+namespace slicetuner {
+namespace obs {
+
+class Span {
+ public:
+  explicit Span(std::string name)
+      : name_(std::move(name)), start_ns_(MonotonicNanos()) {}
+
+  /// Adds `ns` to the named stage (stages accumulate: a stage entered
+  /// twice reports the total).
+  void RecordStage(const std::string& stage, uint64_t ns);
+
+  /// Nanoseconds since the span was opened.
+  uint64_t ElapsedNanos() const { return MonotonicNanos() - start_ns_; }
+
+  const std::string& name() const { return name_; }
+
+  /// {"name":...,"total_ms":X,"stages":{"estimate_ms":...,...}} — stage
+  /// keys carry a _ms suffix; stages never recorded are absent. Total is
+  /// wall time since construction, so it bounds (not equals) the stage sum:
+  /// un-attributed time is visible as the gap.
+  json::Value ToJson() const;
+
+ private:
+  std::string name_;
+  uint64_t start_ns_;
+  std::vector<std::pair<std::string, uint64_t>> stages_;
+};
+
+/// RAII stage timer: adds the elapsed wall time to `span`'s stage on
+/// destruction, and optionally records the same duration into a registry
+/// histogram (the process-wide view of the per-request stage).
+class StageTimer {
+ public:
+  StageTimer(Span* span, std::string stage, Histogram* histogram = nullptr)
+      : span_(span),
+        stage_(std::move(stage)),
+        histogram_(histogram),
+        start_ns_(MonotonicNanos()) {}
+  ~StageTimer() {
+    const uint64_t elapsed = MonotonicNanos() - start_ns_;
+    if (span_ != nullptr) span_->RecordStage(stage_, elapsed);
+    if (histogram_ != nullptr) histogram_->Record(elapsed);
+  }
+
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+ private:
+  Span* span_;
+  std::string stage_;
+  Histogram* histogram_;
+  uint64_t start_ns_;
+};
+
+}  // namespace obs
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_OBS_SPAN_H_

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/string_util.h"
+#include "serve/serve_metrics.h"
 
 namespace slicetuner {
 namespace serve {
@@ -27,6 +28,7 @@ Status AdmissionController::Admit(uint64_t session_id) {
     }
     if (queue_.size() >= options_.max_queue_depth) {
       ++stats_.shed_queue_full;
+      ServeMetrics::Get().shed_queue_full->Add();
       return Status::ResourceExhausted(StrFormat(
           "admission queue full (%zu/%zu)", queue_.size(),
           options_.max_queue_depth));
@@ -34,6 +36,7 @@ Status AdmissionController::Admit(uint64_t session_id) {
     if (options_.max_executor_backlog > 0 &&
         backlog > options_.max_executor_backlog) {
       ++stats_.shed_backlog;
+      ServeMetrics::Get().shed_backlog->Add();
       return Status::ResourceExhausted(StrFormat(
           "executor backlog %zu exceeds %zu", backlog,
           options_.max_executor_backlog));
@@ -41,6 +44,9 @@ Status AdmissionController::Admit(uint64_t session_id) {
     queue_.push_back(session_id);
     ++stats_.admitted;
     stats_.max_depth_seen = std::max(stats_.max_depth_seen, queue_.size());
+    ServeMetrics::Get().admitted->Add();
+    ServeMetrics::Get().queue_depth->Set(
+        static_cast<double>(queue_.size()));
   }
   work_cv_.notify_one();
   return Status::OK();
@@ -56,7 +62,12 @@ std::vector<uint64_t> AdmissionController::NextBatch() {
     batch.push_back(queue_.front());
     queue_.pop_front();
   }
-  if (!batch.empty()) ++stats_.batches;
+  if (!batch.empty()) {
+    ++stats_.batches;
+    ServeMetrics::Get().batch_size->Record(batch.size());
+    ServeMetrics::Get().queue_depth->Set(
+        static_cast<double>(queue_.size()));
+  }
   return batch;
 }
 

@@ -19,6 +19,8 @@ const char* RequestTypeName(RequestType type) {
       return "cancel";
     case RequestType::kStats:
       return "stats";
+    case RequestType::kMetrics:
+      return "metrics";
     case RequestType::kSnapshot:
       return "snapshot";
     case RequestType::kRestore:
@@ -148,6 +150,10 @@ Result<Request> Request::FromJson(const json::Value& value) {
   }
   if (type == "stats") {
     request.type = RequestType::kStats;
+    return request;
+  }
+  if (type == "metrics") {
+    request.type = RequestType::kMetrics;
     return request;
   }
   if (type == "snapshot") {

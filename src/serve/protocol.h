@@ -16,6 +16,7 @@
 //   {"type":"stream","session":"s1"}     subscribe to progress frames
 //   {"type":"cancel","session":"s1"}     cancel a queued/running session
 //   {"type":"stats"}                     server-wide counters
+//   {"type":"metrics"}                   the process metrics registry
 //   {"type":"snapshot"}                  checkpoint sessions to the state dir
 //   {"type":"restore"}                   re-merge state-dir sessions (admin)
 //   {"type":"shutdown"}                  graceful shutdown
@@ -47,6 +48,7 @@ enum class RequestType {
   kStream,
   kCancel,
   kStats,
+  kMetrics,
   kSnapshot,
   kRestore,
   kShutdown,

@@ -15,6 +15,8 @@
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "engine/experiment_runner.h"
+#include "obs/metrics.h"
+#include "serve/serve_metrics.h"
 
 namespace slicetuner {
 namespace serve {
@@ -52,6 +54,7 @@ TuningServer::~TuningServer() {
 }
 
 Status TuningServer::OpenStateDir() {
+  const uint64_t replay_start_ns = obs::MonotonicNanos();
   ST_ASSIGN_OR_RETURN(store_, store::DurableStore::Open(options_.state_dir));
   // Recovery order matters: materialize sessions from the recovered
   // snapshot + journal tail first, then attach the store (so replay itself
@@ -63,6 +66,8 @@ Status TuningServer::OpenStateDir() {
                                  /*skip_existing=*/false));
   sessions_.AttachStore(store_.get());
   ST_RETURN_NOT_OK(store_->Compact(sessions_.DurableSnapshot()));
+  ServeMetrics::Get().replay_ms->Set(
+      static_cast<double>(obs::MonotonicNanos() - replay_start_ns) / 1e6);
   return Status::OK();
 }
 
@@ -136,11 +141,29 @@ json::Value TuningServer::StatsJson() const {
   admission_json.Set("admitted", admission.admitted);
   admission_json.Set("shed_queue_full", admission.shed_queue_full);
   admission_json.Set("shed_backlog", admission.shed_backlog);
+  admission_json.Set("shed_total",
+                     admission.shed_queue_full + admission.shed_backlog);
+  admission_json.Set("retry_after_sent",
+                     retry_after_sent_.load(std::memory_order_relaxed));
   admission_json.Set("batches", admission.batches);
   admission_json.Set("max_depth_seen", admission.max_depth_seen);
   admission_json.Set("queue_depth", admission_.depth());
   out.Set("admission", std::move(admission_json));
   out.Set("sessions", sessions_.StatsJson());
+  // Headline latency summary from the process-wide histograms (the full
+  // distribution set is one `metrics` request away).
+  {
+    const obs::HistogramSnapshot submit_done =
+        ServeMetrics::Get().submit_to_done_ns->Snapshot();
+    const obs::HistogramSnapshot run =
+        ServeMetrics::Get().run_ns->Snapshot();
+    json::Value latency = json::Value::Object();
+    latency.Set("submit_to_done_p50_ms", submit_done.p50 / 1e6);
+    latency.Set("submit_to_done_p99_ms", submit_done.p99 / 1e6);
+    latency.Set("run_p50_ms", run.p50 / 1e6);
+    latency.Set("run_p99_ms", run.p99 / 1e6);
+    out.Set("latency", std::move(latency));
+  }
   json::Value pool = json::Value::Object();
   pool.Set("threads", DefaultThreadPool().num_threads());
   pool.Set("pending", DefaultThreadPool().PendingCount());
@@ -170,6 +193,7 @@ void TuningServer::DispatchLoop() {
     // without running, honoring the graceful-shutdown contract (server.h).
     const bool cancel_batch =
         shutdown_requested_.load(std::memory_order_relaxed);
+    obs::ScopedTimer dispatch_timer(ServeMetrics::Get().dispatch_ns);
     engine::ExperimentRunner::Options runner_options;
     runner_options.max_concurrent_sessions = options_.max_concurrent_sessions;
     engine::ExperimentRunner runner(runner_options);
@@ -228,6 +252,7 @@ void TuningServer::PollLoop() {
     // Accept new connections (unless shutting down).
     if ((fds[0].revents & POLLIN) != 0 &&
         !shutdown_requested_.load(std::memory_order_relaxed)) {
+      obs::ScopedTimer accept_timer(ServeMetrics::Get().accept_ns);
       for (;;) {
         const int fd = ::accept(listen_fd_, nullptr, nullptr);
         if (fd < 0) break;
@@ -280,8 +305,11 @@ void TuningServer::PollLoop() {
       }
     }
 
-    FlushStreams();
-    for (Connection& conn : connections_) FlushOutput(&conn);
+    {
+      obs::ScopedTimer flush_timer(ServeMetrics::Get().flush_ns);
+      FlushStreams();
+      for (Connection& conn : connections_) FlushOutput(&conn);
+    }
 
     // Drop closed connections with nothing left to send.
     for (Connection& conn : connections_) {
@@ -295,6 +323,8 @@ void TuningServer::PollLoop() {
         std::remove_if(connections_.begin(), connections_.end(),
                        [](const Connection& c) { return c.fd < 0; }),
         connections_.end());
+    ServeMetrics::Get().connections->Set(
+        static_cast<double>(connections_.size()));
   }
 }
 
@@ -308,7 +338,11 @@ void TuningServer::RejectOversizedInput(Connection* conn) {
 
 void TuningServer::HandleLine(Connection* conn, const std::string& line) {
   requests_handled_.fetch_add(1, std::memory_order_relaxed);
+  ServeMetrics::Get().requests->Add();
+  const uint64_t parse_start_ns = obs::MonotonicNanos();
   const Result<Request> request = Request::Parse(line);
+  ServeMetrics::Get().parse_ns->Record(obs::MonotonicNanos() -
+                                       parse_start_ns);
   if (!request.ok()) {
     SendJson(conn, ErrorResponse(request.status()));
     return;
@@ -324,6 +358,7 @@ json::Value TuningServer::HandleRequest(Connection* conn,
         return ErrorResponse(
             Status::FailedPrecondition("server is shutting down"));
       }
+      obs::ScopedTimer admit_timer(ServeMetrics::Get().admit_ns);
       bool created = false;
       const Result<TuningSession*> session =
           sessions_.Register(request.job, &created);
@@ -343,6 +378,8 @@ json::Value TuningServer::HandleRequest(Connection* conn,
         int retry = 0;
         if (admitted.code() == StatusCode::kResourceExhausted) {
           retry = admission_.retry_after_ms();
+          ServeMetrics::Get().retry_after_sent->Add();
+          retry_after_sent_.fetch_add(1, std::memory_order_relaxed);
         }
         return ErrorResponse(admitted, retry);
       }
@@ -388,6 +425,17 @@ json::Value TuningServer::HandleRequest(Connection* conn,
     }
     case RequestType::kStats:
       return StatsJson();
+    case RequestType::kMetrics: {
+      // The whole registry: counters, gauges, and quantile-summarized
+      // histograms from every layer (docs/OBSERVABILITY.md).
+      json::Value response = OkResponse();
+      const json::Value snapshot =
+          obs::MetricsRegistry::Global().SnapshotJson();
+      for (const auto& member : snapshot.members()) {
+        response.Set(member.first, member.second);
+      }
+      return response;
+    }
     case RequestType::kSnapshot: {
       if (store_ == nullptr) {
         return ErrorResponse(Status::FailedPrecondition(

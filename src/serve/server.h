@@ -116,6 +116,8 @@ class TuningServer {
   std::atomic<bool> started_{false};
   std::atomic<size_t> requests_handled_{0};
   std::atomic<size_t> frames_streamed_{0};
+  // Shed rejections that carried a retry_after_ms hint (stats response).
+  std::atomic<size_t> retry_after_sent_{0};
   std::thread poll_thread_;
   std::thread dispatch_thread_;
   std::vector<Connection> connections_;  // poll thread only

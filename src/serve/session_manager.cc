@@ -8,6 +8,8 @@
 #include "common/string_util.h"
 #include "core/baselines.h"
 #include "core/one_shot.h"
+#include "obs/span.h"
+#include "serve/serve_metrics.h"
 #include "sim/scenario.h"
 #include "sim/trace.h"
 
@@ -80,6 +82,7 @@ TuningSession::TuningSession(uint64_t id, JobSpec job,
       store_(store),
       creation_job_(job),
       pending_job_(std::move(job)) {
+  enqueued_ns_.store(obs::MonotonicNanos(), std::memory_order_relaxed);
   // No other thread can see the session yet, but LogEventLocked documents
   // a mu_ requirement, so honor it.
   std::lock_guard<std::mutex> lock(mu_);
@@ -227,6 +230,7 @@ Status TuningSession::Resume(JobSpec job) {
   }
   pending_job_ = std::move(job);
   cancel_requested_.store(false, std::memory_order_relaxed);
+  enqueued_ns_.store(obs::MonotonicNanos(), std::memory_order_relaxed);
   phase_ = SessionPhase::kQueued;
   json::Value event = json::Value::Object();
   event.Set("event", "resume");
@@ -247,19 +251,26 @@ Status TuningSession::RunJob() {
     if (cancel_requested_.load(std::memory_order_relaxed)) {
       phase_ = SessionPhase::kCancelled;
       last_status_ = Status::Cancelled("cancelled before start");
+      ServeMetrics::Get().jobs_cancelled->Add();
       phase_cv_.notify_all();
       return last_status_;
     }
     phase_ = SessionPhase::kRunning;
     job = pending_job_;
   }
+  ServeMetrics::Get().queue_wait_ns->Record(
+      obs::MonotonicNanos() -
+      enqueued_ns_.load(std::memory_order_relaxed));
 
   Stopwatch timer;
   const long long trainings_before = [this] {
     std::lock_guard<std::mutex> lock(mu_);
     return total_trainings_;
   }();
-  const Status status = ExecuteJob(job);
+  const Status status = [&] {
+    obs::ScopedTimer run_timer(ServeMetrics::Get().run_ns);
+    return ExecuteJob(job);
+  }();
   const double wall = timer.ElapsedSeconds();
   // Snapshot the engine counters while no estimation is running (tuner_ is
   // only touched from this thread); polls then read the copy without
@@ -278,12 +289,19 @@ Status TuningSession::RunJob() {
     last_job_wall_seconds_ = wall;
     last_job_trainings_ = total_trainings_ - trainings_before;
     last_status_ = status;
+    ServeMetrics& metrics = ServeMetrics::Get();
+    metrics.submit_to_done_ns->Record(
+        obs::MonotonicNanos() -
+        enqueued_ns_.load(std::memory_order_relaxed));
     if (status.ok()) {
       phase_ = SessionPhase::kDone;
+      metrics.jobs_done->Add();
     } else if (status.code() == StatusCode::kCancelled) {
       phase_ = SessionPhase::kCancelled;
+      metrics.jobs_cancelled->Add();
     } else {
       phase_ = SessionPhase::kFailed;
+      metrics.jobs_failed->Add();
     }
     json::Value event = json::Value::Object();
     event.Set("event", "finish");
@@ -399,14 +417,22 @@ Status TuningSession::RunRounds(const JobSpec& job) {
     }
     source_->BeginRound(next_round_index_);
 
+    // One span per round: stage timers attribute the round's wall time to
+    // estimate / plan / acquire, feed the process-wide serve_round_stage_ns
+    // histograms, and the summary rides the round's progress frame.
+    obs::Span round_span("round");
     sim::RoundTrace round;
     round.round = next_round_index_;
     round.budget = round_budget;
 
     std::vector<long long> allocation;
     if (curve_based) {
-      ST_ASSIGN_OR_RETURN(const CurveEstimationResult curves,
-                          tuner_->EstimateCurves());
+      CurveEstimationResult curves;
+      {
+        obs::StageTimer estimate_timer(
+            &round_span, "estimate", ServeMetrics::Get().round_estimate_ns);
+        ST_ASSIGN_OR_RETURN(curves, tuner_->EstimateCurves());
+      }
       round.model_trainings = curves.model_trainings;
       round.curve_b.reserve(curves.slices.size());
       round.curve_a.reserve(curves.slices.size());
@@ -414,11 +440,16 @@ Status TuningSession::RunRounds(const JobSpec& job) {
         round.curve_b.push_back(slice.curve.b);
         round.curve_a.push_back(slice.curve.a);
       }
-      ST_ASSIGN_OR_RETURN(
-          const OneShotPlan plan,
-          PlanOneShotWithCurves(curves.slices, tuner_->SliceSizes(), costs,
-                                round_budget, tuner_->options().lambda));
-      allocation = plan.examples;
+      OneShotPlan plan;
+      {
+        obs::StageTimer plan_timer(&round_span, "plan",
+                                   ServeMetrics::Get().round_plan_ns);
+        ST_ASSIGN_OR_RETURN(
+            plan,
+            PlanOneShotWithCurves(curves.slices, tuner_->SliceSizes(), costs,
+                                  round_budget, tuner_->options().lambda));
+      }
+      allocation = std::move(plan.examples);
     } else {
       ST_ASSIGN_OR_RETURN(const BaselineKind kind,
                           BaselineFromMethod(job.method));
@@ -428,12 +459,16 @@ Status TuningSession::RunRounds(const JobSpec& job) {
                              round_budget));
     }
 
-    for (size_t s = 0; s < allocation.size(); ++s) {
-      if (allocation[s] <= 0) continue;
-      const Dataset batch = source_->Acquire(
-          static_cast<int>(s), static_cast<size_t>(allocation[s]));
-      ST_RETURN_NOT_OK(tuner_->AppendTrainingData(batch));
-      round.spent += static_cast<double>(allocation[s]) * costs[s];
+    {
+      obs::StageTimer acquire_timer(&round_span, "acquire",
+                                    ServeMetrics::Get().round_acquire_ns);
+      for (size_t s = 0; s < allocation.size(); ++s) {
+        if (allocation[s] <= 0) continue;
+        const Dataset batch = source_->Acquire(
+            static_cast<int>(s), static_cast<size_t>(allocation[s]));
+        ST_RETURN_NOT_OK(tuner_->AppendTrainingData(batch));
+        round.spent += static_cast<double>(allocation[s]) * costs[s];
+      }
     }
     round.acquired = std::move(allocation);
     const std::vector<size_t> sizes = tuner_->SliceSizes();
@@ -450,6 +485,7 @@ Status TuningSession::RunRounds(const JobSpec& job) {
       rows_ = static_cast<long long>(tuner_->train().size());
       frame = ProgressFrame(name_, frames_.size(),
                             sim::RoundTraceToJson(round));
+      frame.Set("span", round_span.ToJson());
       frames_.push_back(frame);
       if (store_ != nullptr) {
         // Journal the round's acquisitions in slice order — the order the
@@ -477,8 +513,11 @@ Status TuningSession::RunRounds(const JobSpec& job) {
   // rows to one slice finds every *other* slice already cached and rides
   // the engine's partial refit instead of a cold estimation.
   if (curve_based) {
-    ST_ASSIGN_OR_RETURN(const CurveEstimationResult curves,
-                        tuner_->EstimateCurves());
+    CurveEstimationResult curves;
+    {
+      obs::ScopedTimer estimate_timer(ServeMetrics::Get().round_estimate_ns);
+      ST_ASSIGN_OR_RETURN(curves, tuner_->EstimateCurves());
+    }
     std::lock_guard<std::mutex> lock(mu_);
     total_trainings_ += curves.model_trainings;
     final_curve_b_.clear();
@@ -683,6 +722,7 @@ Result<TuningSession*> SessionManager::Register(const JobSpec& job,
   sessions_.push_back(
       std::make_unique<TuningSession>(next_id_++, resolved, store_));
   ++stats_.created;
+  ServeMetrics::Get().sessions->Set(static_cast<double>(sessions_.size()));
   if (store_ != nullptr) (void)store_->Sync();  // create event durable
   if (created != nullptr) *created = true;
   return sessions_.back().get();
@@ -697,6 +737,7 @@ void SessionManager::Drop(uint64_t id) {
     (*it)->LogDropped();
     if (store_ != nullptr) (void)store_->Sync();
     sessions_.erase(it);
+    ServeMetrics::Get().sessions->Set(static_cast<double>(sessions_.size()));
     return;
   }
 }
@@ -961,6 +1002,8 @@ Result<RestoreReport> SessionManager::RestoreFromState(
           {next_id_, static_cast<uint64_t>(next_id), (*restored)->id() + 1});
       sessions_.push_back(std::move(*restored));
       ++stats_.restored;
+      ServeMetrics::Get().sessions->Set(
+          static_cast<double>(sessions_.size()));
     }
     ++report.sessions_restored;
     report.warm_slices += warm;

@@ -164,6 +164,9 @@ class TuningSession {
   Status last_status_;
   std::vector<json::Value> frames_;
   std::atomic<bool> cancel_requested_{false};
+  // When the job was submitted (creation or Resume): the anchor for the
+  // serve_queue_wait_ns / serve_submit_to_done_ns histograms (src/obs/).
+  std::atomic<uint64_t> enqueued_ns_{0};
 
   // Long-lived tuning state (only RunJob touches these; single-flight by
   // phase machine).

@@ -19,8 +19,11 @@ std::string EncodeSnapshot(const json::Value& doc) {
          payload;
 }
 
-Status WriteSnapshotFile(const std::string& path, const json::Value& doc) {
-  return WriteFileAtomic(path, EncodeSnapshot(doc));
+Status WriteSnapshotFile(const std::string& path, const json::Value& doc,
+                         size_t* bytes_written) {
+  const std::string encoded = EncodeSnapshot(doc);
+  if (bytes_written != nullptr) *bytes_written = encoded.size();
+  return WriteFileAtomic(path, encoded);
 }
 
 Result<json::Value> ReadSnapshotFile(const std::string& path) {

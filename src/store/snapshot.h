@@ -32,8 +32,11 @@ constexpr int kSnapshotVersion = 1;
 /// Serializes `doc` with the integrity header. Exposed for tests.
 std::string EncodeSnapshot(const json::Value& doc);
 
-/// Atomically replaces `path` with a snapshot of `doc`.
-Status WriteSnapshotFile(const std::string& path, const json::Value& doc);
+/// Atomically replaces `path` with a snapshot of `doc`. When
+/// `bytes_written` is non-null it receives the encoded size (header +
+/// payload) — the store_snapshot_bytes gauge in src/obs/.
+Status WriteSnapshotFile(const std::string& path, const json::Value& doc,
+                         size_t* bytes_written = nullptr);
 
 /// Reads and verifies a snapshot. NotFound when the file does not exist;
 /// Internal on a bad magic/version/CRC (corruption is never silently

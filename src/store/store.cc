@@ -5,6 +5,7 @@
 
 #include "common/fs_util.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
 #include "store/snapshot.h"
 
 namespace slicetuner {
@@ -13,6 +14,25 @@ namespace store {
 namespace {
 
 constexpr const char kSnapshotName[] = "snapshot.st";
+
+// Durability-path latencies and sizes (docs/OBSERVABILITY.md, "Store").
+struct StoreMetrics {
+  obs::Histogram* append_ns =
+      obs::MetricsRegistry::Global().histogram("store_append_ns");
+  obs::Histogram* fsync_ns =
+      obs::MetricsRegistry::Global().histogram("store_fsync_ns");
+  obs::Histogram* commit_records =
+      obs::MetricsRegistry::Global().histogram("store_commit_records");
+  obs::Counter* snapshots =
+      obs::MetricsRegistry::Global().counter("store_snapshots_total");
+  obs::Gauge* snapshot_bytes =
+      obs::MetricsRegistry::Global().gauge("store_snapshot_bytes");
+};
+
+StoreMetrics& Metrics() {
+  static StoreMetrics& metrics = *new StoreMetrics();
+  return metrics;
+}
 
 std::string JournalPath(const std::string& dir, uint64_t generation) {
   return dir + "/" + StrFormat("journal-%06llu.wal",
@@ -107,22 +127,33 @@ DurableStore::~DurableStore() { (void)writer_.Close(); }
 
 Status DurableStore::Append(const json::Value& record) {
   std::lock_guard<std::mutex> lock(mu_);
+  obs::ScopedTimer timer(Metrics().append_ns);
   ST_RETURN_NOT_OK(writer_.Append(record));
   ++stats_.records_appended;
+  ++records_since_sync_;
   return Status::OK();
 }
 
 Status DurableStore::Sync() {
   std::lock_guard<std::mutex> lock(mu_);
-  ST_RETURN_NOT_OK(writer_.Sync());
+  {
+    obs::ScopedTimer timer(Metrics().fsync_ns);
+    ST_RETURN_NOT_OK(writer_.Sync());
+  }
   ++stats_.syncs;
+  Metrics().commit_records->Record(records_since_sync_);
+  records_since_sync_ = 0;
   return Status::OK();
 }
 
 Status DurableStore::WriteSnapshot(const json::Value& doc) {
   std::lock_guard<std::mutex> lock(mu_);
-  ST_RETURN_NOT_OK(WriteSnapshotFile(dir_ + "/" + kSnapshotName, doc));
+  size_t bytes = 0;
+  ST_RETURN_NOT_OK(WriteSnapshotFile(dir_ + "/" + kSnapshotName, doc,
+                                     &bytes));
   ++stats_.snapshots_written;
+  Metrics().snapshots->Add();
+  Metrics().snapshot_bytes->Set(static_cast<double>(bytes));
   // Rotate: the replaced snapshot covers (at least) everything up to some
   // recent point; the retained generations bridge any gap.
   ST_RETURN_NOT_OK(writer_.Close());
@@ -135,8 +166,12 @@ Status DurableStore::WriteSnapshot(const json::Value& doc) {
 
 Status DurableStore::Compact(const json::Value& doc) {
   std::lock_guard<std::mutex> lock(mu_);
-  ST_RETURN_NOT_OK(WriteSnapshotFile(dir_ + "/" + kSnapshotName, doc));
+  size_t bytes = 0;
+  ST_RETURN_NOT_OK(WriteSnapshotFile(dir_ + "/" + kSnapshotName, doc,
+                                     &bytes));
   ++stats_.snapshots_written;
+  Metrics().snapshots->Add();
+  Metrics().snapshot_bytes->Set(static_cast<double>(bytes));
   ST_RETURN_NOT_OK(writer_.Close());
   // The new snapshot is durable; every retained generation is now redundant.
   ST_ASSIGN_OR_RETURN(const std::vector<uint64_t> generations,

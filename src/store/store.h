@@ -110,6 +110,9 @@ class DurableStore {
   JournalWriter writer_;
   uint64_t generation_ = 0;
   DurableStoreStats stats_;
+  // Appends since the last Sync: the group-commit batch size recorded
+  // into store_commit_records at each fsync (src/obs/).
+  size_t records_since_sync_ = 0;
 };
 
 }  // namespace store

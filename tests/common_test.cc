@@ -14,7 +14,11 @@
 #include <set>
 #include <thread>
 
+#include <cstdlib>
+
 #include "common/csv.h"
+#include "common/json.h"
+#include "common/logging.h"
 #include "common/math_util.h"
 #include "common/random.h"
 #include "common/result.h"
@@ -599,6 +603,73 @@ TEST(StopwatchTest, ElapsedIsNonNegativeAndGrows) {
   EXPECT_GE(sw.ElapsedSeconds(), t1);
   sw.Restart();
   EXPECT_LT(sw.ElapsedSeconds(), 1.0);
+}
+
+// ----------------------------------------------------------------- Logging
+
+TEST(LoggingTest, ParseLogLevelNameAcceptsAliasesCaseInsensitively) {
+  LogLevel level = LogLevel::kNone;
+  EXPECT_TRUE(ParseLogLevelName("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevelName("INFO", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(ParseLogLevelName("Warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevelName("warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevelName("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  EXPECT_TRUE(ParseLogLevelName("none", &level));
+  EXPECT_EQ(level, LogLevel::kNone);
+  // Junk is rejected and leaves the output untouched.
+  level = LogLevel::kInfo;
+  EXPECT_FALSE(ParseLogLevelName("verbose", &level));
+  EXPECT_FALSE(ParseLogLevelName("", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+}
+
+TEST(LoggingTest, InitLoggingFromEnvHonorsLevelAndJsonSwitch) {
+  const LogLevel saved_level = GetLogLevel();
+  const LogFormat saved_format = GetLogFormat();
+
+  setenv("SLICETUNER_LOG_LEVEL", "error", 1);
+  setenv("SLICETUNER_LOG_JSON", "1", 1);
+  InitLoggingFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  EXPECT_EQ(GetLogFormat(), LogFormat::kJson);
+
+  // A typo'd level must not change anything (a daemon cannot be silenced
+  // by a misspelled env var), and an absent JSON switch leaves the format
+  // alone.
+  setenv("SLICETUNER_LOG_LEVEL", "eror", 1);
+  unsetenv("SLICETUNER_LOG_JSON");
+  SetLogFormat(LogFormat::kText);
+  InitLoggingFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  EXPECT_EQ(GetLogFormat(), LogFormat::kText);
+
+  unsetenv("SLICETUNER_LOG_LEVEL");
+  SetLogLevel(saved_level);
+  SetLogFormat(saved_format);
+}
+
+TEST(LoggingTest, FormatLogLineTextMode) {
+  const std::string line = internal_logging::FormatLogLine(
+      LogFormat::kText, LogLevel::kWarning, "src/serve/server.cc", 42,
+      "queue full");
+  EXPECT_EQ(line, "[WARN server.cc:42] queue full");
+}
+
+TEST(LoggingTest, FormatLogLineJsonModeIsParseableAndEscapes) {
+  const std::string line = internal_logging::FormatLogLine(
+      LogFormat::kJson, LogLevel::kError, "store.cc", 7,
+      "path \"a\\b\" broke");
+  const auto doc = json::Value::Parse(line);
+  ASSERT_TRUE(doc.ok()) << line;
+  EXPECT_EQ(doc->GetString("level"), "ERROR");
+  EXPECT_EQ(doc->GetString("src"), "store.cc:7");
+  EXPECT_EQ(doc->GetString("msg"), "path \"a\\b\" broke");
+  EXPECT_GT(doc->GetInt("ts_ms"), 0);
 }
 
 }  // namespace

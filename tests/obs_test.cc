@@ -1,0 +1,388 @@
+// Unit tests for src/obs: counter/gauge/histogram semantics, the
+// log-bucket geometry, quantile accuracy against an exact sorted reference,
+// registry snapshots (including snapshot-while-writing, the race the
+// sanitizer jobs exercise), spans, and the text exposition.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "common/random.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace slicetuner {
+namespace obs {
+namespace {
+
+// ----------------------------------------------------------------- Counter
+
+TEST(CounterTest, AddsAndResets) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Add();
+  counter.Add(41);
+  EXPECT_EQ(counter.Value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(CounterTest, EightThreadHammerSumsExactly) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 100'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kOpsPerThread; ++i) counter.Add();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.Value(),
+            static_cast<uint64_t>(kThreads) * kOpsPerThread);
+}
+
+TEST(CounterTest, DisabledRegistryDropsWrites) {
+  Counter counter;
+  MetricsRegistry::SetEnabled(false);
+  counter.Add(100);
+  EXPECT_EQ(counter.Value(), 0u);
+  MetricsRegistry::SetEnabled(true);
+  counter.Add(1);
+  EXPECT_EQ(counter.Value(), 1u);
+}
+
+// ------------------------------------------------------------------- Gauge
+
+TEST(GaugeTest, SetAddResetLastWriterWins) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.Value(), 0.0);
+  gauge.Set(3.5);
+  EXPECT_EQ(gauge.Value(), 3.5);
+  gauge.Add(-1.5);
+  EXPECT_EQ(gauge.Value(), 2.0);
+  gauge.Set(7.0);
+  EXPECT_EQ(gauge.Value(), 7.0);
+  gauge.Reset();
+  EXPECT_EQ(gauge.Value(), 0.0);
+}
+
+// ------------------------------------------------------------- Bucket math
+
+TEST(HistogramTest, BucketBoundsRoundTrip) {
+  // Every probed value must land in a bucket whose [lo, hi] contains it,
+  // with relative width <= 1/8 once values leave the exact range.
+  std::vector<uint64_t> probes;
+  for (uint64_t v = 0; v < 300; ++v) probes.push_back(v);
+  for (int shift = 8; shift < 63; ++shift) {
+    const uint64_t base = 1ull << shift;
+    probes.push_back(base - 1);
+    probes.push_back(base);
+    probes.push_back(base + base / 3);
+  }
+  for (const uint64_t v : probes) {
+    const size_t index = Histogram::BucketIndex(v);
+    ASSERT_LT(index, Histogram::kNumBuckets) << "value " << v;
+    uint64_t lo = 0;
+    uint64_t hi = 0;
+    Histogram::BucketBounds(index, &lo, &hi);
+    EXPECT_LE(lo, v) << "value " << v << " bucket " << index;
+    EXPECT_GE(hi, v) << "value " << v << " bucket " << index;
+    if (lo >= Histogram::kSub) {
+      EXPECT_LE(hi - lo + 1, lo / 8 + 1)
+          << "bucket " << index << " too wide: [" << lo << ", " << hi << "]";
+    } else {
+      EXPECT_EQ(lo, hi);  // exact buckets below 8
+    }
+  }
+}
+
+TEST(HistogramTest, BucketIndexIsMonotone) {
+  size_t last = 0;
+  for (uint64_t v = 0; v < 100'000; v = v < 64 ? v + 1 : v + v / 7) {
+    const size_t index = Histogram::BucketIndex(v);
+    EXPECT_GE(index, last) << "value " << v;
+    last = index;
+  }
+}
+
+// --------------------------------------------------------------- Histogram
+
+TEST(HistogramTest, CountSumMeanExact) {
+  Histogram histogram;
+  uint64_t expected_sum = 0;
+  for (uint64_t v = 0; v < 1000; ++v) {
+    histogram.Record(v * 17);
+    expected_sum += v * 17;
+  }
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count, 1000u);
+  EXPECT_EQ(snapshot.sum, static_cast<double>(expected_sum));
+  EXPECT_DOUBLE_EQ(snapshot.mean,
+                   static_cast<double>(expected_sum) / 1000.0);
+}
+
+TEST(HistogramTest, EightThreadHammerKeepsExactCountAndSum) {
+  Histogram histogram;
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 50'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        histogram.Record(static_cast<uint64_t>(t + 1));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count,
+            static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  // sum = kOpsPerThread * (1 + 2 + ... + kThreads)
+  EXPECT_EQ(snapshot.sum, static_cast<double>(kOpsPerThread) *
+                              (kThreads * (kThreads + 1) / 2));
+}
+
+// Randomized quantile correctness: the interpolated estimate must share a
+// bucket with the exact order statistic — so it is within one bucket width
+// (<= 12.5% relative) of the truth — across distributions and seeds.
+TEST(HistogramTest, QuantilesMatchSortedReference) {
+  const double quantiles[] = {0.5, 0.9, 0.99};
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    for (int dist = 0; dist < 3; ++dist) {
+      Histogram histogram;
+      std::vector<uint64_t> values;
+      values.reserve(20'000);
+      for (int i = 0; i < 20'000; ++i) {
+        uint64_t v = 0;
+        switch (dist) {
+          case 0:
+            v = rng.UniformInt(static_cast<uint64_t>(1'000'000));
+            break;
+          case 1:
+            v = static_cast<uint64_t>(rng.LogNormal(8.0, 2.5));
+            break;
+          default:
+            v = static_cast<uint64_t>(rng.Exponential(1e-5));
+            break;
+        }
+        values.push_back(v);
+        histogram.Record(v);
+      }
+      std::sort(values.begin(), values.end());
+      const HistogramSnapshot snapshot = histogram.Snapshot();
+      const double estimates[] = {snapshot.p50, snapshot.p90, snapshot.p99};
+      for (int q = 0; q < 3; ++q) {
+        const double rank = quantiles[q] * (values.size() - 1);
+        const uint64_t exact = values[static_cast<size_t>(rank)];
+        uint64_t lo = 0;
+        uint64_t hi = 0;
+        Histogram::BucketBounds(Histogram::BucketIndex(exact), &lo, &hi);
+        EXPECT_GE(estimates[q], static_cast<double>(lo))
+            << "seed " << seed << " dist " << dist << " q " << quantiles[q]
+            << " exact " << exact;
+        EXPECT_LE(estimates[q], static_cast<double>(hi))
+            << "seed " << seed << " dist " << dist << " q " << quantiles[q]
+            << " exact " << exact;
+      }
+      // max is the upper bound of the highest non-empty bucket.
+      uint64_t max_lo = 0;
+      uint64_t max_hi = 0;
+      Histogram::BucketBounds(Histogram::BucketIndex(values.back()), &max_lo,
+                              &max_hi);
+      EXPECT_EQ(snapshot.max, static_cast<double>(max_hi));
+    }
+  }
+}
+
+TEST(HistogramTest, ResetZeroes) {
+  Histogram histogram;
+  histogram.Record(100);
+  histogram.Record(200);
+  histogram.Reset();
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count, 0u);
+  EXPECT_EQ(snapshot.sum, 0.0);
+  EXPECT_EQ(snapshot.p50, 0.0);
+  EXPECT_EQ(snapshot.max, 0.0);
+}
+
+// ---------------------------------------------------------------- Registry
+
+TEST(RegistryTest, GetOrCreateReturnsStableHandles) {
+  MetricsRegistry registry;
+  Counter* a = registry.counter("test_total");
+  Counter* b = registry.counter("test_total");
+  EXPECT_EQ(a, b);
+  Counter* parse = registry.counter("stage_total", "stage", "parse");
+  Counter* admit = registry.counter("stage_total", "stage", "admit");
+  EXPECT_NE(parse, admit);
+  EXPECT_EQ(parse, registry.counter("stage_total", "stage", "parse"));
+}
+
+TEST(RegistryTest, KindMismatchReturnsNull) {
+  MetricsRegistry registry;
+  ASSERT_NE(registry.counter("mixed_name"), nullptr);
+  EXPECT_EQ(registry.gauge("mixed_name"), nullptr);
+  EXPECT_EQ(registry.histogram("mixed_name"), nullptr);
+}
+
+TEST(RegistryTest, SnapshotJsonShape) {
+  MetricsRegistry registry;
+  registry.counter("reqs_total")->Add(3);
+  registry.gauge("depth")->Set(2.5);
+  Histogram* h = registry.histogram("lat_ns", "stage", "parse");
+  h->Record(100);
+  h->Record(200);
+
+  const json::Value doc = registry.SnapshotJson();
+  ASSERT_TRUE(doc.is_object());
+  const json::Value* counters = doc.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->GetInt("reqs_total"), 3);
+  const json::Value* gauges = doc.Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_EQ(gauges->GetDouble("depth"), 2.5);
+  const json::Value* histograms = doc.Find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const json::Value* lat = histograms->Find("lat_ns{stage=\"parse\"}");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->GetInt("count"), 2);
+  EXPECT_EQ(lat->GetDouble("sum"), 300.0);
+  EXPECT_GT(lat->GetDouble("p50"), 0.0);
+  EXPECT_TRUE(lat->Has("p90"));
+  EXPECT_TRUE(lat->Has("p99"));
+  EXPECT_TRUE(lat->Has("mean"));
+  EXPECT_TRUE(lat->Has("max"));
+}
+
+TEST(RegistryTest, TextExpositionFormat) {
+  MetricsRegistry registry;
+  registry.counter("events_total")->Add(7);
+  registry.gauge("queue_depth")->Set(4);
+  registry.histogram("wait_ns")->Record(1000);
+
+  const std::string text = registry.TextExposition();
+  EXPECT_NE(text.find("events_total 7"), std::string::npos) << text;
+  EXPECT_NE(text.find("queue_depth 4"), std::string::npos) << text;
+  EXPECT_NE(text.find("wait_ns_count 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("wait_ns_sum 1000"), std::string::npos) << text;
+  EXPECT_NE(text.find("wait_ns{quantile=\"0.5\"}"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("wait_ns{quantile=\"0.99\"}"), std::string::npos)
+      << text;
+}
+
+TEST(RegistryTest, ResetZeroesEverythingButKeepsRegistrations) {
+  MetricsRegistry registry;
+  Counter* c = registry.counter("c_total");
+  Gauge* g = registry.gauge("g");
+  Histogram* h = registry.histogram("h_ns");
+  c->Add(5);
+  g->Set(5);
+  h->Record(5);
+  registry.Reset();
+  EXPECT_EQ(c->Value(), 0u);
+  EXPECT_EQ(g->Value(), 0.0);
+  EXPECT_EQ(h->Snapshot().count, 0u);
+  EXPECT_EQ(registry.counter("c_total"), c);  // registration survived
+}
+
+// The race the TSan job exercises: snapshots and text expositions taken
+// while eight writer threads hammer the same metrics must be well-formed,
+// and the totals must be exact once the writers join.
+TEST(RegistryTest, SnapshotWhileWritingIsSafe) {
+  MetricsRegistry registry;
+  Counter* counter = registry.counter("race_total");
+  Histogram* histogram = registry.histogram("race_ns");
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 40'000;
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        counter->Add();
+        histogram->Record(static_cast<uint64_t>(i));
+      }
+    });
+  }
+  uint64_t last_count = 0;
+  while (!stop.load(std::memory_order_relaxed)) {
+    const json::Value doc = registry.SnapshotJson();
+    const json::Value* histograms = doc.Find("histograms");
+    ASSERT_NE(histograms, nullptr);
+    const uint64_t count = static_cast<uint64_t>(
+        histograms->Find("race_ns")->GetInt("count"));
+    EXPECT_GE(count, last_count);  // monotone while writers only add
+    last_count = count;
+    const std::string text = registry.TextExposition();
+    EXPECT_NE(text.find("race_total"), std::string::npos);
+    // Late registration while snapshots run must also be safe.
+    registry.counter("race_late_total")->Add();
+    if (count >= static_cast<uint64_t>(kThreads) * kOpsPerThread) {
+      stop.store(true, std::memory_order_relaxed);
+    }
+  }
+  for (std::thread& writer : writers) writer.join();
+  EXPECT_EQ(counter->Value(),
+            static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_EQ(histogram->Snapshot().count,
+            static_cast<uint64_t>(kThreads) * kOpsPerThread);
+}
+
+// ------------------------------------------------------------------- Spans
+
+TEST(SpanTest, StagesAccumulateAndSerialize) {
+  Span span("round");
+  span.RecordStage("estimate", 2'000'000);  // 2 ms
+  span.RecordStage("acquire", 1'000'000);
+  span.RecordStage("estimate", 3'000'000);  // accumulates onto estimate
+
+  const json::Value doc = span.ToJson();
+  EXPECT_EQ(doc.GetString("name"), "round");
+  EXPECT_GE(doc.GetDouble("total_ms"), 0.0);
+  const json::Value* stages = doc.Find("stages");
+  ASSERT_NE(stages, nullptr);
+  EXPECT_DOUBLE_EQ(stages->GetDouble("estimate_ms"), 5.0);
+  EXPECT_DOUBLE_EQ(stages->GetDouble("acquire_ms"), 1.0);
+  EXPECT_FALSE(stages->Has("plan_ms"));  // never recorded -> absent
+}
+
+TEST(SpanTest, StageTimerFeedsSpanAndHistogram) {
+  Span span("op");
+  Histogram histogram;
+  {
+    StageTimer timer(&span, "work", &histogram);
+  }
+  const json::Value doc = span.ToJson();
+  const json::Value* stages = doc.Find("stages");
+  ASSERT_NE(stages, nullptr);
+  EXPECT_TRUE(stages->Has("work_ms"));
+  EXPECT_EQ(histogram.Snapshot().count, 1u);
+}
+
+TEST(SpanTest, StageTimerToleratesNulls) {
+  { StageTimer timer(nullptr, "ignored", nullptr); }  // must not crash
+  { ScopedTimer timer(nullptr); }
+}
+
+TEST(ScopedTimerTest, RecordsOneSample) {
+  Histogram histogram;
+  { ScopedTimer timer(&histogram); }
+  { ScopedTimer timer(&histogram); }
+  EXPECT_EQ(histogram.Snapshot().count, 2u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace slicetuner

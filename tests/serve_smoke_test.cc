@@ -96,9 +96,12 @@ std::FILE* LaunchServer(const std::string& extra_flags, int* port,
 
 TEST(ServeSmokeTest, SubmitStreamCancelShutdownViaRealBinaries) {
   // Launch the server on an ephemeral port and read the port back off its
-  // banner line.
+  // banner line. --metrics-dump exercises the shutdown text exposition.
+  const std::string dump_path = testing::TempDir() + "/smoke_metrics.prom";
+  (void)RunCommand("rm -f " + dump_path);
   int port = 0;
-  std::FILE* server = LaunchServer("--max-queue=8 --max-batch=4", &port);
+  std::FILE* server = LaunchServer(
+      "--max-queue=8 --max-batch=4 --metrics-dump=" + dump_path, &port);
   ASSERT_NE(server, nullptr);
   ASSERT_GT(port, 0) << "server never printed its listen banner";
   char buf[4096];
@@ -154,7 +157,30 @@ TEST(ServeSmokeTest, SubmitStreamCancelShutdownViaRealBinaries) {
   ASSERT_NE(sessions, nullptr) << JoinLines(stats);
   EXPECT_EQ(sessions->GetInt("sessions"), 2);
 
-  // 5. Graceful shutdown: the client is acknowledged and the server
+  // 5. The metrics verb against the live daemon: serve stage latencies,
+  // queue depth, shed counters, and the engine's cache hit ratio are all
+  // live-queryable, the way docs/OBSERVABILITY.md promises an operator.
+  const CommandResult metrics = RunCommand(client + " metrics");
+  EXPECT_EQ(metrics.exit_code, 0) << JoinLines(metrics);
+  const json::Value metrics_json = LastJson(metrics);
+  EXPECT_TRUE(metrics_json.GetBool("ok")) << JoinLines(metrics);
+  const json::Value* counters = metrics_json.Find("counters");
+  ASSERT_NE(counters, nullptr) << JoinLines(metrics);
+  EXPECT_GE(counters->GetInt("serve_requests_total"), 4);
+  EXPECT_TRUE(counters->Has("serve_shed_queue_full_total"));
+  const json::Value* gauges = metrics_json.Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_TRUE(gauges->Has("serve_queue_depth"));
+  EXPECT_TRUE(gauges->Has("engine_cache_hit_ratio"));
+  const json::Value* histograms = metrics_json.Find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const json::Value* parse_stage =
+      histograms->Find("serve_stage_ns{stage=\"parse\"}");
+  ASSERT_NE(parse_stage, nullptr) << JoinLines(metrics);
+  EXPECT_GE(parse_stage->GetInt("count"), 1);
+  EXPECT_GE(parse_stage->GetDouble("p99"), parse_stage->GetDouble("p50"));
+
+  // 6. Graceful shutdown: the client is acknowledged and the server
   // process exits 0 after writing its stats summary.
   const CommandResult shutdown = RunCommand(client + " shutdown");
   EXPECT_EQ(shutdown.exit_code, 0) << JoinLines(shutdown);
@@ -168,6 +194,20 @@ TEST(ServeSmokeTest, SubmitStreamCancelShutdownViaRealBinaries) {
   EXPECT_EQ(WEXITSTATUS(server_status), 0) << server_tail;
   EXPECT_NE(server_tail.find("shut down cleanly"), std::string::npos)
       << server_tail;
+
+  // 7. The shutdown metrics dump is a Prometheus-style text exposition.
+  const CommandResult dumped = RunCommand("cat " + dump_path);
+  ASSERT_EQ(dumped.exit_code, 0) << "missing " << dump_path;
+  const std::string exposition = JoinLines(dumped);
+  EXPECT_NE(exposition.find("serve_requests_total "), std::string::npos)
+      << exposition;
+  EXPECT_NE(
+      exposition.find("serve_stage_ns{stage=\"parse\",quantile=\"0.5\"}"),
+      std::string::npos)
+      << exposition;
+  EXPECT_NE(exposition.find("serve_submit_to_done_ns_count "),
+            std::string::npos)
+      << exposition;
 }
 
 // Warm restart across real daemon processes: run a job under --state-dir,
@@ -244,6 +284,20 @@ TEST(ServeSmokeTest, WarmRestartAcrossRealProcesses) {
   // The restore verb is acknowledged and idempotent against live sessions.
   const json::Value restore = LastJson(RunCommand(client + " restore"));
   EXPECT_TRUE(restore.GetBool("ok")) << restore.Dump();
+
+  // With a state dir, the metrics verb reports store durability latencies
+  // and the startup replay duration.
+  const json::Value durable_metrics = LastJson(RunCommand(client + " metrics"));
+  ASSERT_TRUE(durable_metrics.GetBool("ok")) << durable_metrics.Dump();
+  const json::Value* histograms = durable_metrics.Find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const json::Value* fsync = histograms->Find("store_fsync_ns");
+  ASSERT_NE(fsync, nullptr) << durable_metrics.Dump();
+  EXPECT_GE(fsync->GetInt("count"), 1);
+  EXPECT_TRUE(histograms->Has("store_append_ns"));
+  const json::Value* gauges = durable_metrics.Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_TRUE(gauges->Has("store_replay_ms"));
 
   EXPECT_EQ(RunCommand(client + " shutdown").exit_code, 0);
   std::string server_tail;

@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "serve/admission.h"
 #include "serve/client.h"
 #include "serve/protocol.h"
@@ -395,6 +396,118 @@ TEST(TuningServerTest, SubmitStreamStatsShutdownEndToEnd) {
   ASSERT_TRUE(shutdown.ok());
   EXPECT_TRUE(IsOkResponse(*shutdown));
   server.Wait();  // graceful: returns once both threads exited
+}
+
+TEST(TuningServerTest, MetricsVerbExposesInstrumentedStack) {
+  obs::MetricsRegistry::Global().Reset();
+  TuningServer server;
+  ASSERT_TRUE(server.Start().ok());
+  auto connection = ClientConnection::Connect(server.port());
+  ASSERT_TRUE(connection.ok());
+
+  auto submitted = connection->Call(SubmitRequest(SmallJob("mx", 2)));
+  ASSERT_TRUE(submitted.ok());
+  ASSERT_TRUE(IsOkResponse(*submitted)) << submitted->Dump();
+  TuningSession* session = server.sessions().Find("mx");
+  ASSERT_NE(session, nullptr);
+  ASSERT_TRUE(session->WaitTerminal(/*timeout_ms=*/60000));
+  ASSERT_EQ(session->phase(), SessionPhase::kDone);
+
+  // The metrics verb returns the whole registry: serve stage latencies,
+  // queue/session gauges, job outcomes, engine counters. The dispatch
+  // stage timer closes just after the session turns terminal, so poll the
+  // verb until that last sample lands.
+  json::Value metrics_doc;
+  for (int attempt = 0; attempt < 3000; ++attempt) {
+    auto metrics = connection->Call(
+        SessionRequest(RequestType::kMetrics, ""));
+    ASSERT_TRUE(metrics.ok());
+    ASSERT_TRUE(IsOkResponse(*metrics)) << metrics->Dump();
+    metrics_doc = *metrics;
+    const json::Value* histograms = metrics_doc.Find("histograms");
+    ASSERT_NE(histograms, nullptr) << metrics_doc.Dump();
+    const json::Value* dispatch =
+        histograms->Find("serve_stage_ns{stage=\"dispatch\"}");
+    if (dispatch != nullptr && dispatch->GetInt("count") >= 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const json::Value* counters = metrics_doc.Find("counters");
+  ASSERT_NE(counters, nullptr) << metrics_doc.Dump();
+  EXPECT_GE(counters->GetInt("serve_requests_total"), 1);
+  EXPECT_GE(counters->GetInt("serve_admitted_total"), 1);
+  EXPECT_EQ(counters->GetInt("serve_jobs_done_total"), 1);
+  EXPECT_GE(counters->GetInt("engine_estimate_calls_total"), 1);
+  const json::Value* gauges = metrics_doc.Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_EQ(gauges->GetDouble("serve_sessions"), 1.0);
+  const json::Value* histograms = metrics_doc.Find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  for (const char* key :
+       {"serve_stage_ns{stage=\"parse\"}", "serve_stage_ns{stage=\"admit\"}",
+        "serve_stage_ns{stage=\"dispatch\"}",
+        "serve_stage_ns{stage=\"run\"}", "serve_submit_to_done_ns",
+        "serve_round_stage_ns{stage=\"estimate\"}", "serve_batch_size",
+        "engine_task_wait_ns"}) {
+    const json::Value* h = histograms->Find(key);
+    ASSERT_NE(h, nullptr) << key;
+    EXPECT_GE(h->GetInt("count"), 1) << key;
+    EXPECT_GE(h->GetDouble("p99"), h->GetDouble("p50")) << key;
+  }
+
+  // The enriched stats response: shed totals, retry-after count, and the
+  // p50/p99 latency block derived from the same histograms.
+  auto stats = connection->Call(Request{});
+  ASSERT_TRUE(stats.ok());
+  ASSERT_TRUE(IsOkResponse(*stats)) << stats->Dump();
+  const json::Value* admission = stats->Find("admission");
+  ASSERT_NE(admission, nullptr);
+  EXPECT_TRUE(admission->Has("shed_total"));
+  EXPECT_TRUE(admission->Has("retry_after_sent"));
+  const json::Value* latency = stats->Find("latency");
+  ASSERT_NE(latency, nullptr) << stats->Dump();
+  EXPECT_GT(latency->GetDouble("submit_to_done_p50_ms"), 0.0);
+  EXPECT_GE(latency->GetDouble("submit_to_done_p99_ms"),
+            latency->GetDouble("submit_to_done_p50_ms"));
+
+  server.RequestShutdown();
+  server.Wait();
+}
+
+TEST(TuningServerTest, ProgressFramesCarryRoundSpans) {
+  TuningServer server;
+  ASSERT_TRUE(server.Start().ok());
+  auto connection = ClientConnection::Connect(server.port());
+  ASSERT_TRUE(connection.ok());
+
+  auto submitted = connection->Call(SubmitRequest(SmallJob("spans", 2)));
+  ASSERT_TRUE(submitted.ok());
+  ASSERT_TRUE(IsOkResponse(*submitted)) << submitted->Dump();
+  auto streaming = connection->Call(
+      SessionRequest(RequestType::kStream, "spans"));
+  ASSERT_TRUE(streaming.ok());
+  ASSERT_TRUE(IsOkResponse(*streaming)) << streaming->Dump();
+
+  int spans_seen = 0;
+  for (;;) {
+    auto frame = connection->ReadJson(/*timeout_ms=*/60000);
+    ASSERT_TRUE(frame.ok()) << frame.status();
+    if (frame->GetString("frame") == "done") break;
+    // Every progress frame carries the round's span: where the round's
+    // wall time went, stage by stage.
+    const json::Value* span = frame->Find("span");
+    ASSERT_NE(span, nullptr) << frame->Dump();
+    EXPECT_EQ(span->GetString("name"), "round");
+    EXPECT_GE(span->GetDouble("total_ms"), 0.0);
+    const json::Value* stages = span->Find("stages");
+    ASSERT_NE(stages, nullptr);
+    EXPECT_TRUE(stages->Has("estimate_ms")) << frame->Dump();
+    EXPECT_TRUE(stages->Has("plan_ms")) << frame->Dump();
+    EXPECT_TRUE(stages->Has("acquire_ms")) << frame->Dump();
+    ++spans_seen;
+  }
+  EXPECT_GE(spans_seen, 2);
+  server.RequestShutdown();
+  server.Wait();
 }
 
 TEST(TuningServerTest, CancelStopsARunningSession) {

@@ -8,6 +8,7 @@
 //   slicetuner_client --port=N stream --session=s1   # prints frames to done
 //   slicetuner_client --port=N cancel --session=s1
 //   slicetuner_client --port=N stats
+//   slicetuner_client --port=N metrics    # process metrics registry JSON
 //   slicetuner_client --port=N snapshot   # checkpoint the state dir
 //   slicetuner_client --port=N restore    # re-merge state-dir sessions
 //   slicetuner_client --port=N shutdown
@@ -19,6 +20,7 @@
 #include <string>
 
 #include "bench/bench_util.h"
+#include "common/logging.h"
 #include "serve/client.h"
 #include "serve/protocol.h"
 
@@ -27,8 +29,8 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: slicetuner_client --port=N "
-               "(submit|poll|stream|cancel|stats|snapshot|restore|shutdown) "
-               "[--session=NAME] [flags]\n");
+               "(submit|poll|stream|cancel|stats|metrics|snapshot|restore|"
+               "shutdown) [--session=NAME] [flags]\n");
   return 2;
 }
 
@@ -36,6 +38,8 @@ int Usage() {
 
 int main(int argc, char** argv) {
   using namespace slicetuner;
+
+  InitLoggingFromEnv();
 
   const int port = bench::ParseIntFlag(argc, argv, "--port=", 0);
   if (port <= 0) return Usage();
@@ -77,6 +81,8 @@ int main(int argc, char** argv) {
     request.type = serve::RequestType::kCancel;
   } else if (command == "stats") {
     request.type = serve::RequestType::kStats;
+  } else if (command == "metrics") {
+    request.type = serve::RequestType::kMetrics;
   } else if (command == "snapshot") {
     request.type = serve::RequestType::kSnapshot;
   } else if (command == "restore") {

@@ -7,11 +7,20 @@
 //   slicetuner_serve [--port=0] [--threads=N] [--max-queue=16]
 //                    [--max-batch=8] [--retry-after-ms=50]
 //                    [--max-backlog=0] [--state-dir=DIR]
+//                    [--metrics-dump=PATH]
 //
 // --state-dir makes sessions durable (src/store/, docs/STATE.md): startup
 // replays the directory's snapshot + journal tail so sessions resume warm,
 // the `snapshot`/`restore` admin verbs work, and a final checkpoint is
 // written on graceful shutdown.
+//
+// --metrics-dump writes the metrics registry's Prometheus-style text
+// exposition (docs/OBSERVABILITY.md) to PATH on graceful shutdown; "-"
+// dumps to stdout. Live values are available any time via the `metrics`
+// protocol verb.
+//
+// Honors SLICETUNER_LOG_LEVEL (debug|info|warning|error|none) and
+// SLICETUNER_LOG_JSON=1 for structured logs (src/common/logging.h).
 //
 // Prints "slicetuner_serve listening on 127.0.0.1:<port>" once ready (the
 // smoke test and scripts read the ephemeral port off this line).
@@ -21,10 +30,14 @@
 
 #include "bench/bench_util.h"
 #include "common/fs_util.h"
+#include "common/logging.h"
+#include "obs/metrics.h"
 #include "serve/server.h"
 
 int main(int argc, char** argv) {
   using namespace slicetuner;
+
+  InitLoggingFromEnv();
 
   serve::ServerOptions options;
   options.port = bench::ParseIntFlag(argc, argv, "--port=", 0);
@@ -39,6 +52,8 @@ int main(int argc, char** argv) {
   options.admission.max_executor_backlog = static_cast<size_t>(
       bench::ParseIntFlag(argc, argv, "--max-backlog=", 0));
   options.state_dir = bench::ParseStringFlag(argc, argv, "--state-dir=", "");
+  const std::string metrics_dump =
+      bench::ParseStringFlag(argc, argv, "--metrics-dump=", "");
 
   serve::TuningServer server(options);
   ST_CHECK_OK(server.Start());
@@ -58,6 +73,18 @@ int main(int argc, char** argv) {
   std::fflush(stdout);
 
   server.Wait();
+
+  if (!metrics_dump.empty()) {
+    const std::string exposition =
+        obs::MetricsRegistry::Global().TextExposition();
+    if (metrics_dump == "-") {
+      std::fputs(exposition.c_str(), stdout);
+      std::fflush(stdout);
+    } else {
+      ST_CHECK_OK(WriteStringToFile(metrics_dump, exposition));
+      std::printf("metrics written to %s\n", metrics_dump.c_str());
+    }
+  }
 
   const std::string stats_path = ResultsDir() + "/serve_stats.json";
   ST_CHECK_OK(
