@@ -11,6 +11,9 @@ fresh summary against the checked-in baseline of the same name and fails
   *_speedup keys  ratios, higher is better (and machine-independent, since
                   both sides of the ratio ran on the same machine): fail when
                   the fresh value drops below baseline * (1 - tolerance).
+  *_jobs_per_sec  throughputs, higher is better but machine-dependent: fail
+                  when the fresh value drops below baseline * (1 - tolerance)
+                  on the same machine class.
   boolean keys    correctness flags (identical_parameters,
                   kernels_bit_identical): fail on true -> false.
   other keys      informational only.
@@ -37,6 +40,7 @@ import sys
 
 WALL_SUFFIX = "_seconds"
 SPEEDUP_SUFFIX = "_speedup"
+THROUGHPUT_SUFFIX = "_jobs_per_sec"
 
 
 def load(path):
@@ -52,6 +56,8 @@ def classify(key, value):
             return "wall"
         if key.endswith(SPEEDUP_SUFFIX):
             return "speedup"
+        if key.endswith(THROUGHPUT_SUFFIX):
+            return "throughput"
     return "info"
 
 
@@ -109,6 +115,20 @@ def compare_file(name, baseline, fresh, tolerance):
                     ("FAIL" if gate_perf else "note",
                      f"{name}: {key} regressed {base_value:.2f}x -> "
                      f"{fresh_value:.2f}x (floor {floor:.2f}x)"))
+            continue
+        if kind == "throughput":
+            floor = base_value * (1.0 - tolerance)
+            if fresh_value < floor:
+                rows.append(
+                    ("FAIL" if gate_perf else "note",
+                     f"{name}: {key} regressed {base_value:.1f} -> "
+                     f"{fresh_value:.1f} jobs/s (floor {floor:.1f})"))
+            elif base_value > 0 and fresh_value > base_value * (1.0 + tolerance):
+                rows.append(
+                    ("note",
+                     f"{name}: {key} improved {base_value:.1f} -> "
+                     f"{fresh_value:.1f} jobs/s; consider refreshing the "
+                     "baseline"))
             continue
     return rows
 

@@ -13,6 +13,14 @@ AdmissionController::AdmissionController(AdmissionOptions options)
     : options_(std::move(options)) {
   if (options_.max_queue_depth == 0) options_.max_queue_depth = 1;
   if (options_.max_batch == 0) options_.max_batch = 1;
+  if (options_.num_shards == 0) options_.num_shards = 1;
+  queues_.resize(options_.num_shards);
+}
+
+size_t AdmissionController::TotalDepthLocked() const {
+  size_t depth = 0;
+  for (const std::deque<uint64_t>& queue : queues_) depth += queue.size();
+  return depth;
 }
 
 Status AdmissionController::Admit(uint64_t session_id) {
@@ -26,11 +34,12 @@ Status AdmissionController::Admit(uint64_t session_id) {
     if (stopped_) {
       return Status::FailedPrecondition("server is shutting down");
     }
-    if (queue_.size() >= options_.max_queue_depth) {
+    const size_t depth = TotalDepthLocked();
+    if (depth >= options_.max_queue_depth) {
       ++stats_.shed_queue_full;
       ServeMetrics::Get().shed_queue_full->Add();
       return Status::ResourceExhausted(StrFormat(
-          "admission queue full (%zu/%zu)", queue_.size(),
+          "admission queue full (%zu/%zu)", depth,
           options_.max_queue_depth));
     }
     if (options_.max_executor_backlog > 0 &&
@@ -41,33 +50,52 @@ Status AdmissionController::Admit(uint64_t session_id) {
           "executor backlog %zu exceeds %zu", backlog,
           options_.max_executor_backlog));
     }
-    queue_.push_back(session_id);
+    queues_[session_id % options_.num_shards].push_back(session_id);
     ++stats_.admitted;
-    stats_.max_depth_seen = std::max(stats_.max_depth_seen, queue_.size());
+    stats_.max_depth_seen = std::max(stats_.max_depth_seen, depth + 1);
     ServeMetrics::Get().admitted->Add();
-    ServeMetrics::Get().queue_depth->Set(
-        static_cast<double>(queue_.size()));
+    ServeMetrics::Get().queue_depth->Set(static_cast<double>(depth + 1));
   }
-  work_cv_.notify_one();
+  // All shard dispatchers share one cv; a wrong-shard wakeup just re-waits.
+  work_cv_.notify_all();
   return Status::OK();
 }
 
-std::vector<uint64_t> AdmissionController::NextBatch() {
+std::vector<uint64_t> AdmissionController::NextBatch(size_t shard) {
   std::unique_lock<std::mutex> lock(mu_);
-  work_cv_.wait(lock, [this] { return stopped_ || !queue_.empty(); });
+  shard %= options_.num_shards;
+  std::deque<uint64_t>& queue = queues_[shard];
+  work_cv_.wait(lock, [this, &queue] { return stopped_ || !queue.empty(); });
   std::vector<uint64_t> batch;
-  const size_t take = std::min(queue_.size(), options_.max_batch);
+  const size_t take = std::min(queue.size(), options_.max_batch);
   batch.reserve(take);
   for (size_t i = 0; i < take; ++i) {
-    batch.push_back(queue_.front());
-    queue_.pop_front();
+    batch.push_back(queue.front());
+    queue.pop_front();
   }
   if (!batch.empty()) {
     ++stats_.batches;
     ServeMetrics::Get().batch_size->Record(batch.size());
     ServeMetrics::Get().queue_depth->Set(
-        static_cast<double>(queue_.size()));
+        static_cast<double>(TotalDepthLocked()));
   }
+  return batch;
+}
+
+void AdmissionController::AdmitCancel(uint64_t session_id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cancels_.push_back(session_id);
+    ++stats_.cancels_admitted;
+  }
+  cancel_cv_.notify_one();
+}
+
+std::vector<uint64_t> AdmissionController::NextCancels() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cancel_cv_.wait(lock, [this] { return stopped_ || !cancels_.empty(); });
+  std::vector<uint64_t> batch(cancels_.begin(), cancels_.end());
+  cancels_.clear();
   return batch;
 }
 
@@ -77,6 +105,7 @@ void AdmissionController::Stop() {
     stopped_ = true;
   }
   work_cv_.notify_all();
+  cancel_cv_.notify_all();
 }
 
 bool AdmissionController::stopped() const {
@@ -86,7 +115,7 @@ bool AdmissionController::stopped() const {
 
 size_t AdmissionController::depth() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return queue_.size();
+  return TotalDepthLocked();
 }
 
 AdmissionStats AdmissionController::stats() const {

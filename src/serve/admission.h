@@ -1,19 +1,31 @@
-// Admission control for the tuning service: a bounded FIFO of session ids
-// with load shedding and micro-batching.
+// Admission control for the tuning service: bounded session-affinity
+// sharded FIFOs with load shedding and micro-batching, plus an unbounded
+// cancel-resolution lane.
 //
 //  * Shedding — Admit() rejects with ResourceExhausted (and a retry-after
-//    hint the protocol layer forwards to clients) when the queue is at
-//    max_queue_depth, or when the executor backlog probe — wired to
-//    ThreadPool::PendingCount() by the server — reports the pool already
-//    saturated. Rejecting at the door keeps latency bounded instead of
-//    letting the queue grow without limit.
+//    hint the protocol layer forwards to clients) when the queues hold
+//    max_queue_depth sessions in total, or when the executor backlog probe
+//    — wired to ThreadPool::PendingCount() by the server — reports the
+//    pool already saturated. Rejecting at the door keeps latency bounded
+//    instead of letting the queue grow without limit.
 //
-//  * Micro-batching — NextBatch() blocks until work arrives, then drains up
-//    to max_batch compatible sessions at once. The dispatcher fans the
-//    whole batch out through one ExperimentRunner::RunAll, so concurrent
-//    curve-estimation jobs share one engine fan-out instead of serializing
-//    per-request (every serve job is estimation-compatible: same engine,
-//    independent sessions).
+//  * Micro-batching — NextBatch(shard) blocks until work arrives on that
+//    shard, then drains up to max_batch compatible sessions at once. The
+//    dispatcher fans the whole batch out through one
+//    ExperimentRunner::RunAll, so concurrent curve-estimation jobs share
+//    one engine fan-out instead of serializing per-request.
+//
+//  * Session affinity — a session id always lands on shard
+//    `id % num_shards`, so every job of one session is dispatched by the
+//    same dispatcher thread, in submit order, and one hot session (long
+//    jobs, tight resubmit loop) can only ever saturate its own shard
+//    while the other dispatchers keep draining theirs.
+//
+//  * Cancel lane — AdmitCancel() enqueues a session whose pending cancel
+//    just needs resolving (RunJob with the cancel flag set resolves
+//    without running). The lane is unbounded and never shed: losing a
+//    cancel would strand the session queued forever, and each entry costs
+//    one O(1) resolution, not a tuning job.
 
 #ifndef SLICETUNER_SERVE_ADMISSION_H_
 #define SLICETUNER_SERVE_ADMISSION_H_
@@ -32,7 +44,7 @@ namespace slicetuner {
 namespace serve {
 
 struct AdmissionOptions {
-  /// Queue slots before Admit sheds load.
+  /// Queue slots (across all shards) before Admit sheds load.
   size_t max_queue_depth = 16;
   /// Sessions drained per NextBatch (one engine fan-out).
   size_t max_batch = 8;
@@ -42,6 +54,9 @@ struct AdmissionOptions {
   size_t max_executor_backlog = 0;
   /// Executor saturation signal (e.g. the shared pool's PendingCount).
   std::function<size_t()> backlog_probe;
+  /// Session-affinity dispatch shards; the server runs one dispatcher
+  /// thread per shard. 1 preserves the single strict-FIFO dispatcher.
+  size_t num_shards = 1;
 };
 
 struct AdmissionStats {
@@ -50,34 +65,51 @@ struct AdmissionStats {
   size_t shed_backlog = 0;
   size_t batches = 0;
   size_t max_depth_seen = 0;
+  size_t cancels_admitted = 0;
 };
 
 class AdmissionController {
  public:
   explicit AdmissionController(AdmissionOptions options = {});
 
-  /// Enqueues a session id, or sheds: ResourceExhausted with the configured
-  /// retry-after encoded for the caller via retry_after_ms().
+  /// Enqueues a session id on its affinity shard, or sheds:
+  /// ResourceExhausted with the configured retry-after encoded for the
+  /// caller via retry_after_ms().
   Status Admit(uint64_t session_id);
 
-  /// Blocks until at least one session is queued (returning up to
-  /// max_batch of them, FIFO) or Stop() was called (returning what is left,
-  /// possibly empty).
-  std::vector<uint64_t> NextBatch();
+  /// Blocks until at least one session is queued on `shard` (returning up
+  /// to max_batch of them, FIFO) or Stop() was called (returning what is
+  /// left on the shard, possibly empty).
+  std::vector<uint64_t> NextBatch(size_t shard = 0);
 
-  /// Unblocks NextBatch; subsequent Admit calls fail FailedPrecondition.
+  /// Enqueues a session on the cancel-resolution lane (unbounded, never
+  /// shed; accepted even after Stop so in-flight sheds still resolve).
+  void AdmitCancel(uint64_t session_id);
+
+  /// Blocks until cancel work arrives (returning all of it) or Stop() was
+  /// called (returning what is left, possibly empty).
+  std::vector<uint64_t> NextCancels();
+
+  /// Unblocks NextBatch/NextCancels; subsequent Admit calls fail
+  /// FailedPrecondition.
   void Stop();
   bool stopped() const;
 
+  /// Queued sessions across all shards (cancel lane excluded).
   size_t depth() const;
+  size_t num_shards() const { return options_.num_shards; }
   int retry_after_ms() const { return options_.retry_after_ms; }
   AdmissionStats stats() const;
 
  private:
+  size_t TotalDepthLocked() const;
+
   AdmissionOptions options_;
   mutable std::mutex mu_;
   std::condition_variable work_cv_;
-  std::deque<uint64_t> queue_;
+  std::condition_variable cancel_cv_;
+  std::vector<std::deque<uint64_t>> queues_;  // one per shard
+  std::deque<uint64_t> cancels_;
   AdmissionStats stats_;
   bool stopped_ = false;
 };

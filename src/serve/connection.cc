@@ -1,0 +1,118 @@
+#include "serve/connection.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "serve/serve_metrics.h"
+
+namespace slicetuner {
+namespace serve {
+
+namespace {
+// Per-ReadInput byte budget: bounds how long one chatty connection can
+// hold the worker before other ready connections get a turn.
+constexpr size_t kReadBudget = 256 * 1024;
+}  // namespace
+
+Connection::Connection(int fd, uint64_t tag, ConnectionLimits limits)
+    : fd_(fd), tag_(tag), limits_(limits) {}
+
+Connection::~Connection() { Close(); }
+
+Connection::ReadStatus Connection::ReadInput() {
+  size_t consumed = 0;
+  char buf[16 * 1024];
+  while (fd_ >= 0) {
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      input_.append(buf, static_cast<size_t>(n));
+      consumed += static_cast<size_t>(n);
+      if (consumed >= kReadBudget) return ReadStatus::kCapped;
+      continue;
+    }
+    if (n == 0) return ReadStatus::kPeerClosed;
+    if (errno == EINTR) {
+      ServeMetrics::Get().eintr_retries->Add();
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return ReadStatus::kDrained;
+    return ReadStatus::kError;
+  }
+  return ReadStatus::kError;
+}
+
+bool Connection::NextLine(std::string_view* line) {
+  if (input_overflow_) return false;
+  const size_t end = input_.size();
+  size_t nl = scan_pos_;
+  while (nl < end && input_[nl] != '\n') ++nl;
+  if (nl == end) {
+    scan_pos_ = end;  // resume scanning here; nothing is rescanned
+    if (end - input_pos_ > limits_.max_request_bytes) input_overflow_ = true;
+    return false;
+  }
+  if (nl - input_pos_ > limits_.max_request_bytes) {
+    input_overflow_ = true;
+    return false;
+  }
+  *line = std::string_view(input_).substr(input_pos_, nl - input_pos_);
+  input_pos_ = nl + 1;
+  scan_pos_ = nl + 1;
+  return true;
+}
+
+void Connection::DiscardInput() {
+  input_.clear();
+  input_pos_ = 0;
+  scan_pos_ = 0;
+}
+
+void Connection::CompactInput() {
+  if (input_pos_ == input_.size()) {
+    input_.clear();  // keeps capacity: the common fully-consumed case
+    input_pos_ = 0;
+    scan_pos_ = 0;
+  } else if (input_pos_ > 4096 && input_pos_ >= input_.size() / 2) {
+    input_.erase(0, input_pos_);
+    scan_pos_ -= input_pos_;
+    input_pos_ = 0;
+  }
+}
+
+void Connection::QueueLine(std::string_view payload) {
+  output_.append(payload);
+  output_.push_back('\n');
+}
+
+Connection::FlushStatus Connection::FlushOutput() {
+  while (fd_ >= 0 && output_pos_ < output_.size()) {
+    const ssize_t n = ::send(fd_, output_.data() + output_pos_,
+                             output_.size() - output_pos_, MSG_NOSIGNAL);
+    if (n > 0) {
+      output_pos_ += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      ServeMetrics::Get().eintr_retries->Add();
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return FlushStatus::kBlocked;
+    }
+    return FlushStatus::kClosed;
+  }
+  if (fd_ < 0) return FlushStatus::kClosed;
+  output_.clear();  // keeps capacity for the next burst
+  output_pos_ = 0;
+  return FlushStatus::kDrained;
+}
+
+void Connection::Close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+}  // namespace serve
+}  // namespace slicetuner

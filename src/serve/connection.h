@@ -1,0 +1,118 @@
+// Per-connection state for the serving workers: the fd, buffer-reusing
+// line framing on the input side, and a bounded, offset-flushed output
+// buffer on the output side. A Connection is owned by exactly one worker
+// thread for its whole life (accept to close), so none of this is locked.
+//
+// Input framing keeps one growing buffer and consumes it by offset —
+// NextLine() returns string_views into the buffer and CompactInput()
+// erases the consumed prefix in one move once it dominates the buffer —
+// instead of the old substr()+erase(0, n) per line, which rescanned and
+// memmoved the whole buffer per request (quadratic under pipelining).
+//
+// Output backpressure (docs/PROTOCOL.md "Flow control"): pending_output()
+// crossing output_pause_bytes pauses stream-frame emission for this
+// connection until the peer drains it; crossing max_output_bytes is a
+// protocol violation (a reader that stopped reading while requests or
+// frames kept coming) and the server drops the connection.
+
+#ifndef SLICETUNER_SERVE_CONNECTION_H_
+#define SLICETUNER_SERVE_CONNECTION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace slicetuner {
+namespace serve {
+
+class TuningSession;
+
+struct ConnectionLimits {
+  /// Longest accepted request line (complete or still unterminated).
+  size_t max_request_bytes = 1 << 20;
+  /// Pending output level that pauses stream-frame emission.
+  size_t output_pause_bytes = 256 * 1024;
+  /// Pending output level that drops the connection outright.
+  size_t max_output_bytes = 4 * 1024 * 1024;
+};
+
+class Connection {
+ public:
+  enum class ReadStatus {
+    kDrained,     // read to EAGAIN; kernel buffer empty
+    kCapped,      // stopped at the per-call budget; call again after framing
+    kPeerClosed,  // orderly EOF: frame what arrived, flush, then drop
+    kError,       // hard socket error: drop immediately
+  };
+  enum class FlushStatus {
+    kDrained,  // nothing left to send
+    kBlocked,  // kernel send buffer full; re-arm EPOLLOUT
+    kClosed,   // peer gone; drop the connection
+  };
+
+  Connection(int fd, uint64_t tag, ConnectionLimits limits);
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  int fd() const { return fd_; }
+  uint64_t tag() const { return tag_; }
+  bool fd_open() const { return fd_ >= 0; }
+
+  /// Drains the socket into the input buffer, retrying EINTR. Stops early
+  /// (kCapped) after ~256 KiB so one firehosing client cannot starve the
+  /// worker's other connections between framing passes.
+  ReadStatus ReadInput();
+
+  /// Next complete line, without its '\n' (a view into the input buffer,
+  /// valid until the next ReadInput/CompactInput). False when no complete
+  /// line is buffered — or when the line (or the unterminated tail)
+  /// exceeds max_request_bytes, which also latches input_overflow().
+  bool NextLine(std::string_view* line);
+  bool input_overflow() const { return input_overflow_; }
+  void DiscardInput();
+  /// Erases the consumed prefix once it dominates the buffer (cheap
+  /// amortized; call once per framing pass, not per line).
+  void CompactInput();
+
+  /// Queues `payload` + '\n' for sending.
+  void QueueLine(std::string_view payload);
+  /// Sends as much pending output as the kernel accepts, retrying EINTR.
+  FlushStatus FlushOutput();
+  size_t pending_output() const { return output_.size() - output_pos_; }
+  bool output_paused() const {
+    return pending_output() >= limits_.output_pause_bytes;
+  }
+  bool output_overflow() const {
+    return pending_output() > limits_.max_output_bytes;
+  }
+
+  /// Closes the fd now (pending buffers are abandoned).
+  void Close();
+
+  // Worker-managed protocol state (single-threaded by ownership).
+  TuningSession* streaming = nullptr;  // non-null: subscribed session
+  size_t frame_cursor = 0;
+  bool closed = false;       // stop reading; flush what we owe, then drop
+  bool write_armed = false;  // EPOLLOUT currently registered
+
+ private:
+  int fd_;
+  const uint64_t tag_;
+  const ConnectionLimits limits_;
+
+  std::string input_;
+  size_t input_pos_ = 0;  // consumed prefix
+  size_t scan_pos_ = 0;   // '\n' scan progress (never rescans)
+  bool input_overflow_ = false;
+
+  std::string output_;
+  size_t output_pos_ = 0;  // sent prefix
+};
+
+}  // namespace serve
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_SERVE_CONNECTION_H_

@@ -1,0 +1,143 @@
+#include "serve/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.h"
+#include "serve/serve_metrics.h"
+
+namespace slicetuner {
+namespace serve {
+
+namespace {
+
+// Sentinel tag for the wake eventfd; user tags are connection/listen ids.
+constexpr uint64_t kWakeTag = ~0ull;
+
+uint32_t InterestMask(bool want_write, bool edge_triggered, bool exclusive) {
+  uint32_t mask = EPOLLIN;
+  if (want_write) mask |= EPOLLOUT;
+  if (edge_triggered) mask |= EPOLLET;
+  if (exclusive) {
+    // EPOLLEXCLUSIVE rejects every flag beyond IN/OUT/ET/WAKEUP (EINVAL),
+    // so the listen fd goes without EPOLLRDHUP — it never needs it.
+#ifdef EPOLLEXCLUSIVE
+    mask |= EPOLLEXCLUSIVE;
+#endif
+    // Without kernel support all workers wake per accept (thundering
+    // herd); still correct because accept() is non-blocking.
+  } else {
+    mask |= EPOLLRDHUP;
+  }
+  return mask;
+}
+
+}  // namespace
+
+EventLoop::~EventLoop() {
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+Status EventLoop::Init() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    return Status::Internal(std::string("epoll_create1 failed: ") +
+                            std::strerror(errno));
+  }
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    return Status::Internal(std::string("eventfd failed: ") +
+                            std::strerror(errno));
+  }
+  epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = EPOLLIN;
+  ev.data.u64 = kWakeTag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0) {
+    return Status::Internal(std::string("epoll_ctl(wake) failed: ") +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status EventLoop::Add(int fd, uint64_t tag, bool want_write,
+                      bool edge_triggered, bool exclusive) {
+  epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = InterestMask(want_write, edge_triggered, exclusive);
+  ev.data.u64 = tag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    return Status::Internal(std::string("epoll_ctl(add) failed: ") +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status EventLoop::Update(int fd, uint64_t tag, bool want_write) {
+  epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = InterestMask(want_write, /*edge_triggered=*/true,
+                           /*exclusive=*/false);
+  ev.data.u64 = tag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) < 0) {
+    return Status::Internal(std::string("epoll_ctl(mod) failed: ") +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+void EventLoop::Remove(int fd) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+int EventLoop::Poll(int timeout_ms, std::vector<Event>* events) {
+  events->clear();
+  epoll_event buf[64];
+  int n;
+  for (;;) {
+    n = ::epoll_wait(epoll_fd_, buf, 64, timeout_ms);
+    if (n >= 0) break;
+    if (errno == EINTR) {
+      ServeMetrics::Get().eintr_retries->Add();
+      continue;
+    }
+    ServeMetrics::Get().poll_errors->Add();
+    if (!poll_error_logged_) {
+      poll_error_logged_ = true;
+      ST_LOG(Warning) << "epoll_wait failed: " << std::strerror(errno);
+    }
+    return -1;
+  }
+  for (int i = 0; i < n; ++i) {
+    if (buf[i].data.u64 == kWakeTag) {
+      uint64_t drain = 0;
+      // Coalesced counter; one read clears every pending Wake().
+      while (::read(wake_fd_, &drain, sizeof(drain)) < 0 && errno == EINTR) {
+        ServeMetrics::Get().eintr_retries->Add();
+      }
+      continue;
+    }
+    Event out;
+    out.tag = buf[i].data.u64;
+    out.readable = (buf[i].events & EPOLLIN) != 0;
+    out.writable = (buf[i].events & EPOLLOUT) != 0;
+    out.hangup = (buf[i].events & (EPOLLRDHUP | EPOLLHUP | EPOLLERR)) != 0;
+    events->push_back(out);
+  }
+  return static_cast<int>(events->size());
+}
+
+void EventLoop::Wake() {
+  if (wake_fd_ < 0) return;
+  const uint64_t one = 1;
+  while (::write(wake_fd_, &one, sizeof(one)) < 0 && errno == EINTR) {
+  }
+}
+
+}  // namespace serve
+}  // namespace slicetuner

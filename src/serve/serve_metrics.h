@@ -30,6 +30,17 @@ struct ServeMetrics {
   obs::Histogram* flush_ns =
       registry.histogram("serve_stage_ns", "stage", "flush");
 
+  // Event loop / transport. Per-worker variants of the hot counters are
+  // registered by each worker at startup as `serve_worker_*{worker="N"}`.
+  obs::Counter* accepts = registry.counter("serve_accepts_total");
+  obs::Counter* conns_rejected =
+      registry.counter("serve_connections_rejected_total");
+  obs::Counter* eintr_retries = registry.counter("serve_eintr_retries_total");
+  obs::Counter* poll_errors = registry.counter("serve_poll_errors_total");
+  obs::Counter* stream_pauses = registry.counter("serve_stream_pauses_total");
+  obs::Counter* output_overflow =
+      registry.counter("serve_output_overflow_dropped_total");
+
   // Admission.
   obs::Counter* admitted = registry.counter("serve_admitted_total");
   obs::Counter* shed_queue_full =
@@ -37,6 +48,10 @@ struct ServeMetrics {
   obs::Counter* shed_backlog = registry.counter("serve_shed_backlog_total");
   obs::Counter* retry_after_sent =
       registry.counter("serve_retry_after_sent_total");
+  obs::Counter* shed_restoring =
+      registry.counter("serve_shed_restoring_total");
+  obs::Counter* cancels_resolved =
+      registry.counter("serve_cancels_resolved_total");
   obs::Gauge* queue_depth = registry.gauge("serve_queue_depth");
   obs::Histogram* batch_size = registry.histogram("serve_batch_size");
 

@@ -3,13 +3,14 @@
 #include <arpa/inet.h>
 #include <fcntl.h>
 #include <netinet/in.h>
-#include <poll.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <string>
 #include <utility>
 
 #include "common/logging.h"
@@ -22,6 +23,14 @@ namespace slicetuner {
 namespace serve {
 
 namespace {
+
+// The shared listen fd's tag in every worker's event loop; connection tags
+// start at 1.
+constexpr uint64_t kListenTag = 0;
+
+// Idle tick of a worker with no live streams: nothing to flush on a
+// cadence, and the dispatcher/cancel/shutdown paths Wake() it explicitly.
+constexpr int kIdlePollMs = 200;
 
 Status SetNonBlocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
@@ -39,6 +48,12 @@ AdmissionOptions WithDefaultProbe(AdmissionOptions admission) {
     };
   }
   return admission;
+}
+
+int ResolveWorkerCount(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(std::min(4u, std::max(1u, hw)));
 }
 
 }  // namespace
@@ -101,7 +116,7 @@ Status TuningServer::Start() {
     return Status::Internal(std::string("bind() failed: ") +
                             std::strerror(errno));
   }
-  if (::listen(listen_fd_, 16) < 0) {
+  if (::listen(listen_fd_, SOMAXCONN) < 0) {
     return Status::Internal("listen() failed");
   }
   socklen_t len = sizeof(addr);
@@ -112,15 +127,48 @@ Status TuningServer::Start() {
   port_ = ntohs(addr.sin_port);
   ST_RETURN_NOT_OK(SetNonBlocking(listen_fd_));
 
-  poll_thread_ = std::thread([this] { PollLoop(); });
-  dispatch_thread_ = std::thread([this] { DispatchLoop(); });
+  // Every worker watches the shared listen fd (level-triggered +
+  // EPOLLEXCLUSIVE: the kernel wakes one worker per pending accept), and
+  // owns the connections it accepts outright — no fd ever changes threads.
+  const int num_workers = ResolveWorkerCount(options_.num_workers);
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  for (int i = 0; i < num_workers; ++i) {
+    auto worker = std::make_unique<Worker>();
+    worker->index = i;
+    const std::string label = std::to_string(i);
+    worker->requests =
+        registry.counter("serve_worker_requests_total", "worker", label);
+    worker->accepts =
+        registry.counter("serve_worker_accepts_total", "worker", label);
+    worker->connections =
+        registry.gauge("serve_worker_connections", "worker", label);
+    ST_RETURN_NOT_OK(worker->loop.Init());
+    ST_RETURN_NOT_OK(worker->loop.Add(listen_fd_, kListenTag,
+                                      /*want_write=*/false,
+                                      /*edge_triggered=*/false,
+                                      /*exclusive=*/true));
+    workers_.push_back(std::move(worker));
+  }
+  for (auto& worker : workers_) {
+    Worker* w = worker.get();
+    w->thread = std::thread([this, w] { WorkerLoop(w); });
+  }
+  for (size_t shard = 0; shard < admission_.num_shards(); ++shard) {
+    dispatch_threads_.emplace_back([this, shard] { DispatchLoop(shard); });
+  }
+  cancel_thread_ = std::thread([this] { CancelLoop(); });
   return Status::OK();
 }
 
 void TuningServer::Wait() {
-  if (poll_thread_.joinable()) poll_thread_.join();
-  if (dispatch_thread_.joinable()) dispatch_thread_.join();
-  // Both loops have exited: sessions are quiescent, so the closing
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+  for (std::thread& dispatcher : dispatch_threads_) {
+    if (dispatcher.joinable()) dispatcher.join();
+  }
+  if (cancel_thread_.joinable()) cancel_thread_.join();
+  // Every loop has exited: sessions are quiescent, so the closing
   // checkpoint captures every curve cache and the next start resumes warm
   // without replaying the journal.
   WriteFinalSnapshot();
@@ -129,6 +177,11 @@ void TuningServer::Wait() {
 void TuningServer::RequestShutdown() {
   if (shutdown_requested_.exchange(true)) return;
   admission_.Stop();
+  WakeWorkers();
+}
+
+void TuningServer::WakeWorkers() {
+  for (auto& worker : workers_) worker->loop.Wake();
 }
 
 json::Value TuningServer::StatsJson() const {
@@ -143,12 +196,26 @@ json::Value TuningServer::StatsJson() const {
   admission_json.Set("shed_backlog", admission.shed_backlog);
   admission_json.Set("shed_total",
                      admission.shed_queue_full + admission.shed_backlog);
+  admission_json.Set("shed_restoring",
+                     shed_restoring_.load(std::memory_order_relaxed));
   admission_json.Set("retry_after_sent",
                      retry_after_sent_.load(std::memory_order_relaxed));
   admission_json.Set("batches", admission.batches);
   admission_json.Set("max_depth_seen", admission.max_depth_seen);
   admission_json.Set("queue_depth", admission_.depth());
+  admission_json.Set("cancels_admitted", admission.cancels_admitted);
+  admission_json.Set("cancels_resolved",
+                     cancels_resolved_.load(std::memory_order_relaxed));
   out.Set("admission", std::move(admission_json));
+  // Event-loop shape: how requests spread over workers and dispatchers.
+  json::Value transport = json::Value::Object();
+  transport.Set("workers", workers_.size());
+  transport.Set("dispatch_shards", admission_.num_shards());
+  transport.Set("open_connections",
+                open_connections_.load(std::memory_order_relaxed));
+  transport.Set("dropped_output_overflow",
+                connections_dropped_overflow_.load(std::memory_order_relaxed));
+  out.Set("transport", std::move(transport));
   out.Set("sessions", sessions_.StatsJson());
   // Headline latency summary from the process-wide histograms (the full
   // distribution set is one `metrics` request away).
@@ -178,12 +245,12 @@ json::Value TuningServer::StatsJson() const {
 }
 
 // ---------------------------------------------------------------------------
-// Dispatcher: admission batches -> one engine fan-out per batch.
+// Dispatchers: admission shards -> one engine fan-out per micro-batch.
 // ---------------------------------------------------------------------------
 
-void TuningServer::DispatchLoop() {
+void TuningServer::DispatchLoop(size_t shard) {
   for (;;) {
-    const std::vector<uint64_t> batch = admission_.NextBatch();
+    const std::vector<uint64_t> batch = admission_.NextBatch(shard);
     if (batch.empty()) {
       if (admission_.stopped()) return;
       continue;
@@ -206,148 +273,223 @@ void TuningServer::DispatchLoop() {
     }
     // RunAll resolves every submitted session (cancel_on_failure is off, so
     // nothing is skipped); a session must not be touched again afterwards —
-    // the poll thread may already have resumed and re-admitted it.
+    // a worker may already have resumed and re-admitted it.
     for (const engine::SessionResult& result : runner.RunAll()) {
       sessions_.RecordOutcome(result.status);
     }
+    // The batch's subscribers have done frames waiting; don't make them
+    // ride out an idle worker's full poll timeout.
+    WakeWorkers();
   }
 }
 
 // ---------------------------------------------------------------------------
-// Poll loop: accept, frame lines, answer requests, flush streams.
+// Cancel resolver: pending cancels resolve here, never on a worker thread.
 // ---------------------------------------------------------------------------
 
-void TuningServer::PollLoop() {
-  while (true) {
-    // Exit once shutdown is requested and the dispatcher has drained: all
-    // streams can then be closed out with final frames.
-    if (shutdown_requested_.load(std::memory_order_relaxed) &&
-        sessions_.active_count() == 0) {
-      FlushStreams();
-      for (Connection& conn : connections_) {
-        FlushOutput(&conn);
-        if (conn.fd >= 0) ::close(conn.fd);
-        conn.fd = -1;
+void TuningServer::CancelLoop() {
+  for (;;) {
+    const std::vector<uint64_t> cancels = admission_.NextCancels();
+    if (cancels.empty()) {
+      if (admission_.stopped()) return;
+      continue;
+    }
+    for (const uint64_t id : cancels) {
+      TuningSession* session = sessions_.FindById(id);
+      if (session == nullptr) continue;
+      // The cancel flag is already set, so RunJob resolves the session
+      // cancelled in O(1) without running the job. FailedPrecondition
+      // means it was no longer queued (already resolved); skip the
+      // outcome so nothing is double-counted.
+      const Status status = session->RunJob();
+      if (status.code() == StatusCode::kFailedPrecondition) continue;
+      sessions_.RecordOutcome(status);
+      cancels_resolved_.fetch_add(1, std::memory_order_relaxed);
+      ServeMetrics::Get().cancels_resolved->Add();
+    }
+    WakeWorkers();  // flush the resolved sessions' done frames promptly
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Workers: accept, frame lines, answer requests, flush streams.
+// ---------------------------------------------------------------------------
+
+void TuningServer::WorkerLoop(Worker* worker) {
+  std::vector<EventLoop::Event> events;
+  for (;;) {
+    // Exit once shutdown is requested and the dispatchers have drained:
+    // all streams can then be closed out with final frames.
+    const bool draining = shutdown_requested_.load(std::memory_order_relaxed);
+    if (draining && sessions_.active_count() == 0) break;
+
+    bool streams_live = false;
+    for (const auto& entry : worker->conns) {
+      if (entry.second->streaming != nullptr) {
+        streams_live = true;
+        break;
       }
+    }
+    const int timeout =
+        (streams_live || draining) ? options_.poll_interval_ms : kIdlePollMs;
+    worker->loop.Poll(timeout, &events);
+
+    for (const EventLoop::Event& event : events) {
+      if (event.tag == kListenTag) {
+        if (!shutdown_requested_.load(std::memory_order_relaxed)) {
+          AcceptReady(worker);
+        }
+        continue;
+      }
+      const auto it = worker->conns.find(event.tag);
+      if (it == worker->conns.end()) continue;
+      if (event.readable || event.hangup) {
+        ReadReady(worker, it->second.get());
+      }
+      // Writability is not handled here: FlushWorker below flushes every
+      // connection with pending output and re-arms EPOLLOUT only while
+      // the kernel buffer stays full.
+    }
+
+    FlushWorker(worker, /*final_pass=*/false);
+  }
+
+  FlushWorker(worker, /*final_pass=*/true);
+  const int open = static_cast<int>(worker->conns.size());
+  worker->conns.clear();  // Connection dtors close the fds
+  open_connections_.fetch_sub(open, std::memory_order_relaxed);
+  worker->connections->Set(0.0);
+  ServeMetrics::Get().connections->Set(
+      static_cast<double>(open_connections_.load(std::memory_order_relaxed)));
+}
+
+void TuningServer::AcceptReady(Worker* worker) {
+  obs::ScopedTimer accept_timer(ServeMetrics::Get().accept_ns);
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) {
+        ServeMetrics::Get().eintr_retries->Add();
+        continue;
+      }
+      // EAGAIN: drained. Anything else (ECONNABORTED, EMFILE, ...) is
+      // transient per-connection; the next listen event retries.
+      if (errno != EAGAIN && errno != EWOULDBLOCK) {
+        ServeMetrics::Get().poll_errors->Add();
+      }
+      break;
+    }
+    if (open_connections_.fetch_add(1, std::memory_order_relaxed) >=
+        options_.max_connections) {
+      open_connections_.fetch_sub(1, std::memory_order_relaxed);
+      // Best-effort rejection line so the client sees why it was dropped
+      // (docs/PROTOCOL.md "Connection limit").
+      const std::string reject =
+          ErrorResponse(Status::ResourceExhausted("connection limit reached"))
+              .Dump() +
+          "\n";
+      (void)::send(fd, reject.data(), reject.size(), MSG_NOSIGNAL);
+      ::close(fd);
+      ServeMetrics::Get().conns_rejected->Add();
+      continue;
+    }
+    if (!SetNonBlocking(fd).ok()) {
+      open_connections_.fetch_sub(1, std::memory_order_relaxed);
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    ConnectionLimits limits;
+    limits.max_request_bytes = options_.max_request_bytes;
+    limits.output_pause_bytes = options_.output_pause_bytes;
+    limits.max_output_bytes = options_.max_output_bytes;
+    const uint64_t tag = worker->next_tag++;
+    auto conn = std::make_unique<Connection>(fd, tag, limits);
+    if (!worker->loop.Add(fd, tag, /*want_write=*/false,
+                          /*edge_triggered=*/true)
+             .ok()) {
+      open_connections_.fetch_sub(1, std::memory_order_relaxed);
+      continue;  // conn dtor closes the fd
+    }
+    worker->conns.emplace(tag, std::move(conn));
+    worker->accepts->Add();
+    ServeMetrics::Get().accepts->Add();
+  }
+  worker->connections->Set(static_cast<double>(worker->conns.size()));
+  ServeMetrics::Get().connections->Set(
+      static_cast<double>(open_connections_.load(std::memory_order_relaxed)));
+}
+
+void TuningServer::ReadReady(Worker* worker, Connection* conn) {
+  if (!conn->fd_open() || conn->closed) return;
+  for (;;) {
+    const Connection::ReadStatus status = conn->ReadInput();
+    ProcessLines(worker, conn);
+    switch (status) {
+      case Connection::ReadStatus::kCapped:
+        // More kernel data behind the per-call budget; with edge
+        // triggering this loop must drain it now or lose the wakeup.
+        if (conn->fd_open() && !conn->closed) continue;
+        return;
+      case Connection::ReadStatus::kDrained:
+        return;
+      case Connection::ReadStatus::kPeerClosed:
+        conn->closed = true;  // flush what we owe, then drop
+        return;
+      case Connection::ReadStatus::kError:
+        conn->streaming = nullptr;
+        conn->Close();  // reaped by FlushWorker
+        return;
+    }
+  }
+}
+
+void TuningServer::ProcessLines(Worker* worker, Connection* conn) {
+  std::string_view line;
+  while (!conn->closed && conn->NextLine(&line)) {
+    if (!line.empty()) HandleLine(worker, conn, line);
+    if (conn->output_overflow()) {
+      // The reader stopped reading but keeps pipelining requests; drop it
+      // rather than buffer responses without bound.
+      connections_dropped_overflow_.fetch_add(1, std::memory_order_relaxed);
+      ServeMetrics::Get().output_overflow->Add();
+      conn->streaming = nullptr;
+      conn->closed = true;
+      conn->Close();
       return;
     }
-
-    // `polled` holds indices, not Connection pointers: the accept loop below
-    // push_backs into connections_, and a reallocation would dangle any
-    // pointer taken here (indices survive growth; erasure happens after the
-    // read loop).
-    std::vector<pollfd> fds;
-    std::vector<size_t> polled;  // fds[i + 1] belongs to connections_[polled[i]]
-    fds.push_back(pollfd{listen_fd_, POLLIN, 0});
-    for (size_t c = 0; c < connections_.size(); ++c) {
-      const Connection& conn = connections_[c];
-      if (conn.fd < 0) continue;
-      short events = POLLIN;
-      if (!conn.output.empty()) events |= POLLOUT;
-      fds.push_back(pollfd{conn.fd, events, 0});
-      polled.push_back(c);
-    }
-    ::poll(fds.data(), fds.size(), options_.poll_interval_ms);
-
-    // Accept new connections (unless shutting down).
-    if ((fds[0].revents & POLLIN) != 0 &&
-        !shutdown_requested_.load(std::memory_order_relaxed)) {
-      obs::ScopedTimer accept_timer(ServeMetrics::Get().accept_ns);
-      for (;;) {
-        const int fd = ::accept(listen_fd_, nullptr, nullptr);
-        if (fd < 0) break;
-        if (connections_.size() >=
-            static_cast<size_t>(options_.max_connections)) {
-          ::close(fd);
-          continue;
-        }
-        if (!SetNonBlocking(fd).ok()) {
-          ::close(fd);
-          continue;
-        }
-        Connection conn;
-        conn.fd = fd;
-        connections_.push_back(std::move(conn));
-      }
-    }
-
-    // Read the connections poll() flagged and process complete lines.
-    for (size_t i = 0; i < polled.size(); ++i) {
-      Connection& conn = connections_[polled[i]];
-      if (conn.fd < 0 || conn.closed) continue;
-      if ((fds[i + 1].revents & (POLLIN | POLLERR | POLLHUP)) == 0) continue;
-      char buf[4096];
-      for (;;) {
-        const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
-        if (n > 0) {
-          conn.input.append(buf, static_cast<size_t>(n));
-          continue;
-        }
-        if (n == 0) {
-          conn.closed = true;  // peer closed; flush what we owe, then drop
-        }
-        break;  // n < 0: EAGAIN or error — either way stop reading
-      }
-      size_t newline;
-      while (!conn.closed &&
-             (newline = conn.input.find('\n')) != std::string::npos) {
-        if (newline > options_.max_request_bytes) {
-          RejectOversizedInput(&conn);
-          break;
-        }
-        const std::string line = conn.input.substr(0, newline);
-        conn.input.erase(0, newline + 1);
-        if (!line.empty()) HandleLine(&conn, line);
-      }
-      // A partial line may never complete; bound what we buffer for it.
-      if (!conn.closed && conn.input.size() > options_.max_request_bytes) {
-        RejectOversizedInput(&conn);
-      }
-    }
-
-    {
-      obs::ScopedTimer flush_timer(ServeMetrics::Get().flush_ns);
-      FlushStreams();
-      for (Connection& conn : connections_) FlushOutput(&conn);
-    }
-
-    // Drop closed connections with nothing left to send.
-    for (Connection& conn : connections_) {
-      if (conn.fd >= 0 && conn.closed && conn.output.empty() &&
-          conn.streaming == nullptr) {
-        ::close(conn.fd);
-        conn.fd = -1;
-      }
-    }
-    connections_.erase(
-        std::remove_if(connections_.begin(), connections_.end(),
-                       [](const Connection& c) { return c.fd < 0; }),
-        connections_.end());
-    ServeMetrics::Get().connections->Set(
-        static_cast<double>(connections_.size()));
   }
+  if (!conn->closed && conn->input_overflow()) {
+    RejectOversizedInput(conn);
+  }
+  conn->CompactInput();
 }
 
 void TuningServer::RejectOversizedInput(Connection* conn) {
-  SendJson(conn, ErrorResponse(Status::InvalidArgument(
-                     "request line exceeds max_request_bytes")));
-  conn->input.clear();
+  conn->QueueLine(ErrorResponse(Status::InvalidArgument(
+                                    "request line exceeds max_request_bytes"))
+                      .Dump());
+  conn->DiscardInput();
   conn->streaming = nullptr;
   conn->closed = true;  // dropped once the error response flushes
 }
 
-void TuningServer::HandleLine(Connection* conn, const std::string& line) {
+void TuningServer::HandleLine(Worker* worker, Connection* conn,
+                              std::string_view line) {
   requests_handled_.fetch_add(1, std::memory_order_relaxed);
+  worker->requests->Add();
   ServeMetrics::Get().requests->Add();
   const uint64_t parse_start_ns = obs::MonotonicNanos();
-  const Result<Request> request = Request::Parse(line);
+  const Result<Request> request = Request::Parse(std::string(line));
   ServeMetrics::Get().parse_ns->Record(obs::MonotonicNanos() -
                                        parse_start_ns);
   if (!request.ok()) {
-    SendJson(conn, ErrorResponse(request.status()));
+    conn->QueueLine(ErrorResponse(request.status()).Dump());
     return;
   }
-  SendJson(conn, HandleRequest(conn, *request));
+  conn->QueueLine(HandleRequest(conn, *request).Dump());
 }
 
 json::Value TuningServer::HandleRequest(Connection* conn,
@@ -362,7 +504,33 @@ json::Value TuningServer::HandleRequest(Connection* conn,
       bool created = false;
       const Result<TuningSession*> session =
           sessions_.Register(request.job, &created);
-      if (!session.ok()) return ErrorResponse(session.status());
+      if (!session.ok()) {
+        // Store-aware admission: Register sheds (ResourceExhausted) while
+        // the restore verb is rebuilding this name; hand the client the
+        // same retry hint as any other transient overload.
+        if (session.status().code() == StatusCode::kResourceExhausted) {
+          shed_restoring_.fetch_add(1, std::memory_order_relaxed);
+          retry_after_sent_.fetch_add(1, std::memory_order_relaxed);
+          ServeMetrics::Get().retry_after_sent->Add();
+          return ErrorResponse(session.status(), admission_.retry_after_ms());
+        }
+        if (session.status().code() == StatusCode::kAlreadyExists) {
+          // A shed resumption parks the session queued-with-cancel-flag
+          // until the cancel thread resolves it; a retried submit landing
+          // in that window is the same transient shed, not a conflict.
+          TuningSession* existing = sessions_.Find(request.job.session);
+          if (existing != nullptr && existing->cancel_requested() &&
+              existing->phase() == SessionPhase::kQueued) {
+            retry_after_sent_.fetch_add(1, std::memory_order_relaxed);
+            ServeMetrics::Get().retry_after_sent->Add();
+            return ErrorResponse(
+                Status::ResourceExhausted("session '" + request.job.session +
+                                          "' cancel resolution in flight"),
+                admission_.retry_after_ms());
+          }
+        }
+        return ErrorResponse(session.status());
+      }
       const Status admitted = admission_.Admit((*session)->id());
       if (!admitted.ok()) {
         if (created) {
@@ -370,10 +538,12 @@ json::Value TuningServer::HandleRequest(Connection* conn,
           // or shed traffic with fresh names grows the registry forever.
           sessions_.Drop((*session)->id());
         } else {
-          // A resumed session pre-existed; resolve it cancelled so a
-          // retried submit can re-arm it.
+          // A resumed session pre-existed; flag the cancel and let the
+          // dedicated cancel thread resolve it so a retried submit can
+          // re-arm it. Never RunJob on a worker thread: it would block
+          // every connection this worker owns.
           (*session)->RequestCancel();
-          (void)(*session)->RunJob();
+          admission_.AdmitCancel((*session)->id());
         }
         int retry = 0;
         if (admitted.code() == StatusCode::kResourceExhausted) {
@@ -458,7 +628,8 @@ json::Value TuningServer::HandleRequest(Connection* conn,
       }
       // Make in-flight journal records visible on disk, then re-merge any
       // session the live registry does not already hold. Idempotent: live
-      // sessions are never overwritten.
+      // sessions are never overwritten, and submits racing the rebuild are
+      // shed with a retry hint (SessionManager::Register).
       const Status synced = store_->Sync();
       if (!synced.ok()) return ErrorResponse(synced);
       const Result<store::RecoveredState> state =
@@ -481,45 +652,84 @@ json::Value TuningServer::HandleRequest(Connection* conn,
   return ErrorResponse(Status::Internal("unhandled request type"));
 }
 
-void TuningServer::FlushStreams() {
-  for (Connection& conn : connections_) {
-    if (conn.fd < 0 || conn.streaming == nullptr) continue;
-    TuningSession* session = conn.streaming;
-    const size_t available = session->FrameCount();
-    while (conn.frame_cursor < available) {
-      SendJson(&conn, session->FrameAt(conn.frame_cursor));
-      ++conn.frame_cursor;
-      frames_streamed_.fetch_add(1, std::memory_order_relaxed);
+void TuningServer::EmitFrames(Connection* conn, bool final_pass) {
+  if (conn->streaming == nullptr || !conn->fd_open()) return;
+  TuningSession* session = conn->streaming;
+  const size_t available = session->FrameCount();
+  while (conn->frame_cursor < available) {
+    if (conn->output_paused()) {
+      // Backpressure: the client is not draining; emission resumes when
+      // pending output falls back under the pause threshold. Applies on
+      // the final pass too — a stalled reader never absorbs more frames.
+      ServeMetrics::Get().stream_pauses->Add();
+      return;
     }
-    if (session->Terminal() && conn.frame_cursor >= session->FrameCount()) {
-      SendJson(&conn, DoneFrame(session->name(),
-                                SessionPhaseName(session->phase()),
-                                session->last_status()));
-      conn.streaming = nullptr;
-    }
+    conn->QueueLine(session->FrameAt(conn->frame_cursor).Dump());
+    ++conn->frame_cursor;
+    frames_streamed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (session->Terminal() && conn->frame_cursor >= session->FrameCount()) {
+    if (!final_pass && conn->output_paused()) return;
+    conn->QueueLine(DoneFrame(session->name(),
+                              SessionPhaseName(session->phase()),
+                              session->last_status())
+                        .Dump());
+    conn->streaming = nullptr;
   }
 }
 
-void TuningServer::SendJson(Connection* conn, const json::Value& value) {
-  conn->output += value.Dump();
-  conn->output += '\n';
-}
-
-void TuningServer::FlushOutput(Connection* conn) {
-  while (conn->fd >= 0 && !conn->output.empty()) {
-    const ssize_t n = ::send(conn->fd, conn->output.data(),
-                             conn->output.size(), MSG_NOSIGNAL);
-    if (n > 0) {
-      conn->output.erase(0, static_cast<size_t>(n));
+void TuningServer::FlushWorker(Worker* worker, bool final_pass) {
+  obs::ScopedTimer flush_timer(ServeMetrics::Get().flush_ns);
+  std::vector<uint64_t> dead;
+  for (auto& entry : worker->conns) {
+    Connection* conn = entry.second.get();
+    if (!conn->fd_open()) {
+      dead.push_back(entry.first);
       continue;
     }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
-    // Hard error (peer gone): drop the connection.
-    ::close(conn->fd);
-    conn->fd = -1;
-    conn->streaming = nullptr;
-    return;
+    EmitFrames(conn, final_pass);
+    if (conn->pending_output() > 0) {
+      const Connection::FlushStatus status = conn->FlushOutput();
+      if (status == Connection::FlushStatus::kClosed) {
+        conn->streaming = nullptr;
+        conn->Close();
+        dead.push_back(entry.first);
+        continue;
+      }
+      // Only keep EPOLLOUT armed while the kernel buffer is actually
+      // full; a permanently-armed writable fd would busy-spin the loop.
+      const bool want_write = status == Connection::FlushStatus::kBlocked;
+      if (want_write != conn->write_armed &&
+          worker->loop.Update(conn->fd(), conn->tag(), want_write).ok()) {
+        conn->write_armed = want_write;
+      }
+    } else if (conn->write_armed &&
+               worker->loop
+                   .Update(conn->fd(), conn->tag(), /*want_write=*/false)
+                   .ok()) {
+      conn->write_armed = false;
+    }
+    if (conn->closed && conn->pending_output() == 0 &&
+        conn->streaming == nullptr) {
+      dead.push_back(entry.first);
+    }
   }
+  for (const uint64_t tag : dead) DestroyConnection(worker, tag);
+}
+
+void TuningServer::DestroyConnection(Worker* worker, uint64_t tag) {
+  const auto it = worker->conns.find(tag);
+  if (it == worker->conns.end()) return;
+  Connection* conn = it->second.get();
+  if (conn->fd_open()) {
+    worker->loop.Remove(conn->fd());
+    conn->Close();
+  }
+  worker->conns.erase(it);
+  open_connections_.fetch_sub(1, std::memory_order_relaxed);
+  worker->connections->Set(static_cast<double>(worker->conns.size()));
+  ServeMetrics::Get().connections->Set(
+      static_cast<double>(open_connections_.load(std::memory_order_relaxed)));
 }
 
 }  // namespace serve

@@ -1,14 +1,23 @@
-// TuningServer: the long-running service wrapping the whole stack. A
-// poll-loop acceptor thread owns the TCP side (127.0.0.1 only, line-delimited
-// JSON, src/serve/protocol.h); a dispatcher thread drains the admission
-// queue in micro-batches and fans each batch out through one
-// engine::ExperimentRunner::RunAll over the shared thread pool. Progress
-// frames appended by running sessions are flushed to `stream` subscribers on
-// every poll tick, so clients watch allocations converge live.
+// TuningServer: the long-running service wrapping the whole stack. N epoll
+// worker threads own the TCP side (127.0.0.1 only, line-delimited JSON,
+// src/serve/protocol.h): every worker watches the shared listen fd
+// (EPOLLEXCLUSIVE) and fully owns each connection it accepts — framing,
+// request handling, stream flushing, and teardown all happen on that one
+// thread, so connection state needs no locks and fds never migrate between
+// threads (src/serve/event_loop.h, connection.h). One dispatcher thread
+// per admission shard drains its shard in micro-batches and fans each
+// batch out through one engine::ExperimentRunner::RunAll over the shared
+// thread pool; a session's id pins it to one shard, so a hot session can
+// only ever stall its own dispatcher. A dedicated cancel-resolver thread
+// resolves pending cancels (shed resumptions, explicit cancels of queued
+// sessions) so no worker or dispatcher ever blocks on a session's RunJob
+// for them. Progress frames appended by running sessions are flushed to
+// `stream` subscribers on every worker tick, bounded by per-connection
+// output backpressure (connection.h).
 //
-// Graceful shutdown (shutdown request or RequestShutdown()): the acceptor
-// stops admitting, the admission queue unblocks the dispatcher, the batch in
-// flight runs to completion (queued-but-unstarted sessions resolve
+// Graceful shutdown (shutdown request or RequestShutdown()): the workers
+// stop admitting, the admission queues unblock the dispatchers, batches in
+// flight run to completion (queued-but-unstarted sessions resolve
 // cancelled), streams are closed out with done frames, and Wait() returns.
 
 #ifndef SLICETUNER_SERVE_SERVER_H_
@@ -18,11 +27,15 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/json.h"
 #include "common/result.h"
+#include "obs/metrics.h"
 #include "serve/admission.h"
+#include "serve/connection.h"
+#include "serve/event_loop.h"
 #include "serve/protocol.h"
 #include "serve/session_manager.h"
 #include "store/store.h"
@@ -36,14 +49,25 @@ struct ServerOptions {
   int port = 0;
   /// Concurrent sessions per batched fan-out: 0 = one per pool lane.
   int max_concurrent_sessions = 0;
+  /// admission.num_shards also sets the dispatcher thread count.
   AdmissionOptions admission;
-  /// Stream-flush cadence of the poll loop.
+  /// Stream-flush cadence of a worker with live streams; idle workers
+  /// sleep longer and are woken by the dispatcher/shutdown.
   int poll_interval_ms = 20;
+  /// Epoll worker threads; 0 = min(4, hardware_concurrency).
+  int num_workers = 0;
+  /// Across all workers; excess accepts get an error line and a close.
   int max_connections = 64;
   /// Longest accepted request line; a connection whose (complete or
   /// still-unterminated) line exceeds this is answered with InvalidArgument
-  /// and dropped, bounding per-connection buffering.
+  /// and dropped, bounding per-connection input buffering.
   size_t max_request_bytes = 1 << 20;
+  /// Pending output that pauses stream-frame emission for a connection
+  /// until the client drains it (docs/PROTOCOL.md "Flow control").
+  size_t output_pause_bytes = 256 * 1024;
+  /// Pending output that drops the connection outright (a reader that
+  /// stopped reading while pipelining requests).
+  size_t max_output_bytes = 4 * 1024 * 1024;
   /// Non-empty: durable-state directory (src/store/). Start() recovers it —
   /// sessions resume warm, with their curve caches installed — and the
   /// server journals session lifecycles, honors the `snapshot`/`restore`
@@ -59,14 +83,14 @@ class TuningServer {
   TuningServer(const TuningServer&) = delete;
   TuningServer& operator=(const TuningServer&) = delete;
 
-  /// Binds, listens, and launches the acceptor + dispatcher threads.
+  /// Binds, listens, and launches the worker + dispatcher + cancel threads.
   Status Start();
 
   /// The bound port (valid after Start).
   int port() const { return port_; }
 
   /// Blocks until the server has shut down (via a shutdown request or
-  /// RequestShutdown) and both threads have exited.
+  /// RequestShutdown) and every thread has exited.
   void Wait();
 
   /// Programmatic graceful shutdown; idempotent.
@@ -83,25 +107,38 @@ class TuningServer {
   json::Value StatsJson() const;
 
  private:
-  struct Connection {
-    int fd = -1;
-    std::string input;          // bytes read, not yet framed
-    std::string output;         // bytes queued, not yet written
-    TuningSession* streaming = nullptr;  // non-null: subscribed session
-    size_t frame_cursor = 0;
-    bool closed = false;
+  /// One epoll worker: the loop, the connections it accepted (keyed by
+  /// tag), and its obs handles. Everything here is touched only by the
+  /// worker's own thread once it starts.
+  struct Worker {
+    int index = 0;
+    EventLoop loop;
+    std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns;
+    uint64_t next_tag = 1;  // 0 is the listen fd's tag
+    std::thread thread;
+    obs::Counter* requests = nullptr;
+    obs::Counter* accepts = nullptr;
+    obs::Gauge* connections = nullptr;
   };
 
-  void PollLoop();
-  void DispatchLoop();
+  void WorkerLoop(Worker* worker);
+  void DispatchLoop(size_t shard);
+  void CancelLoop();
+  void WakeWorkers();
+
   Status OpenStateDir();
   void WriteFinalSnapshot();
+
+  // All of the below run on `worker`'s own thread.
+  void AcceptReady(Worker* worker);
+  void ReadReady(Worker* worker, Connection* conn);
+  void ProcessLines(Worker* worker, Connection* conn);
   void RejectOversizedInput(Connection* conn);
-  void HandleLine(Connection* conn, const std::string& line);
+  void HandleLine(Worker* worker, Connection* conn, std::string_view line);
   json::Value HandleRequest(Connection* conn, const Request& request);
-  void FlushStreams();
-  void SendJson(Connection* conn, const json::Value& value);
-  void FlushOutput(Connection* conn);
+  void EmitFrames(Connection* conn, bool final_pass);
+  void FlushWorker(Worker* worker, bool final_pass);
+  void DestroyConnection(Worker* worker, uint64_t tag);
 
   ServerOptions options_;
   SessionManager sessions_;
@@ -114,13 +151,18 @@ class TuningServer {
   int port_ = 0;
   std::atomic<bool> shutdown_requested_{false};
   std::atomic<bool> started_{false};
+  std::atomic<int> open_connections_{0};
   std::atomic<size_t> requests_handled_{0};
   std::atomic<size_t> frames_streamed_{0};
   // Shed rejections that carried a retry_after_ms hint (stats response).
   std::atomic<size_t> retry_after_sent_{0};
-  std::thread poll_thread_;
-  std::thread dispatch_thread_;
-  std::vector<Connection> connections_;  // poll thread only
+  std::atomic<size_t> shed_restoring_{0};
+  std::atomic<size_t> cancels_resolved_{0};
+  std::atomic<size_t> connections_dropped_overflow_{0};
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> dispatch_threads_;
+  std::thread cancel_thread_;
 };
 
 }  // namespace serve

@@ -703,6 +703,13 @@ Result<TuningSession*> SessionManager::Register(const JobSpec& job,
   if (created != nullptr) *created = false;
   ST_RETURN_NOT_OK(job.Validate());
   std::lock_guard<std::mutex> lock(mu_);
+  if (restoring_names_.count(job.session) != 0) {
+    // A restore pass is rebuilding this name right now; shed the submit
+    // with a retryable rejection rather than racing the rebuild.
+    ServeMetrics::Get().shed_restoring->Add();
+    return Status::ResourceExhausted("session '" + job.session +
+                                     "' is being restored; retry shortly");
+  }
   for (const auto& session : sessions_) {
     if (session->name() != job.session) continue;
     ST_RETURN_NOT_OK(session->Resume(job));
@@ -971,6 +978,32 @@ Result<RestoreReport> SessionManager::RestoreFromState(
     ++report.journal_records_applied;
   }
 
+  // Claim the names this pass will materialize. Until a name is released
+  // below, Register sheds submits for it (ResourceExhausted; the server
+  // attaches a retry hint) and a concurrent restore pass leaves it alone —
+  // so a submit arriving while `restore` runs under load can neither race
+  // the rebuild nor create a duplicate session.
+  std::unordered_set<std::string> claimed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& pair : merged) {
+      const json::Value& entry = pair.second;
+      if (entry.GetBool("dropped", false) || !entry.Has("job")) continue;
+      if (restoring_names_.count(pair.first) != 0) continue;
+      bool live = false;
+      for (const auto& session : sessions_) {
+        if (session->name() == pair.first) {
+          live = true;
+          break;
+        }
+      }
+      if (skip_existing && live) continue;
+      restoring_names_.insert(pair.first);
+      claimed.insert(pair.first);
+    }
+  }
+  if (restore_hook_) restore_hook_();
+
   // Materialize.
   for (auto& pair : merged) {
     const std::string& name = pair.first;
@@ -983,7 +1016,8 @@ Result<RestoreReport> SessionManager::RestoreFromState(
       // The create event never became durable; there is nothing to rebuild.
       continue;
     }
-    if (skip_existing && Find(name) != nullptr) {
+    if (claimed.count(name) == 0) {
+      // Live already, or another concurrent restore pass owns the name.
       ++report.sessions_skipped;
       continue;
     }
@@ -1008,12 +1042,19 @@ Result<RestoreReport> SessionManager::RestoreFromState(
     ++report.sessions_restored;
     report.warm_slices += warm;
   }
-  // An empty recovery still adopts the snapshot's id allocator.
+  // An empty recovery still adopts the snapshot's id allocator, and the
+  // claimed names become submittable again (restored ones as live
+  // sessions, failed ones as fresh creates).
   {
     std::lock_guard<std::mutex> lock(mu_);
     next_id_ = std::max(next_id_, static_cast<uint64_t>(next_id));
+    for (const std::string& name : claimed) restoring_names_.erase(name);
   }
   return report;
+}
+
+void SessionManager::SetRestoreHookForTesting(std::function<void()> hook) {
+  restore_hook_ = std::move(hook);
 }
 
 }  // namespace serve

@@ -30,9 +30,11 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/json.h"
@@ -227,10 +229,14 @@ class SessionManager {
  public:
   /// Registers a submit_job: creates a fresh session, or resumes a terminal
   /// one when the key is already known. Fails with AlreadyExists when the
-  /// session is still queued/running. The returned pointer stays valid for
-  /// the manager's lifetime — except a freshly `created` session the caller
-  /// immediately hands back to Drop(). `created` (optional) reports whether
-  /// the call created the session rather than resuming one.
+  /// session is still queued/running, and with ResourceExhausted (a
+  /// retryable shed) while a concurrent RestoreFromState is rebuilding the
+  /// name — store-aware admission: a submit must neither race the rebuild
+  /// nor create a duplicate the restore would then skip. The returned
+  /// pointer stays valid for the manager's lifetime — except a freshly
+  /// `created` session the caller immediately hands back to Drop().
+  /// `created` (optional) reports whether the call created the session
+  /// rather than resuming one.
   Result<TuningSession*> Register(const JobSpec& job,
                                   bool* created = nullptr);
 
@@ -276,12 +282,22 @@ class SessionManager {
   /// the id allocator), ready for DurableStore::WriteSnapshot/Compact.
   json::Value DurableSnapshot() const;
 
+  /// Test hook: invoked by RestoreFromState after claiming the names it
+  /// will materialize and before rebuilding them — lets a test hold the
+  /// restore open to exercise the mid-restore shed path in Register.
+  void SetRestoreHookForTesting(std::function<void()> hook);
+
  private:
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<TuningSession>> sessions_;
   uint64_t next_id_ = 1;
   SessionManagerStats stats_;
   store::DurableStore* store_ = nullptr;  // not owned; may be null
+  // Names a RestoreFromState pass has claimed but not yet materialized;
+  // Register sheds submits for them (and a concurrent restore pass leaves
+  // them to their owner).
+  std::unordered_set<std::string> restoring_names_;
+  std::function<void()> restore_hook_;
 };
 
 }  // namespace serve

@@ -5,15 +5,25 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
+#include <cstring>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "serve/admission.h"
 #include "serve/client.h"
+#include "serve/connection.h"
+#include "serve/event_loop.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
 #include "serve/session_manager.h"
@@ -639,6 +649,449 @@ TEST(TuningServerTest, ShutdownCancelsQueuedSessions) {
     EXPECT_EQ(session->phase(), SessionPhase::kCancelled) << name;
     EXPECT_EQ(session->FrameCount(), 0u) << name << " ran a round";
   }
+}
+
+// ---------------------------------------------------------------------------
+// Connection: buffer-reusing framing + bounded output (unit, socketpair)
+// ---------------------------------------------------------------------------
+
+void MakeNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ASSERT_GE(flags, 0);
+  ASSERT_EQ(::fcntl(fd, F_SETFL, flags | O_NONBLOCK), 0);
+}
+
+TEST(ConnectionTest, LineFramingReusesBufferAcrossPipelinedRequests) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  MakeNonBlocking(fds[0]);
+  Connection conn(fds[0], /*tag=*/1, ConnectionLimits{});
+
+  // Two complete lines plus an unterminated tail in one read.
+  ASSERT_EQ(::send(fds[1], "alpha\nbeta\ngam", 14, 0), 14);
+  ASSERT_EQ(conn.ReadInput(), Connection::ReadStatus::kDrained);
+  std::string_view line;
+  ASSERT_TRUE(conn.NextLine(&line));
+  EXPECT_EQ(line, "alpha");
+  ASSERT_TRUE(conn.NextLine(&line));
+  EXPECT_EQ(line, "beta");
+  EXPECT_FALSE(conn.NextLine(&line)) << "tail has no terminator yet";
+
+  // Compacting between framing passes must not lose the partial tail.
+  conn.CompactInput();
+  ASSERT_EQ(::send(fds[1], "ma\n", 3, 0), 3);
+  ASSERT_EQ(conn.ReadInput(), Connection::ReadStatus::kDrained);
+  ASSERT_TRUE(conn.NextLine(&line));
+  EXPECT_EQ(line, "gamma");
+  EXPECT_FALSE(conn.input_overflow());
+
+  // Orderly peer close surfaces as kPeerClosed, not an error.
+  ASSERT_EQ(::close(fds[1]), 0);
+  EXPECT_EQ(conn.ReadInput(), Connection::ReadStatus::kPeerClosed);
+}
+
+TEST(ConnectionTest, OversizedUnterminatedTailLatchesInputOverflow) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  MakeNonBlocking(fds[0]);
+  ConnectionLimits limits;
+  limits.max_request_bytes = 32;
+  Connection conn(fds[0], /*tag=*/1, limits);
+
+  const std::string big(128, 'x');  // no newline: a line that never ends
+  ASSERT_EQ(::send(fds[1], big.data(), big.size(), 0),
+            static_cast<ssize_t>(big.size()));
+  ASSERT_EQ(conn.ReadInput(), Connection::ReadStatus::kDrained);
+  std::string_view line;
+  EXPECT_FALSE(conn.NextLine(&line));
+  EXPECT_TRUE(conn.input_overflow())
+      << "an unterminated over-limit tail must latch the overflow flag "
+         "instead of buffering without bound";
+  ASSERT_EQ(::close(fds[1]), 0);
+}
+
+TEST(ConnectionTest, StalledPeerPausesThenOverflowsOutput) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // A tiny kernel send buffer makes the peer's stall visible after a few
+  // KiB instead of a few hundred.
+  int sndbuf = 4096;
+  ASSERT_EQ(::setsockopt(fds[0], SOL_SOCKET, SO_SNDBUF, &sndbuf,
+                         sizeof(sndbuf)),
+            0);
+  MakeNonBlocking(fds[0]);
+  ConnectionLimits limits;
+  limits.output_pause_bytes = 8 * 1024;
+  limits.max_output_bytes = 64 * 1024;
+  Connection conn(fds[0], /*tag=*/1, limits);
+
+  // Queue + flush against a peer that never reads: once the kernel buffer
+  // fills, pending output builds and crosses the pause threshold.
+  const std::string payload(1024, 'y');
+  int guard = 0;
+  while (!conn.output_paused() && guard++ < 1000) {
+    conn.QueueLine(payload);
+    (void)conn.FlushOutput();
+  }
+  ASSERT_TRUE(conn.output_paused());
+  EXPECT_FALSE(conn.output_overflow());
+
+  // Still not reading: queued output eventually crosses the hard limit.
+  while (!conn.output_overflow() && guard++ < 2000) {
+    conn.QueueLine(payload);
+  }
+  ASSERT_TRUE(conn.output_overflow());
+
+  // Draining the peer clears both conditions: the pause is a pause, not a
+  // death sentence for a slow-but-alive reader.
+  std::vector<char> sink(64 * 1024);
+  guard = 0;
+  while (conn.pending_output() > 0 && guard++ < 10000) {
+    ASSERT_NE(conn.FlushOutput(), Connection::FlushStatus::kClosed);
+    while (::recv(fds[1], sink.data(), sink.size(), MSG_DONTWAIT) > 0) {
+    }
+  }
+  EXPECT_EQ(conn.pending_output(), 0u);
+  EXPECT_FALSE(conn.output_paused());
+  EXPECT_FALSE(conn.output_overflow());
+  ASSERT_EQ(::close(fds[1]), 0);
+}
+
+// ---------------------------------------------------------------------------
+// EventLoop (unit)
+// ---------------------------------------------------------------------------
+
+TEST(EventLoopTest, EdgeTriggeredReadEventsAndCrossThreadWake) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.Init().ok());
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ASSERT_TRUE(loop.Add(fds[0], /*tag=*/7, /*want_write=*/false,
+                       /*edge_triggered=*/true)
+                  .ok());
+
+  std::vector<EventLoop::Event> events;
+  EXPECT_EQ(loop.Poll(/*timeout_ms=*/0, &events), 0);
+
+  ASSERT_EQ(::send(fds[1], "x", 1, 0), 1);
+  ASSERT_EQ(loop.Poll(/*timeout_ms=*/1000, &events), 1);
+  EXPECT_EQ(events[0].tag, 7u);
+  EXPECT_TRUE(events[0].readable);
+  // Edge-triggered: the same unread byte does not fire again.
+  EXPECT_EQ(loop.Poll(/*timeout_ms=*/0, &events), 0);
+
+  // A peer hangup is a fresh edge and carries the hangup flag.
+  ASSERT_EQ(::close(fds[1]), 0);
+  ASSERT_EQ(loop.Poll(/*timeout_ms=*/1000, &events), 1);
+  EXPECT_EQ(events[0].tag, 7u);
+  EXPECT_TRUE(events[0].hangup);
+
+  // Wake() from another thread unblocks a sleeping Poll without
+  // fabricating an fd event.
+  std::thread waker([&loop] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    loop.Wake();
+  });
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(loop.Poll(/*timeout_ms=*/30000, &events), 0);
+  waker.join();
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::seconds(10));
+
+  loop.Remove(fds[0]);
+  ASSERT_EQ(::close(fds[0]), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Regression: shed resumptions resolve off the worker thread (ISSUE 7)
+// ---------------------------------------------------------------------------
+
+TEST(TuningServerTest, ShedResumedSessionResolvesOnCancelThread) {
+  ServerOptions options;
+  options.admission.max_queue_depth = 1;
+  options.admission.max_batch = 1;
+  options.admission.retry_after_ms = 30;
+  TuningServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  auto connection = ClientConnection::Connect(server.port());
+  ASSERT_TRUE(connection.ok());
+
+  // Run "r" to completion so the next submit for it is a resume.
+  auto first = connection->Call(SubmitRequest(SmallJob("r", 1)));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(IsOkResponse(*first)) << first->Dump();
+  TuningSession* r = server.sessions().Find("r");
+  ASSERT_NE(r, nullptr);
+  ASSERT_TRUE(r->WaitTerminal(/*timeout_ms=*/60000));
+  ASSERT_EQ(r->phase(), SessionPhase::kDone);
+
+  // Occupy the single dispatcher, then the depth-1 queue.
+  auto blocker = connection->Call(SubmitRequest(SmallJob("blocker", 500)));
+  ASSERT_TRUE(blocker.ok());
+  ASSERT_TRUE(IsOkResponse(*blocker)) << blocker->Dump();
+  TuningSession* blk = server.sessions().Find("blocker");
+  ASSERT_NE(blk, nullptr);
+  for (int i = 0; i < 60000 && blk->phase() != SessionPhase::kRunning; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(blk->phase(), SessionPhase::kRunning);
+  auto filler = connection->Call(SubmitRequest(SmallJob("filler", 1)));
+  ASSERT_TRUE(filler.ok());
+  ASSERT_TRUE(IsOkResponse(*filler)) << filler->Dump();
+
+  // The resumption of "r" is shed (queue full). The regression this pins:
+  // resolving the shed resumption must never run the session's job on the
+  // serving thread — the connection gets the retry hint immediately and
+  // the session turns cancelled via the dedicated cancel-resolver thread.
+  auto shed = connection->Call(SubmitRequest(SmallJob("r", 1)));
+  ASSERT_TRUE(shed.ok());
+  EXPECT_FALSE(IsOkResponse(*shed));
+  EXPECT_EQ(shed->GetString("code"), "ResourceExhausted") << shed->Dump();
+  EXPECT_EQ(shed->GetInt("retry_after_ms"), 30);
+  EXPECT_TRUE(r->WaitTerminal(/*timeout_ms=*/10000))
+      << "shed resumption never resolved";
+  EXPECT_EQ(r->phase(), SessionPhase::kCancelled);
+  EXPECT_GE(server.admission().stats().cancels_admitted, 1u);
+  const json::Value stats = server.StatsJson();
+  const json::Value* admission = stats.Find("admission");
+  ASSERT_NE(admission, nullptr);
+  EXPECT_GE(admission->GetInt("cancels_resolved"), 1);
+
+  // The worker that took the shed submit stayed responsive throughout.
+  auto poll_r = connection->Call(SessionRequest(RequestType::kPoll, "r"));
+  ASSERT_TRUE(poll_r.ok());
+  EXPECT_EQ(poll_r->GetString("state"), "cancelled") << poll_r->Dump();
+
+  // Once the lane clears, the resumption is admitted and runs to done.
+  ASSERT_TRUE(server.sessions().Cancel("blocker").ok());
+  bool resubmitted = false;
+  for (int attempt = 0; attempt < 2000; ++attempt) {
+    auto retry = connection->Call(SubmitRequest(SmallJob("r", 1)));
+    ASSERT_TRUE(retry.ok());
+    if (IsOkResponse(*retry)) {
+      resubmitted = true;
+      break;
+    }
+    const long long backoff = retry->GetInt("retry_after_ms", 0);
+    ASSERT_GT(backoff, 0) << retry->Dump();
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+  }
+  ASSERT_TRUE(resubmitted);
+  ASSERT_TRUE(r->WaitTerminal(/*timeout_ms=*/60000));
+  EXPECT_EQ(r->phase(), SessionPhase::kDone);
+
+  server.RequestShutdown();
+  server.Wait();
+}
+
+// ---------------------------------------------------------------------------
+// Backpressure: a stalled reader is bounded, then dropped (ISSUE 7)
+// ---------------------------------------------------------------------------
+
+// A raw client socket with a tiny receive buffer (set before connect so it
+// clamps the advertised TCP window): the kernel-side slack between server
+// and client stays small, so a reader that stops reading backs the server
+// up after a few KiB instead of a few hundred.
+int ConnectStalledSocket(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  int rcvbuf = 4096;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+TEST(TuningServerTest, StalledReaderIsBoundedAndDroppedAtOutputCap) {
+  ServerOptions options;
+  options.output_pause_bytes = 2 * 1024;
+  options.max_output_bytes = 16 * 1024;
+  TuningServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto observer = ClientConnection::Connect(server.port());
+  ASSERT_TRUE(observer.ok());
+
+  // The stalled reader pipelines metrics requests (fat responses) and
+  // never reads a byte back. Its pending output must be bounded: once it
+  // crosses max_output_bytes the server drops the connection instead of
+  // buffering without bound.
+  const int stalled = ConnectStalledSocket(server.port());
+  ASSERT_GE(stalled, 0);
+  Request metrics_request;
+  metrics_request.type = RequestType::kMetrics;
+  const std::string line = metrics_request.Serialize() + "\n";
+
+  long long dropped = 0;
+  for (int i = 0; i < 5000 && dropped < 1; ++i) {
+    size_t sent = 0;
+    while (sent < line.size()) {
+      const ssize_t n = ::send(stalled, line.data() + sent,
+                               line.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) break;  // server closed on us: the drop happened
+      sent += static_cast<size_t>(n);
+    }
+    if (sent < line.size()) break;
+    if ((i & 63) == 0) {
+      auto stats = observer->Call(Request{});
+      ASSERT_TRUE(stats.ok());
+      const json::Value* transport = stats->Find("transport");
+      ASSERT_NE(transport, nullptr) << stats->Dump();
+      dropped = transport->GetInt("dropped_output_overflow");
+    }
+  }
+  // The drop may land just after the last sampled stats read.
+  for (int i = 0; i < 5000 && dropped < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    auto stats = observer->Call(Request{});
+    ASSERT_TRUE(stats.ok());
+    dropped = stats->Find("transport")->GetInt("dropped_output_overflow");
+  }
+  EXPECT_GE(dropped, 1) << "stalled reader was never dropped";
+  ::close(stalled);
+
+  // Other connections were never hostage to the stalled one.
+  auto submitted = observer->Call(SubmitRequest(SmallJob("healthy", 1)));
+  ASSERT_TRUE(submitted.ok());
+  ASSERT_TRUE(IsOkResponse(*submitted)) << submitted->Dump();
+  TuningSession* healthy = server.sessions().Find("healthy");
+  ASSERT_NE(healthy, nullptr);
+  ASSERT_TRUE(healthy->WaitTerminal(/*timeout_ms=*/60000));
+  EXPECT_EQ(healthy->phase(), SessionPhase::kDone);
+
+  server.RequestShutdown();
+  server.Wait();
+}
+
+// ---------------------------------------------------------------------------
+// Many concurrent connections across workers and shards (ISSUE 7)
+// ---------------------------------------------------------------------------
+
+TEST(TuningServerTest, ManyConnectionsInterleaveSubmitStreamCancel) {
+  ServerOptions options;
+  options.num_workers = 4;
+  options.admission.num_shards = 4;
+  options.admission.max_queue_depth = 512;
+  options.admission.max_batch = 8;
+  options.admission.retry_after_ms = 5;
+  options.max_connections = 300;
+  TuningServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // 6 client threads x 20 connections each, all alive at once. Every
+  // connection submits one cheap baseline job ("uniform" skips curve
+  // estimation) and then exercises one of the three read paths: streaming
+  // to the done frame, polling to a terminal state, or cancelling first.
+  // This is the suite the TSan CI job leans on: accept, framing, dispatch,
+  // frame flushing, and cancels all running against each other.
+  constexpr int kThreads = 6;
+  constexpr int kConnsPerThread = 20;
+  std::atomic<int> failures{0};
+  std::atomic<int> done_or_cancelled{0};
+  auto client_thread = [&server, &failures, &done_or_cancelled](int t) {
+    std::vector<Result<ClientConnection>> conns;
+    for (int i = 0; i < kConnsPerThread; ++i) {
+      conns.push_back(ClientConnection::Connect(server.port()));
+      if (!conns.back().ok()) {
+        ++failures;
+        return;
+      }
+    }
+    // Submit on every connection first so the waves genuinely overlap.
+    for (int i = 0; i < kConnsPerThread; ++i) {
+      const std::string name =
+          "mc-" + std::to_string(t) + "-" + std::to_string(i);
+      JobSpec job = SmallJob(name, /*rounds=*/1);
+      job.method = "uniform";
+      job.rows_per_slice = 16;
+      job.budget = 16.0;
+      bool admitted = false;
+      for (int attempt = 0; attempt < 2000; ++attempt) {
+        auto response = conns[i]->Call(SubmitRequest(job));
+        if (!response.ok()) break;
+        if (IsOkResponse(*response)) {
+          admitted = true;
+          break;
+        }
+        const long long backoff = response->GetInt("retry_after_ms", 0);
+        if (backoff <= 0) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+      }
+      if (!admitted) {
+        ++failures;
+        return;
+      }
+    }
+    for (int i = 0; i < kConnsPerThread; ++i) {
+      const std::string name =
+          "mc-" + std::to_string(t) + "-" + std::to_string(i);
+      if (i % 3 == 0) {
+        // Stream to the done frame.
+        auto streaming =
+            conns[i]->Call(SessionRequest(RequestType::kStream, name));
+        if (!streaming.ok() || !IsOkResponse(*streaming)) {
+          ++failures;
+          continue;
+        }
+        for (;;) {
+          auto frame = conns[i]->ReadJson(/*timeout_ms=*/60000);
+          if (!frame.ok()) {
+            ++failures;
+            break;
+          }
+          if (frame->GetString("frame") == "done") {
+            ++done_or_cancelled;
+            break;
+          }
+        }
+      } else {
+        if (i % 3 == 2) {
+          // Cancel races the run; either outcome is fine, but it must
+          // resolve to a terminal state.
+          (void)conns[i]->Call(SessionRequest(RequestType::kCancel, name));
+        }
+        bool terminal = false;
+        for (int attempt = 0; attempt < 60000; ++attempt) {
+          auto response =
+              conns[i]->Call(SessionRequest(RequestType::kPoll, name));
+          if (!response.ok()) break;
+          const std::string state = response->GetString("state");
+          if (state == "done" || state == "cancelled" || state == "failed") {
+            terminal = state != "failed";
+            break;
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        if (terminal) {
+          ++done_or_cancelled;
+        } else {
+          ++failures;
+        }
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) threads.emplace_back(client_thread, t);
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(done_or_cancelled.load(), kThreads * kConnsPerThread);
+  const json::Value stats = server.StatsJson();
+  const json::Value* transport = stats.Find("transport");
+  ASSERT_NE(transport, nullptr);
+  EXPECT_EQ(transport->GetInt("workers"), 4);
+  EXPECT_EQ(transport->GetInt("dispatch_shards"), 4);
+  EXPECT_EQ(transport->GetInt("dropped_output_overflow"), 0);
+
+  server.RequestShutdown();
+  server.Wait();
 }
 
 }  // namespace

@@ -6,8 +6,12 @@
 // and closing curve estimates are bit-identical to a never-restarted
 // session's.
 
+#include <atomic>
+#include <chrono>
+#include <future>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/fs_util.h"
@@ -407,6 +411,64 @@ TEST(StoreRecoveryTest, SkipExistingLeavesLiveSessionsAlone) {
   EXPECT_EQ(report->sessions_skipped, 1u);
   EXPECT_EQ(recovered.Find("live"), live) << "live session untouched";
   EXPECT_NE(recovered.Find("gone"), nullptr);
+}
+
+// Store-aware admission (ISSUE 7): while RestoreFromState is rebuilding a
+// session, a concurrent Register for the same name must shed with a
+// retryable error instead of racing the rebuild or creating a duplicate
+// the restore would then skip. Unrelated names stay admittable.
+TEST(StoreRecoveryTest, RegisterShedsWhileNameIsMidRestore) {
+  const std::string dir = FreshDir("midrestore");
+  {
+    Result<std::unique_ptr<store::DurableStore>> store =
+        store::DurableStore::Open(dir);
+    ST_CHECK_OK(store.status());
+    SessionManager manager;
+    manager.AttachStore(store->get());
+    MustRegisterAndRun(&manager, ColdJob("m"));
+    ST_CHECK_OK((*store)->WriteSnapshot(manager.DurableSnapshot()));
+  }
+
+  Result<std::unique_ptr<store::DurableStore>> reopened =
+      store::DurableStore::Open(dir);
+  ST_CHECK_OK(reopened.status());
+  SessionManager recovered;
+  // The hook holds the restore open between claiming "m" and rebuilding
+  // it — the window a submit under load would race.
+  std::promise<void> restore_entered;
+  std::atomic<bool> release{false};
+  recovered.SetRestoreHookForTesting([&restore_entered, &release] {
+    restore_entered.set_value();
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  Result<RestoreReport> report = Status::Internal("restore never ran");
+  std::thread restorer([&] {
+    report = recovered.RestoreFromState((*reopened)->recovered(),
+                                        reopened->get(),
+                                        /*skip_existing=*/false);
+  });
+  restore_entered.get_future().wait();
+
+  const Result<TuningSession*> shed = recovered.Register(ColdJob("m"));
+  EXPECT_EQ(shed.status().code(), StatusCode::kResourceExhausted)
+      << shed.status();
+  EXPECT_TRUE(recovered.Register(ColdJob("other")).ok())
+      << "unclaimed names must admit normally mid-restore";
+
+  release.store(true);
+  restorer.join();
+  ST_CHECK_OK(report.status());
+  EXPECT_EQ(report->sessions_restored, 1u);
+
+  // Once the restore lands, the same submit resumes the restored session
+  // (warm), instead of shedding or creating a duplicate.
+  const Result<TuningSession*> resumed = recovered.Register(AppendJob("m"));
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  EXPECT_EQ(recovered.stats().resumed, 1u);
+  ST_CHECK_OK((*resumed)->RunJob());
+  EXPECT_EQ((*resumed)->phase(), SessionPhase::kDone);
 }
 
 }  // namespace
