@@ -1,0 +1,198 @@
+#!/usr/bin/env python3
+"""Unit tests for the benchmark-regression gate (scripts/check_bench.py).
+
+The gate guards every merged PR, so it gets its own coverage: key
+classification, wall/speedup/throughput thresholds, boolean degradation,
+cross-machine ungating, missing files/keys, and --update semantics
+(including the refusal to bake in a run with false correctness flags).
+
+Runs on stdlib unittest only (no pytest dependency):
+
+  python3 scripts/check_bench_test.py -v
+"""
+
+import json
+import os
+import shutil
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import check_bench  # noqa: E402
+
+
+def fails(rows):
+    return [m for sev, m in rows if sev == "FAIL"]
+
+
+def notes(rows):
+    return [m for sev, m in rows if sev == "note"]
+
+
+class ClassifyTest(unittest.TestCase):
+    def test_suffixes_map_to_classes(self):
+        self.assertEqual(check_bench.classify("fit_wall_seconds", 1.5), "wall")
+        self.assertEqual(check_bench.classify("cache_speedup", 3.0), "speedup")
+        self.assertEqual(
+            check_bench.classify("load_jobs_per_sec", 120.0), "throughput")
+        self.assertEqual(check_bench.classify("oracle_match", True), "bool")
+        self.assertEqual(check_bench.classify("sessions", 1000), "info")
+
+    def test_bool_wins_over_suffix(self):
+        # A boolean named like a wall key is still a correctness flag.
+        self.assertEqual(check_bench.classify("under_seconds", True), "bool")
+
+
+class CompareFileTest(unittest.TestCase):
+    def compare(self, baseline, fresh, tolerance=0.30):
+        return check_bench.compare_file("BENCH_x.json", baseline, fresh,
+                                        tolerance)
+
+    def test_within_tolerance_passes(self):
+        rows = self.compare({"run_seconds": 1.0}, {"run_seconds": 1.25})
+        self.assertEqual(fails(rows), [])
+
+    def test_wall_regression_fails(self):
+        rows = self.compare({"run_seconds": 1.0}, {"run_seconds": 1.5})
+        self.assertEqual(len(fails(rows)), 1)
+        self.assertIn("run_seconds regressed", fails(rows)[0])
+
+    def test_wall_improvement_is_note_only(self):
+        rows = self.compare({"run_seconds": 1.0}, {"run_seconds": 0.5})
+        self.assertEqual(fails(rows), [])
+        self.assertTrue(any("improved" in m for m in notes(rows)))
+
+    def test_speedup_floor(self):
+        rows = self.compare({"cache_speedup": 4.0}, {"cache_speedup": 2.0})
+        self.assertEqual(len(fails(rows)), 1)
+        rows = self.compare({"cache_speedup": 4.0}, {"cache_speedup": 3.0})
+        self.assertEqual(fails(rows), [])
+
+    def test_throughput_is_higher_is_better(self):
+        rows = self.compare({"load_jobs_per_sec": 100.0},
+                            {"load_jobs_per_sec": 60.0})
+        self.assertEqual(len(fails(rows)), 1)
+        self.assertIn("jobs/s", fails(rows)[0])
+        # Higher throughput never fails; big jumps suggest a refresh.
+        rows = self.compare({"load_jobs_per_sec": 100.0},
+                            {"load_jobs_per_sec": 250.0})
+        self.assertEqual(fails(rows), [])
+        self.assertTrue(any("refreshing" in m for m in notes(rows)))
+
+    def test_bool_degradation_fails_and_recovery_passes(self):
+        rows = self.compare({"oracle_match": True}, {"oracle_match": False})
+        self.assertEqual(len(fails(rows)), 1)
+        self.assertIn("true -> false", fails(rows)[0])
+        rows = self.compare({"oracle_match": False}, {"oracle_match": True})
+        self.assertEqual(fails(rows), [])
+
+    def test_missing_key_fails(self):
+        rows = self.compare({"run_seconds": 1.0, "oracle_match": True},
+                            {"run_seconds": 1.0})
+        self.assertEqual(len(fails(rows)), 1)
+        self.assertIn("missing from fresh run", fails(rows)[0])
+
+    def test_extra_fresh_keys_are_ignored(self):
+        rows = self.compare({"run_seconds": 1.0},
+                            {"run_seconds": 1.0, "new_metric": 7})
+        self.assertEqual(fails(rows), [])
+
+    def test_info_keys_never_gate(self):
+        rows = self.compare({"sessions": 1000}, {"sessions": 10})
+        self.assertEqual(fails(rows), [])
+
+    def test_different_machine_ungates_perf_but_not_bools(self):
+        baseline = {"hardware_cores": 64, "run_seconds": 1.0,
+                    "load_jobs_per_sec": 100.0, "oracle_match": True}
+        fresh = {"hardware_cores": 4, "run_seconds": 9.0,
+                 "load_jobs_per_sec": 5.0, "oracle_match": False}
+        rows = self.compare(baseline, fresh)
+        # Perf collapse is reported as notes; only the bool flag fails.
+        self.assertEqual(len(fails(rows)), 1)
+        self.assertIn("oracle_match", fails(rows)[0])
+        self.assertTrue(any("not gated" in m for m in notes(rows)))
+
+    def test_missing_hardware_cores_still_gates(self):
+        rows = self.compare({"run_seconds": 1.0},
+                            {"run_seconds": 9.0, "hardware_cores": 4})
+        self.assertEqual(len(fails(rows)), 1)
+
+
+class MainTest(unittest.TestCase):
+    """End-to-end over real files and sys.argv, as CI invokes it."""
+
+    def setUp(self):
+        self.tmp = tempfile.mkdtemp(prefix="check_bench_test_")
+        self.baseline_dir = os.path.join(self.tmp, "baselines")
+        self.results_dir = os.path.join(self.tmp, "results")
+        os.makedirs(self.baseline_dir)
+        os.makedirs(self.results_dir)
+
+    def tearDown(self):
+        shutil.rmtree(self.tmp)
+
+    def write(self, dirname, name, payload):
+        with open(os.path.join(dirname, name), "w", encoding="utf-8") as f:
+            json.dump(payload, f)
+
+    def run_main(self, *extra):
+        argv = ["check_bench.py", "--baseline-dir", self.baseline_dir,
+                "--results-dir", self.results_dir] + list(extra)
+        old = sys.argv
+        sys.argv = argv
+        try:
+            return check_bench.main()
+        finally:
+            sys.argv = old
+
+    def test_clean_run_exits_zero(self):
+        self.write(self.baseline_dir, "BENCH_a.json", {"run_seconds": 1.0})
+        self.write(self.results_dir, "BENCH_a.json", {"run_seconds": 1.1})
+        self.assertEqual(self.run_main(), 0)
+
+    def test_regression_exits_nonzero(self):
+        self.write(self.baseline_dir, "BENCH_a.json", {"run_seconds": 1.0})
+        self.write(self.results_dir, "BENCH_a.json", {"run_seconds": 5.0})
+        self.assertEqual(self.run_main(), 1)
+
+    def test_missing_fresh_file_fails(self):
+        self.write(self.baseline_dir, "BENCH_a.json", {"run_seconds": 1.0})
+        self.assertEqual(self.run_main(), 1)
+
+    def test_explicit_file_list_limits_scope(self):
+        self.write(self.baseline_dir, "BENCH_bad.json", {"run_seconds": 1.0})
+        self.write(self.results_dir, "BENCH_bad.json", {"run_seconds": 9.0})
+        self.write(self.baseline_dir, "BENCH_good.json", {"run_seconds": 1.0})
+        self.write(self.results_dir, "BENCH_good.json", {"run_seconds": 1.0})
+        self.assertEqual(self.run_main("BENCH_good.json"), 0)
+        self.assertEqual(self.run_main("BENCH_bad.json"), 1)
+
+    def test_tolerance_flag_is_respected(self):
+        self.write(self.baseline_dir, "BENCH_a.json", {"run_seconds": 1.0})
+        self.write(self.results_dir, "BENCH_a.json", {"run_seconds": 1.5})
+        self.assertEqual(self.run_main(), 1)
+        self.assertEqual(self.run_main("--tolerance", "1.0"), 0)
+
+    def test_update_refreshes_baseline(self):
+        self.write(self.baseline_dir, "BENCH_a.json", {"run_seconds": 1.0})
+        self.write(self.results_dir, "BENCH_a.json",
+                   {"run_seconds": 9.0, "oracle_match": True})
+        self.assertEqual(self.run_main("--update"), 0)
+        refreshed = check_bench.load(
+            os.path.join(self.baseline_dir, "BENCH_a.json"))
+        self.assertEqual(refreshed["run_seconds"], 9.0)
+        # And the refreshed baseline now passes the plain gate.
+        self.assertEqual(self.run_main(), 0)
+
+    def test_update_refuses_false_correctness_flags(self):
+        self.write(self.baseline_dir, "BENCH_a.json", {"oracle_match": True})
+        self.write(self.results_dir, "BENCH_a.json", {"oracle_match": False})
+        self.assertEqual(self.run_main("--update"), 1)
+        kept = check_bench.load(
+            os.path.join(self.baseline_dir, "BENCH_a.json"))
+        self.assertTrue(kept["oracle_match"])
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,239 @@
+#include "load/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "sim/scenario.h"
+
+namespace slicetuner {
+namespace load {
+
+namespace {
+
+// Baseline allocators cycled through by non-"moderate" sessions. Cheap (no
+// model trainings), so the bulk of a thousands-of-sessions run costs rows,
+// not gradient steps.
+const char* const kBaselineMethods[] = {"uniform", "water_filling",
+                                        "proportional"};
+
+serve::JobSpec JobFromScenario(const std::string& session,
+                               const sim::ScenarioSpec& scenario,
+                               const WorkloadSpec& spec,
+                               const std::string& method, uint64_t seed) {
+  serve::JobSpec job;
+  job.session = session;
+  job.num_slices =
+      std::min(scenario.num_slices, serve::JobSpec::kMaxNumSlices);
+  // The serve path generates uniform initial slices; carry the scenario's
+  // skew through as the mean initial size so cells differ in data volume.
+  size_t total = std::accumulate(scenario.initial_sizes.begin(),
+                                 scenario.initial_sizes.end(), size_t{0});
+  long long mean =
+      scenario.initial_sizes.empty()
+          ? 60
+          : static_cast<long long>(total / scenario.initial_sizes.size());
+  job.rows_per_slice = std::max<long long>(8, mean);
+  job.budget = std::min(scenario.total_budget(), spec.budget_cap);
+  if (job.budget <= 0.0) job.budget = spec.budget_cap;
+  job.rounds = std::max(1, std::min(scenario.rounds(), spec.max_rounds));
+  job.method = method;
+  job.seed = seed;
+  return job;
+}
+
+}  // namespace
+
+const char* ArrivalProcessName(ArrivalProcess process) {
+  switch (process) {
+    case ArrivalProcess::kPoisson:
+      return "poisson";
+    case ArrivalProcess::kBursty:
+      return "bursty";
+  }
+  return "unknown";
+}
+
+Result<ArrivalProcess> ArrivalProcessFromName(const std::string& name) {
+  if (name == "poisson") return ArrivalProcess::kPoisson;
+  if (name == "bursty") return ArrivalProcess::kBursty;
+  return Status::InvalidArgument("unknown arrival process: " + name);
+}
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kSubmit:
+      return "submit";
+    case OpKind::kAppend:
+      return "append";
+    case OpKind::kCancel:
+      return "cancel";
+  }
+  return "unknown";
+}
+
+Status WorkloadSpec::Validate() const {
+  if (sessions <= 0)
+    return Status::InvalidArgument("sessions must be positive");
+  if (arrival == ArrivalProcess::kPoisson && arrival_rate_per_sec <= 0.0)
+    return Status::InvalidArgument("arrival_rate_per_sec must be positive");
+  if (arrival == ArrivalProcess::kBursty &&
+      (burst_size <= 0 || burst_every_ms < 0))
+    return Status::InvalidArgument("bursty arrivals need burst_size > 0");
+  if (budget_cap <= 0.0)
+    return Status::InvalidArgument("budget_cap must be positive");
+  if (max_rounds <= 0)
+    return Status::InvalidArgument("max_rounds must be positive");
+  if (append_fraction < 0.0 || append_fraction > 1.0 ||
+      cancel_fraction < 0.0 || cancel_fraction > 1.0 ||
+      moderate_fraction < 0.0 || moderate_fraction > 1.0)
+    return Status::InvalidArgument("fractions must be in [0,1]");
+  if (max_appends < 0)
+    return Status::InvalidArgument("max_appends must be non-negative");
+  if (stalled_readers < 0)
+    return Status::InvalidArgument("stalled_readers must be non-negative");
+  return Status::OK();
+}
+
+bool SessionPlan::has_cancel() const {
+  for (const auto& op : ops)
+    if (op.kind == OpKind::kCancel) return true;
+  return false;
+}
+
+size_t Workload::TotalOps() const {
+  size_t n = 0;
+  for (const auto& s : sessions) n += s.ops.size();
+  return n;
+}
+
+json::Value Workload::ToJson() const {
+  json::Value root = json::Value::Object();
+  root.Set("arrival", ArrivalProcessName(spec.arrival));
+  root.Set("seed", static_cast<long long>(spec.seed));
+  json::Value arr = json::Value::Array();
+  for (const auto& s : sessions) {
+    json::Value sj = json::Value::Object();
+    sj.Set("name", s.name);
+    sj.Set("scenario", s.scenario);
+    sj.Set("arrival_ms", s.arrival_ms);
+    sj.Set("stalled_reader", s.stalled_reader);
+    json::Value ops = json::Value::Array();
+    for (const auto& op : s.ops) {
+      json::Value oj = json::Value::Object();
+      oj.Set("kind", OpKindName(op.kind));
+      oj.Set("delay_ms", op.delay_ms);
+      if (op.kind != OpKind::kCancel) oj.Set("job", op.job.ToJson());
+      ops.Append(std::move(oj));
+    }
+    sj.Set("ops", std::move(ops));
+    arr.Append(std::move(sj));
+  }
+  root.Set("sessions", std::move(arr));
+  return root;
+}
+
+Result<Workload> CompileWorkload(const WorkloadSpec& spec) {
+  Status st = spec.Validate();
+  if (!st.ok()) return st;
+
+  // Resolve the scenario grid up front so unknown names fail fast.
+  std::vector<sim::ScenarioSpec> grid;
+  if (spec.scenarios.empty()) {
+    grid = sim::CanonicalScenarios();
+  } else {
+    for (const auto& name : spec.scenarios) {
+      ST_ASSIGN_OR_RETURN(sim::ScenarioSpec cell,
+                          sim::CanonicalScenarioByName(name));
+      grid.push_back(std::move(cell));
+    }
+  }
+  if (grid.empty()) return Status::Internal("empty scenario grid");
+
+  Rng master(spec.seed);
+  // Independent streams so changing one knob (e.g. cancel_fraction) does
+  // not reshuffle unrelated draws.
+  Rng arrivals(master.ForkSeed(1));
+  Rng mix(master.ForkSeed(2));
+  Rng seeds(master.ForkSeed(3));
+
+  Workload workload;
+  workload.spec = spec;
+  workload.sessions.reserve(static_cast<size_t>(spec.sessions));
+
+  double clock_ms = 0.0;
+  for (int i = 0; i < spec.sessions; ++i) {
+    SessionPlan plan;
+    plan.name = "load-" + std::to_string(i);
+    const sim::ScenarioSpec& cell =
+        grid[static_cast<size_t>(i) % grid.size()];
+    plan.scenario = cell.name;
+
+    // Arrival offset.
+    if (spec.arrival == ArrivalProcess::kPoisson) {
+      clock_ms += arrivals.Exponential(spec.arrival_rate_per_sec) * 1000.0;
+      plan.arrival_ms = static_cast<int>(std::lround(clock_ms));
+    } else {
+      plan.arrival_ms = (i / spec.burst_size) * spec.burst_every_ms;
+    }
+
+    // Method mix: a deterministic slot walk keeps the moderate share exact
+    // (Bernoulli draws would wobble at small session counts).
+    std::string method;
+    double moderate_slots = spec.moderate_fraction * spec.sessions;
+    if (i < static_cast<int>(std::lround(moderate_slots))) {
+      method = "moderate";
+    } else {
+      method = kBaselineMethods[static_cast<size_t>(i) % 3];
+    }
+
+    SessionOp submit;
+    submit.kind = OpKind::kSubmit;
+    submit.job = JobFromScenario(plan.name, cell, spec, method,
+                                 seeds.ForkSeed(static_cast<uint64_t>(i)));
+    plan.ops.push_back(submit);
+
+    bool cancelled = mix.Bernoulli(spec.cancel_fraction);
+    if (cancelled) {
+      SessionOp cancel;
+      cancel.kind = OpKind::kCancel;
+      cancel.delay_ms = static_cast<int>(mix.UniformInt(0, 40));
+      plan.ops.push_back(cancel);
+    } else if (spec.max_appends > 0 && mix.Bernoulli(spec.append_fraction)) {
+      // Appends only on non-cancelled sessions: an append resumes a
+      // *finished* session, and a cancelled one terminates early.
+      int appends =
+          static_cast<int>(mix.UniformInt(1, spec.max_appends));
+      for (int a = 0; a < appends; ++a) {
+        SessionOp append;
+        append.kind = OpKind::kAppend;
+        append.delay_ms = static_cast<int>(mix.UniformInt(0, 25));
+        append.job.session = plan.name;
+        // num_slices = 0: resumed sessions inherit their slice count.
+        append.job.append_rows =
+            static_cast<long long>(mix.UniformInt(8, 64));
+        append.job.append_slice = static_cast<int>(
+            mix.UniformInt(0, std::max(0, cell.num_slices - 1)));
+        append.job.budget = spec.budget_cap / 2.0;
+        append.job.rounds = 1;
+        append.job.method = submit.job.method;
+        append.job.seed = submit.job.seed;
+        plan.ops.push_back(append);
+      }
+    }
+
+    plan.stalled_reader = i < spec.stalled_readers;
+    workload.sessions.push_back(std::move(plan));
+  }
+
+  std::stable_sort(workload.sessions.begin(), workload.sessions.end(),
+                   [](const SessionPlan& a, const SessionPlan& b) {
+                     return a.arrival_ms < b.arrival_ms;
+                   });
+  return workload;
+}
+
+}  // namespace load
+}  // namespace slicetuner

@@ -1,0 +1,132 @@
+// Workload compilation for the fleet-scale replay harness: sim drives
+// serve. A WorkloadSpec names a slice of the canonical scenario library
+// (sim/scenario.h) plus traffic-shape knobs — arrival process, append-
+// resubmission mix, mid-flight cancels, stalled stream readers — and
+// CompileWorkload turns it into a deterministic per-session plan: which
+// JobSpec each session submits, when it arrives, which follow-up ops
+// (append_rows resubmissions, cancels) it issues, and whether it doubles
+// as a stalled reader.
+//
+// The compiled plan is a pure function of the spec (every draw forks off
+// spec.seed), so two processes compiling the same spec agree exactly —
+// that is what lets the oracle (load/oracle.h) replay the daemon's
+// workload single-process and demand bit-identical closing estimates.
+
+#ifndef SLICETUNER_LOAD_WORKLOAD_H_
+#define SLICETUNER_LOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "serve/protocol.h"
+
+namespace slicetuner {
+namespace load {
+
+/// How session arrivals are spread over the run.
+enum class ArrivalProcess {
+  /// Exponential inter-arrival times at `arrival_rate_per_sec`.
+  kPoisson,
+  /// `burst_size` sessions land together every `burst_every_ms`.
+  kBursty,
+};
+
+const char* ArrivalProcessName(ArrivalProcess process);
+Result<ArrivalProcess> ArrivalProcessFromName(const std::string& name);
+
+struct WorkloadSpec {
+  /// Total client sessions to compile.
+  int sessions = 64;
+
+  ArrivalProcess arrival = ArrivalProcess::kPoisson;
+  double arrival_rate_per_sec = 200.0;
+  int burst_size = 32;
+  int burst_every_ms = 250;
+
+  /// Scenario names from sim::CanonicalScenarios() the grid cycles
+  /// through; empty = the whole canonical library. Each session's JobSpec
+  /// (slice count, initial skew, budget, rounds) is derived from its
+  /// scenario cell.
+  std::vector<std::string> scenarios;
+  /// Cap on a session's total budget (canonical scenarios are sized for
+  /// regression runs, not thousands-of-sessions replay).
+  double budget_cap = 48.0;
+  /// Cap on a session's acquisition rounds.
+  int max_rounds = 2;
+
+  /// Fraction of sessions that follow up with append_rows resubmissions
+  /// (the incremental-maintenance path: only the touched slice refits).
+  double append_fraction = 0.25;
+  int max_appends = 2;
+  /// Fraction of sessions whose first job is cancelled mid-flight.
+  double cancel_fraction = 0.05;
+  /// Fraction of sessions running the curve-based "moderate" method (model
+  /// trainings); the rest cycle through the cheap baseline allocators.
+  double moderate_fraction = 0.10;
+  /// Sessions that additionally subscribe a `stream` on a dedicated
+  /// connection and deliberately stop reading it (exercises the server's
+  /// output backpressure; the server may drop those connections).
+  int stalled_readers = 2;
+
+  uint64_t seed = 1;
+
+  Status Validate() const;
+};
+
+enum class OpKind {
+  /// Initial submit_job creating the session (always op 0).
+  kSubmit,
+  /// append_rows resubmission of the finished session.
+  kAppend,
+  /// Mid-flight cancel of the in-flight job.
+  kCancel,
+};
+
+const char* OpKindName(OpKind kind);
+
+struct SessionOp {
+  OpKind kind = OpKind::kSubmit;
+  /// Payload for kSubmit / kAppend (unused for kCancel).
+  serve::JobSpec job;
+  /// kSubmit/kAppend: delay after the previous op reached a terminal
+  /// state. kCancel: delay after the in-flight submit was acknowledged.
+  int delay_ms = 0;
+};
+
+struct SessionPlan {
+  std::string name;
+  /// Scenario cell the job parameters were derived from (provenance).
+  std::string scenario;
+  /// Arrival offset from the start of the run.
+  int arrival_ms = 0;
+  std::vector<SessionOp> ops;
+  bool stalled_reader = false;
+
+  /// True when the plan contains a kCancel op (outcome is then a race
+  /// between the cancel and the round boundary — excluded from the
+  /// bit-identity oracle, still checked for liveness).
+  bool has_cancel() const;
+};
+
+struct Workload {
+  WorkloadSpec spec;
+  /// Sorted by arrival_ms (ties keep compile order).
+  std::vector<SessionPlan> sessions;
+
+  size_t TotalOps() const;
+  /// Deterministic serialization: two compiles of the same spec must
+  /// produce byte-identical dumps.
+  json::Value ToJson() const;
+};
+
+/// Compiles the spec into a concrete plan. Fails on invalid specs or
+/// unknown scenario names.
+Result<Workload> CompileWorkload(const WorkloadSpec& spec);
+
+}  // namespace load
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_LOAD_WORKLOAD_H_

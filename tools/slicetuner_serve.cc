@@ -6,8 +6,8 @@
 // Usage:
 //   slicetuner_serve [--port=0] [--threads=N] [--max-queue=16]
 //                    [--max-batch=8] [--retry-after-ms=50]
-//                    [--max-backlog=0] [--state-dir=DIR]
-//                    [--metrics-dump=PATH]
+//                    [--max-backlog=0] [--workers=0] [--max-connections=64]
+//                    [--state-dir=DIR] [--metrics-dump=PATH]
 //
 // --state-dir makes sessions durable (src/store/, docs/STATE.md): startup
 // replays the directory's snapshot + journal tail so sessions resume warm,
@@ -51,6 +51,9 @@ int main(int argc, char** argv) {
       bench::ParseIntFlag(argc, argv, "--retry-after-ms=", 50);
   options.admission.max_executor_backlog = static_cast<size_t>(
       bench::ParseIntFlag(argc, argv, "--max-backlog=", 0));
+  options.num_workers = bench::ParseIntFlag(argc, argv, "--workers=", 0);
+  options.max_connections =
+      bench::ParseIntFlag(argc, argv, "--max-connections=", 64);
   options.state_dir = bench::ParseStringFlag(argc, argv, "--state-dir=", "");
   const std::string metrics_dump =
       bench::ParseStringFlag(argc, argv, "--metrics-dump=", "");
