@@ -1,16 +1,19 @@
-// Observability microbenchmark: the cost of the metrics layer itself.
+// Observability microbenchmark: the cost of the metrics layer and the
+// flight recorder.
 //
-// Part 1 times the hot-path primitives (Counter::Add, Histogram::Record)
-// single-threaded, under an 8-thread hammer, and with the registry disabled
-// (the SetEnabled(false) fast path). Part 2 validates the log-bucketed
-// histogram's quantiles against an exact sorted reference on a log-normal
-// workload. Part 3 is the overhead gate: the same in-process serve wave
-// (real TCP, micro-batched tuning jobs) runs with metrics enabled and
-// disabled in alternating pairs, and the median enabled/disabled ratio must
-// stay under the 3% budget documented in docs/OBSERVABILITY.md.
+// Part 1 times the hot-path primitives (Counter::Add, Histogram::Record,
+// Recorder::Record) single-threaded, under an 8-thread hammer, and with
+// each subsystem disabled (the SetEnabled(false) fast paths). Part 2
+// validates the log-bucketed histogram's quantiles against an exact sorted
+// reference on a log-normal workload. Part 3 is the overhead gate: the
+// same in-process serve wave (real TCP, micro-batched tuning jobs) runs
+// with metrics enabled and disabled in alternating pairs — the flight
+// recorder stays ON in both waves, as in production ("always-on") — and
+// the median enabled/disabled ratio must stay under the 3% budget
+// documented in docs/OBSERVABILITY.md.
 //
 // Writes BENCH_obs.json (gated against bench/baselines/ by
-// scripts/check_bench.py: the wall-second keys and the two booleans).
+// scripts/check_bench.py: the wall-second keys and the booleans).
 //
 // Usage: bench_micro_obs [--pairs=5] [--jobs=4] [--rows=60] [--threads=0]
 
@@ -26,6 +29,7 @@
 #include "common/random.h"
 #include "common/stopwatch.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "serve/client.h"
 #include "serve/server.h"
 
@@ -72,6 +76,30 @@ double TimeHistogramHammer(obs::Histogram* histogram) {
     threads.emplace_back([histogram, t] {
       for (int i = 0; i < kHammerOpsPerThread; ++i) {
         histogram->Record(static_cast<uint64_t>(i * (t + 1)));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  return NsPerOp(timer.ElapsedSeconds(),
+                 static_cast<double>(kHammerThreads) * kHammerOpsPerThread);
+}
+
+double TimeRecorderSingle(obs::Recorder* recorder) {
+  Stopwatch timer;
+  for (int i = 0; i < kSingleThreadOps; ++i) {
+    recorder->Record(obs::EventKind::kRequestRecv, 0x1234, "bench", i);
+  }
+  return NsPerOp(timer.ElapsedSeconds(), kSingleThreadOps);
+}
+
+double TimeRecorderHammer(obs::Recorder* recorder) {
+  std::vector<std::thread> threads;
+  Stopwatch timer;
+  for (int t = 0; t < kHammerThreads; ++t) {
+    threads.emplace_back([recorder, t] {
+      for (int i = 0; i < kHammerOpsPerThread; ++i) {
+        recorder->Record(obs::EventKind::kRequestRecv,
+                         static_cast<uint64_t>(t + 1), "bench", i);
       }
     });
   }
@@ -209,12 +237,27 @@ int main(int argc, char** argv) {
   std::printf("histogram : %.1f ns/op single, %.1f ns/op x%d threads\n",
               histogram_ns, histogram_ns_8t, kHammerThreads);
 
+  obs::Recorder& recorder = obs::Recorder::Global();
+  recorder.SetEnabled(true);
+  const double recorder_ns = TimeRecorderSingle(&recorder);
+  const double recorder_ns_8t = TimeRecorderHammer(&recorder);
+  recorder.SetEnabled(false);
+  const double recorder_disabled_ns = TimeRecorderSingle(&recorder);
+  recorder.SetEnabled(true);
+  recorder.Reset();
+  std::printf("recorder  : %.1f ns/op single, %.1f ns/op x%d threads, "
+              "%.2f ns/op disabled\n",
+              recorder_ns, recorder_ns_8t, kHammerThreads,
+              recorder_disabled_ns);
+
   const bool quantiles_accurate = QuantilesAccurate();
   std::printf("quantiles : p50/p90/p99 within one bucket of exact: %s\n",
               quantiles_accurate ? "yes" : "NO (BUG)");
 
   // Overhead gate: alternating enabled/disabled serve waves; the median
-  // ratio keeps one noisy wave from deciding the verdict.
+  // ratio keeps one noisy wave from deciding the verdict. The flight
+  // recorder records through every wave — the budget is measured with the
+  // always-on subsystem on, exactly as production runs.
   std::vector<double> ratios;
   std::vector<double> enabled_walls;
   std::vector<double> disabled_walls;
@@ -266,6 +309,10 @@ int main(int argc, char** argv) {
   summary.Set("counter_disabled_ns_per_op", counter_disabled_ns);
   summary.Set("histogram_ns_per_op", histogram_ns);
   summary.Set("histogram_ns_per_op_8t", histogram_ns_8t);
+  summary.Set("recorder_ns_per_op", recorder_ns);
+  summary.Set("recorder_ns_per_op_8t", recorder_ns_8t);
+  summary.Set("recorder_disabled_ns_per_op", recorder_disabled_ns);
+  summary.Set("recorder_always_on", recorder.Enabled());
   summary.Set("quantiles_accurate", quantiles_accurate);
   summary.Set("serve_enabled_wall_seconds", enabled_median);
   summary.Set("serve_disabled_wall_seconds", disabled_median);

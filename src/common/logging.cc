@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "common/json.h"
+#include "common/trace_context.h"
 
 namespace slicetuner {
 
@@ -116,6 +117,13 @@ std::string FormatLogLine(LogFormat format, LogLevel level, const char* file,
     out += json::EscapeString(LevelName(level));
     out += ",\"src\":";
     out += json::EscapeString(src);
+    // Lines emitted inside a request scope carry the request's trace id,
+    // so logs and recorder/trace output join on one key.
+    const uint64_t trace_id = trace::CurrentTraceId();
+    if (trace_id != 0) {
+      out += ",\"trace_id\":";
+      out += json::EscapeString(trace::FormatTraceId(trace_id));
+    }
     out += ",\"msg\":";
     out += json::EscapeString(message);
     out += "}";

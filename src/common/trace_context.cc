@@ -1,0 +1,83 @@
+#include "common/trace_context.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+namespace slicetuner {
+namespace trace {
+
+namespace {
+
+thread_local Context t_context;
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t ProcessSeed() {
+  static const uint64_t seed = SplitMix64(static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count()));
+  return seed;
+}
+
+}  // namespace
+
+const Context& CurrentContext() { return t_context; }
+
+uint64_t CurrentTraceId() { return t_context.trace_id; }
+
+uint64_t MintTraceId() {
+  static std::atomic<uint64_t> next{1};
+  uint64_t id = 0;
+  while (id == 0) {
+    id = SplitMix64(ProcessSeed() ^
+                    next.fetch_add(1, std::memory_order_relaxed));
+  }
+  return id;
+}
+
+std::string FormatTraceId(uint64_t id) {
+  if (id == 0) return "";
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+uint64_t ParseTraceId(const std::string& text) {
+  if (text.empty() || text.size() > 16) return 0;
+  uint64_t id = 0;
+  for (char c : text) {
+    uint64_t digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<uint64_t>(c - 'a') + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = static_cast<uint64_t>(c - 'A') + 10;
+    } else {
+      return 0;
+    }
+    id = (id << 4) | digit;
+  }
+  return id;
+}
+
+TraceScope::TraceScope(uint64_t trace_id, const std::string& session) {
+  saved_ = t_context;
+  t_context.trace_id = trace_id;
+  const size_t n =
+      session.size() < kMaxSessionLen ? session.size() : kMaxSessionLen;
+  std::memcpy(t_context.session, session.data(), n);
+  t_context.session[n] = '\0';
+}
+
+TraceScope::~TraceScope() { t_context = saved_; }
+
+}  // namespace trace
+}  // namespace slicetuner

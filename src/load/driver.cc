@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/status.h"
+#include "common/trace_context.h"
 #include "obs/metrics.h"
 #include "serve/client.h"
 #include "serve/protocol.h"
@@ -84,6 +85,11 @@ struct LoadDriver::SessionState {
 
   uint64_t submit_ack_ns = 0;
   bool stalled_stream_opened = false;
+
+  // Client-minted trace id for the in-flight op. Minted once per op (not
+  // per attempt) so a submit that lands despite a transport error still
+  // carries the id the echo check expects; cleared when the op advances.
+  uint64_t op_trace_id = 0;
 
   // Daemon generation at the first acked op. A later ack in a different
   // generation means the warm curve cache was lost mid-session, so
@@ -196,6 +202,7 @@ Result<LoadReport> LoadDriver::Run() {
   report.wall_seconds =
       static_cast<double>(obs::MonotonicNanos() - start_ns_) / 1e9;
   report.all_terminal = true;
+  report.trace_ids_echoed = true;
   for (const auto& s : states_) {
     SessionOutcome& o = s->outcome;
     // A session whose thread hit the deadline mid-op may still carry the
@@ -204,6 +211,10 @@ Result<LoadReport> LoadDriver::Run() {
     if (o.final_state == "done") {
       ++report.done;
       if (o.resubmitted_after_interrupt) report.restart_recovered = true;
+      if (!o.tainted) {
+        ++report.trace_checked;
+        if (!o.trace_echoed) report.trace_ids_echoed = false;
+      }
     } else if (o.final_state == "cancelled") {
       ++report.cancelled;
     } else if (o.final_state == "failed") {
@@ -294,6 +305,8 @@ void LoadDriver::HandleSubmit(SessionState* s, ThreadConn* conn,
   serve::Request request;
   request.type = serve::RequestType::kSubmitJob;
   request.job = op.job;
+  if (s->op_trace_id == 0) s->op_trace_id = trace::MintTraceId();
+  request.trace_id = trace::FormatTraceId(s->op_trace_id);
 
   LoadMetrics::Get().submit_attempts->Add();
   Result<json::Value> result = conn->Call(request, now_ms);
@@ -513,6 +526,12 @@ void LoadDriver::ReachTerminal(SessionState* s, const json::Value& snapshot,
   s->outcome.final_poll = snapshot;
   s->outcome.final_state = state;
   if (state == "done") {
+    // The session's trace id on the daemon is whichever submit last set it
+    // — for a clean session, ours.
+    s->outcome.trace_echoed =
+        s->op_trace_id != 0 &&
+        snapshot.GetString("trace_id") ==
+            trace::FormatTraceId(s->op_trace_id);
     AdvanceOp(s, now_ms);
   } else {
     // cancelled (ours) or failed: the plan ends here by construction.
@@ -536,6 +555,7 @@ void LoadDriver::AdvanceOp(SessionState* s, uint64_t now_ms) {
   s->due_ms = now_ms + static_cast<uint64_t>(s->plan->ops[next].delay_ms);
   s->cancel_at_ms = SessionState::kNoCancel;
   s->submit_ack_ns = 0;
+  s->op_trace_id = 0;
 }
 
 void LoadDriver::OpenStalledStream(SessionState* s, ThreadConn* conn) {
@@ -575,6 +595,8 @@ json::Value LoadReport::ToJson() const {
   out.Set("wall_seconds", wall_seconds);
   out.Set("all_terminal", all_terminal);
   out.Set("restart_recovered", restart_recovered);
+  out.Set("trace_ids_echoed", trace_ids_echoed);
+  out.Set("trace_checked", trace_checked);
   return out;
 }
 

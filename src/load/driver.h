@@ -79,6 +79,11 @@ struct SessionOutcome {
   /// The session was interrupted by a daemon restart and the driver
   /// resubmitted it (restart_recovered evidence when it then finishes).
   bool resubmitted_after_interrupt = false;
+  /// The closing `done` poll echoed the trace id the driver minted for the
+  /// final submit — the end-to-end propagation check (docs/PROTOCOL.md,
+  /// "trace_id"). Only asserted for clean sessions: a restart or cancel
+  /// makes which submit last set the session's id timing-dependent.
+  bool trace_echoed = false;
   size_t ops_completed = 0;
   /// Last poll snapshot at terminal state (oracle input for clean
   /// sessions).
@@ -108,6 +113,11 @@ struct LoadReport {
   /// At least one restart-interrupted session was resubmitted and reached
   /// `done` afterwards (only meaningful on runs with kills).
   bool restart_recovered = false;
+  /// Every clean `done` session echoed its client-minted trace id in the
+  /// closing poll snapshot (and at least one session was checked).
+  bool trace_ids_echoed = false;
+  /// Clean `done` sessions the echo check covered.
+  size_t trace_checked = 0;
 
   double shed_rate() const {
     return submit_attempts == 0

@@ -255,12 +255,13 @@ std::string FormatCount(uint64_t value) {
 
 }  // namespace
 
-json::Value MetricsRegistry::SnapshotJson() const {
+json::Value MetricsRegistry::SnapshotJson(const std::string& prefix) const {
   std::lock_guard<std::mutex> lock(mu_);
   json::Value counters = json::Value::Object();
   json::Value gauges = json::Value::Object();
   json::Value histograms = json::Value::Object();
   for (const auto& entry : entries_) {
+    if (!prefix.empty() && entry->name.rfind(prefix, 0) != 0) continue;
     const std::string key =
         DisplayKey(entry->name, entry->label_key, entry->label_value);
     switch (entry->kind) {

@@ -202,8 +202,10 @@ class MetricsRegistry {
   /// {"counters":{key:N,...},"gauges":{key:x,...},
   ///  "histograms":{key:{count,sum,mean,p50,p90,p99,max},...}} where key is
   /// `name` or `name{label="value"}`. The payload of the `metrics` protocol
-  /// verb (docs/PROTOCOL.md).
-  json::Value SnapshotJson() const;
+  /// verb (docs/PROTOCOL.md). A non-empty `prefix` keeps only metrics whose
+  /// name starts with it (e.g. "serve_") — the cheap form hot pollers like
+  /// slicetuner_top use.
+  json::Value SnapshotJson(const std::string& prefix = "") const;
 
   /// Prometheus-style text exposition: one `name{label} value` line per
   /// counter/gauge, and per histogram the quantiles plus `_count`/`_sum`

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/string_util.h"
+#include "obs/recorder.h"
 #include "serve/serve_metrics.h"
 
 namespace slicetuner {
@@ -38,6 +39,8 @@ Status AdmissionController::Admit(uint64_t session_id) {
     if (depth >= options_.max_queue_depth) {
       ++stats_.shed_queue_full;
       ServeMetrics::Get().shed_queue_full->Add();
+      obs::Recorder::Global().RecordHere(obs::EventKind::kShed,
+                                         options_.retry_after_ms);
       return Status::ResourceExhausted(StrFormat(
           "admission queue full (%zu/%zu)", depth,
           options_.max_queue_depth));
@@ -46,6 +49,8 @@ Status AdmissionController::Admit(uint64_t session_id) {
         backlog > options_.max_executor_backlog) {
       ++stats_.shed_backlog;
       ServeMetrics::Get().shed_backlog->Add();
+      obs::Recorder::Global().RecordHere(obs::EventKind::kShed,
+                                         options_.retry_after_ms);
       return Status::ResourceExhausted(StrFormat(
           "executor backlog %zu exceeds %zu", backlog,
           options_.max_executor_backlog));
@@ -55,6 +60,8 @@ Status AdmissionController::Admit(uint64_t session_id) {
     stats_.max_depth_seen = std::max(stats_.max_depth_seen, depth + 1);
     ServeMetrics::Get().admitted->Add();
     ServeMetrics::Get().queue_depth->Set(static_cast<double>(depth + 1));
+    obs::Recorder::Global().RecordHere(obs::EventKind::kAdmit,
+                                       static_cast<int64_t>(depth + 1));
   }
   // All shard dispatchers share one cv; a wrong-shard wakeup just re-waits.
   work_cv_.notify_all();

@@ -21,6 +21,8 @@ const char* RequestTypeName(RequestType type) {
       return "stats";
     case RequestType::kMetrics:
       return "metrics";
+    case RequestType::kTrace:
+      return "trace";
     case RequestType::kSnapshot:
       return "snapshot";
     case RequestType::kRestore:
@@ -116,6 +118,11 @@ json::Value Request::ToJson() const {
   for (const auto& member : out.members()) {
     typed.Set(member.first, member.second);
   }
+  if (!trace_id.empty()) typed.Set("trace_id", trace_id);
+  if (type == RequestType::kMetrics && !prefix.empty()) {
+    typed.Set("prefix", prefix);
+  }
+  if (type == RequestType::kTrace && limit > 0) typed.Set("limit", limit);
   return typed;
 }
 
@@ -127,6 +134,7 @@ Result<Request> Request::FromJson(const json::Value& value) {
   }
   const std::string type = value.GetString("type");
   Request request;
+  request.trace_id = value.GetString("trace_id");
   if (type == "submit_job") {
     request.type = RequestType::kSubmitJob;
     ST_ASSIGN_OR_RETURN(request.job, JobSpec::FromJson(value));
@@ -154,6 +162,16 @@ Result<Request> Request::FromJson(const json::Value& value) {
   }
   if (type == "metrics") {
     request.type = RequestType::kMetrics;
+    request.prefix = value.GetString("prefix");
+    return request;
+  }
+  if (type == "trace") {
+    request.type = RequestType::kTrace;
+    request.session = value.GetString("session");
+    request.limit = static_cast<int>(value.GetInt("limit", 0));
+    if (request.limit < 0) {
+      return Status::InvalidArgument("trace: limit must be >= 0");
+    }
     return request;
   }
   if (type == "snapshot") {

@@ -16,10 +16,17 @@
 //   {"type":"stream","session":"s1"}     subscribe to progress frames
 //   {"type":"cancel","session":"s1"}     cancel a queued/running session
 //   {"type":"stats"}                     server-wide counters
-//   {"type":"metrics"}                   the process metrics registry
+//   {"type":"metrics"[,"prefix":"serve_"]}  the process metrics registry,
+//       optionally filtered to names starting with `prefix` (cheap polling)
+//   {"type":"trace"[,"session":"s1"][,"trace_id":"hex"][,"limit":N]}
+//       recent flight-recorder events, filtered by session and/or trace id
 //   {"type":"snapshot"}                  checkpoint sessions to the state dir
 //   {"type":"restore"}                   re-merge state-dir sessions (admin)
 //   {"type":"shutdown"}                  graceful shutdown
+//
+// Any request may carry "trace_id" (16 lowercase hex chars): the id is
+// installed for the request's whole life (logs, recorder events, frames)
+// and echoed in the response; absent, the server mints one.
 //
 // docs/PROTOCOL.md is the normative wire spec (framing, field-by-field
 // semantics, error codes, size bounds); this header is the implementation
@@ -49,6 +56,7 @@ enum class RequestType {
   kCancel,
   kStats,
   kMetrics,
+  kTrace,
   kSnapshot,
   kRestore,
   kShutdown,
@@ -97,8 +105,15 @@ struct JobSpec {
 
 struct Request {
   RequestType type = RequestType::kStats;
-  /// Target session for poll/stream/cancel.
+  /// Target session for poll/stream/cancel; filter for trace.
   std::string session;
+  /// Client-supplied trace id (16 lowercase hex chars), valid on any
+  /// request; empty = the server mints one. For `trace`, the event filter.
+  std::string trace_id;
+  /// Optional metric-name prefix filter for metrics.
+  std::string prefix;
+  /// Max events returned by trace (0 = server default).
+  int limit = 0;
   /// Payload for submit_job.
   JobSpec job;
 

@@ -15,8 +15,10 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "common/trace_context.h"
 #include "engine/experiment_runner.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "serve/serve_metrics.h"
 
 namespace slicetuner {
@@ -31,6 +33,9 @@ constexpr uint64_t kListenTag = 0;
 // Idle tick of a worker with no live streams: nothing to flush on a
 // cadence, and the dispatcher/cancel/shutdown paths Wake() it explicitly.
 constexpr int kIdlePollMs = 200;
+
+// Events a `trace` request returns when the client names no limit.
+constexpr size_t kDefaultTraceLimit = 256;
 
 Status SetNonBlocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
@@ -268,6 +273,10 @@ void TuningServer::DispatchLoop(size_t shard) {
       TuningSession* session = sessions_.FindById(id);
       if (session == nullptr) continue;
       if (cancel_batch) session->RequestCancel();
+      obs::Recorder::Global().Record(obs::EventKind::kDispatch,
+                                     session->trace_id(),
+                                     session->name().c_str(),
+                                     static_cast<int64_t>(shard));
       runner.SubmitTask(session->name(),
                         [session] { return session->RunJob(); });
     }
@@ -489,7 +498,25 @@ void TuningServer::HandleLine(Worker* worker, Connection* conn,
     conn->QueueLine(ErrorResponse(request.status()).Dump());
     return;
   }
-  conn->QueueLine(HandleRequest(conn, *request).Dump());
+  // Every request runs inside a trace: the client's id when supplied,
+  // minted here otherwise. The scope makes the id visible to logging, the
+  // flight recorder, and (via TuningSession::SetTraceId) the dispatcher
+  // thread that later runs the job.
+  uint64_t trace_id = trace::ParseTraceId(request->trace_id);
+  if (trace_id == 0) trace_id = trace::MintTraceId();
+  trace::TraceScope trace_scope(trace_id, request->session);
+  obs::Recorder::Global().RecordHere(
+      obs::EventKind::kRequestRecv,
+      static_cast<int64_t>(request->type));
+  json::Value response = HandleRequest(conn, *request);
+  obs::Recorder::Global().RecordHere(obs::EventKind::kRequestDone,
+                                     IsOkResponse(response) ? 1 : 0);
+  // Echo the trace id — unless the handler already set one (a poll echoes
+  // the *session's* trace id: the loadgen's end-to-end propagation check).
+  if (!response.Has("trace_id")) {
+    response.Set("trace_id", trace::FormatTraceId(trace_id));
+  }
+  conn->QueueLine(response.Dump());
 }
 
 json::Value TuningServer::HandleRequest(Connection* conn,
@@ -531,6 +558,9 @@ json::Value TuningServer::HandleRequest(Connection* conn,
         }
         return ErrorResponse(session.status());
       }
+      // The session inherits the submit's trace id before admission can
+      // hand it to a dispatcher: RunJob always sees the id that armed it.
+      (*session)->SetTraceId(trace::CurrentTraceId());
       const Status admitted = admission_.Admit((*session)->id());
       if (!admitted.ok()) {
         if (created) {
@@ -588,6 +618,7 @@ json::Value TuningServer::HandleRequest(Connection* conn,
     case RequestType::kCancel: {
       const Status status = sessions_.Cancel(request.session);
       if (!status.ok()) return ErrorResponse(status);
+      obs::Recorder::Global().RecordHere(obs::EventKind::kCancel);
       json::Value response = OkResponse();
       response.Set("session", request.session);
       response.Set("cancelling", true);
@@ -597,12 +628,37 @@ json::Value TuningServer::HandleRequest(Connection* conn,
       return StatsJson();
     case RequestType::kMetrics: {
       // The whole registry: counters, gauges, and quantile-summarized
-      // histograms from every layer (docs/OBSERVABILITY.md).
+      // histograms from every layer (docs/OBSERVABILITY.md). A prefix
+      // filter ("serve_") keeps hot pollers like slicetuner_top cheap.
       json::Value response = OkResponse();
       const json::Value snapshot =
-          obs::MetricsRegistry::Global().SnapshotJson();
+          obs::MetricsRegistry::Global().SnapshotJson(request.prefix);
       for (const auto& member : snapshot.members()) {
         response.Set(member.first, member.second);
+      }
+      return response;
+    }
+    case RequestType::kTrace: {
+      // Recent flight-recorder events, filtered by session and/or trace
+      // id, newest last. A session filter that names a live session also
+      // returns its last completed job's span tree.
+      const uint64_t filter = trace::ParseTraceId(request.trace_id);
+      const size_t limit = request.limit > 0
+                               ? static_cast<size_t>(request.limit)
+                               : kDefaultTraceLimit;
+      json::Value response = OkResponse();
+      const json::Value events = obs::Recorder::Global().SnapshotJson(
+          request.session, filter, limit);
+      for (const auto& member : events.members()) {
+        response.Set(member.first, member.second);
+      }
+      if (!request.session.empty()) {
+        TuningSession* session = sessions_.Find(request.session);
+        if (session != nullptr) {
+          response.Set("state", SessionPhaseName(session->phase()));
+          const json::Value tree = session->TraceTree();
+          if (tree.is_object()) response.Set("trace", tree);
+        }
       }
       return response;
     }
@@ -670,10 +726,20 @@ void TuningServer::EmitFrames(Connection* conn, bool final_pass) {
   }
   if (session->Terminal() && conn->frame_cursor >= session->FrameCount()) {
     if (!final_pass && conn->output_paused()) return;
-    conn->QueueLine(DoneFrame(session->name(),
-                              SessionPhaseName(session->phase()),
-                              session->last_status())
-                        .Dump());
+    json::Value done = DoneFrame(session->name(),
+                                 SessionPhaseName(session->phase()),
+                                 session->last_status());
+    // The done frame closes the request trace: the id the submit carried
+    // and the job's span tree (round spans as children) ride along.
+    const uint64_t trace_id = session->trace_id();
+    if (trace_id != 0) {
+      done.Set("trace_id", trace::FormatTraceId(trace_id));
+    }
+    const json::Value tree = session->TraceTree();
+    if (tree.is_object()) done.Set("trace", tree);
+    conn->QueueLine(done.Dump());
+    obs::Recorder::Global().Record(obs::EventKind::kFrameDone, trace_id,
+                                   session->name().c_str());
     conn->streaming = nullptr;
   }
 }

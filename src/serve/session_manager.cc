@@ -6,8 +6,10 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "common/trace_context.h"
 #include "core/baselines.h"
 #include "core/one_shot.h"
+#include "obs/recorder.h"
 #include "obs/span.h"
 #include "serve/serve_metrics.h"
 #include "sim/scenario.h"
@@ -164,11 +166,20 @@ double TuningSession::last_job_wall_seconds() const {
   return last_job_wall_seconds_;
 }
 
+json::Value TuningSession::TraceTree() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_trace_tree_;
+}
+
 json::Value TuningSession::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   json::Value out = json::Value::Object();
   out.Set("session", name_);
   out.Set("state", SessionPhaseName(phase_));
+  const uint64_t trace_id = trace_id_.load(std::memory_order_relaxed);
+  if (trace_id != 0) {
+    out.Set("trace_id", trace::FormatTraceId(trace_id));
+  }
   out.Set("jobs_run", jobs_run_);
   out.Set("rounds_completed", rounds_completed_);
   out.Set("frames", frames_.size());
@@ -257,10 +268,18 @@ Status TuningSession::RunJob() {
     }
     phase_ = SessionPhase::kRunning;
     job = pending_job_;
+    job_round_spans_.clear();
   }
-  ServeMetrics::Get().queue_wait_ns->Record(
-      obs::MonotonicNanos() -
-      enqueued_ns_.load(std::memory_order_relaxed));
+  // The dispatcher thread enters the trace the submit started: everything
+  // the job touches from here — logs, recorder events, store appends —
+  // carries the submit's trace id.
+  trace::TraceScope trace_scope(trace_id_.load(std::memory_order_relaxed),
+                                name_);
+  const uint64_t queue_wait_ns =
+      obs::MonotonicNanos() - enqueued_ns_.load(std::memory_order_relaxed);
+  ServeMetrics::Get().queue_wait_ns->Record(queue_wait_ns);
+  obs::Recorder::Global().RecordHere(obs::EventKind::kJobStart,
+                                     static_cast<int64_t>(queue_wait_ns));
 
   Stopwatch timer;
   const long long trainings_before = [this] {
@@ -303,10 +322,33 @@ Status TuningSession::RunJob() {
       phase_ = SessionPhase::kFailed;
       metrics.jobs_failed->Add();
     }
+    // Fold the job's round spans into the span tree the done frame (and
+    // poll) hand back: the per-round Spans become children of the job.
+    json::Value tree = json::Value::Object();
+    tree.Set("name", "job");
+    tree.Set("trace_id", trace::FormatTraceId(
+                             trace_id_.load(std::memory_order_relaxed)));
+    tree.Set("total_ms", wall * 1000.0);
+    tree.Set("queue_wait_ms", static_cast<double>(queue_wait_ns) / 1e6);
+    json::Value rounds = json::Value::Array();
+    for (json::Value& span : job_round_spans_) {
+      rounds.Append(std::move(span));
+    }
+    job_round_spans_.clear();
+    tree.Set("rounds", std::move(rounds));
+    last_trace_tree_ = std::move(tree);
     json::Value event = json::Value::Object();
     event.Set("event", "finish");
     event.Set("phase", SessionPhaseName(phase_));
     if (!last_status_.ok()) event.Set("error", last_status_.ToString());
+    // The trace id is part of the session's durable state: a restart must
+    // not make the closing poll forget which submit ran the last job (the
+    // load harness asserts the echo on clean sessions across kills).
+    const uint64_t finish_trace_id =
+        trace_id_.load(std::memory_order_relaxed);
+    if (finish_trace_id != 0) {
+      event.Set("trace_id", trace::FormatTraceId(finish_trace_id));
+    }
     event.Set("jobs_run", jobs_run_);
     event.Set("rounds_completed", rounds_completed_);
     event.Set("total_trainings", total_trainings_);
@@ -325,6 +367,8 @@ Status TuningSession::RunJob() {
     LogEventLocked(std::move(event));
     phase_cv_.notify_all();
   }
+  obs::Recorder::Global().RecordHere(
+      obs::EventKind::kJobDone, static_cast<int64_t>(wall * 1e9));
   // Group commit: one fsync makes the whole job's records (acquires +
   // finish) durable together.
   if (store_ != nullptr) {
@@ -416,6 +460,8 @@ Status TuningSession::RunRounds(const JobSpec& job) {
           job.rounds));
     }
     source_->BeginRound(next_round_index_);
+    obs::Recorder::Global().RecordHere(obs::EventKind::kRoundStart,
+                                       next_round_index_);
 
     // One span per round: stage timers attribute the round's wall time to
     // estimate / plan / acquire, feed the process-wide serve_round_stage_ns
@@ -442,12 +488,16 @@ Status TuningSession::RunRounds(const JobSpec& job) {
       }
       OneShotPlan plan;
       {
+        const uint64_t plan_start = obs::MonotonicNanos();
         obs::StageTimer plan_timer(&round_span, "plan",
                                    ServeMetrics::Get().round_plan_ns);
         ST_ASSIGN_OR_RETURN(
             plan,
             PlanOneShotWithCurves(curves.slices, tuner_->SliceSizes(), costs,
                                   round_budget, tuner_->options().lambda));
+        obs::Recorder::Global().RecordHere(
+            obs::EventKind::kPlan,
+            static_cast<int64_t>(obs::MonotonicNanos() - plan_start));
       }
       allocation = std::move(plan.examples);
     } else {
@@ -460,6 +510,7 @@ Status TuningSession::RunRounds(const JobSpec& job) {
     }
 
     {
+      const uint64_t acquire_start = obs::MonotonicNanos();
       obs::StageTimer acquire_timer(&round_span, "acquire",
                                     ServeMetrics::Get().round_acquire_ns);
       for (size_t s = 0; s < allocation.size(); ++s) {
@@ -469,6 +520,9 @@ Status TuningSession::RunRounds(const JobSpec& job) {
         ST_RETURN_NOT_OK(tuner_->AppendTrainingData(batch));
         round.spent += static_cast<double>(allocation[s]) * costs[s];
       }
+      obs::Recorder::Global().RecordHere(
+          obs::EventKind::kAcquire,
+          static_cast<int64_t>(obs::MonotonicNanos() - acquire_start));
     }
     round.acquired = std::move(allocation);
     const std::vector<size_t> sizes = tuner_->SliceSizes();
@@ -485,7 +539,10 @@ Status TuningSession::RunRounds(const JobSpec& job) {
       rows_ = static_cast<long long>(tuner_->train().size());
       frame = ProgressFrame(name_, frames_.size(),
                             sim::RoundTraceToJson(round));
-      frame.Set("span", round_span.ToJson());
+      json::Value span_json = round_span.ToJson();
+      span_json.Set("round", round.round);
+      job_round_spans_.push_back(span_json);
+      frame.Set("span", std::move(span_json));
       frames_.push_back(frame);
       if (store_ != nullptr) {
         // Journal the round's acquisitions in slice order — the order the
@@ -537,6 +594,10 @@ json::Value TuningSession::DurableState() const {
   out.Set("id", static_cast<long long>(id_));
   out.Set("seq", static_cast<long long>(events_logged_));
   out.Set("phase", SessionPhaseName(phase_));
+  const uint64_t trace_id_now = trace_id_.load(std::memory_order_relaxed);
+  if (trace_id_now != 0) {
+    out.Set("trace_id", trace::FormatTraceId(trace_id_now));
+  }
   if (!last_status_.ok()) out.Set("error", last_status_.ToString());
   out.Set("job", creation_job_.ToJson());
   out.Set("world_built", tuner_ != nullptr);
@@ -690,6 +751,9 @@ Result<std::unique_ptr<TuningSession>> TuningSession::Restore(
         error.empty() ? "interrupted by restart" : error);
   }
   session->events_logged_ = static_cast<uint64_t>(state.GetInt("seq", 0));
+  session->trace_id_.store(
+      trace::ParseTraceId(state.GetString("trace_id")),
+      std::memory_order_relaxed);
   session->store_ = store;
   return session;
 }
@@ -895,6 +959,9 @@ void ApplyJournalRecord(json::Value* entry, const json::Value& record) {
     entry->Set("phase", record.GetString("phase"));
     if (record.Has("error")) {
       entry->Set("error", record.GetString("error"));
+    }
+    if (record.Has("trace_id")) {
+      entry->Set("trace_id", record.GetString("trace_id"));
     }
     json::Value counters = json::Value::Object();
     counters.Set("jobs_run", record.GetInt("jobs_run"));

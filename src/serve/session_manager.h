@@ -85,6 +85,22 @@ class TuningSession {
   /// and moves the phase to done/cancelled/failed.
   Status RunJob();
 
+  /// Installs the trace id of the submit that armed the pending job. The
+  /// server calls this right after Register/Resume, before admission hands
+  /// the session to a dispatcher, so RunJob always sees the id that minted
+  /// it (docs/OBSERVABILITY.md, "Request tracing").
+  void SetTraceId(uint64_t trace_id) {
+    trace_id_.store(trace_id, std::memory_order_relaxed);
+  }
+  uint64_t trace_id() const {
+    return trace_id_.load(std::memory_order_relaxed);
+  }
+
+  /// Span tree of the last completed job: {"name":"job","trace_id":...,
+  /// "total_ms":X,"rounds":[<round span>...]}. Attached to the done frame
+  /// and returned by poll. Null until a job finishes.
+  json::Value TraceTree() const;
+
   /// Flags the session for cancellation: a queued session resolves
   /// cancelled without running; a running one stops at the next round
   /// boundary.
@@ -169,6 +185,13 @@ class TuningSession {
   // When the job was submitted (creation or Resume): the anchor for the
   // serve_queue_wait_ns / serve_submit_to_done_ns histograms (src/obs/).
   std::atomic<uint64_t> enqueued_ns_{0};
+  // Trace id of the submit that armed the pending job (0 = untraced).
+  std::atomic<uint64_t> trace_id_{0};
+  // Round-span JSONs accumulated by the in-flight job (RunJob thread only
+  // writes; appended under mu_), folded into last_trace_tree_ at finish.
+  std::vector<json::Value> job_round_spans_;
+  // Span tree of the last completed job (guarded by mu_).
+  json::Value last_trace_tree_;
 
   // Long-lived tuning state (only RunJob touches these; single-flight by
   // phase machine).

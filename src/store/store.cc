@@ -6,6 +6,7 @@
 #include "common/fs_util.h"
 #include "common/string_util.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "store/snapshot.h"
 
 namespace slicetuner {
@@ -131,6 +132,9 @@ Status DurableStore::Append(const json::Value& record) {
   ST_RETURN_NOT_OK(writer_.Append(record));
   ++stats_.records_appended;
   ++records_since_sync_;
+  obs::Recorder::Global().RecordHere(
+      obs::EventKind::kStoreAppend,
+      static_cast<int64_t>(records_since_sync_));
   return Status::OK();
 }
 
@@ -142,6 +146,9 @@ Status DurableStore::Sync() {
   }
   ++stats_.syncs;
   Metrics().commit_records->Record(records_since_sync_);
+  obs::Recorder::Global().RecordHere(
+      obs::EventKind::kStoreSync,
+      static_cast<int64_t>(records_since_sync_));
   records_since_sync_ = 0;
   return Status::OK();
 }

@@ -27,6 +27,7 @@
 #include "common/string_util.h"
 #include "common/table_printer.h"
 #include "common/thread_pool.h"
+#include "common/trace_context.h"
 
 namespace slicetuner {
 namespace {
@@ -670,6 +671,23 @@ TEST(LoggingTest, FormatLogLineJsonModeIsParseableAndEscapes) {
   EXPECT_EQ(doc->GetString("src"), "store.cc:7");
   EXPECT_EQ(doc->GetString("msg"), "path \"a\\b\" broke");
   EXPECT_GT(doc->GetInt("ts_ms"), 0);
+}
+
+TEST(LoggingTest, JsonModeCarriesActiveTraceId) {
+  {
+    trace::TraceScope scope(0x00000000deadbeefULL, "s1");
+    const std::string line = internal_logging::FormatLogLine(
+        LogFormat::kJson, LogLevel::kInfo, "server.cc", 9, "handling");
+    const auto doc = json::Value::Parse(line);
+    ASSERT_TRUE(doc.ok()) << line;
+    EXPECT_EQ(doc->GetString("trace_id"), "00000000deadbeef");
+  }
+  // Outside a request scope the field is omitted entirely (not "").
+  const std::string bare = internal_logging::FormatLogLine(
+      LogFormat::kJson, LogLevel::kInfo, "server.cc", 9, "idle");
+  const auto doc = json::Value::Parse(bare);
+  ASSERT_TRUE(doc.ok()) << bare;
+  EXPECT_FALSE(doc->Has("trace_id"));
 }
 
 }  // namespace

@@ -1,7 +1,9 @@
 // Unit tests for src/obs: counter/gauge/histogram semantics, the
 // log-bucket geometry, quantile accuracy against an exact sorted reference,
 // registry snapshots (including snapshot-while-writing, the race the
-// sanitizer jobs exercise), spans, and the text exposition.
+// sanitizer jobs exercise), spans, the text exposition, and the flight
+// recorder (ring wraparound, multi-thread merge, snapshot-while-writing,
+// the signal-safe dump format).
 
 #include <gtest/gtest.h>
 
@@ -9,13 +11,17 @@
 #include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/json.h"
 #include "common/random.h"
+#include "common/trace_context.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/span.h"
 
 namespace slicetuner {
@@ -381,6 +387,274 @@ TEST(ScopedTimerTest, RecordsOneSample) {
   { ScopedTimer timer(&histogram); }
   { ScopedTimer timer(&histogram); }
   EXPECT_EQ(histogram.Snapshot().count, 2u);
+}
+
+// ---------------------------------------------------------------- Recorder
+//
+// Each test uses its own Recorder instance (not Global()) so rings and
+// cursors start empty regardless of what other tests recorded.
+
+TEST(RecorderTest, RecordAndSnapshotRoundTrips) {
+  Recorder recorder;
+  recorder.Record(EventKind::kRequestRecv, 0xabcd, "s1", 7);
+  recorder.Record(EventKind::kAdmit, 0xabcd, "s1", 3);
+  recorder.Record(EventKind::kJobStart, 0xabcd, "s1", -250);
+
+  const std::vector<RecordedEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, EventKind::kRequestRecv);
+  EXPECT_EQ(events[1].kind, EventKind::kAdmit);
+  EXPECT_EQ(events[2].kind, EventKind::kJobStart);
+  EXPECT_EQ(events[0].trace_id, 0xabcdu);
+  EXPECT_EQ(events[0].session, "s1");
+  EXPECT_EQ(events[0].arg, 7);
+  EXPECT_EQ(events[2].arg, -250);
+  EXPECT_LE(events[0].ts_ns, events[1].ts_ns);
+  EXPECT_EQ(recorder.RingCount(), 1u);
+}
+
+TEST(RecorderTest, SessionTruncatesAtMaxLen) {
+  Recorder recorder;
+  const std::string long_name(2 * Recorder::kMaxSessionLen, 'x');
+  recorder.Record(EventKind::kAdmit, 1, long_name.c_str());
+  recorder.Record(EventKind::kAdmit, 2, nullptr);
+  const std::vector<RecordedEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].session,
+            std::string(Recorder::kMaxSessionLen, 'x'));
+  EXPECT_EQ(events[1].session, "");
+}
+
+TEST(RecorderTest, WraparoundKeepsMostRecentRecords) {
+  Recorder recorder;
+  constexpr int kExtra = 100;
+  const int total = static_cast<int>(Recorder::kRingCapacity) + kExtra;
+  for (int i = 0; i < total; ++i) {
+    recorder.Record(EventKind::kStoreAppend, 9, "wrap", i);
+  }
+  const std::vector<RecordedEvent> events = recorder.Snapshot();
+  // The slot holding the oldest surviving record is adjacent to the write
+  // cursor, so the reader conservatively drops it: capacity - 1 survive.
+  ASSERT_EQ(events.size(), Recorder::kRingCapacity - 1);
+  // What survives is exactly the newest records, still in order.
+  EXPECT_EQ(events.front().arg, total - static_cast<int>(events.size()));
+  EXPECT_EQ(events.back().arg, total - 1);
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].arg, events[i - 1].arg + 1);
+  }
+}
+
+TEST(RecorderTest, FiltersAndLimitKeepMostRecent) {
+  Recorder recorder;
+  for (int i = 0; i < 10; ++i) {
+    recorder.Record(EventKind::kAdmit, 1, "a", i);
+    recorder.Record(EventKind::kAdmit, 2, "b", i);
+  }
+  EXPECT_EQ(recorder.Snapshot("a").size(), 10u);
+  EXPECT_EQ(recorder.Snapshot("", 2).size(), 10u);
+  EXPECT_EQ(recorder.Snapshot("a", 2).size(), 0u);
+  const std::vector<RecordedEvent> last = recorder.Snapshot("b", 0, 3);
+  ASSERT_EQ(last.size(), 3u);
+  EXPECT_EQ(last.back().arg, 9);
+  EXPECT_EQ(last.front().arg, 7);
+}
+
+TEST(RecorderTest, DisabledDropsRecords) {
+  Recorder recorder;
+  recorder.SetEnabled(false);
+  recorder.Record(EventKind::kAdmit, 1, "s");
+  EXPECT_TRUE(recorder.Snapshot().empty());
+  recorder.SetEnabled(true);
+  recorder.Record(EventKind::kAdmit, 1, "s");
+  EXPECT_EQ(recorder.Snapshot().size(), 1u);
+}
+
+TEST(RecorderTest, RecordHereTakesTraceContext) {
+  Recorder recorder;
+  {
+    trace::TraceScope scope(0x77, "ctx-session");
+    recorder.RecordHere(EventKind::kDispatch, 4);
+  }
+  recorder.RecordHere(EventKind::kCancel);  // outside any scope
+  const std::vector<RecordedEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].trace_id, 0x77u);
+  EXPECT_EQ(events[0].session, "ctx-session");
+  EXPECT_EQ(events[1].trace_id, 0u);
+  EXPECT_EQ(events[1].session, "");
+}
+
+TEST(RecorderTest, MultiThreadMergeIsTimestampSorted) {
+  Recorder recorder;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder, t] {
+      const std::string session = "t" + std::to_string(t);
+      for (int i = 0; i < kPerThread; ++i) {
+        recorder.Record(EventKind::kRoundStart,
+                        static_cast<uint64_t>(t + 1), session.c_str(), i);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const std::vector<RecordedEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(),
+            static_cast<size_t>(kThreads) * kPerThread);
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].ts_ns, events[i].ts_ns);
+  }
+  // Per trace filter: each thread's records all present, args in order
+  // (same ring => strictly increasing timestamps).
+  for (int t = 0; t < kThreads; ++t) {
+    const std::vector<RecordedEvent> mine =
+        recorder.Snapshot("", static_cast<uint64_t>(t + 1));
+    ASSERT_EQ(mine.size(), static_cast<size_t>(kPerThread));
+    for (int i = 0; i < kPerThread; ++i) {
+      EXPECT_EQ(mine[static_cast<size_t>(i)].arg, i);
+    }
+  }
+  EXPECT_EQ(recorder.RingCount(), static_cast<size_t>(kThreads));
+}
+
+TEST(RecorderTest, SnapshotWhileWritingIsSafe) {
+  Recorder recorder;
+  std::atomic<bool> stop{false};
+  std::thread writer([&recorder, &stop] {
+    int64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      recorder.Record(EventKind::kEstimate, 0x5150, "w", i++);
+    }
+  });
+  for (int pass = 0; pass < 50; ++pass) {
+    const std::vector<RecordedEvent> events = recorder.Snapshot();
+    // Every surfaced record must be fully formed — never a torn slot.
+    for (const RecordedEvent& event : events) {
+      EXPECT_EQ(event.kind, EventKind::kEstimate);
+      EXPECT_EQ(event.trace_id, 0x5150u);
+      EXPECT_EQ(event.session, "w");
+      EXPECT_GE(event.arg, 0);
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+}
+
+TEST(RecorderTest, SnapshotJsonShapeAndTruncation) {
+  Recorder recorder;
+  for (int i = 0; i < 5; ++i) {
+    recorder.Record(EventKind::kFrameDone, 0xbeef, "s", i);
+  }
+  const json::Value full = recorder.SnapshotJson();
+  const json::Value* events = full.Find("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->size(), 5u);
+  EXPECT_FALSE(full.GetBool("truncated", true));
+  const json::Value& first = events->at(0);
+  EXPECT_EQ(first.GetString("kind"), "frame_done");
+  EXPECT_EQ(first.GetString("trace_id"), "000000000000beef");
+  EXPECT_EQ(first.GetString("session"), "s");
+  EXPECT_EQ(first.GetInt("arg"), 0);
+  EXPECT_GT(first.GetInt("ts_ns"), 0);
+
+  const json::Value limited = recorder.SnapshotJson("", 0, 2);
+  ASSERT_NE(limited.Find("events"), nullptr);
+  EXPECT_EQ(limited.Find("events")->size(), 2u);
+  EXPECT_TRUE(limited.GetBool("truncated"));
+  EXPECT_EQ(limited.Find("events")->at(1).GetInt("arg"), 4);
+}
+
+TEST(RecorderTest, DumpToWritesParsableLines) {
+  Recorder recorder;
+  recorder.Record(EventKind::kJobStart, 0xdeadbeef, "dump-me", 12);
+  recorder.Record(EventKind::kStoreSync, 0, nullptr, -3);
+
+  std::FILE* file = std::tmpfile();
+  ASSERT_NE(file, nullptr);
+  EXPECT_EQ(recorder.DumpTo(fileno(file)), 2u);
+  std::rewind(file);
+  char buffer[4096];
+  const size_t read = std::fread(buffer, 1, sizeof(buffer) - 1, file);
+  std::fclose(file);
+  buffer[read] = '\0';
+
+  // Line format: ts_ns thread kind_name trace_id_hex session arg
+  std::istringstream lines{std::string(buffer)};
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  {
+    std::istringstream fields(line);
+    uint64_t ts = 0;
+    uint32_t thread = 0;
+    std::string kind, trace, session;
+    int64_t arg = 0;
+    fields >> ts >> thread >> kind >> trace >> session >> arg;
+    EXPECT_GT(ts, 0u);
+    EXPECT_EQ(kind, "job_start");
+    EXPECT_EQ(trace, "00000000deadbeef");
+    EXPECT_EQ(session, "dump-me");
+    EXPECT_EQ(arg, 12);
+  }
+  ASSERT_TRUE(std::getline(lines, line));
+  {
+    std::istringstream fields(line);
+    uint64_t ts = 0;
+    uint32_t thread = 0;
+    std::string kind, trace, session;
+    int64_t arg = 0;
+    fields >> ts >> thread >> kind >> trace >> session >> arg;
+    EXPECT_EQ(kind, "store_sync");
+    EXPECT_EQ(trace, "0000000000000000");
+    EXPECT_EQ(session, "-");  // empty session dumps as "-"
+    EXPECT_EQ(arg, -3);
+  }
+  EXPECT_FALSE(std::getline(lines, line));
+}
+
+TEST(RecorderTest, ResetZeroesRingsButKeepsRegistrations) {
+  Recorder recorder;
+  recorder.Record(EventKind::kAdmit, 1, "s");
+  EXPECT_EQ(recorder.Snapshot().size(), 1u);
+  recorder.Reset();
+  EXPECT_TRUE(recorder.Snapshot().empty());
+  EXPECT_EQ(recorder.RingCount(), 1u);
+  recorder.Record(EventKind::kAdmit, 2, "s");
+  EXPECT_EQ(recorder.Snapshot().size(), 1u);
+}
+
+// --------------------------------------------------------- Trace context
+
+TEST(TraceContextTest, MintFormatParseRoundTrip) {
+  const uint64_t a = trace::MintTraceId();
+  const uint64_t b = trace::MintTraceId();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(a, b);
+  const std::string hex = trace::FormatTraceId(a);
+  EXPECT_EQ(hex.size(), 16u);
+  EXPECT_EQ(trace::ParseTraceId(hex), a);
+  EXPECT_EQ(trace::FormatTraceId(0), "");
+  EXPECT_EQ(trace::ParseTraceId(""), 0u);
+  EXPECT_EQ(trace::ParseTraceId("xyz"), 0u);
+  EXPECT_EQ(trace::ParseTraceId("00000000000000ff"), 0xffu);
+}
+
+TEST(TraceContextTest, ScopesNestAndRestore) {
+  EXPECT_EQ(trace::CurrentTraceId(), 0u);
+  {
+    trace::TraceScope outer(11, "outer");
+    EXPECT_EQ(trace::CurrentTraceId(), 11u);
+    EXPECT_STREQ(trace::CurrentContext().session, "outer");
+    {
+      trace::TraceScope inner(22, "inner");
+      EXPECT_EQ(trace::CurrentTraceId(), 22u);
+      EXPECT_STREQ(trace::CurrentContext().session, "inner");
+    }
+    EXPECT_EQ(trace::CurrentTraceId(), 11u);
+    EXPECT_STREQ(trace::CurrentContext().session, "outer");
+  }
+  EXPECT_EQ(trace::CurrentTraceId(), 0u);
 }
 
 }  // namespace

@@ -10,6 +10,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -24,6 +27,9 @@ namespace {
 #endif
 #ifndef SLICETUNER_CLIENT_BIN
 #define SLICETUNER_CLIENT_BIN "./slicetuner_client"
+#endif
+#ifndef SLICETUNER_TOP_BIN
+#define SLICETUNER_TOP_BIN "./slicetuner_top"
 #endif
 
 struct CommandResult {
@@ -307,6 +313,175 @@ TEST(ServeSmokeTest, WarmRestartAcrossRealProcesses) {
   const int second_status = ::pclose(server);
   EXPECT_TRUE(WIFEXITED(second_status));
   EXPECT_EQ(WEXITSTATUS(second_status), 0) << server_tail;
+}
+
+// End-to-end observability surfaces against real binaries: a client-minted
+// trace id rides submit → done frame → trace verb (events + span tree), the
+// metrics verb honors its name-prefix filter, and slicetuner_top --once
+// renders one machine-readable dashboard line off the live daemon.
+TEST(ServeSmokeTest, TraceVerbPrefixFilterAndTopDashboard) {
+  int port = 0;
+  std::FILE* server = LaunchServer("", &port);
+  ASSERT_NE(server, nullptr);
+  ASSERT_GT(port, 0);
+  const std::string client =
+      std::string(SLICETUNER_CLIENT_BIN) + " --port=" + std::to_string(port);
+  const std::string trace_id = "00000000deadbeef";
+
+  // 1. Submit with a client-supplied trace id; the ack echoes it.
+  const CommandResult submitted =
+      RunCommand(client + " submit --session=t1 --rows=40 --budget=40 "
+                          "--rounds=2 --trace-id=" +
+                 trace_id);
+  EXPECT_EQ(submitted.exit_code, 0) << JoinLines(submitted);
+  const json::Value submit_json = LastJson(submitted);
+  EXPECT_TRUE(submit_json.GetBool("ok")) << JoinLines(submitted);
+  EXPECT_EQ(submit_json.GetString("trace_id"), trace_id)
+      << JoinLines(submitted);
+
+  // 2. The done frame closes the trace: same id, plus the job's span tree
+  // with one child span per tuning round.
+  const CommandResult streamed = RunCommand(client + " stream --session=t1");
+  EXPECT_EQ(streamed.exit_code, 0) << JoinLines(streamed);
+  bool saw_done = false;
+  for (const std::string& line : streamed.lines) {
+    const Result<json::Value> frame = json::Value::Parse(line);
+    if (!frame.ok() || frame->GetString("frame") != "done") continue;
+    saw_done = true;
+    EXPECT_EQ(frame->GetString("trace_id"), trace_id) << line;
+    const json::Value* tree = frame->Find("trace");
+    ASSERT_NE(tree, nullptr) << line;
+    EXPECT_EQ(tree->GetString("name"), "job");
+    EXPECT_EQ(tree->GetString("trace_id"), trace_id);
+    const json::Value* rounds = tree->Find("rounds");
+    ASSERT_NE(rounds, nullptr) << line;
+    EXPECT_EQ(rounds->size(), 2u) << line;
+  }
+  EXPECT_TRUE(saw_done) << JoinLines(streamed);
+
+  // 3. The trace verb replays the request's flight-recorder events and the
+  // session's span tree. Every event carries the session we filtered on,
+  // and the job lifecycle markers are present.
+  const CommandResult traced =
+      RunCommand(client + " trace --session=t1 --limit=200");
+  EXPECT_EQ(traced.exit_code, 0) << JoinLines(traced);
+  const json::Value trace_json = LastJson(traced);
+  ASSERT_TRUE(trace_json.GetBool("ok")) << JoinLines(traced);
+  EXPECT_EQ(trace_json.GetString("state"), "done");
+  const json::Value* events = trace_json.Find("events");
+  ASSERT_NE(events, nullptr) << JoinLines(traced);
+  ASSERT_GT(events->size(), 0u) << JoinLines(traced);
+  std::set<std::string> kinds;
+  for (const json::Value& event : events->items()) {
+    EXPECT_EQ(event.GetString("session"), "t1") << event.Dump();
+    EXPECT_GT(event.GetInt("ts_ns"), 0) << event.Dump();
+    kinds.insert(event.GetString("kind"));
+  }
+  for (const char* kind : {"job_start", "round_start", "job_done"}) {
+    EXPECT_TRUE(kinds.count(kind)) << "missing " << kind << " in "
+                                   << JoinLines(traced);
+  }
+  const json::Value* verb_tree = trace_json.Find("trace");
+  ASSERT_NE(verb_tree, nullptr) << JoinLines(traced);
+  EXPECT_EQ(verb_tree->GetString("trace_id"), trace_id);
+
+  // Filtering by trace id instead of session returns only that request's
+  // events.
+  const json::Value by_id =
+      LastJson(RunCommand(client + " trace --trace-id=" + trace_id));
+  ASSERT_TRUE(by_id.GetBool("ok")) << by_id.Dump();
+  const json::Value* id_events = by_id.Find("events");
+  ASSERT_NE(id_events, nullptr);
+  ASSERT_GT(id_events->size(), 0u);
+  for (const json::Value& event : id_events->items()) {
+    EXPECT_EQ(event.GetString("trace_id"), trace_id) << event.Dump();
+  }
+
+  // 4. The metrics name-prefix filter: a store_ prefix must drop every
+  // serve_ series from all three sections.
+  const json::Value filtered =
+      LastJson(RunCommand(client + " metrics --prefix=serve_"));
+  ASSERT_TRUE(filtered.GetBool("ok")) << filtered.Dump();
+  const json::Value* counters = filtered.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_GT(counters->members().size(), 0u);
+  for (const auto& member : counters->members()) {
+    EXPECT_EQ(member.first.rfind("serve_", 0), 0u) << member.first;
+  }
+  const json::Value* gauges = filtered.Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  for (const auto& member : gauges->members()) {
+    EXPECT_EQ(member.first.rfind("serve_", 0), 0u) << member.first;
+  }
+
+  // 5. slicetuner_top --once: one machine-readable snapshot line off the
+  // same daemon, with per-worker request counts.
+  const CommandResult top = RunCommand(std::string(SLICETUNER_TOP_BIN) +
+                                       " --port=" + std::to_string(port) +
+                                       " --once");
+  EXPECT_EQ(top.exit_code, 0) << JoinLines(top);
+  const json::Value top_json = LastJson(top);
+  EXPECT_GE(top_json.GetInt("requests_total"), 2) << JoinLines(top);
+  EXPECT_GE(top_json.GetInt("jobs_done_total"), 1) << JoinLines(top);
+  EXPECT_GE(top_json.GetInt("sessions"), 1) << JoinLines(top);
+  const json::Value* workers = top_json.Find("worker_requests");
+  ASSERT_NE(workers, nullptr) << JoinLines(top);
+  EXPECT_GT(workers->size(), 0u) << JoinLines(top);
+
+  EXPECT_EQ(RunCommand(client + " shutdown").exit_code, 0);
+  char buf[4096];
+  while (std::fgets(buf, sizeof(buf), server) != nullptr) {
+  }
+  const int server_status = ::pclose(server);
+  EXPECT_TRUE(WIFEXITED(server_status));
+  EXPECT_EQ(WEXITSTATUS(server_status), 0);
+}
+
+// Crash dumps: a deliberate SIGABRT inside the daemon must leave a
+// parseable flight-recorder dump (and a best-effort metrics exposition)
+// under <state-dir>/crash/ — the post-mortem contract of
+// docs/OBSERVABILITY.md, exercised with the real signal handler.
+TEST(ServeSmokeTest, CrashDumpSurvivesDeliberateAbort) {
+  const std::string state_dir = testing::TempDir() + "/smoke_crash";
+  (void)RunCommand("rm -rf " + state_dir);
+
+  const CommandResult crashed =
+      RunCommand(std::string(SLICETUNER_SERVE_BIN) +
+                 " --port=0 --state-dir=" + state_dir + " --crash-test=abort");
+  // SIGABRT through the shell surfaces as exit 128 + 6.
+  EXPECT_EQ(crashed.exit_code, 134) << JoinLines(crashed);
+  EXPECT_NE(JoinLines(crashed).find("crash-test: raising SIGABRT"),
+            std::string::npos)
+      << JoinLines(crashed);
+
+  // The recorder dump is line-oriented text written from the signal
+  // handler: `ts_ns thread kind trace_id session arg`, one record per
+  // line, including the events the crash-test path recorded.
+  std::ifstream recorder_dump(state_dir + "/crash/recorder.txt");
+  ASSERT_TRUE(recorder_dump.is_open()) << "missing crash recorder dump";
+  bool saw_recv = false;
+  bool saw_done = false;
+  std::string line;
+  while (std::getline(recorder_dump, line)) {
+    std::istringstream fields(line);
+    long long ts_ns = 0;
+    long long thread = -1;
+    std::string kind, dumped_id, session, arg;
+    fields >> ts_ns >> thread >> kind >> dumped_id >> session >> arg;
+    EXPECT_GT(ts_ns, 0) << line;
+    EXPECT_GE(thread, 0) << line;
+    EXPECT_FALSE(kind.empty()) << line;
+    EXPECT_EQ(dumped_id.size(), 16u) << line;
+    if (session == "crash-test" && kind == "request_recv") saw_recv = true;
+    if (session == "crash-test" && kind == "request_done") saw_done = true;
+  }
+  EXPECT_TRUE(saw_recv);
+  EXPECT_TRUE(saw_done);
+
+  // The metrics exposition is best-effort but present on this controlled
+  // abort.
+  std::ifstream metrics_dump(state_dir + "/crash/metrics.txt");
+  EXPECT_TRUE(metrics_dump.is_open()) << "missing crash metrics dump";
 }
 
 }  // namespace

@@ -8,10 +8,19 @@
 //   slicetuner_client --port=N stream --session=s1   # prints frames to done
 //   slicetuner_client --port=N cancel --session=s1
 //   slicetuner_client --port=N stats
-//   slicetuner_client --port=N metrics    # process metrics registry JSON
+//   slicetuner_client --port=N metrics [--prefix=serve_]
+//       process metrics registry JSON, optionally name-prefix filtered
+//   slicetuner_client --port=N trace [--session=s1] [--trace-id=HEX]
+//                     [--limit=N]
+//       recent flight-recorder events (merged timeline) and, with a
+//       session filter, the last job's span tree
 //   slicetuner_client --port=N snapshot   # checkpoint the state dir
 //   slicetuner_client --port=N restore    # re-merge state-dir sessions
 //   slicetuner_client --port=N shutdown
+//
+// Any command may carry --trace-id=HEX (16 hex chars): the id is installed
+// for the request's whole life on the server and echoed in the response;
+// on `trace` it is the event filter instead.
 //
 // Every server line is echoed to stdout. Exit code 0 iff the request was
 // acknowledged ok (and, for stream, the session finished with a done frame).
@@ -29,8 +38,9 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: slicetuner_client --port=N "
-               "(submit|poll|stream|cancel|stats|metrics|snapshot|restore|"
-               "shutdown) [--session=NAME] [flags]\n");
+               "(submit|poll|stream|cancel|stats|metrics|trace|snapshot|"
+               "restore|shutdown) [--session=NAME] [--trace-id=HEX] "
+               "[flags]\n");
   return 2;
 }
 
@@ -55,6 +65,7 @@ int main(int argc, char** argv) {
 
   serve::Request request;
   request.session = bench::ParseStringFlag(argc, argv, "--session=", "");
+  request.trace_id = bench::ParseStringFlag(argc, argv, "--trace-id=", "");
   if (command == "submit") {
     request.type = serve::RequestType::kSubmitJob;
     request.job.session = request.session;
@@ -83,6 +94,10 @@ int main(int argc, char** argv) {
     request.type = serve::RequestType::kStats;
   } else if (command == "metrics") {
     request.type = serve::RequestType::kMetrics;
+    request.prefix = bench::ParseStringFlag(argc, argv, "--prefix=", "");
+  } else if (command == "trace") {
+    request.type = serve::RequestType::kTrace;
+    request.limit = bench::ParseIntFlag(argc, argv, "--limit=", 0);
   } else if (command == "snapshot") {
     request.type = serve::RequestType::kSnapshot;
   } else if (command == "restore") {

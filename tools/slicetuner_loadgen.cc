@@ -310,6 +310,10 @@ int main(int argc, char** argv) {
   const bool shed_ok = report.shed_rate() <= slo_shed_rate;
   const bool poll_ok = poll_p99_ms <= slo_poll_p99_ms;
   const bool submit_ok = submit_done_p99_ms <= slo_submit_p99_ms;
+  // Every clean done session's closing poll echoed the trace id its final
+  // submit carried (end-to-end propagation; docs/PROTOCOL.md "trace_id").
+  const bool trace_ids_echoed =
+      report.trace_ids_echoed && report.trace_checked > 0;
 
   const double jobs_per_sec =
       report.wall_seconds > 0.0
@@ -335,6 +339,7 @@ int main(int argc, char** argv) {
   summary.Set("sessions_cancelled", report.cancelled);
   summary.Set("oracle_checked", oracle.checked);
   summary.Set("oracle_skipped", oracle.skipped);
+  summary.Set("trace_checked", report.trace_checked);
   summary.Set("replay_wall_seconds", report.wall_seconds);
   summary.Set("load_jobs_per_sec", jobs_per_sec);
   summary.Set("shed_rate", report.shed_rate());
@@ -345,6 +350,7 @@ int main(int argc, char** argv) {
   summary.Set("no_acknowledged_lost", none_lost);
   summary.Set("restart_recovered", restart_recovered);
   summary.Set("oracle_match", oracle_match);
+  summary.Set("trace_ids_echoed", trace_ids_echoed);
   summary.Set("slo_shed_rate_ok", shed_ok);
   summary.Set("slo_poll_p99_ok", poll_ok);
   summary.Set("slo_submit_p99_ok", submit_ok);
@@ -355,8 +361,8 @@ int main(int argc, char** argv) {
   ST_CHECK_OK(bench::WriteBenchJson(out, summary));
 
   const bool pass = all_terminal && none_failed && none_lost &&
-                    restart_recovered && oracle_match && shed_ok &&
-                    poll_ok && submit_ok && clean_shutdown;
+                    restart_recovered && oracle_match && trace_ids_echoed &&
+                    shed_ok && poll_ok && submit_ok && clean_shutdown;
   std::printf("SLO: shed %.3f (<= %.2f %s), poll p99 %.1f ms (<= %.0f %s), "
               "submit->done p99 %.1f ms (<= %.0f %s)\n",
               report.shed_rate(), slo_shed_rate, shed_ok ? "ok" : "FAIL",

@@ -19,20 +19,88 @@
 // dumps to stdout. Live values are available any time via the `metrics`
 // protocol verb.
 //
+// With --state-dir, a crash handler is installed for SIGSEGV / SIGBUS /
+// SIGABRT that writes the flight recorder's last events to
+// <state-dir>/crash/recorder.txt (async-signal-safe: write(2) only) and a
+// best-effort metrics exposition to <state-dir>/crash/metrics.txt, then
+// re-raises the signal so the exit status still reports the crash.
+// --crash-test=abort is the hidden hook the smoke test uses to exercise
+// that path deliberately.
+//
 // Honors SLICETUNER_LOG_LEVEL (debug|info|warning|error|none) and
 // SLICETUNER_LOG_JSON=1 for structured logs (src/common/logging.h).
 //
 // Prints "slicetuner_serve listening on 127.0.0.1:<port>" once ready (the
 // smoke test and scripts read the ephemeral port off this line).
 
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "bench/bench_util.h"
 #include "common/fs_util.h"
 #include "common/logging.h"
+#include "common/trace_context.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "serve/server.h"
+
+namespace {
+
+// Fixed buffers the crash handler may touch: a signal handler must not
+// allocate, so the full dump paths are rendered at install time.
+char g_crash_recorder_path[512] = {0};
+char g_crash_metrics_path[512] = {0};
+
+void CrashHandler(int signo) {
+  // Restore the default disposition first: a second fault inside the
+  // handler (or the re-raise below) must terminate, not recurse.
+  signal(signo, SIG_DFL);
+  if (g_crash_recorder_path[0] != '\0') {
+    const int fd = open(g_crash_recorder_path,
+                        O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      // Strictly async-signal-safe: stack buffers + write(2) only.
+      slicetuner::obs::Recorder::Global().DumpTo(fd);
+      close(fd);
+    }
+  }
+  if (g_crash_metrics_path[0] != '\0') {
+    // TextExposition allocates and takes the registry mutex — not
+    // signal-safe, so this is best effort and runs last: if it hangs or
+    // faults, the recorder dump above is already on disk.
+    const int fd = open(g_crash_metrics_path,
+                        O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      const std::string text =
+          slicetuner::obs::MetricsRegistry::Global().TextExposition();
+      const ssize_t ignored = write(fd, text.data(), text.size());
+      (void)ignored;
+      close(fd);
+    }
+  }
+  raise(signo);
+}
+
+void InstallCrashHandler(const std::string& crash_dir) {
+  std::snprintf(g_crash_recorder_path, sizeof(g_crash_recorder_path),
+                "%s/recorder.txt", crash_dir.c_str());
+  std::snprintf(g_crash_metrics_path, sizeof(g_crash_metrics_path),
+                "%s/metrics.txt", crash_dir.c_str());
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = CrashHandler;
+  sigemptyset(&action.sa_mask);
+  sigaction(SIGSEGV, &action, nullptr);
+  sigaction(SIGBUS, &action, nullptr);
+  sigaction(SIGABRT, &action, nullptr);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace slicetuner;
@@ -57,6 +125,28 @@ int main(int argc, char** argv) {
   options.state_dir = bench::ParseStringFlag(argc, argv, "--state-dir=", "");
   const std::string metrics_dump =
       bench::ParseStringFlag(argc, argv, "--metrics-dump=", "");
+  const std::string crash_test =
+      bench::ParseStringFlag(argc, argv, "--crash-test=", "");
+
+  if (!options.state_dir.empty()) {
+    // Pre-create the crash directory now: the handler itself may only
+    // open(2) a path that already resolves.
+    const std::string crash_dir = options.state_dir + "/crash";
+    ST_CHECK_OK(MkDirRecursive(crash_dir));
+    InstallCrashHandler(crash_dir);
+  }
+
+  if (crash_test == "abort") {
+    // Deliberate crash for the smoke test: drop a recognizable event into
+    // the flight recorder under a fresh trace id, then abort through the
+    // handler so the dump demonstrably round-trips.
+    trace::TraceScope scope(trace::MintTraceId(), "crash-test");
+    obs::Recorder::Global().RecordHere(obs::EventKind::kRequestRecv, 0);
+    obs::Recorder::Global().RecordHere(obs::EventKind::kRequestDone, 0);
+    std::printf("crash-test: raising SIGABRT\n");
+    std::fflush(stdout);
+    std::abort();
+  }
 
   serve::TuningServer server(options);
   ST_CHECK_OK(server.Start());
