@@ -125,8 +125,12 @@ uint32_t Crc32(const std::string& data, uint32_t seed) {
   return Crc32(data.data(), data.size(), seed);
 }
 
-Status WriteFileAtomic(const std::string& path, const std::string& content) {
+Status WriteFileAtomic(const std::string& path, const std::string& content,
+                       const AtomicWriteHooks* hooks) {
   const std::string tmp = path + ".tmp";
+  if (hooks != nullptr && hooks->before_write) {
+    ST_RETURN_NOT_OK(hooks->before_write());
+  }
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
     return Status::NotFound("WriteFileAtomic: cannot open " + tmp);
@@ -139,9 +143,19 @@ Status WriteFileAtomic(const std::string& path, const std::string& content) {
     std::remove(tmp.c_str());
     return Status::Internal("WriteFileAtomic: write failed for " + tmp);
   }
+  if (hooks != nullptr && hooks->pre_rename) {
+    const Status aborted = hooks->pre_rename();
+    if (!aborted.ok()) {
+      std::remove(tmp.c_str());
+      return aborted;
+    }
+  }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     return Status::Internal("WriteFileAtomic: rename to " + path + " failed");
+  }
+  if (hooks != nullptr && hooks->post_rename) {
+    ST_RETURN_NOT_OK(hooks->post_rename());
   }
   BestEffortSyncDir(ParentDir(path));
   return Status::OK();

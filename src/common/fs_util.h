@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -41,12 +42,30 @@ Status WriteStringToFile(const std::string& path, const std::string& content);
 uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
 uint32_t Crc32(const std::string& data, uint32_t seed = 0);
 
+/// Optional seams inside WriteFileAtomic, one per durability boundary.
+/// Each hook (when set) runs at its boundary; a non-OK return aborts the
+/// write with that status. Production callers pass nothing; the store's
+/// FaultInjector (src/store/fault_injector.h) wires these for snapshot
+/// crash/EIO tests.
+struct AtomicWriteHooks {
+  /// Before the tmp file is opened (an injected ENOSPC/EIO: `path` and the
+  /// tmp file are untouched).
+  std::function<Status()> before_write;
+  /// Tmp file written + fsynced, rename not yet issued (`path` still holds
+  /// the old content; the tmp file is removed on abort).
+  std::function<Status()> pre_rename;
+  /// Renamed, parent directory not yet fsynced (`path` already holds the
+  /// new content; an abort here models a crash after publication).
+  std::function<Status()> post_rename;
+};
+
 /// Crash-safe file replacement: writes `content` to `path + ".tmp"`, fsyncs
 /// it, renames it over `path`, and fsyncs the parent directory. A reader
 /// (or a post-crash recovery) sees either the old file or the complete new
 /// one, never a torn mix — the invariant snapshot writes depend on
 /// (docs/STATE.md).
-Status WriteFileAtomic(const std::string& path, const std::string& content);
+Status WriteFileAtomic(const std::string& path, const std::string& content,
+                       const AtomicWriteHooks* hooks = nullptr);
 
 /// Flushes a file's contents to stable storage (open + fsync + close).
 Status SyncFile(const std::string& path);

@@ -86,6 +86,18 @@ Status TuningServer::OpenStateDir() {
                                  /*skip_existing=*/false));
   sessions_.AttachStore(store_.get());
   ST_RETURN_NOT_OK(store_->Compact(sessions_.DurableSnapshot()));
+  store_->SetTailWarnBytes(
+      options_.journal_tail_warn_bytes > 0
+          ? static_cast<size_t>(options_.journal_tail_warn_bytes)
+          : 0);
+  if (options_.maintenance.Enabled()) {
+    maintenance_ = std::make_unique<store::MaintenanceManager>(
+        store_.get(), options_.maintenance,
+        [this] { return sessions_.DurableSnapshot(); });
+    sessions_.SetJobFinishedCallback(
+        [this] { maintenance_->NotifyJobFinished(); });
+    maintenance_->Start();
+  }
   ServeMetrics::Get().replay_ms->Set(
       static_cast<double>(obs::MonotonicNanos() - replay_start_ns) / 1e6);
   return Status::OK();
@@ -173,6 +185,9 @@ void TuningServer::Wait() {
     if (dispatcher.joinable()) dispatcher.join();
   }
   if (cancel_thread_.joinable()) cancel_thread_.join();
+  // Quiesce maintenance before the closing checkpoint: a checkpoint in
+  // flight completes, and no new one starts underneath WriteFinalSnapshot.
+  if (maintenance_ != nullptr) maintenance_->Stop();
   // Every loop has exited: sessions are quiescent, so the closing
   // checkpoint captures every curve cache and the next start resumes warm
   // without replaying the journal.
@@ -244,6 +259,13 @@ json::Value TuningServer::StatsJson() const {
   if (store_ != nullptr) {
     json::Value store_json = store_->StatsJson();
     store_json.Set("startup_restore", restore_report_.ToJson());
+    if (maintenance_ != nullptr) {
+      store_json.Set("maintenance", maintenance_->StatsJson());
+    } else {
+      json::Value disabled = json::Value::Object();
+      disabled.Set("enabled", false);
+      store_json.Set("maintenance", std::move(disabled));
+    }
     out.Set("store", std::move(store_json));
   }
   return out;

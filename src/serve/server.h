@@ -38,6 +38,7 @@
 #include "serve/event_loop.h"
 #include "serve/protocol.h"
 #include "serve/session_manager.h"
+#include "store/maintenance.h"
 #include "store/store.h"
 
 namespace slicetuner {
@@ -73,6 +74,15 @@ struct ServerOptions {
   /// server journals session lifecycles, honors the `snapshot`/`restore`
   /// admin verbs, and checkpoints once more on graceful shutdown.
   std::string state_dir;
+  /// Background maintenance cadence (requires state_dir). When a trigger is
+  /// set, a maintenance thread checkpoints the store online — collapsing
+  /// sealed journal generations into a fresh snapshot and retiring both —
+  /// without pausing serving (src/store/maintenance.h).
+  store::MaintenancePolicy maintenance;
+  /// Un-snapshotted journal tail size that logs a warning and raises the
+  /// store_journal_tail_bytes gauge alarm even when maintenance is off
+  /// (0 disables the warning).
+  long long journal_tail_warn_bytes = 64 * 1024 * 1024;
 };
 
 class TuningServer {
@@ -100,6 +110,9 @@ class TuningServer {
   const AdmissionController& admission() const { return admission_; }
   /// The durable store backing this server; nullptr without a state dir.
   store::DurableStore* durable_store() { return store_.get(); }
+  /// The background maintenance thread; nullptr unless the policy has a
+  /// trigger configured and a state dir is set.
+  store::MaintenanceManager* maintenance() { return maintenance_.get(); }
   /// What startup recovery did (empty report without a state dir).
   const RestoreReport& restore_report() const { return restore_report_; }
 
@@ -144,6 +157,9 @@ class TuningServer {
   SessionManager sessions_;
   AdmissionController admission_;
   std::unique_ptr<store::DurableStore> store_;
+  // Declared after store_ so its destructor (which joins the maintenance
+  // thread) runs before the store goes away.
+  std::unique_ptr<store::MaintenanceManager> maintenance_;
   RestoreReport restore_report_;
   std::atomic<bool> final_snapshot_written_{false};
 

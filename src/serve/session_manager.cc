@@ -859,14 +859,26 @@ size_t SessionManager::session_count() const {
 }
 
 void SessionManager::RecordOutcome(const Status& status) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (status.ok()) {
-    ++stats_.completed;
-  } else if (status.code() == StatusCode::kCancelled) {
-    ++stats_.cancelled;
-  } else {
-    ++stats_.failed;
+  std::function<void()> callback;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (status.ok()) {
+      ++stats_.completed;
+    } else if (status.code() == StatusCode::kCancelled) {
+      ++stats_.cancelled;
+    } else {
+      ++stats_.failed;
+    }
+    callback = job_finished_callback_;
   }
+  // Outside the lock: the callback reaches into store maintenance, which
+  // may itself be mid-checkpoint calling DurableSnapshot (needs mu_).
+  if (callback) callback();
+}
+
+void SessionManager::SetJobFinishedCallback(std::function<void()> callback) {
+  std::lock_guard<std::mutex> lock(mu_);
+  job_finished_callback_ = std::move(callback);
 }
 
 SessionManagerStats SessionManager::stats() const {

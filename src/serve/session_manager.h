@@ -282,6 +282,11 @@ class SessionManager {
   /// Records a session's terminal outcome (called by the dispatcher).
   void RecordOutcome(const Status& status);
 
+  /// Invoked (outside the manager lock) after every RecordOutcome — the
+  /// finished-job notification store maintenance keys its snapshot cadence
+  /// off (src/store/maintenance.h). Set before serving traffic.
+  void SetJobFinishedCallback(std::function<void()> callback);
+
   SessionManagerStats stats() const;
   json::Value StatsJson() const;
 
@@ -321,6 +326,7 @@ class SessionManager {
   // them to their owner).
   std::unordered_set<std::string> restoring_names_;
   std::function<void()> restore_hook_;
+  std::function<void()> job_finished_callback_;
 };
 
 }  // namespace serve

@@ -1,0 +1,124 @@
+#include "store/fault_injector.h"
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace slicetuner {
+namespace store {
+
+const std::vector<std::string>& MaintenanceCrashPoints() {
+  static const std::vector<std::string>& points = *new std::vector<std::string>{
+      fault::kMaintSeal,
+      fault::kMaintRotate,
+      fault::kJournalOpen,
+      fault::kMaintFold,
+      fault::kMaintPreserve,
+      fault::kSnapshotWriteTmp,
+      fault::kSnapshotPreRename,
+      fault::kSnapshotPostRename,
+      fault::kMaintPostSnapshotPreRetire,
+      fault::kMaintRetireJournal,
+      fault::kMaintRetireSnapshot,
+  };
+  return points;
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector& injector = *new FaultInjector();
+  return injector;
+}
+
+FaultInjector::FaultInjector() {
+  const char* env = std::getenv("SLICETUNER_FAULT_CRASH");
+  if (env == nullptr || env[0] == '\0') return;
+  crash_point_ = env;
+  const size_t colon = crash_point_.find(':');
+  if (colon != std::string::npos) {
+    crash_skip_ = std::atoi(crash_point_.c_str() + colon + 1);
+    crash_point_.resize(colon);
+  }
+  active_.store(true, std::memory_order_relaxed);
+}
+
+Status FaultInjector::Reached(const char* point) {
+  if (!active_.load(std::memory_order_relaxed)) return Status::OK();
+  std::unique_lock<std::mutex> lock(mu_);
+  ++hits_[point];
+
+  if (!crash_point_.empty() && crash_point_ == point) {
+    if (crash_skip_ > 0) {
+      --crash_skip_;
+    } else {
+      // Die like a kill -9 at this exact state transition: no stdio
+      // flush, no destructors, nothing buffered reaches disk.
+      char msg[160];
+      std::snprintf(msg, sizeof(msg),
+                    "fault-injector: crashing at %s (SLICETUNER_FAULT_CRASH)\n",
+                    point);
+      const ssize_t ignored = ::write(2, msg, std::strlen(msg));
+      (void)ignored;
+      ::_exit(kCrashExitCode);
+    }
+  }
+
+  const auto it = arms_.find(point);
+  if (it == arms_.end()) return Status::OK();
+  Arm& arm = it->second;
+  if (arm.skip > 0) {
+    --arm.skip;
+    return Status::OK();
+  }
+  if (arm.remaining == 0) return Status::OK();
+  if (arm.remaining > 0) --arm.remaining;
+  if (arm.hook) {
+    // One-shot: drop the arm before running so a hook that re-enters the
+    // durability path (e.g. reads files while copying the state dir) can
+    // never re-trigger itself. The lock stays held — a consistent crash
+    // image requires that no writer races the copy anyway.
+    std::function<Status()> hook = std::move(arm.hook);
+    arms_.erase(it);
+    return hook();
+  }
+  return arm.error;
+}
+
+void FaultInjector::ArmFailure(const std::string& point, Status error,
+                               int skip, int count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Arm arm;
+  arm.error = std::move(error);
+  arm.skip = skip;
+  arm.remaining = count;
+  arms_[point] = std::move(arm);
+  active_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::ArmHook(const std::string& point,
+                            std::function<Status()> hook, int skip) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Arm arm;
+  arm.hook = std::move(hook);
+  arm.skip = skip;
+  arm.remaining = 1;
+  arms_[point] = std::move(arm);
+  active_.store(true, std::memory_order_relaxed);
+}
+
+size_t FaultInjector::HitCount(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = hits_.find(point);
+  return it == hits_.end() ? 0 : it->second;
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  arms_.clear();
+  hits_.clear();
+  active_.store(!crash_point_.empty(), std::memory_order_relaxed);
+}
+
+}  // namespace store
+}  // namespace slicetuner

@@ -1,0 +1,126 @@
+// FaultInjector: the testability seam of the durable-state store. Every
+// state transition on the durability path — journal append/fsync/open,
+// the atomic snapshot replace, and each phase of an online maintenance
+// checkpoint — calls FaultInjector::Global().Reached(point) with a stable
+// point name. In production every call is one relaxed atomic load; armed,
+// a point can
+//
+//   * fail: return an injected Status (simulated EIO / ENOSPC / fsync
+//     failure) that the caller must propagate without corrupting state,
+//   * run a hook: e.g. copy the state directory aside, capturing a
+//     bit-exact "crash image" of the disk at that instant for recovery
+//     tests, then fail the operation,
+//   * kill the process: SLICETUNER_FAULT_CRASH=<point>[:skip] in the
+//     environment makes the (skip+1)-th visit _exit(kCrashExitCode)
+//     without flushing buffers — a faithful SIGKILL at a named state
+//     transition, used by the serve-layer crash/restart E2E tests.
+//
+// tests/store_maintenance_test.cc iterates MaintenanceCrashPoints() —
+// every point a maintenance checkpoint passes through, in order — and
+// asserts recovery from a crash at each is bit-identical to an
+// uninterrupted control. Adding a point to the checkpoint path means
+// adding it to that list; the suite fails if an armed point is never
+// reached, so the list cannot rot.
+
+#ifndef SLICETUNER_STORE_FAULT_INJECTOR_H_
+#define SLICETUNER_STORE_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <string>
+#include <mutex>
+#include <vector>
+
+#include "common/result.h"
+
+namespace slicetuner {
+namespace store {
+
+namespace fault {
+
+// Journal (src/store/journal.cc).
+inline constexpr const char kJournalOpen[] = "journal.open";
+inline constexpr const char kJournalAppend[] = "journal.append";
+inline constexpr const char kJournalAppendShortWrite[] =
+    "journal.append.short_write";
+inline constexpr const char kJournalSync[] = "journal.sync";
+
+// Atomic snapshot replace (src/store/snapshot.cc via common/fs_util.h).
+inline constexpr const char kSnapshotWriteTmp[] = "snapshot.write_tmp";
+inline constexpr const char kSnapshotPreRename[] = "snapshot.pre_rename";
+inline constexpr const char kSnapshotPostRename[] = "snapshot.post_rename";
+
+// Online maintenance checkpoint phases (DurableStore::CheckpointOnline).
+inline constexpr const char kMaintSeal[] = "maint.seal";
+inline constexpr const char kMaintRotate[] = "maint.rotate";
+inline constexpr const char kMaintFold[] = "maint.fold";
+inline constexpr const char kMaintPreserve[] = "maint.preserve";
+inline constexpr const char kMaintPostSnapshotPreRetire[] =
+    "maint.post_snapshot.pre_retire";
+inline constexpr const char kMaintRetireJournal[] = "maint.retire.journal";
+inline constexpr const char kMaintRetireSnapshot[] = "maint.retire.snapshot";
+
+}  // namespace fault
+
+/// Every injection point an online maintenance checkpoint passes through,
+/// in the order one checkpoint reaches them (journal.open fires during the
+/// rotate phase). The crash-point recovery suite iterates this list.
+const std::vector<std::string>& MaintenanceCrashPoints();
+
+class FaultInjector {
+ public:
+  /// Exit code of an environment-armed crash (distinct from the abort and
+  /// SIGKILL codes the serve tests already assert on).
+  static constexpr int kCrashExitCode = 42;
+
+  /// The process-wide instance every store injection point consults.
+  static FaultInjector& Global();
+
+  /// Called at `point` on the durability path. Returns OK (and is one
+  /// relaxed load) unless a test armed this point or the environment armed
+  /// a crash for it.
+  Status Reached(const char* point);
+
+  /// The next `count` visits to `point` after `skip` unarmed ones fail
+  /// with `error` (count < 0 = every visit).
+  void ArmFailure(const std::string& point, Status error, int skip = 0,
+                  int count = -1);
+
+  /// The first visit to `point` after `skip` unarmed ones runs `hook`; a
+  /// non-OK return fails the operation at that point. Typical use: copy
+  /// the state directory aside (a crash image), then return an error.
+  void ArmHook(const std::string& point, std::function<Status()> hook,
+               int skip = 0);
+
+  /// Visits to `point` since arming began (0 while nothing is armed:
+  /// counting only happens when the injector is active).
+  size_t HitCount(const std::string& point) const;
+
+  /// Clears every arm and hit count. Environment crash arming persists.
+  void Reset();
+
+ private:
+  FaultInjector();
+
+  struct Arm {
+    Status error = Status::OK();
+    std::function<Status()> hook;
+    int skip = 0;
+    int remaining = -1;  // failures left; < 0 = unlimited
+  };
+
+  std::atomic<bool> active_{false};
+  mutable std::mutex mu_;
+  std::map<std::string, Arm> arms_;
+  std::map<std::string, size_t> hits_;
+  // SLICETUNER_FAULT_CRASH=<point>[:skip], parsed once at construction.
+  std::string crash_point_;
+  int crash_skip_ = 0;
+};
+
+}  // namespace store
+}  // namespace slicetuner
+
+#endif  // SLICETUNER_STORE_FAULT_INJECTOR_H_

@@ -8,6 +8,7 @@
 
 #include "common/fs_util.h"
 #include "common/string_util.h"
+#include "store/fault_injector.h"
 
 namespace slicetuner {
 namespace store {
@@ -139,6 +140,7 @@ JournalWriter::JournalWriter(JournalWriter&& other) noexcept
     : path_(std::move(other.path_)),
       file_(other.file_),
       records_appended_(other.records_appended_),
+      valid_length_(other.valid_length_),
       dirty_(other.dirty_) {
   other.file_ = nullptr;
   other.dirty_ = false;
@@ -150,6 +152,7 @@ JournalWriter& JournalWriter::operator=(JournalWriter&& other) noexcept {
     path_ = std::move(other.path_);
     file_ = other.file_;
     records_appended_ = other.records_appended_;
+    valid_length_ = other.valid_length_;
     dirty_ = other.dirty_;
     other.file_ = nullptr;
     other.dirty_ = false;
@@ -158,6 +161,7 @@ JournalWriter& JournalWriter::operator=(JournalWriter&& other) noexcept {
 }
 
 Result<JournalWriter> JournalWriter::Open(const std::string& path) {
+  ST_RETURN_NOT_OK(FaultInjector::Global().Reached(fault::kJournalOpen));
   ST_ASSIGN_OR_RETURN(const JournalReadResult existing, ReadJournal(path));
   if (existing.tail_truncated) {
     // Physically drop the torn tail so appends continue a valid prefix.
@@ -169,6 +173,7 @@ Result<JournalWriter> JournalWriter::Open(const std::string& path) {
   }
   JournalWriter writer;
   writer.path_ = path;
+  writer.valid_length_ = existing.valid_bytes;
   writer.file_ = std::fopen(path.c_str(), "ab");
   if (writer.file_ == nullptr) {
     return Status::NotFound("JournalWriter: cannot open " + path);
@@ -181,18 +186,50 @@ Status JournalWriter::Append(const json::Value& payload) {
     return Status::FailedPrecondition("JournalWriter: append after close");
   }
   const std::string line = FrameRecord(payload);
-  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
-    return Status::Internal("JournalWriter: append to " + path_ + " failed");
+  FaultInjector& injector = FaultInjector::Global();
+  const Status eio = injector.Reached(fault::kJournalAppend);
+  const Status short_write =
+      eio.ok() ? injector.Reached(fault::kJournalAppendShortWrite)
+               : Status::OK();
+  bool wrote_ok = false;
+  if (eio.ok() && short_write.ok()) {
+    wrote_ok = std::fwrite(line.data(), 1, line.size(), file_) == line.size();
+  } else if (!short_write.ok()) {
+    // Injected short write: half the frame reaches the file, like a real
+    // mid-record EIO/ENOSPC — then the heal path below must undo it.
+    (void)std::fwrite(line.data(), 1, line.size() / 2, file_);
   }
-  ++records_appended_;
-  dirty_ = true;
-  return Status::OK();
+  if (wrote_ok) {
+    ++records_appended_;
+    valid_length_ += line.size();
+    dirty_ = true;
+    return Status::OK();
+  }
+  // Heal: truncate back to the last complete record so the generation
+  // stays a valid prefix. Without this, a later successful append would
+  // leave intact records after the damage — the mid-file-corruption shape
+  // recovery refuses to touch.
+  std::clearerr(file_);
+  const bool healed =
+      std::fflush(file_) == 0 &&
+      ::ftruncate(::fileno(file_), static_cast<off_t>(valid_length_)) == 0;
+  if (!healed) {
+    (void)std::fclose(file_);
+    file_ = nullptr;
+    return Status::Internal("JournalWriter: append to " + path_ +
+                            " failed and the partial record could not be "
+                            "truncated away; writer closed");
+  }
+  if (!eio.ok()) return eio;
+  if (!short_write.ok()) return short_write;
+  return Status::Internal("JournalWriter: append to " + path_ + " failed");
 }
 
 Status JournalWriter::Sync() {
   if (file_ == nullptr) {
     return Status::FailedPrecondition("JournalWriter: sync after close");
   }
+  ST_RETURN_NOT_OK(FaultInjector::Global().Reached(fault::kJournalSync));
   if (!dirty_) return Status::OK();
   if (std::fflush(file_) != 0 || ::fsync(::fileno(file_)) != 0) {
     return Status::Internal("JournalWriter: fsync of " + path_ + " failed");

@@ -79,6 +79,11 @@ class JournalWriter {
   static Result<JournalWriter> Open(const std::string& path);
 
   /// Appends one framed record. Buffered: not durable until Sync().
+  /// A failed write (real or injected short write) is healed in place: the
+  /// file is truncated back to the last fully appended record, so one EIO
+  /// never poisons the generation — later appends still recover cleanly.
+  /// If even the heal fails the writer closes itself, so appends fail
+  /// loudly instead of journaling after unhealed damage.
   Status Append(const json::Value& payload);
 
   /// Flushes buffered appends and fsyncs the file (the group-commit point).
@@ -91,11 +96,15 @@ class JournalWriter {
   const std::string& path() const { return path_; }
   /// Records appended through this writer (not counting pre-existing ones).
   size_t records_appended() const { return records_appended_; }
+  /// Bytes of valid records in the file (pre-existing content at Open plus
+  /// everything appended since) — the store's journal-tail accounting.
+  size_t valid_length() const { return valid_length_; }
 
  private:
   std::string path_;
   std::FILE* file_ = nullptr;
   size_t records_appended_ = 0;
+  size_t valid_length_ = 0;
   bool dirty_ = false;  // appends since the last Sync
 };
 

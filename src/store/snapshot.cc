@@ -4,13 +4,31 @@
 
 #include "common/fs_util.h"
 #include "common/string_util.h"
+#include "store/fault_injector.h"
 
 namespace slicetuner {
 namespace store {
 
 namespace {
 constexpr const char kMagic[] = "SLICETUNER-SNAPSHOT";
+
+// Every snapshot write passes its durability boundaries through the fault
+// injector: tests fail the tmp write (disk full), or capture crash images
+// just before / just after the publishing rename.
+const AtomicWriteHooks& SnapshotWriteHooks() {
+  static const AtomicWriteHooks& hooks = *new AtomicWriteHooks{
+      [] { return FaultInjector::Global().Reached(fault::kSnapshotWriteTmp); },
+      [] {
+        return FaultInjector::Global().Reached(fault::kSnapshotPreRename);
+      },
+      [] {
+        return FaultInjector::Global().Reached(fault::kSnapshotPostRename);
+      },
+  };
+  return hooks;
 }
+
+}  // namespace
 
 std::string EncodeSnapshot(const json::Value& doc) {
   const std::string payload = doc.Dump(/*indent=*/2) + "\n";
@@ -23,7 +41,7 @@ Status WriteSnapshotFile(const std::string& path, const json::Value& doc,
                          size_t* bytes_written) {
   const std::string encoded = EncodeSnapshot(doc);
   if (bytes_written != nullptr) *bytes_written = encoded.size();
-  return WriteFileAtomic(path, encoded);
+  return WriteFileAtomic(path, encoded, &SnapshotWriteHooks());
 }
 
 Result<json::Value> ReadSnapshotFile(const std::string& path) {

@@ -22,23 +22,33 @@
 //     are never appended to.
 //   * WriteSnapshot() checkpoints: atomically replaces snapshot.st, then
 //     rotates to a new journal generation. Old generations are retained
-//     (never deleted while the store is live), so a snapshot racing
-//     concurrent appends can lose nothing: any record the snapshot missed
-//     is still replayed from the retained chain on the next Open.
+//     (not deleted), so a snapshot racing concurrent appends can lose
+//     nothing: any record the snapshot missed is still replayed from the
+//     retained chain on the next Open.
 //   * Compact() = WriteSnapshot + delete all older generations. Only safe
 //     when the caller guarantees `doc` covers every recovered and appended
 //     record — i.e. at startup, after recovery, before serving traffic.
+//   * CheckpointOnline() is the maintenance path: the same collapse while
+//     the store serves writers, phased so appends only block for the O(1)
+//     generation rotate (docs/STATE.md, "Maintenance lifecycle", spells
+//     out the per-phase crash invariants). Superseded checkpoints are kept
+//     as `snapshot-NNNNNN.st` rollback artifacts up to a retention count.
 //
-// Thread safety: all methods are serialized on one internal mutex. Append
-// is cheap (buffered); Sync is the group-commit fsync.
+// Thread safety: append-path methods are serialized on one internal mutex;
+// checkpoint writers (WriteSnapshot / Compact / CheckpointOnline) are
+// additionally serialized among themselves on a checkpoint mutex, which
+// CheckpointOnline holds *instead of* the append mutex for its slow
+// phases. Append is cheap (buffered); Sync is the group-commit fsync.
 
 #ifndef SLICETUNER_STORE_STORE_H_
 #define SLICETUNER_STORE_STORE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/json.h"
@@ -57,6 +67,9 @@ struct RecoveredState {
   /// True when a torn final record was dropped from the newest generation.
   bool tail_truncated = false;
   size_t bytes_discarded = 0;
+  /// Valid journal bytes across the recovered chain (the replay window a
+  /// restart had to pay for, in bytes).
+  size_t journal_bytes = 0;
 };
 
 /// Read-only recovery: what Open() would see, without becoming a writer.
@@ -69,6 +82,22 @@ struct DurableStoreStats {
   size_t syncs = 0;
   size_t snapshots_written = 0;
   uint64_t journal_generation = 0;
+  /// Journal generations / retained snapshots deleted by checkpoints.
+  size_t journals_retired = 0;
+  size_t snapshots_retired = 0;
+  /// Un-snapshotted journal bytes (sealed chain + live generation).
+  size_t journal_tail_bytes = 0;
+  /// Times the tail crossed the warning threshold (see SetTailWarnBytes).
+  size_t tail_warnings = 0;
+};
+
+/// What one CheckpointOnline pass did.
+struct CheckpointReport {
+  /// Newest generation the checkpoint covers (everything <= it retired).
+  uint64_t sealed_generation = 0;
+  size_t journals_retired = 0;
+  size_t snapshots_retired = 0;
+  size_t snapshot_bytes = 0;
 };
 
 class DurableStore {
@@ -98,18 +127,66 @@ class DurableStore {
   /// generation, restart the chain. Startup-only (see file comment).
   Status Compact(const json::Value& doc);
 
+  /// Online checkpoint — the background-maintenance collapse, safe while
+  /// other threads append. Phases (each bounded, each a registered fault
+  /// point — src/store/fault_injector.h):
+  ///
+  ///   1. seal+rotate (append mutex, O(1)): close the live generation,
+  ///      open a fresh one; writers keep appending there immediately.
+  ///   2. fold: call `provider` for a document covering everything up to
+  ///      at least the sealed chain (it may cover more: replay skips
+  ///      covered records by sequence number).
+  ///   3. publish: hard-link the current snapshot.st to its retained
+  ///      `snapshot-NNNNNN.st` name, then atomically replace snapshot.st.
+  ///   4. retire the journal generations the new checkpoint covers,
+  ///      oldest first.
+  ///   5. retire retained snapshots beyond `retain_snapshots`.
+  ///
+  /// A crash or injected failure at any boundary leaves a directory Open()
+  /// recovers to the identical logical state; a failed call leaves the
+  /// live store serving (the next maintenance tick simply retries).
+  Result<CheckpointReport> CheckpointOnline(
+      const std::function<json::Value()>& provider, int retain_snapshots);
+
+  /// Un-snapshotted journal bytes: the sealed-but-unretired chain plus the
+  /// live generation — what a restart right now would have to replay.
+  size_t JournalTailBytes() const;
+
+  /// Threshold for the unbounded-growth warning: when the journal tail
+  /// first exceeds `bytes`, the store logs one warning and bumps
+  /// store_journal_tail_warnings_total (re-armed when the tail halves).
+  /// 0 disables. Default 64 MiB — on by default so a daemon with
+  /// maintenance disabled still surfaces the footgun.
+  void SetTailWarnBytes(size_t bytes);
+
   DurableStoreStats stats() const;
   json::Value StatsJson() const;
 
  private:
   DurableStore() = default;
 
+  /// Re-checks the tail size against the warning threshold and refreshes
+  /// the store_journal_tail_bytes gauge. Requires mu_ held.
+  void RefreshTailLocked();
+  /// Hard-links snapshot.st to its retained name (no-op when no snapshot
+  /// exists yet; an identically named leftover is replaced).
+  Status PreserveSnapshot(uint64_t sealed_generation);
+
   std::string dir_;
   RecoveredState recovered_;
+  // Lock order: checkpoint_mu_ before mu_. Append/Sync take only mu_, so
+  // they run concurrently with a checkpoint's slow phases.
+  mutable std::mutex checkpoint_mu_;
   mutable std::mutex mu_;
   JournalWriter writer_;
   uint64_t generation_ = 0;
   DurableStoreStats stats_;
+  // Sealed-but-unretired generations as (generation, valid bytes) — the
+  // journal tail beyond the live writer. Guarded by mu_.
+  std::vector<std::pair<uint64_t, size_t>> sealed_;
+  size_t sealed_bytes_ = 0;
+  size_t tail_warn_bytes_ = 64u << 20;
+  bool tail_warned_ = false;
   // Appends since the last Sync: the group-commit batch size recorded
   // into store_commit_records at each fsync (src/obs/).
   size_t records_since_sync_ = 0;

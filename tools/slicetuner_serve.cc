@@ -8,11 +8,26 @@
 //                    [--max-batch=8] [--retry-after-ms=50]
 //                    [--max-backlog=0] [--workers=0] [--max-connections=64]
 //                    [--state-dir=DIR] [--metrics-dump=PATH]
+//                    [--snapshot-every-jobs=0] [--snapshot-every-bytes=0]
+//                    [--maintenance-interval-ms=250] [--retain-snapshots=2]
+//                    [--journal-warn-bytes=67108864]
 //
 // --state-dir makes sessions durable (src/store/, docs/STATE.md): startup
 // replays the directory's snapshot + journal tail so sessions resume warm,
 // the `snapshot`/`restore` admin verbs work, and a final checkpoint is
 // written on graceful shutdown.
+//
+// --snapshot-every-jobs / --snapshot-every-bytes enable background store
+// maintenance (docs/STATE.md "Maintenance lifecycle"): a maintenance
+// thread checkpoints the store online after N finished jobs and/or once
+// the un-snapshotted journal tail exceeds M bytes, collapsing sealed
+// journal generations into a fresh snapshot and retiring them while the
+// daemon keeps serving. --retain-snapshots bounds the superseded
+// snapshot-NNNNNN.st rollback artifacts kept on disk;
+// --maintenance-interval-ms is the thread's wake cadence (triggers are
+// also checked eagerly on every finished job). --journal-warn-bytes logs a
+// warning once the un-snapshotted tail exceeds the threshold even with
+// maintenance disabled (0 silences it).
 //
 // --metrics-dump writes the metrics registry's Prometheus-style text
 // exposition (docs/OBSERVABILITY.md) to PATH on graceful shutdown; "-"
@@ -123,6 +138,16 @@ int main(int argc, char** argv) {
   options.max_connections =
       bench::ParseIntFlag(argc, argv, "--max-connections=", 64);
   options.state_dir = bench::ParseStringFlag(argc, argv, "--state-dir=", "");
+  options.maintenance.snapshot_every_jobs =
+      bench::ParseIntFlag(argc, argv, "--snapshot-every-jobs=", 0);
+  options.maintenance.snapshot_every_bytes =
+      bench::ParseIntFlag(argc, argv, "--snapshot-every-bytes=", 0);
+  options.maintenance.interval_ms =
+      bench::ParseIntFlag(argc, argv, "--maintenance-interval-ms=", 250);
+  options.maintenance.retain_snapshots =
+      bench::ParseIntFlag(argc, argv, "--retain-snapshots=", 2);
+  options.journal_tail_warn_bytes =
+      bench::ParseIntFlag(argc, argv, "--journal-warn-bytes=", 64 * 1024 * 1024);
   const std::string metrics_dump =
       bench::ParseStringFlag(argc, argv, "--metrics-dump=", "");
   const std::string crash_test =
@@ -162,6 +187,14 @@ int main(int argc, char** argv) {
                 report.warm_slices, report.journal_records_applied,
                 report.tail_truncated ? " (torn journal tail truncated)"
                                       : "");
+    if (options.maintenance.Enabled()) {
+      std::printf("maintenance: snapshot every %d job(s) / %lld byte(s), "
+                  "interval %d ms, retain %d snapshot(s)\n",
+                  options.maintenance.snapshot_every_jobs,
+                  options.maintenance.snapshot_every_bytes,
+                  options.maintenance.interval_ms,
+                  options.maintenance.retain_snapshots);
+    }
   }
   std::fflush(stdout);
 
